@@ -1,0 +1,112 @@
+// Ablation: how much work does each pruning rule save?
+//
+// (a) Exact algorithm: the two atoms of condition P -- redundant-permutation
+//     elimination and the utility bound against the incumbent (Section IV-B).
+// (b) Greedy: fact-group pruning variants G-B / G-P / G-O (Section VI),
+//     measured in join/bound row visits and groups pruned.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/summarizer.h"
+#include "facts/catalog.h"
+#include "facts/instance.h"
+#include "storage/datasets.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  vq::bench::PrintHeader("Pruning-rule ablation", "Sections IV-B and VI", kSeed);
+
+  // A mid-sized ACS problem: the full-query (no predicate) instance.
+  vq::Table acs = vq::bench::BenchTable("acs", kSeed);
+  vq::SummarizerOptions options;
+  auto prepared =
+      vq::PreparedProblem::Prepare(acs, {}, acs.TargetIndex("visual"), options)
+          .value();
+  const vq::Evaluator& evaluator = prepared.evaluator();
+  std::printf("Instance: %zu merged rows, %zu facts, %zu fact groups\n\n",
+              prepared.instance().num_rows, prepared.catalog().NumFacts(),
+              prepared.catalog().NumGroups());
+
+  // (a) Exact-search ablation. Permutation enumeration explodes with m = 3,
+  // so the no-order-pruning configuration runs with a node budget.
+  vq::TablePrinter exact_table({"Configuration", "Leaf evals", "Nodes", "Bound cuts",
+                                "Time (ms)", "Utility"});
+  struct ExactConfig {
+    const char* label;
+    bool order;
+    bool bound;
+  };
+  const ExactConfig kConfigs[] = {
+      {"order + bound (paper)", true, true},
+      {"order only", true, false},
+      {"bound only (permutations)", false, true},
+      {"no pruning (permutations)", false, false},
+  };
+  for (const auto& config : kConfigs) {
+    vq::ExactOptions exact;
+    exact.max_facts = 2;
+    exact.order_pruning = config.order;
+    exact.bound_pruning = config.bound;
+    exact.timeout_seconds = 5.0;
+    vq::SummaryResult result = vq::ExactSummary(evaluator, exact);
+    exact_table.AddRow(
+        {config.label, std::to_string(result.counters.leaf_evals),
+         std::to_string(result.counters.nodes_expanded),
+         std::to_string(result.counters.pruned_by_bound),
+         vq::FormatCompact(result.elapsed_seconds * 1e3, 1),
+         vq::FormatCompact(result.utility, 1) +
+             (result.timed_out ? " (timeout)" : "")});
+  }
+  exact_table.Print("(a) Exact algorithm, m = 2");
+
+  // (b) Greedy fact-group pruning ablation.
+  vq::TablePrinter greedy_table({"Variant", "Join rows", "Bound rows",
+                                 "Groups joined", "Groups pruned", "Time (ms)",
+                                 "Utility"});
+  for (vq::FactPruning pruning :
+       {vq::FactPruning::kNone, vq::FactPruning::kNaive, vq::FactPruning::kOptimized}) {
+    vq::GreedyOptions greedy;
+    greedy.max_facts = 3;
+    greedy.pruning = pruning;
+    vq::SummaryResult result = vq::GreedySummary(evaluator, greedy);
+    greedy_table.AddRow({vq::FactPruningName(pruning),
+                         std::to_string(result.counters.join_rows),
+                         std::to_string(result.counters.bound_rows),
+                         std::to_string(result.counters.groups_joined),
+                         std::to_string(result.counters.groups_pruned),
+                         vq::FormatCompact(result.elapsed_seconds * 1e3, 2),
+                         vq::FormatCompact(result.utility, 1)});
+  }
+  greedy_table.Print("(b) Greedy fact-group pruning, m = 3");
+
+  // (c) The running example (zero prior): after the Winter fact is chosen,
+  // the pair group's bound (20) falls below the best single-dimension gain
+  // (25) and the whole 16-fact pair group is pruned -- the Example 8 dynamic.
+  vq::Table running = vq::MakeRunningExampleTable();
+  vq::InstanceOptions zero_prior;
+  zero_prior.prior_kind = vq::PriorKind::kZero;
+  auto instance = vq::BuildInstance(running, {}, 0, zero_prior).value();
+  auto catalog = vq::FactCatalog::Build(instance, 2, 1).value();
+  vq::Evaluator running_eval(&instance, &catalog);
+  vq::TablePrinter running_table({"Variant", "Groups joined", "Groups pruned",
+                                  "Utility"});
+  for (vq::FactPruning pruning :
+       {vq::FactPruning::kNone, vq::FactPruning::kNaive, vq::FactPruning::kOptimized}) {
+    vq::GreedyOptions greedy;
+    greedy.max_facts = 2;
+    greedy.pruning = pruning;
+    vq::SummaryResult result = vq::GreedySummary(running_eval, greedy);
+    running_table.AddRow({vq::FactPruningName(pruning),
+                          std::to_string(result.counters.groups_joined),
+                          std::to_string(result.counters.groups_pruned),
+                          vq::FormatCompact(result.utility, 0)});
+  }
+  running_table.Print("(c) Running example (Figure 1, zero prior), m = 2");
+  std::printf("Invariants: utilities identical across greedy variants; exact\n"
+              "utility identical across configurations (Theorem 2).\n");
+  return 0;
+}

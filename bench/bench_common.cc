@@ -1,0 +1,90 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table_printer.h"
+
+namespace vq {
+namespace bench {
+
+std::vector<Scenario> Figure3Scenarios() {
+  return {
+      {"F-C", "flights", "cancelled"},
+      {"F-D", "flights", "delay_minutes"},
+      {"A-H", "acs", "hearing"},
+      {"A-V", "acs", "visual"},
+      {"A-C", "acs", "cognitive"},
+      {"S-C", "stackoverflow", "competence"},
+      {"S-O", "stackoverflow", "optimism"},
+      {"S-S", "stackoverflow", "job_satisfaction"},
+  };
+}
+
+double BenchScale() {
+  const char* env = std::getenv("VQ_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+size_t BenchRows(const std::string& dataset) {
+  // Benches default to a fraction of the library's default rows so the full
+  // suite finishes in minutes; VQ_BENCH_SCALE scales up toward paper sizes.
+  double rows = static_cast<double>(DefaultRows(dataset)) * 0.25 * BenchScale();
+  return std::max<size_t>(500, static_cast<size_t>(rows));
+}
+
+Table BenchTable(const std::string& dataset, uint64_t seed) {
+  return MakeDataset(dataset, BenchRows(dataset), seed).value();
+}
+
+std::vector<VoiceQuery> SampleQueries(const ProblemGenerator& generator,
+                                      size_t max_queries, uint64_t seed) {
+  std::vector<VoiceQuery> queries = generator.GenerateQueries();
+  if (queries.size() <= max_queries) return queries;
+  Rng rng(seed);
+  rng.Shuffle(&queries);
+  queries.resize(max_queries);
+  return queries;
+}
+
+std::vector<VoiceQuery> StratifiedSampleQueries(const ProblemGenerator& generator,
+                                                size_t max_queries, uint64_t seed) {
+  std::vector<VoiceQuery> queries = generator.GenerateQueries();
+  if (queries.size() <= max_queries) return queries;
+  // Bucket by predicate count.
+  std::vector<std::vector<VoiceQuery>> strata;
+  for (auto& query : queries) {
+    size_t bucket = query.predicates.size();
+    if (strata.size() <= bucket) strata.resize(bucket + 1);
+    strata[bucket].push_back(std::move(query));
+  }
+  Rng rng(seed);
+  for (auto& stratum : strata) rng.Shuffle(&stratum);
+  // Round-robin across strata, fewest predicates first, until full.
+  std::vector<VoiceQuery> out;
+  size_t index = 0;
+  while (out.size() < max_queries) {
+    bool any = false;
+    for (auto& stratum : strata) {
+      if (index < stratum.size() && out.size() < max_queries) {
+        out.push_back(stratum[index]);
+        any = true;
+      }
+    }
+    if (!any) break;
+    ++index;
+  }
+  return out;
+}
+
+void PrintHeader(const std::string& name, const std::string& paper_ref,
+                 uint64_t seed) {
+  PrintBanner(name + "  (" + paper_ref + ")");
+  std::printf("seed=%llu scale=%.2f\n\n", static_cast<unsigned long long>(seed),
+              BenchScale());
+}
+
+}  // namespace bench
+}  // namespace vq

@@ -1,0 +1,59 @@
+// Shared helpers for the paper-figure/table bench harnesses.
+#ifndef VQ_BENCH_BENCH_COMMON_H_
+#define VQ_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "query/problem_generator.h"
+#include "storage/datasets.h"
+#include "util/rng.h"
+
+namespace vq {
+namespace bench {
+
+/// One Figure 3 scenario: dataset, target column and the paper's label.
+struct Scenario {
+  std::string label;    ///< e.g. "F-C"
+  std::string dataset;  ///< generator name
+  std::string target;   ///< target column
+};
+
+/// The eight scenarios of Figure 3 (flights cancellation/delay, three ACS
+/// targets, three Stack Overflow targets).
+std::vector<Scenario> Figure3Scenarios();
+
+/// Scale factor from the environment (VQ_BENCH_SCALE, default 1.0): benches
+/// multiply their default row counts by it, so `VQ_BENCH_SCALE=10` runs a
+/// configuration closer to the paper's full data sizes.
+double BenchScale();
+
+/// Rows for a dataset at the current bench scale (bounded below by 500).
+size_t BenchRows(const std::string& dataset);
+
+/// Builds a dataset at bench scale with a fixed seed (printed by benches).
+Table BenchTable(const std::string& dataset, uint64_t seed = 20210318);
+
+/// Deterministically samples up to `max_queries` queries from a generator
+/// (the full per-scenario workloads of the paper run for hours; benches
+/// solve a representative sample and report per-query numbers).
+std::vector<VoiceQuery> SampleQueries(const ProblemGenerator& generator,
+                                      size_t max_queries, uint64_t seed);
+
+/// Like SampleQueries but stratified by predicate count: every stratum
+/// (0, 1, 2, ... predicates) contributes queries, starting with the hardest
+/// (fewest predicates => largest subsets and fact spaces). Plain uniform
+/// sampling would almost always return 2-predicate queries, whose tiny
+/// instances make every method look instant.
+std::vector<VoiceQuery> StratifiedSampleQueries(const ProblemGenerator& generator,
+                                                size_t max_queries, uint64_t seed);
+
+/// Prints the standard bench header (name, seed, scale).
+void PrintHeader(const std::string& name, const std::string& paper_ref,
+                 uint64_t seed);
+
+}  // namespace bench
+}  // namespace vq
+
+#endif  // VQ_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Section VIII-E's ML experiment: a learned summarizer imitates speech
+// syntax but produces redundant facts over overly narrow subsets; simulated
+// raters must prefer the optimized speeches.
+//
+// Paper: one-predicate queries on the 52-value origin-state dimension; the
+// ML speeches averaged below 5.92 on every adjective vs. above 7.28 for the
+// proposed approach; prediction takes ~24 ms per sample.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/summarizer.h"
+#include "sim/ml_summarizer.h"
+#include "sim/rater.h"
+#include "sim/studies.h"
+#include "speech/speech.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  const int kTestQueries = 3;   // the paper's held-out test samples
+  const int kWorkers = 50;      // x 3 queries x 6 adjectives = 900 HITs
+  vq::bench::PrintHeader("ML-generated vs. optimized speeches", "Section VIII-E",
+                         kSeed);
+
+  vq::Table flights = vq::bench::BenchTable("flights", kSeed);
+  int target = flights.TargetIndex("cancelled");
+  int state_dim = flights.DimIndex("origin_state");
+  std::printf("Query template: one predicate on origin_state (%zu values)\n\n",
+              flights.dict(static_cast<size_t>(state_dim)).size());
+
+  vq::Rng rng(kSeed ^ 0xD);
+  vq::SpeechRater rater;
+  double rating_sum[2][vq::kNumAdjectives] = {};
+  int rated = 0;
+  double ml_generation_ms = 0.0;
+
+  for (int q = 0; q < kTestQueries; ++q) {
+    vq::ValueId state = static_cast<vq::ValueId>(
+        rng.NextBelow(flights.dict(static_cast<size_t>(state_dim)).size()));
+    vq::PredicateSet predicates = {vq::EqPredicate{state_dim, state}};
+    vq::SummarizerOptions options;
+    auto prepared_or =
+        vq::PreparedProblem::Prepare(flights, predicates, target, options);
+    if (!prepared_or.ok()) continue;
+    const auto& prepared = prepared_or.value();
+
+    vq::SummaryResult ours = prepared.Run(options);
+    vq::Stopwatch ml_watch;
+    std::vector<vq::FactId> ml = vq::MlLikeSummary(prepared.evaluator(), 3, &rng);
+    ml_generation_ms += ml_watch.ElapsedMillis();
+
+    vq::SpeechFeatures ours_features =
+        vq::FeaturesOfSpeech(prepared.evaluator(), ours.facts);
+    vq::SpeechFeatures ml_features = vq::FeaturesOfSpeech(prepared.evaluator(), ml);
+
+    if (q == 0) {
+      vq::SummaryResult ml_result;
+      ml_result.facts = ml;
+      ml_result.utility = prepared.evaluator().Utility(ml);
+      ml_result.base_error = prepared.evaluator().BaseError();
+      std::printf("Sample optimized speech:\n  %s\n",
+                  vq::RenderSpeech(flights, prepared.instance(), prepared.catalog(),
+                                   ours, predicates)
+                      .text.c_str());
+      std::printf("Sample ML-style speech (narrow, redundant facts):\n  %s\n\n",
+                  vq::RenderSpeech(flights, prepared.instance(), prepared.catalog(),
+                                   ml_result, predicates)
+                      .text.c_str());
+    }
+
+    for (int w = 0; w < kWorkers; ++w) {
+      auto ml_ratings = rater.RateAll(&rng, ml_features);
+      auto ours_ratings = rater.RateAll(&rng, ours_features);
+      for (int a = 0; a < vq::kNumAdjectives; ++a) {
+        rating_sum[0][a] += ml_ratings[static_cast<size_t>(a)];
+        rating_sum[1][a] += ours_ratings[static_cast<size_t>(a)];
+      }
+      ++rated;
+    }
+  }
+
+  vq::TablePrinter table({"System", "Precise", "Good", "Complete", "Informative",
+                          "Diverse", "Concise"});
+  const char* names[2] = {"ML-generated", "This"};
+  for (int s = 0; s < 2; ++s) {
+    std::vector<std::string> row = {names[s]};
+    for (int a = 0; a < vq::kNumAdjectives; ++a) {
+      row.push_back(vq::FormatCompact(rating_sum[s][a] / rated, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print("Average simulated ratings (" + std::to_string(rated * 12) + " HITs)");
+  std::printf("ML-style generation time: %.2f ms per sample (paper: ~24 ms)\n",
+              ml_generation_ms / kTestQueries);
+  std::printf("Expected shape (paper): ML speeches rank consistently lower on\n"
+              "every adjective (redundant dimensions, overly narrow subsets).\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Figure 11: simulated workers compare speeches for the same data generated
+// by the sampling baseline (value ranges) and by our approach (precise
+// values) on six adjectives.
+//
+// Paper shape: reporting precise values wins on "Precise" and "Informative"
+// (and our speeches lead on most adjectives overall).
+#include <cstdio>
+
+#include "baseline/sampling.h"
+#include "bench_common.h"
+#include "core/summarizer.h"
+#include "sim/rater.h"
+#include "sim/studies.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  const int kWorkersPerQuery = 50;  // x 3 queries x 6 adjectives = 900 HITs
+  vq::bench::PrintHeader("Baseline vs. ours: worker preferences", "Figure 11",
+                         kSeed);
+
+  vq::Table flights = vq::bench::BenchTable("flights", kSeed);
+  int target = flights.TargetIndex("cancelled");
+
+  // The three queries the prior publication used: flights in general, in one
+  // region, and in that region during Winter.
+  std::vector<vq::PredicateSet> queries(3);
+  queries[1] = {vq::MakePredicate(flights, "dest_region", "North").value()};
+  queries[2] = {vq::MakePredicate(flights, "dest_region", "North").value(),
+                vq::MakePredicate(flights, "season", "Winter").value()};
+  (void)vq::NormalizePredicates(&queries[2]);
+
+  vq::Rng rng(kSeed ^ 0xC);
+  vq::SpeechRater rater;
+  double rating_sum[2][vq::kNumAdjectives] = {};
+  int wins[2][vq::kNumAdjectives] = {};
+  int hits = 0;
+
+  for (const auto& predicates : queries) {
+    vq::SummarizerOptions options;
+    auto prepared =
+        vq::PreparedProblem::Prepare(flights, predicates, target, options).value();
+    const vq::Evaluator& evaluator = prepared.evaluator();
+
+    // Ours: optimized greedy speech with point values.
+    vq::SummaryResult ours = prepared.Run(options);
+    vq::SpeechFeatures ours_features = vq::FeaturesOfSpeech(evaluator, ours.facts);
+
+    // Baseline: sampling result with range facts; precision degrades with
+    // the relative range width. Run-time pressure forces the baseline to
+    // commit facts on loose confidence intervals (the paper's baseline must
+    // start speaking quickly), so ranges are wide.
+    vq::BaselineOptions baseline_options;
+    baseline_options.batch_rows = 64;
+    baseline_options.max_rounds = 10;
+    baseline_options.commit_ci_fraction = 0.25;
+    vq::SamplingVocalizer vocalizer(baseline_options);
+    vq::BaselineResult baseline = vocalizer.Run(evaluator, &rng);
+    std::vector<vq::FactId> baseline_facts;
+    double range_width = 0.0;
+    for (const auto& fact : baseline.facts) {
+      baseline_facts.push_back(fact.id);
+      range_width += fact.high - fact.low;
+    }
+    vq::SpeechFeatures baseline_features =
+        vq::FeaturesOfSpeech(evaluator, baseline_facts);
+    double scale = vq::TargetScale(prepared.instance());
+    double avg_width = baseline.facts.empty()
+                           ? 0.0
+                           : range_width / static_cast<double>(baseline.facts.size());
+    baseline_features.value_precision =
+        std::max(0.2, 1.0 - avg_width / std::max(1e-9, scale));
+    // A range conveys a weaker expectation than a point value: listeners can
+    // only anchor on the interval, so the utility a rater perceives is
+    // discounted by the precision of the spoken values.
+    baseline_features.scaled_utility =
+        (baseline.base_error > 0.0 ? baseline.utility / baseline.base_error : 0.0) *
+        baseline_features.value_precision;
+    baseline_features.words += 6.0;  // "between X and Y" phrasing is longer
+
+    for (int w = 0; w < kWorkersPerQuery; ++w) {
+      auto ours_ratings = rater.RateAll(&rng, ours_features);
+      auto base_ratings = rater.RateAll(&rng, baseline_features);
+      for (int a = 0; a < vq::kNumAdjectives; ++a) {
+        rating_sum[0][a] += base_ratings[static_cast<size_t>(a)];
+        rating_sum[1][a] += ours_ratings[static_cast<size_t>(a)];
+        if (ours_ratings[static_cast<size_t>(a)] >
+            base_ratings[static_cast<size_t>(a)]) {
+          ++wins[1][a];
+        } else {
+          ++wins[0][a];
+        }
+      }
+      ++hits;
+    }
+  }
+
+  vq::TablePrinter table({"System", "Precise", "Good", "Complete", "Informative",
+                          "Diverse", "Concise"});
+  const char* names[2] = {"Baseline", "This"};
+  for (int s = 0; s < 2; ++s) {
+    std::vector<std::string> row = {names[s]};
+    for (int a = 0; a < vq::kNumAdjectives; ++a) {
+      row.push_back(vq::FormatCompact(rating_sum[s][a] / hits, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print("Average ratings over " + std::to_string(hits * vq::kNumAdjectives * 2) +
+              " simulated HITs");
+
+  vq::TablePrinter wins_table({"System", "Precise", "Good", "Complete",
+                               "Informative", "Diverse", "Concise"});
+  for (int s = 0; s < 2; ++s) {
+    std::vector<std::string> row = {names[s]};
+    for (int a = 0; a < vq::kNumAdjectives; ++a) {
+      row.push_back(std::to_string(wins[s][a]));
+    }
+    wins_table.AddRow(std::move(row));
+  }
+  wins_table.Print("Pairwise wins per adjective");
+  std::printf("Expected shape (paper): 'This' leads clearly on Precise and\n"
+              "Informative (point values vs. ranges) and on most adjectives.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the core operator path: instance
+// construction, fact-catalog build (the materialized scope join), utility
+// joins, greedy/exact search and store lookup.
+#include <benchmark/benchmark.h>
+
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/summarizer.h"
+#include "engine/preprocessor.h"
+#include "storage/datasets.h"
+
+namespace {
+
+const vq::Table& AcsTable() {
+  static const vq::Table* table = new vq::Table(vq::MakeAcsTable(8000, 42));
+  return *table;
+}
+
+const vq::PreparedProblem& AcsProblem() {
+  static const vq::PreparedProblem* problem = [] {
+    vq::SummarizerOptions options;
+    auto prepared = vq::PreparedProblem::Prepare(
+        AcsTable(), {}, AcsTable().TargetIndex("visual"), options);
+    return new vq::PreparedProblem(std::move(prepared).value());
+  }();
+  return *problem;
+}
+
+void BM_BuildInstance(benchmark::State& state) {
+  for (auto _ : state) {
+    auto instance = vq::BuildInstance(AcsTable(), {}, 0);
+    benchmark::DoNotOptimize(instance);
+  }
+}
+BENCHMARK(BM_BuildInstance);
+
+void BM_BuildCatalog(benchmark::State& state) {
+  auto instance = vq::BuildInstance(AcsTable(), {}, 0).value();
+  for (auto _ : state) {
+    auto catalog = vq::FactCatalog::Build(instance, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(catalog);
+  }
+}
+BENCHMARK(BM_BuildCatalog)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SingleFactUtilities(benchmark::State& state) {
+  const auto& problem = AcsProblem();
+  for (auto _ : state) {
+    auto utilities = problem.evaluator().SingleFactUtilities();
+    benchmark::DoNotOptimize(utilities);
+  }
+}
+BENCHMARK(BM_SingleFactUtilities);
+
+void BM_SpeechErrorEvaluation(benchmark::State& state) {
+  const auto& problem = AcsProblem();
+  std::vector<vq::FactId> speech = {0, 1, 2};
+  for (auto _ : state) {
+    double error = problem.evaluator().Error(speech);
+    benchmark::DoNotOptimize(error);
+  }
+}
+BENCHMARK(BM_SpeechErrorEvaluation);
+
+void BM_Greedy(benchmark::State& state) {
+  const auto& problem = AcsProblem();
+  vq::GreedyOptions options;
+  options.max_facts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = vq::GreedySummary(problem.evaluator(), options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Greedy)->Arg(1)->Arg(3)->Arg(5);
+
+void BM_GreedyOptimizedPruning(benchmark::State& state) {
+  const auto& problem = AcsProblem();
+  vq::GreedyOptions options;
+  options.max_facts = 3;
+  options.pruning = vq::FactPruning::kOptimized;
+  for (auto _ : state) {
+    auto result = vq::GreedySummary(problem.evaluator(), options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_GreedyOptimizedPruning);
+
+void BM_Exact(benchmark::State& state) {
+  const auto& problem = AcsProblem();
+  vq::ExactOptions options;
+  options.max_facts = static_cast<int>(state.range(0));
+  options.timeout_seconds = 2.0;
+  for (auto _ : state) {
+    auto result = vq::ExactSummary(problem.evaluator(), options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Exact)->Arg(2)->Arg(3);
+
+void BM_StoreLookup(benchmark::State& state) {
+  static const vq::SpeechStore* store = [] {
+    vq::Configuration config;
+    config.table = "acs";
+    config.dimensions = {"borough", "age_group", "sex"};
+    config.targets = {"visual"};
+    auto built = vq::Preprocess(AcsTable(), config, {});
+    return new vq::SpeechStore(std::move(built).value());
+  }();
+  vq::VoiceQuery query;
+  query.target_index = AcsTable().TargetIndex("visual");
+  query.predicates = {
+      vq::MakePredicate(AcsTable(), "borough", "Manhattan").value(),
+      vq::MakePredicate(AcsTable(), "age_group", "Elders").value()};
+  (void)vq::NormalizePredicates(&query.predicates);
+  for (auto _ : state) {
+    const vq::StoredSpeech* speech = store->FindBest(query);
+    benchmark::DoNotOptimize(speech);
+  }
+}
+BENCHMARK(BM_StoreLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Table II: the best and worst ranked speech description of the ACS
+// visual-impairment data (out of 100 randomly generated speeches).
+//
+// Paper:
+//   Worst: "About 30 out of 1000 persons in Manhattan identify as visually
+//           impaired. It is 35 for Brooklyn. It is 35 overall."
+//   Best : "About 80 out of 1000 elder persons identify as visually
+//           impaired. It is 17 for adults. It is 3 for teenagers in
+//           Manhattan."
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/summarizer.h"
+#include "sim/studies.h"
+#include "speech/speech.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  vq::bench::PrintHeader("Best vs. worst ACS speech", "Table II", kSeed);
+
+  vq::Table acs = vq::bench::BenchTable("acs", kSeed);
+  int visual = acs.TargetIndex("visual");
+  vq::SummarizerOptions options;
+  options.max_facts = 3;
+  options.max_fact_dims = 2;
+  auto prepared = vq::PreparedProblem::Prepare(acs, {}, visual, options).value();
+
+  vq::Rng rng(kSeed);
+  auto ranked = vq::RandomRankedSpeeches(prepared.evaluator(), 100, 3, &rng);
+  auto render = [&](const vq::RankedSpeech& speech) {
+    vq::SummaryResult result;
+    result.facts = speech.facts;
+    result.utility = speech.utility;
+    result.base_error = prepared.evaluator().BaseError();
+    return vq::RenderSpeech(acs, prepared.instance(), prepared.catalog(), result, {});
+  };
+
+  vq::TablePrinter table({"Rank", "Utility", "Scaled", "Speech"});
+  const vq::RankedSpeech& worst = ranked.front();
+  const vq::RankedSpeech& median = ranked[ranked.size() / 2];
+  const vq::RankedSpeech& best = ranked.back();
+  table.AddRow({"Worst", vq::FormatCompact(worst.utility, 0),
+                vq::FormatCompact(worst.scaled_utility, 3), render(worst).text});
+  table.AddRow({"Median", vq::FormatCompact(median.utility, 0),
+                vq::FormatCompact(median.scaled_utility, 3), render(median).text});
+  table.AddRow({"Best", vq::FormatCompact(best.utility, 0),
+                vq::FormatCompact(best.scaled_utility, 3), render(best).text});
+  table.Print();
+
+  vq::SummaryResult optimized = prepared.Run(options);
+  vq::Speech speech = vq::RenderSpeech(acs, prepared.instance(), prepared.catalog(),
+                                       optimized, {});
+  std::printf("Optimized (G-O) speech, utility %.0f (scaled %.3f):\n  %s\n",
+              optimized.utility, optimized.ScaledUtility(), speech.text.c_str());
+  std::printf("\nExpected shape (paper): the best speech leads with the elders'\n"
+              "high prevalence (~80/1000) and distinguishes age groups; the\n"
+              "worst speech wastes facts on near-identical borough values.\n");
+  return 0;
+}

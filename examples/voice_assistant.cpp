@@ -1,0 +1,73 @@
+// End-to-end voice assistant: pre-processes a data set, then answers
+// requests -- either those passed as command-line arguments or a scripted
+// demo session mirroring the paper's public deployment (Example 5).
+//
+//   ./build/examples/voice_assistant                      # scripted demo
+//   ./build/examples/voice_assistant "cancellations in Winter?" "help"
+#include <cstdio>
+
+#include "engine/voice_engine.h"
+#include "storage/datasets.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+int main(int argc, char** argv) {
+  std::printf("Generating flight statistics and pre-processing speeches...\n");
+  vq::Table flights = vq::MakeFlightsTable(/*rows=*/15000, /*seed=*/5);
+
+  // Configuration mirroring the deployment: one target (cancellation
+  // probability), queries with up to two predicates (Example 5).
+  vq::Configuration config;
+  config.table = "flights";
+  config.dimensions = {"airline", "dest_region", "season", "month", "time_of_day"};
+  config.targets = {"cancelled"};
+  config.max_query_predicates = 2;
+  config.max_fact_dims = 2;
+  config.max_facts = 3;
+
+  vq::ThreadPool pool;
+  vq::PreprocessOptions options;
+  options.pool = &pool;
+  vq::PreprocessStats stats;
+  auto engine = vq::VoiceQueryEngine::Build(&flights, config, options, &stats);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Pre-processed %zu speeches in %.1f s (%.2f ms per speech, "
+              "mean scaled utility %.2f)\n\n",
+              stats.num_speeches, stats.total_seconds,
+              1e3 * stats.total_seconds / static_cast<double>(stats.num_speeches),
+              stats.MeanScaledUtility());
+
+  // Register the phrases users say for the target column.
+  (void)engine.value().mutable_extractor()->AddTargetSynonym("cancellations",
+                                                             "cancelled");
+  (void)engine.value().mutable_extractor()->AddTargetSynonym("cancellation rate",
+                                                             "cancelled");
+
+  std::vector<std::string> requests;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) requests.emplace_back(argv[i]);
+  } else {
+    requests = {
+        "help",
+        "cancellations in Winter?",           // Example 5's logged query
+        "cancellations in February",
+        "cancellations for AL-1 in the West",
+        "repeat that",
+        "which month has the most cancellations",  // unsupported: extremum
+        "thanks",
+    };
+  }
+
+  for (const std::string& request : requests) {
+    auto response = engine.value().Answer(request);
+    std::printf("User  : %s\n", request.c_str());
+    std::printf("System: %s\n", response.text.c_str());
+    std::printf("        [%s, lookup %.3f ms]\n\n",
+                vq::RequestTypeName(response.type),
+                response.lookup_seconds * 1e3);
+  }
+  return 0;
+}

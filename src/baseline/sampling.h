@@ -1,0 +1,69 @@
+// Run-time sampling baseline, standing in for the prior data-vocalization
+// work the paper compares against (Section VIII-E; [25], [28]).
+//
+// The prior method approximates the quality of candidate speeches by
+// sampling rows at run time; the first sentence can be emitted once its
+// estimate is confident (latency < total processing time), and spoken facts
+// carry value *ranges* rather than precise averages, to account for sampling
+// imprecision ("the cancellation probability is between 5 and 10%").
+#ifndef VQ_BASELINE_SAMPLING_H_
+#define VQ_BASELINE_SAMPLING_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "util/rng.h"
+
+namespace vq {
+
+struct BaselineOptions {
+  int max_facts = 3;
+  size_t batch_rows = 128;      ///< rows sampled per refinement round
+  size_t max_rounds = 64;       ///< hard cap on refinement rounds
+  double confidence_z = 1.96;   ///< CI multiplier
+  /// A fact is committed once its CI half-width falls below this fraction of
+  /// the target column's value range.
+  double commit_ci_fraction = 0.05;
+};
+
+/// A spoken range fact: the fact's scope with an estimated value interval.
+struct RangeFact {
+  FactId id = kNoFact;
+  double estimate = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+struct BaselineResult {
+  std::vector<RangeFact> facts;
+  /// Time until the first fact was committed (speech output can start).
+  double latency_seconds = 0.0;
+  /// Total processing time until the full speech was selected.
+  double total_seconds = 0.0;
+  size_t rows_sampled = 0;
+  /// D(F) / U(F) of the spoken estimates under the paper's expectation
+  /// model, computed against the true data (for quality comparisons).
+  double error = 0.0;
+  double utility = 0.0;
+  double base_error = 0.0;
+};
+
+/// \brief Greedy speech construction on a growing row sample.
+///
+/// Uses the same fact candidates as the pre-processing approach but never
+/// touches the full relation: fact values and utility gains are estimated
+/// from sampled rows only, and facts are committed once their confidence
+/// interval is narrow enough.
+class SamplingVocalizer {
+ public:
+  explicit SamplingVocalizer(BaselineOptions options = {}) : options_(options) {}
+
+  BaselineResult Run(const Evaluator& evaluator, Rng* rng) const;
+
+ private:
+  BaselineOptions options_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_BASELINE_SAMPLING_H_

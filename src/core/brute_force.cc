@@ -1,0 +1,41 @@
+#include "core/brute_force.h"
+
+#include "util/stopwatch.h"
+
+namespace vq {
+
+namespace {
+
+void Recurse(const Evaluator& evaluator, int max_facts, size_t next,
+             std::vector<FactId>* chosen, SummaryResult* best) {
+  if (!chosen->empty()) {
+    ++best->counters.leaf_evals;
+    double utility = evaluator.Utility(*chosen);
+    if (utility > best->utility + 1e-12) {
+      best->utility = utility;
+      best->facts = *chosen;
+    }
+  }
+  if (chosen->size() == static_cast<size_t>(max_facts)) return;
+  size_t num_facts = evaluator.catalog().NumFacts();
+  for (size_t i = next; i < num_facts; ++i) {
+    chosen->push_back(static_cast<FactId>(i));
+    Recurse(evaluator, max_facts, i + 1, chosen, best);
+    chosen->pop_back();
+  }
+}
+
+}  // namespace
+
+SummaryResult BruteForceSummary(const Evaluator& evaluator, int max_facts) {
+  Stopwatch watch;
+  SummaryResult best;
+  best.base_error = evaluator.BaseError();
+  std::vector<FactId> chosen;
+  Recurse(evaluator, max_facts, 0, &chosen, &best);
+  best.error = best.base_error - best.utility;
+  best.elapsed_seconds = watch.ElapsedSeconds();
+  return best;
+}
+
+}  // namespace vq

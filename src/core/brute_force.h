@@ -1,0 +1,17 @@
+// Exhaustive reference without any pruning; for tests and tiny instances.
+#ifndef VQ_CORE_BRUTE_FORCE_H_
+#define VQ_CORE_BRUTE_FORCE_H_
+
+#include "core/evaluator.h"
+#include "core/summary.h"
+
+namespace vq {
+
+/// Evaluates every fact combination of size up to `max_facts` exactly and
+/// returns the best. Exponential; intended for correctness tests of the
+/// exact and greedy algorithms on small instances.
+SummaryResult BruteForceSummary(const Evaluator& evaluator, int max_facts);
+
+}  // namespace vq
+
+#endif  // VQ_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,153 @@
+#include "core/evaluator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vq {
+
+void PerfCounters::Add(const PerfCounters& other) {
+  join_rows += other.join_rows;
+  bound_rows += other.bound_rows;
+  groups_joined += other.groups_joined;
+  groups_pruned += other.groups_pruned;
+  leaf_evals += other.leaf_evals;
+  nodes_expanded += other.nodes_expanded;
+  pruned_by_bound += other.pruned_by_bound;
+}
+
+Evaluator::Evaluator(const SummaryInstance* instance, const FactCatalog* catalog)
+    : instance_(instance), catalog_(catalog) {
+  base_error_ = instance_->BaseError();
+}
+
+double Evaluator::Error(std::span<const FactId> speech, ConflictModel model) const {
+  const SummaryInstance& inst = *instance_;
+  double error = 0.0;
+  std::vector<double> relevant;
+  std::vector<double> all_values;
+  all_values.reserve(speech.size());
+  for (FactId id : speech) all_values.push_back(catalog_->fact(id).value);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    relevant.clear();
+    for (FactId id : speech) {
+      if (catalog_->RowInScope(r, id)) relevant.push_back(catalog_->fact(id).value);
+    }
+    double expected =
+        ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+    error += std::fabs(expected - inst.target[r]) * inst.weight[r];
+  }
+  return error;
+}
+
+double Evaluator::Utility(std::span<const FactId> speech, ConflictModel model) const {
+  return base_error_ - Error(speech, model);
+}
+
+std::vector<double> Evaluator::RowExpectations(std::span<const FactId> speech,
+                                               ConflictModel model) const {
+  const SummaryInstance& inst = *instance_;
+  std::vector<double> out(inst.num_rows, inst.prior);
+  std::vector<double> relevant;
+  std::vector<double> all_values;
+  for (FactId id : speech) all_values.push_back(catalog_->fact(id).value);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    relevant.clear();
+    for (FactId id : speech) {
+      if (catalog_->RowInScope(r, id)) relevant.push_back(catalog_->fact(id).value);
+    }
+    out[r] = ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+  }
+  return out;
+}
+
+std::vector<double> Evaluator::SingleFactUtilities(PerfCounters* counters) const {
+  const SummaryInstance& inst = *instance_;
+  std::vector<double> utilities(catalog_->NumFacts(), 0.0);
+  for (uint32_t g = 0; g < catalog_->NumGroups(); ++g) {
+    const FactGroup& group = catalog_->group(g);
+    for (size_t r = 0; r < inst.num_rows; ++r) {
+      FactId id = group.row_fact[r];
+      double prior_dev = std::fabs(inst.prior - inst.target[r]);
+      double fact_dev = std::fabs(catalog_->fact(id).value - inst.target[r]);
+      double gain = prior_dev - fact_dev;
+      if (gain > 0.0) utilities[id] += gain * inst.weight[r];
+    }
+    if (counters != nullptr) {
+      counters->join_rows += inst.num_rows;
+      ++counters->groups_joined;
+    }
+  }
+  return utilities;
+}
+
+GreedyState::GreedyState(const Evaluator& evaluator) : evaluator_(&evaluator) {
+  const SummaryInstance& inst = evaluator.instance();
+  row_deviation_.resize(inst.num_rows);
+  current_error_ = 0.0;
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    row_deviation_[r] = std::fabs(inst.prior - inst.target[r]);
+    current_error_ += row_deviation_[r] * inst.weight[r];
+  }
+}
+
+std::pair<double, FactId> GreedyState::AccumulateGroupGains(
+    uint32_t group_index, std::vector<double>* gains, PerfCounters* counters) const {
+  const SummaryInstance& inst = evaluator_->instance();
+  const FactCatalog& catalog = evaluator_->catalog();
+  const FactGroup& group = catalog.group(group_index);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    FactId id = group.row_fact[r];
+    double fact_dev = std::fabs(catalog.fact(id).value - inst.target[r]);
+    double gain = row_deviation_[r] - fact_dev;
+    if (gain > 0.0) (*gains)[id] += gain * inst.weight[r];
+  }
+  if (counters != nullptr) {
+    counters->join_rows += inst.num_rows;
+    ++counters->groups_joined;
+  }
+  double best_gain = -1.0;
+  FactId best_fact = kNoFact;
+  for (uint32_t i = 0; i < group.num_facts; ++i) {
+    FactId id = group.first_fact + i;
+    if ((*gains)[id] > best_gain) {
+      best_gain = (*gains)[id];
+      best_fact = id;
+    }
+  }
+  return {best_gain, best_fact};
+}
+
+double GreedyState::GroupUtilityBound(uint32_t group_index,
+                                      PerfCounters* counters) const {
+  const SummaryInstance& inst = evaluator_->instance();
+  const FactCatalog& catalog = evaluator_->catalog();
+  const FactGroup& group = catalog.group(group_index);
+  // Adding a fact can at most zero out the current deviation within its
+  // scope, so sum(current deviation within scope) bounds the gain.
+  std::vector<double> scope_error(group.num_facts, 0.0);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    FactId id = group.row_fact[r];
+    scope_error[id - group.first_fact] += row_deviation_[r] * inst.weight[r];
+  }
+  if (counters != nullptr) counters->bound_rows += inst.num_rows;
+  double bound = 0.0;
+  for (double e : scope_error) bound = std::max(bound, e);
+  return bound;
+}
+
+void GreedyState::ApplyFact(FactId id) {
+  const SummaryInstance& inst = evaluator_->instance();
+  const FactCatalog& catalog = evaluator_->catalog();
+  const Fact& fact = catalog.fact(id);
+  const FactGroup& group = catalog.group(fact.group);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    if (group.row_fact[r] != id) continue;
+    double fact_dev = std::fabs(fact.value - inst.target[r]);
+    if (fact_dev < row_deviation_[r]) {
+      current_error_ -= (row_deviation_[r] - fact_dev) * inst.weight[r];
+      row_deviation_[r] = fact_dev;
+    }
+  }
+}
+
+}  // namespace vq

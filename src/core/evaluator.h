@@ -1,0 +1,98 @@
+// Deviation and utility evaluation (Definitions 5-6) over a fact catalog.
+#ifndef VQ_CORE_EVALUATOR_H_
+#define VQ_CORE_EVALUATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/expectation.h"
+#include "facts/catalog.h"
+#include "facts/instance.h"
+
+namespace vq {
+
+/// Work counters exposed by the algorithms (used by the Figure 3/4 benches
+/// and the pruning ablation).
+struct PerfCounters {
+  uint64_t join_rows = 0;      ///< row visits in utility-gain joins
+  uint64_t bound_rows = 0;     ///< row visits in upper-bound group-bys
+  uint64_t groups_joined = 0;  ///< fact groups whose utilities were computed
+  uint64_t groups_pruned = 0;  ///< fact groups eliminated by bounds
+  uint64_t leaf_evals = 0;     ///< complete speeches evaluated exactly
+  uint64_t nodes_expanded = 0; ///< search-tree expansions (exact algorithm)
+  uint64_t pruned_by_bound = 0;  ///< subtrees cut by the utility bound
+
+  void Add(const PerfCounters& other);
+};
+
+/// \brief Evaluates deviation/utility of fact sets for one instance.
+///
+/// All computations are weighted by the instance's row multiplicities, which
+/// is exactly equivalent to iterating the original rows.
+class Evaluator {
+ public:
+  Evaluator(const SummaryInstance* instance, const FactCatalog* catalog);
+
+  const SummaryInstance& instance() const { return *instance_; }
+  const FactCatalog& catalog() const { return *catalog_; }
+
+  /// D(empty): weighted deviation between prior and actual values.
+  double BaseError() const { return base_error_; }
+
+  /// D(F): accumulated deviation for a speech under `model`.
+  double Error(std::span<const FactId> speech,
+               ConflictModel model = ConflictModel::kClosest) const;
+
+  /// U(F) = D(empty) - D(F).
+  double Utility(std::span<const FactId> speech,
+                 ConflictModel model = ConflictModel::kClosest) const;
+
+  /// Per-row expected values after listening to `speech`.
+  std::vector<double> RowExpectations(std::span<const FactId> speech,
+                                      ConflictModel model) const;
+
+  /// Single-fact utility for every catalog fact (the initialization join of
+  /// Algorithm 1, Line 6). Counters are charged to `counters` if non-null.
+  std::vector<double> SingleFactUtilities(PerfCounters* counters = nullptr) const;
+
+ private:
+  const SummaryInstance* instance_;
+  const FactCatalog* catalog_;
+  double base_error_ = 0.0;
+};
+
+/// \brief Mutable greedy state: per-row current deviation given the facts
+/// chosen so far (the E column Algorithm 2 recomputes in Line 11).
+class GreedyState {
+ public:
+  explicit GreedyState(const Evaluator& evaluator);
+
+  /// Current accumulated (weighted) deviation.
+  double CurrentError() const { return current_error_; }
+
+  /// Utility gains of all facts in `group_index` given the current state;
+  /// accumulated into `gains` (indexed by FactId). Returns the best
+  /// (gain, fact) in the group. This is the join + Gamma of Line 7.
+  std::pair<double, FactId> AccumulateGroupGains(uint32_t group_index,
+                                                 std::vector<double>* gains,
+                                                 PerfCounters* counters) const;
+
+  /// Upper bound on the utility gain of any fact in `group_index`: the
+  /// maximum, over the group's facts, of the summed current deviation within
+  /// the fact's scope (Algorithm 3, Line 15 -- a group-by without a join).
+  double GroupUtilityBound(uint32_t group_index, PerfCounters* counters) const;
+
+  /// Applies a chosen fact: per-row deviation becomes the minimum of the
+  /// current deviation and the fact's deviation (Line 11 of Algorithm 2).
+  void ApplyFact(FactId id);
+
+ private:
+  const Evaluator* evaluator_;
+  std::vector<double> row_deviation_;  ///< unweighted |E - v| per merged row
+  double current_error_ = 0.0;
+};
+
+}  // namespace vq
+
+#endif  // VQ_CORE_EVALUATOR_H_

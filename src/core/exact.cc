@@ -1,0 +1,150 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/greedy.h"
+#include "util/stopwatch.h"
+
+namespace vq {
+
+namespace {
+
+/// Depth-first search context over utility-sorted facts.
+class ExactSearch {
+ public:
+  ExactSearch(const Evaluator& evaluator, const ExactOptions& options,
+              std::vector<FactId> sorted_facts, std::vector<double> utilities)
+      : evaluator_(evaluator),
+        options_(options),
+        sorted_facts_(std::move(sorted_facts)),
+        utilities_(std::move(utilities)),
+        deadline_(options.timeout_seconds) {}
+
+  void Run(SummaryResult* result) {
+    result_ = result;
+    chosen_.reserve(static_cast<size_t>(options_.max_facts));
+    Dfs(0, 0.0);
+  }
+
+  bool timed_out() const { return timed_out_; }
+
+ private:
+  /// Evaluates the current combination exactly and updates the incumbent.
+  void EvaluateLeaf() {
+    ++result_->counters.leaf_evals;
+    double utility = evaluator_.Utility(chosen_);
+    if (utility > result_->utility + 1e-12) {
+      result_->utility = utility;
+      result_->facts.assign(chosen_.begin(), chosen_.end());
+    }
+  }
+
+  bool Expired() {
+    if (timed_out_) return true;
+    if (ticks_++ % 256 == 0 && deadline_.Expired()) timed_out_ = true;
+    if (options_.max_leaf_evals > 0 &&
+        result_->counters.leaf_evals >= options_.max_leaf_evals) {
+      timed_out_ = true;
+    }
+    return timed_out_;
+  }
+
+  /// Expands combinations starting at `next` with bound-sum `sum_u`
+  /// (the sum of the chosen facts' single-fact utilities, an upper bound on
+  /// the partial speech's utility by submodularity -- Lemma 2).
+  void Dfs(size_t next, double sum_u) {
+    if (Expired()) return;
+    ++result_->counters.nodes_expanded;
+    if (chosen_.size() == static_cast<size_t>(options_.max_facts) ||
+        next >= sorted_facts_.size()) {
+      if (!chosen_.empty()) EvaluateLeaf();
+      return;
+    }
+    int slots_left = options_.max_facts - static_cast<int>(chosen_.size());
+    for (size_t i = next; i < sorted_facts_.size(); ++i) {
+      double fact_utility = utilities_[sorted_facts_[i]];
+      if (options_.bound_pruning) {
+        // Every later fact has utility <= fact_utility (sorted order), and by
+        // diminishing returns each adds at most its single-fact utility, so
+        // the best completion through fact i is bounded by
+        // sum_u + slots_left * fact_utility. Prune when below the incumbent.
+        // Facts are sorted, so all following candidates prune too: break.
+        if (sum_u + static_cast<double>(slots_left) * fact_utility <
+            result_->utility - 1e-12) {
+          ++result_->counters.pruned_by_bound;
+          break;
+        }
+      }
+      // Order pruning on: enumerate combinations in sorted order (each fact
+      // set visited once). Off: enumerate ordered sequences of distinct
+      // facts (the redundant permutations the first atom of condition P
+      // exists to eliminate).
+      if (!options_.order_pruning &&
+          std::find(chosen_.begin(), chosen_.end(), sorted_facts_[i]) !=
+              chosen_.end()) {
+        continue;
+      }
+      chosen_.push_back(sorted_facts_[i]);
+      size_t continuation = options_.order_pruning ? i + 1 : 0;
+      Dfs(continuation, sum_u + fact_utility);
+      chosen_.pop_back();
+      if (timed_out_) return;
+    }
+    // A shorter speech can only be optimal if no fact remains; utility is
+    // monotone, so leaves of maximal feasible length dominate. (Handled by
+    // the next >= size branch above.)
+  }
+
+  const Evaluator& evaluator_;
+  const ExactOptions& options_;
+  std::vector<FactId> sorted_facts_;
+  std::vector<double> utilities_;
+  Deadline deadline_;
+  SummaryResult* result_ = nullptr;
+  std::vector<FactId> chosen_;
+  uint64_t ticks_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace
+
+SummaryResult ExactSummary(const Evaluator& evaluator, const ExactOptions& options) {
+  Stopwatch watch;
+  SummaryResult result;
+  result.base_error = evaluator.BaseError();
+
+  const FactCatalog& catalog = evaluator.catalog();
+  if (catalog.NumFacts() == 0 || options.max_facts <= 0) {
+    result.error = result.base_error;
+    result.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Lower bound b: the greedy solution (near-optimal and cheap, Theorem 3).
+  GreedyOptions greedy_options;
+  greedy_options.max_facts = options.max_facts;
+  SummaryResult greedy = GreedySummary(evaluator, greedy_options);
+  result.facts = greedy.facts;
+  result.utility = greedy.utility;
+  result.counters.Add(greedy.counters);
+
+  // Single-fact utilities (Line 6 of Algorithm 1), then sort facts by
+  // decreasing utility to enforce the canonical fact order.
+  std::vector<double> utilities = evaluator.SingleFactUtilities(&result.counters);
+  std::vector<FactId> sorted(catalog.NumFacts());
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::stable_sort(sorted.begin(), sorted.end(), [&utilities](FactId a, FactId b) {
+    return utilities[a] > utilities[b];
+  });
+
+  ExactSearch search(evaluator, options, std::move(sorted), std::move(utilities));
+  search.Run(&result);
+  result.timed_out = search.timed_out();
+
+  result.error = result.base_error - result.utility;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vq

@@ -1,0 +1,41 @@
+// Exact speech summarization (Algorithm 1): branch-and-bound over fact
+// combinations with the paper's two pruning rules.
+#ifndef VQ_CORE_EXACT_H_
+#define VQ_CORE_EXACT_H_
+
+#include "core/evaluator.h"
+#include "core/summary.h"
+
+namespace vq {
+
+struct ExactOptions {
+  int max_facts = 3;
+  /// Wall-clock budget; <= 0 disables the deadline. On expiry the incumbent
+  /// (at least as good as the greedy seed) is returned with timed_out set --
+  /// mirroring the paper's per-scenario timeout handling (Section VIII-B).
+  double timeout_seconds = 0.0;
+  /// Enables the redundant-permutation elimination (facts enforced in
+  /// decreasing single-fact-utility order; first atom of condition P).
+  bool order_pruning = true;
+  /// Enables the utility-bound pruning against the incumbent
+  /// ((b - S.U) / r <= F.U; second atom of condition P).
+  bool bound_pruning = true;
+  /// Safety valve on exact leaf evaluations; 0 = unlimited.
+  uint64_t max_leaf_evals = 0;
+};
+
+/// Finds a guaranteed-optimal speech of up to `max_facts` facts.
+///
+/// The search seeds its lower bound b with the greedy result (the "cheaper
+/// heuristic" of Section IV-A), sorts facts by decreasing single-fact
+/// utility, and expands combinations depth-first. A partial speech with
+/// bound-sum S.U whose next candidate fact has single-fact utility F.U is
+/// pruned when S.U + a * F.U < b, where a is the number of facts that can
+/// still be added including the candidate -- by submodularity (Theorem 1)
+/// and the enforced utility ordering this upper-bounds every completion
+/// (Lemma 1). Surviving complete speeches are evaluated exactly.
+SummaryResult ExactSummary(const Evaluator& evaluator, const ExactOptions& options);
+
+}  // namespace vq
+
+#endif  // VQ_CORE_EXACT_H_

@@ -1,0 +1,61 @@
+#include "core/expectation.h"
+
+#include <cmath>
+
+namespace vq {
+
+const char* ConflictModelName(ConflictModel model) {
+  switch (model) {
+    case ConflictModel::kClosest: return "Closest";
+    case ConflictModel::kFarthest: return "Farthest";
+    case ConflictModel::kAverageScope: return "Avg. Scope";
+    case ConflictModel::kAverageAll: return "Avg. All";
+  }
+  return "Unknown";
+}
+
+double ExpectedValue(ConflictModel model, const std::vector<double>& relevant_values,
+                     const std::vector<double>& all_values, double prior,
+                     double actual) {
+  if (relevant_values.empty()) return prior;
+  switch (model) {
+    case ConflictModel::kClosest: {
+      double best = prior;
+      double best_dev = std::fabs(prior - actual);
+      for (double v : relevant_values) {
+        double dev = std::fabs(v - actual);
+        if (dev < best_dev) {
+          best_dev = dev;
+          best = v;
+        }
+      }
+      return best;
+    }
+    case ConflictModel::kFarthest: {
+      double worst = relevant_values.front();
+      double worst_dev = std::fabs(worst - actual);
+      for (double v : relevant_values) {
+        double dev = std::fabs(v - actual);
+        if (dev > worst_dev) {
+          worst_dev = dev;
+          worst = v;
+        }
+      }
+      return worst;
+    }
+    case ConflictModel::kAverageScope: {
+      double sum = 0.0;
+      for (double v : relevant_values) sum += v;
+      return sum / static_cast<double>(relevant_values.size());
+    }
+    case ConflictModel::kAverageAll: {
+      if (all_values.empty()) return prior;
+      double sum = 0.0;
+      for (double v : all_values) sum += v;
+      return sum / static_cast<double>(all_values.size());
+    }
+  }
+  return prior;
+}
+
+}  // namespace vq

@@ -1,0 +1,41 @@
+// User-expectation models (Definition 4 and the Figure 7 alternatives).
+#ifndef VQ_CORE_EXPECTATION_H_
+#define VQ_CORE_EXPECTATION_H_
+
+#include <string>
+#include <vector>
+
+namespace vq {
+
+/// How a listener resolves multiple relevant facts into one expected value.
+///
+/// kClosest is the paper's optimization model (Definition 4): the listener
+/// picks, among the typical values of in-scope facts *plus the prior*, the
+/// value closest to the actual one ("users often have prior knowledge
+/// allowing them to determine the most relevant fact"). The paper's Figure 7
+/// user study confirms kClosest predicts crowd workers best; the other three
+/// models are implemented for that comparison.
+enum class ConflictModel {
+  kClosest,
+  kFarthest,
+  kAverageScope,  ///< average of the in-scope facts' values
+  kAverageAll,    ///< average over all fact values, relevant or not
+};
+
+const char* ConflictModelName(ConflictModel model);
+
+/// Expected value in the target column for one row.
+///
+/// `relevant_values`: typical values of facts whose scope contains the row.
+/// `all_values`: typical values of every fact in the speech (used only by
+/// kAverageAll). `actual` is the row's true target value (kClosest/kFarthest
+/// select relative to it). When no fact is relevant, every model returns the
+/// prior. For kClosest the prior participates in the argmin as Definition 4
+/// specifies; for the other (purely descriptive) models it does not.
+double ExpectedValue(ConflictModel model, const std::vector<double>& relevant_values,
+                     const std::vector<double>& all_values, double prior,
+                     double actual);
+
+}  // namespace vq
+
+#endif  // VQ_CORE_EXPECTATION_H_

@@ -1,0 +1,114 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/stopwatch.h"
+
+namespace vq {
+
+namespace {
+
+/// Chooses the fact with maximal utility gain among all unpruned groups.
+/// Implements Algorithm 3's UTILITY when a pruning plan is supplied.
+std::pair<double, FactId> SelectBestFact(const Evaluator& evaluator,
+                                         const GreedyState& state,
+                                         const PruningPlan* plan,
+                                         PerfCounters* counters) {
+  const FactCatalog& catalog = evaluator.catalog();
+  std::vector<double> gains(catalog.NumFacts(), 0.0);
+  double best_gain = -1.0;
+  FactId best_fact = kNoFact;
+
+  auto consider_group = [&](uint32_t g) {
+    auto [gain, fact] = state.AccumulateGroupGains(g, &gains, counters);
+    if (fact != kNoFact && gain > best_gain) {
+      best_gain = gain;
+      best_fact = fact;
+    }
+  };
+
+  if (plan == nullptr) {
+    for (uint32_t g = 0; g < catalog.NumGroups(); ++g) consider_group(g);
+    return {best_gain, best_fact};
+  }
+
+  // 1. Compute utility for the pruning sources; m = best source gain.
+  std::vector<bool> handled(catalog.NumGroups(), false);
+  for (uint32_t g : plan->sources) {
+    consider_group(g);
+    handled[g] = true;
+  }
+  double source_best = best_gain;
+
+  // 2. Compare target bounds against the best source gain; prune dominated
+  //    targets together with all their specializations.
+  std::vector<bool> pruned(catalog.NumGroups(), false);
+  for (uint32_t t : plan->targets) {
+    if (pruned[t] || handled[t]) continue;  // already pruned via a generalization
+    double bound = state.GroupUtilityBound(t, counters);
+    if (source_best > bound) {
+      uint32_t t_mask = catalog.group(t).mask;
+      for (uint32_t g = 0; g < catalog.NumGroups(); ++g) {
+        if (!handled[g] && (catalog.group(g).mask & t_mask) == t_mask) {
+          pruned[g] = true;
+          if (counters != nullptr) ++counters->groups_pruned;
+        }
+      }
+    }
+  }
+
+  // 3. Compute utility for surviving groups.
+  for (uint32_t g = 0; g < catalog.NumGroups(); ++g) {
+    if (!handled[g] && !pruned[g]) consider_group(g);
+  }
+  return {best_gain, best_fact};
+}
+
+}  // namespace
+
+SummaryResult GreedySummary(const Evaluator& evaluator, const GreedyOptions& options) {
+  Stopwatch watch;
+  SummaryResult result;
+  result.base_error = evaluator.BaseError();
+
+  const FactCatalog& catalog = evaluator.catalog();
+  if (catalog.NumFacts() == 0 || options.max_facts <= 0) {
+    result.error = result.base_error;
+    result.elapsed_seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Pruning plans depend only on static group statistics, so the plan is
+  // selected once and reused in every iteration (OPT_PRUNE).
+  std::unique_ptr<PruningPlan> plan;
+  if (options.pruning != FactPruning::kNone && catalog.NumGroups() > 1) {
+    std::vector<uint32_t> masks;
+    std::vector<size_t> counts;
+    for (const auto& group : catalog.groups()) {
+      masks.push_back(group.mask);
+      counts.push_back(group.num_facts);
+    }
+    PruningPlanner planner(std::move(masks), std::move(counts),
+                           evaluator.instance().num_rows, options.cost_model);
+    plan = std::make_unique<PruningPlan>(options.pruning == FactPruning::kNaive
+                                             ? planner.NaivePlan()
+                                             : planner.ChoosePlan());
+  }
+
+  GreedyState state(evaluator);
+  for (int i = 0; i < options.max_facts; ++i) {
+    auto [gain, fact] =
+        SelectBestFact(evaluator, state, plan.get(), &result.counters);
+    if (fact == kNoFact || gain <= 1e-12) break;  // no fact improves the speech
+    result.facts.push_back(fact);
+    state.ApplyFact(fact);
+  }
+
+  result.error = state.CurrentError();
+  result.utility = result.base_error - result.error;
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace vq

@@ -1,0 +1,29 @@
+// Greedy speech summarization (Algorithm 2) with optional fact-group pruning
+// (Algorithm 3) -- the paper's G-B, G-P and G-O variants.
+#ifndef VQ_CORE_GREEDY_H_
+#define VQ_CORE_GREEDY_H_
+
+#include "core/evaluator.h"
+#include "core/pruning.h"
+#include "core/summary.h"
+
+namespace vq {
+
+struct GreedyOptions {
+  /// Maximum facts per speech (m). Prior work shows user retention drops
+  /// sharply after three facts, the paper's default (Section VIII-A).
+  int max_facts = 3;
+  FactPruning pruning = FactPruning::kNone;
+  CostModelParams cost_model;
+};
+
+/// Runs the greedy algorithm: in each iteration, computes utility gains of
+/// all (unpruned) facts given the current speech, adds the best fact, and
+/// recomputes per-row expectations. Guarantees utility within (1 - 1/e) of
+/// the optimum (Theorem 3). Pruning never changes the selected facts, only
+/// the work performed (the bound of Algorithm 3 is conservative).
+SummaryResult GreedySummary(const Evaluator& evaluator, const GreedyOptions& options);
+
+}  // namespace vq
+
+#endif  // VQ_CORE_GREEDY_H_

@@ -1,0 +1,145 @@
+#include "core/pruning.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace vq {
+
+const char* FactPruningName(FactPruning pruning) {
+  switch (pruning) {
+    case FactPruning::kNone: return "G-B";
+    case FactPruning::kNaive: return "G-P";
+    case FactPruning::kOptimized: return "G-O";
+  }
+  return "?";
+}
+
+PruningPlanner::PruningPlanner(std::vector<uint32_t> group_masks,
+                               std::vector<size_t> fact_counts, size_t num_rows,
+                               CostModelParams params)
+    : masks_(std::move(group_masks)),
+      fact_counts_(std::move(fact_counts)),
+      num_rows_(num_rows),
+      params_(params) {
+  assert(masks_.size() == fact_counts_.size());
+  by_count_.resize(masks_.size());
+  for (uint32_t g = 0; g < masks_.size(); ++g) by_count_[g] = g;
+  std::stable_sort(by_count_.begin(), by_count_.end(), [this](uint32_t a, uint32_t b) {
+    return fact_counts_[a] < fact_counts_[b];
+  });
+}
+
+double PruningPlanner::PruneProbability(uint32_t source, uint32_t target) const {
+  // Per-fact utilities modeled as normal with mean inversely proportional to
+  // the group's fact count (facts in small groups cover more rows).
+  double mu_s = 1.0 / static_cast<double>(std::max<size_t>(1, fact_counts_[source]));
+  double mu_t = 1.0 / static_cast<double>(std::max<size_t>(1, fact_counts_[target]));
+  return NormalGreaterProbability(mu_s, mu_t, params_.sigma);
+}
+
+double PruningPlanner::TargetPruneProbability(const std::vector<uint32_t>& sources,
+                                              uint32_t target) const {
+  double not_pruned = 1.0;
+  for (uint32_t s : sources) not_pruned *= 1.0 - PruneProbability(s, target);
+  return 1.0 - not_pruned;
+}
+
+double PruningPlanner::EstimateCost(const PruningPlan& plan) const {
+  double n = static_cast<double>(num_rows_);
+  double cost = 0.0;
+  // Cost of computing utility for the pruning sources.
+  cost += static_cast<double>(plan.sources.size()) * params_.join_cost_per_row * n;
+  // Cost of computing bounds for the pruning targets.
+  cost += static_cast<double>(plan.targets.size()) * params_.bound_cost_per_row * n;
+  // Expected cost of computing utility for groups that survive pruning:
+  // Pr(not pruned g) = prod over sources s and targets t generalizing g of
+  // (1 - Pr(Ps->t)), assuming independent pruning outcomes.
+  std::vector<bool> is_source(masks_.size(), false);
+  for (uint32_t s : plan.sources) is_source[s] = true;
+  for (uint32_t g = 0; g < masks_.size(); ++g) {
+    if (is_source[g]) continue;
+    double survive = 1.0;
+    for (uint32_t t : plan.targets) {
+      if (!Specializes(t, g)) continue;
+      for (uint32_t s : plan.sources) survive *= 1.0 - PruneProbability(s, t);
+    }
+    cost += survive * params_.join_cost_per_row * n;
+  }
+  return cost;
+}
+
+std::vector<PruningPlan> PruningPlanner::GeneratePlans() const {
+  std::vector<PruningPlan> candidates;
+
+  // The trivial plan: compute everything, prune nothing (lets OPT_PRUNE fall
+  // back to G-B behaviour when pruning cannot pay off).
+  PruningPlan trivial;
+  trivial.sources = by_count_;
+  trivial.estimated_cost = EstimateCost(trivial);
+  candidates.push_back(std::move(trivial));
+
+  // Algorithm 4: pruning sources are prefixes of the groups sorted by member
+  // count ("no group outside S has fewer facts than a group in S").
+  for (size_t prefix = 1; prefix < by_count_.size(); ++prefix) {
+    std::vector<uint32_t> sources(by_count_.begin(),
+                                  by_count_.begin() + static_cast<long>(prefix));
+    std::vector<uint32_t> remaining(by_count_.begin() + static_cast<long>(prefix),
+                                    by_count_.end());
+    std::vector<uint32_t> targets;
+    while (!remaining.empty()) {
+      // Select the next target maximizing H(t, S, L) = Pr(Pt) * |{l : t <= l}|.
+      double best_h = -1.0;
+      size_t best_idx = 0;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        uint32_t t = remaining[i];
+        size_t covered = 0;
+        for (uint32_t l : remaining) {
+          if (Specializes(t, l)) ++covered;
+        }
+        double h = TargetPruneProbability(sources, t) * static_cast<double>(covered);
+        if (h > best_h) {
+          best_h = h;
+          best_idx = i;
+        }
+      }
+      uint32_t chosen = remaining[best_idx];
+      targets.push_back(chosen);
+      // Each source/target combination yields a candidate plan.
+      PruningPlan plan;
+      plan.sources = sources;
+      plan.targets = targets;
+      plan.estimated_cost = EstimateCost(plan);
+      candidates.push_back(std::move(plan));
+      // Discard the target's specializations (they would be implicitly
+      // pruned if the target prunes successfully).
+      std::vector<uint32_t> next;
+      for (uint32_t l : remaining) {
+        if (!Specializes(chosen, l)) next.push_back(l);
+      }
+      remaining = std::move(next);
+    }
+  }
+  return candidates;
+}
+
+PruningPlan PruningPlanner::ChoosePlan() const {
+  std::vector<PruningPlan> candidates = GeneratePlans();
+  assert(!candidates.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].estimated_cost < candidates[best].estimated_cost) best = i;
+  }
+  return candidates[best];
+}
+
+PruningPlan PruningPlanner::NaivePlan() const {
+  PruningPlan plan;
+  plan.sources.push_back(by_count_.front());
+  for (size_t i = 1; i < by_count_.size(); ++i) plan.targets.push_back(by_count_[i]);
+  plan.estimated_cost = EstimateCost(plan);
+  return plan;
+}
+
+}  // namespace vq

@@ -1,0 +1,90 @@
+// Fact-group pruning plans: cost model (Section VI-C) and plan generation
+// (Algorithm 4) with cost-based plan selection (OPT_PRUNE).
+#ifndef VQ_CORE_PRUNING_H_
+#define VQ_CORE_PRUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "facts/catalog.h"
+
+namespace vq {
+
+/// Which fact-pruning strategy the greedy algorithm uses (Figure 3's
+/// G-B / G-P / G-O variants).
+enum class FactPruning {
+  kNone,       ///< G-B: compute utility for every fact group
+  kNaive,      ///< G-P: fixed plan -- smallest group as source, rest targets
+  kOptimized,  ///< G-O: cost-based plan selection over Algorithm 4 candidates
+};
+
+const char* FactPruningName(FactPruning pruning);
+
+/// \brief A pruning plan: utility is computed for `sources` first; then each
+/// `target` group's upper bound is compared against the best source gain,
+/// pruning dominated targets together with all their specializations.
+struct PruningPlan {
+  std::vector<uint32_t> sources;
+  std::vector<uint32_t> targets;  ///< in application order
+  double estimated_cost = 0.0;
+};
+
+/// Tunables of the Section VI-C cost model.
+struct CostModelParams {
+  /// Stddev of the per-fact utility distribution (both bounds and true
+  /// utilities are modeled as N(1/M(g), sigma^2)).
+  double sigma = 0.25;
+  /// Relative per-row cost of a utility join (C_U) vs. a bound group-by (C_D).
+  double join_cost_per_row = 2.0;
+  double bound_cost_per_row = 1.0;
+};
+
+/// \brief Computes pruning probabilities, estimates plan costs, generates
+/// Algorithm 4's candidates and picks the cheapest.
+class PruningPlanner {
+ public:
+  /// `fact_counts[g]` = M(g), the number of member facts of group g.
+  PruningPlanner(std::vector<uint32_t> group_masks, std::vector<size_t> fact_counts,
+                 size_t num_rows, CostModelParams params = {});
+
+  /// Pr(Ps->t): the source group's best utility exceeds the target group's
+  /// bound, under N(1/M, sigma^2) per-fact models.
+  double PruneProbability(uint32_t source, uint32_t target) const;
+
+  /// Pr(Pt) given a set of sources: 1 - prod(1 - Pr(Ps->t)).
+  double TargetPruneProbability(const std::vector<uint32_t>& sources,
+                                uint32_t target) const;
+
+  /// Expected data-processing cost of a plan (Section VI-C formula).
+  double EstimateCost(const PruningPlan& plan) const;
+
+  /// Algorithm 4: candidate plans. Sources are cardinality-ascending
+  /// prefixes of the group list; targets chosen greedily by
+  /// H(t, S, L) = Pr(Pt) * |{l in L : t subseteq l}|. Also includes the
+  /// trivial no-pruning plan (all groups as sources, no targets).
+  std::vector<PruningPlan> GeneratePlans() const;
+
+  /// OPT_PRUNE: the minimum-estimated-cost candidate.
+  PruningPlan ChoosePlan() const;
+
+  /// The naive G-P plan: the smallest group is the only source; all other
+  /// groups are targets in cardinality-ascending order.
+  PruningPlan NaivePlan() const;
+
+  size_t num_groups() const { return masks_.size(); }
+
+ private:
+  bool Specializes(uint32_t general, uint32_t special) const {
+    return (masks_[general] & masks_[special]) == masks_[general];
+  }
+
+  std::vector<uint32_t> masks_;
+  std::vector<size_t> fact_counts_;
+  size_t num_rows_;
+  CostModelParams params_;
+  std::vector<uint32_t> by_count_;  ///< group indices sorted by M(g) ascending
+};
+
+}  // namespace vq
+
+#endif  // VQ_CORE_PRUNING_H_

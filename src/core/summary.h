@@ -1,0 +1,32 @@
+// Common result type for all summarization algorithms.
+#ifndef VQ_CORE_SUMMARY_H_
+#define VQ_CORE_SUMMARY_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "facts/catalog.h"
+
+namespace vq {
+
+/// \brief Output of a summarization algorithm: the chosen facts and their
+/// exact utility under the paper's model.
+struct SummaryResult {
+  std::vector<FactId> facts;
+  double utility = 0.0;     ///< U(F) = D(empty) - D(F)
+  double error = 0.0;       ///< D(F)
+  double base_error = 0.0;  ///< D(empty)
+  double elapsed_seconds = 0.0;
+  bool timed_out = false;
+  PerfCounters counters;
+
+  /// Utility scaled to [0, 1] by the base error (the paper's Figure 3
+  /// "Utility (scaled)" normalizes per problem instance).
+  double ScaledUtility() const {
+    return base_error > 0.0 ? utility / base_error : 0.0;
+  }
+};
+
+}  // namespace vq
+
+#endif  // VQ_CORE_SUMMARY_H_

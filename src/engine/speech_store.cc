@@ -1,0 +1,152 @@
+#include "engine/speech_store.h"
+
+#include <algorithm>
+
+namespace vq {
+
+void SpeechStore::Put(StoredSpeech speech) {
+  std::string key = speech.query.Key();
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    speeches_[it->second] = std::move(speech);
+    return;
+  }
+  index_.emplace(std::move(key), speeches_.size());
+  speeches_.push_back(std::move(speech));
+}
+
+const StoredSpeech* SpeechStore::FindExact(const VoiceQuery& query) const {
+  auto it = index_.find(query.Key());
+  if (it == index_.end()) return nullptr;
+  return &speeches_[it->second];
+}
+
+const StoredSpeech* SpeechStore::FindBest(const VoiceQuery& query) const {
+  const StoredSpeech* exact = FindExact(query);
+  if (exact != nullptr) return exact;
+  // Enumerate subsets of the query's predicates from largest to smallest;
+  // queries carry at most a few predicates, so 2^|Q| is tiny.
+  size_t q = query.predicates.size();
+  std::vector<uint32_t> masks;
+  for (uint32_t mask = 0; mask < (1u << q); ++mask) masks.push_back(mask);
+  std::sort(masks.begin(), masks.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a);
+    int pb = __builtin_popcount(b);
+    return pa != pb ? pa > pb : a < b;
+  });
+  for (uint32_t mask : masks) {
+    if (mask == (1u << q) - 1u && q > 0) continue;  // exact case handled above
+    VoiceQuery candidate;
+    candidate.target_index = query.target_index;
+    for (size_t i = 0; i < q; ++i) {
+      if (mask & (1u << i)) candidate.predicates.push_back(query.predicates[i]);
+    }
+    const StoredSpeech* found = FindExact(candidate);
+    if (found != nullptr) return found;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Json SpokenFactToJson(const SpokenFact& fact) {
+  Json out = Json::Object();
+  Json scope = Json::Array();
+  for (const auto& [dim, value] : fact.scope) {
+    Json pair = Json::Object();
+    pair.Set("dim", Json::Str(dim));
+    pair.Set("value", Json::Str(value));
+    scope.Append(std::move(pair));
+  }
+  out.Set("scope", std::move(scope));
+  out.Set("value", Json::Number(fact.value));
+  return out;
+}
+
+}  // namespace
+
+Json SpeechStore::ToJson(const Table& table) const {
+  Json out = Json::Object();
+  out.Set("table", Json::Str(table.name()));
+  Json entries = Json::Array();
+  for (const auto& stored : speeches_) {
+    Json entry = Json::Object();
+    entry.Set("target", Json::Str(table.TargetName(
+                            static_cast<size_t>(stored.query.target_index))));
+    Json predicates = Json::Array();
+    for (const auto& p : stored.query.predicates) {
+      Json pair = Json::Object();
+      pair.Set("dim", Json::Str(table.DimName(static_cast<size_t>(p.dim))));
+      pair.Set("value",
+               Json::Str(table.dict(static_cast<size_t>(p.dim)).Lookup(p.value)));
+      predicates.Append(std::move(pair));
+    }
+    entry.Set("predicates", std::move(predicates));
+    entry.Set("text", Json::Str(stored.speech.text));
+    entry.Set("utility", Json::Number(stored.speech.utility));
+    entry.Set("scaled_utility", Json::Number(stored.speech.scaled_utility));
+    entry.Set("unit", Json::Str(stored.speech.unit));
+    entry.Set("subset", Json::Str(stored.speech.subset_description));
+    Json facts = Json::Array();
+    for (const auto& fact : stored.speech.facts) facts.Append(SpokenFactToJson(fact));
+    entry.Set("facts", std::move(facts));
+    entries.Append(std::move(entry));
+  }
+  out.Set("speeches", std::move(entries));
+  return out;
+}
+
+Result<SpeechStore> SpeechStore::FromJson(const Json& json, const Table& table) {
+  if (!json.is_object()) return Status::ParseError("speech store must be an object");
+  const Json* entries = json.Get("speeches");
+  if (entries == nullptr || !entries->is_array()) {
+    return Status::ParseError("missing 'speeches' array");
+  }
+  SpeechStore store;
+  for (size_t i = 0; i < entries->Size(); ++i) {
+    const Json& entry = entries->At(i);
+    StoredSpeech stored;
+    std::string target = entry.GetString("target", "");
+    stored.query.target_index = table.TargetIndex(target);
+    if (stored.query.target_index < 0) {
+      return Status::NotFound("stored target '" + target + "' not in table");
+    }
+    const Json* predicates = entry.Get("predicates");
+    if (predicates != nullptr && predicates->is_array()) {
+      for (size_t p = 0; p < predicates->Size(); ++p) {
+        const Json& pair = predicates->At(p);
+        VQ_ASSIGN_OR_RETURN(EqPredicate predicate,
+                            MakePredicate(table, pair.GetString("dim", ""),
+                                          pair.GetString("value", "")));
+        stored.query.predicates.push_back(predicate);
+      }
+      VQ_RETURN_IF_ERROR(NormalizePredicates(&stored.query.predicates));
+    }
+    stored.speech.target = target;
+    stored.speech.text = entry.GetString("text", "");
+    stored.speech.utility = entry.GetDouble("utility", 0.0);
+    stored.speech.scaled_utility = entry.GetDouble("scaled_utility", 0.0);
+    stored.speech.unit = entry.GetString("unit", "");
+    stored.speech.subset_description = entry.GetString("subset", "");
+    const Json* facts = entry.Get("facts");
+    if (facts != nullptr && facts->is_array()) {
+      for (size_t f = 0; f < facts->Size(); ++f) {
+        const Json& fact_json = facts->At(f);
+        SpokenFact fact;
+        fact.value = fact_json.GetDouble("value", 0.0);
+        const Json* scope = fact_json.Get("scope");
+        if (scope != nullptr && scope->is_array()) {
+          for (size_t s = 0; s < scope->Size(); ++s) {
+            fact.scope.emplace_back(scope->At(s).GetString("dim", ""),
+                                    scope->At(s).GetString("value", ""));
+          }
+        }
+        stored.speech.facts.push_back(std::move(fact));
+      }
+    }
+    store.Put(std::move(stored));
+  }
+  return store;
+}
+
+}  // namespace vq

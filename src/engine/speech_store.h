@@ -1,0 +1,62 @@
+// Pre-computed speech store with most-specific-containing-subset lookup.
+//
+// Section III: "If a summary was generated for the extracted target column
+// and for the data subset defined by the extracted predicates, the
+// corresponding speech is vocalized. Otherwise ... the speech describing the
+// most specific data subset that contains the one referenced in the query is
+// used. More precisely, considering predicates Q extracted from the query,
+// we select a speech summarizing a data subset defined by predicates S such
+// that S is a subset of Q and |S intersect Q| is maximal."
+#ifndef VQ_ENGINE_SPEECH_STORE_H_
+#define VQ_ENGINE_SPEECH_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/problem_generator.h"
+#include "speech/speech.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// One pre-computed speech keyed by its query.
+struct StoredSpeech {
+  VoiceQuery query;
+  Speech speech;
+};
+
+/// \brief In-memory index of pre-computed speeches.
+class SpeechStore {
+ public:
+  /// Inserts (or replaces) the speech for its query.
+  void Put(StoredSpeech speech);
+
+  /// Exact lookup; nullptr if the precise query was not pre-processed.
+  const StoredSpeech* FindExact(const VoiceQuery& query) const;
+
+  /// The paper's fallback: among stored speeches for the same target whose
+  /// predicate set S satisfies S subseteq Q, the one maximizing |S|.
+  /// Ties broken deterministically (lowest key). Falls back to nullptr only
+  /// if not even the empty-predicate speech exists for the target.
+  const StoredSpeech* FindBest(const VoiceQuery& query) const;
+
+  size_t size() const { return speeches_.size(); }
+
+  /// All stored speeches in insertion order (for inspection/benches).
+  const std::vector<StoredSpeech>& speeches() const { return speeches_; }
+
+  /// JSON round-trip (decoded strings, so a reloaded store does not depend
+  /// on dictionary code assignment). `table` re-encodes predicate values.
+  Json ToJson(const Table& table) const;
+  static Result<SpeechStore> FromJson(const Json& json, const Table& table);
+
+ private:
+  std::vector<StoredSpeech> speeches_;
+  std::unordered_map<std::string, size_t> index_;  // query key -> position
+};
+
+}  // namespace vq
+
+#endif  // VQ_ENGINE_SPEECH_STORE_H_

@@ -1,0 +1,70 @@
+#include "engine/voice_engine.h"
+
+#include "util/stopwatch.h"
+
+namespace vq {
+
+Result<VoiceQueryEngine> VoiceQueryEngine::Build(const Table* table,
+                                                 Configuration config,
+                                                 const PreprocessOptions& options,
+                                                 PreprocessStats* stats) {
+  VoiceQueryEngine engine;
+  engine.table_ = table;
+  VQ_ASSIGN_OR_RETURN(engine.store_, Preprocess(*table, config, options, stats));
+  engine.config_ = std::move(config);
+  engine.extractor_ = std::make_unique<QueryExtractor>(table);
+  engine.classifier_ = std::make_unique<RequestClassifier>(
+      engine.extractor_.get(), engine.config_.max_query_predicates);
+  return engine;
+}
+
+VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request) {
+  Stopwatch watch;
+  Response response;
+  ClassifiedRequest classified = classifier_->Classify(request);
+  response.type = classified.type;
+
+  switch (classified.type) {
+    case RequestType::kHelp:
+      response.text =
+          "You can ask for an average value, optionally narrowed down by up to " +
+          std::to_string(config_.max_query_predicates) +
+          " filters. For example: 'delays in Winter'.";
+      break;
+    case RequestType::kRepeat:
+      response.text = last_speech_text_.empty()
+                          ? "There is nothing to repeat yet."
+                          : last_speech_text_;
+      break;
+    case RequestType::kSupportedQuery:
+    case RequestType::kUnsupportedQuery: {
+      VoiceQuery query;
+      query.target_index = classified.query.target_index;
+      query.predicates = classified.query.predicates;
+      if (query.target_index < 0 && !store_.speeches().empty()) {
+        // No target grounded: default to the first configured target, as the
+        // deployed app answers "cancellations?"-style queries with its
+        // single target column.
+        query.target_index = store_.speeches().front().query.target_index;
+      }
+      const StoredSpeech* exact = store_.FindExact(query);
+      const StoredSpeech* best = exact != nullptr ? exact : store_.FindBest(query);
+      if (best != nullptr) {
+        response.speech = best;
+        response.exact_match = exact != nullptr;
+        response.text = best->speech.text;
+        last_speech_text_ = best->speech.text;
+      } else {
+        response.text = "I have no summary matching that question.";
+      }
+      break;
+    }
+    case RequestType::kOther:
+      response.text = "Sorry, I did not understand. Ask for help to hear examples.";
+      break;
+  }
+  response.lookup_seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+}  // namespace vq

@@ -1,0 +1,59 @@
+// The runtime voice-query engine (Figure 2's query path): speech
+// recognition is out of scope, the rest of the pipeline -- text to query,
+// store lookup, query to speech -- is implemented here.
+#ifndef VQ_ENGINE_VOICE_ENGINE_H_
+#define VQ_ENGINE_VOICE_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/preprocessor.h"
+#include "engine/speech_store.h"
+#include "nlu/classifier.h"
+#include "nlu/extractor.h"
+
+namespace vq {
+
+/// \brief Answers voice requests from the pre-computed store.
+class VoiceQueryEngine {
+ public:
+  /// Runs pre-processing for `config` over `table` and wires up the NLU
+  /// front end. The table must outlive the engine.
+  static Result<VoiceQueryEngine> Build(const Table* table, Configuration config,
+                                        const PreprocessOptions& options,
+                                        PreprocessStats* stats = nullptr);
+
+  struct Response {
+    RequestType type = RequestType::kOther;
+    std::string text;
+    /// Run-time cost of answering: NLU + store lookup (no optimization!).
+    double lookup_seconds = 0.0;
+    /// The stored speech used, if any.
+    const StoredSpeech* speech = nullptr;
+    /// True if the extracted query had an exact pre-computed match.
+    bool exact_match = false;
+  };
+
+  /// Handles one request string: classifies it, then answers data-access
+  /// queries from the store (help/repeat handled inline, like the paper's
+  /// deployed application).
+  Response Answer(const std::string& request);
+
+  const SpeechStore& store() const { return store_; }
+  QueryExtractor* mutable_extractor() { return extractor_.get(); }
+  const Table& table() const { return *table_; }
+
+ private:
+  VoiceQueryEngine() = default;
+
+  const Table* table_ = nullptr;
+  Configuration config_;
+  SpeechStore store_;
+  std::unique_ptr<QueryExtractor> extractor_;
+  std::unique_ptr<RequestClassifier> classifier_;
+  std::string last_speech_text_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_ENGINE_VOICE_ENGINE_H_

@@ -1,0 +1,84 @@
+// Fact enumeration and the materialized scope join.
+//
+// A fact (Definition 2) has a scope -- equality predicates on a subset of
+// the instance's fact-eligible dimensions -- and a typical value, the
+// average target over rows within scope. Facts are organized into *fact
+// groups*, one per restricted-dimension subset (Section VI-B prunes at this
+// granularity).
+#ifndef VQ_FACTS_CATALOG_H_
+#define VQ_FACTS_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "facts/instance.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// Index of a fact within a FactCatalog.
+using FactId = uint32_t;
+inline constexpr FactId kNoFact = UINT32_MAX;
+
+/// \brief A candidate fact: scope (group + packed values) and typical value.
+struct Fact {
+  uint32_t group = 0;      ///< index into FactCatalog::groups
+  uint64_t packed = 0;     ///< packed scope values (16 bits per dimension)
+  double value = 0.0;      ///< typical value: weighted average within scope
+  double scope_weight = 0.0;  ///< total row weight within scope
+};
+
+/// \brief A fact group: all facts restricting the same dimension subset.
+struct FactGroup {
+  uint32_t mask = 0;            ///< bitmask over instance dimension positions
+  std::vector<int> dim_positions;  ///< set bits of mask, ascending
+  FactId first_fact = 0;        ///< facts [first_fact, first_fact + num_facts)
+  uint32_t num_facts = 0;
+  /// Materialized scope join: per instance row, the unique fact of this
+  /// group whose scope contains the row (every row matches exactly one value
+  /// combination). This is the paper's join with condition M, computed once.
+  std::vector<FactId> row_fact;
+};
+
+/// \brief All candidate facts for one summarization instance.
+class FactCatalog {
+ public:
+  /// Enumerates facts restricting between `min_fact_dims` and
+  /// `max_fact_dims` dimensions. With the default min of 0, the 0-dimension
+  /// group contributes the single "overall" fact (the paper's speeches use
+  /// it, e.g. "It is 35 overall" in Table II); pass min_fact_dims = 1 to
+  /// restrict to specific subsets as the paper's running example does.
+  /// Requires max_fact_dims <= kMaxGroupDims and <= 31 instance dimensions.
+  static Result<FactCatalog> Build(const SummaryInstance& instance, int max_fact_dims,
+                                   int min_fact_dims = 0);
+
+  const std::vector<FactGroup>& groups() const { return groups_; }
+  const std::vector<Fact>& facts() const { return facts_; }
+  size_t NumFacts() const { return facts_.size(); }
+  size_t NumGroups() const { return groups_.size(); }
+
+  const Fact& fact(FactId id) const { return facts_[id]; }
+  const FactGroup& group(uint32_t g) const { return groups_[g]; }
+
+  /// Group index for a dimension mask; -1 if not enumerated.
+  int GroupIndexForMask(uint32_t mask) const;
+
+  /// True if `row` of the instance is within the scope of `id`.
+  bool RowInScope(size_t row, FactId id) const;
+
+  /// Decodes a fact's scope as (dimension name, value string) pairs, using
+  /// the source table's dictionaries.
+  std::vector<std::pair<std::string, std::string>> DescribeScope(
+      const Table& table, const SummaryInstance& instance, FactId id) const;
+
+ private:
+  std::vector<FactGroup> groups_;
+  std::vector<Fact> facts_;
+  std::unordered_map<uint32_t, uint32_t> mask_to_group_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_FACTS_CATALOG_H_

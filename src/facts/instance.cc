@@ -1,0 +1,151 @@
+#include "facts/instance.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "relational/group_by.h"
+
+namespace vq {
+
+double SummaryInstance::BaseError() const {
+  double error = 0.0;
+  for (size_t r = 0; r < num_rows; ++r) {
+    error += std::fabs(prior - target[r]) * weight[r];
+  }
+  return error;
+}
+
+namespace {
+
+struct RowKey {
+  uint64_t dims_hash;
+  double target;
+
+  bool operator==(const RowKey& other) const {
+    return dims_hash == other.dims_hash && target == other.target;
+  }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& k) const {
+    uint64_t h = k.dims_hash * 0x9E3779B97F4A7C15ULL;
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(k.target));
+    __builtin_memcpy(&bits, &k.target, sizeof(bits));
+    h ^= bits + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Result<SummaryInstance> BuildInstance(const Table& table,
+                                      const PredicateSet& query_predicates,
+                                      int target_index,
+                                      const InstanceOptions& options) {
+  if (target_index < 0 || static_cast<size_t>(target_index) >= table.NumTargets()) {
+    return Status::InvalidArgument("target index " + std::to_string(target_index) +
+                                   " out of range");
+  }
+  SummaryInstance inst;
+  inst.target_name = table.TargetName(static_cast<size_t>(target_index));
+  inst.target_unit = table.TargetUnit(static_cast<size_t>(target_index));
+
+  // Fact-eligible dimensions: those not fixed by the query.
+  for (size_t d = 0; d < table.NumDims(); ++d) {
+    bool restricted = false;
+    for (const auto& p : query_predicates) {
+      if (p.dim == static_cast<int>(d)) {
+        restricted = true;
+        break;
+      }
+    }
+    if (!restricted) {
+      if (table.dict(d).size() > kMaxPackableCode) {
+        return Status::Unsupported("dimension '" + table.DimName(d) +
+                                   "' exceeds the packable cardinality limit");
+      }
+      inst.dims.push_back(static_cast<int>(d));
+      inst.dim_names.push_back(table.DimName(d));
+      inst.dim_cardinalities.push_back(table.dict(d).size());
+    }
+  }
+
+  std::vector<uint32_t> rows = FilterRows(table, query_predicates);
+  if (rows.empty()) {
+    return Status::NotFound("query predicates select no rows");
+  }
+
+  const std::vector<double>& target_column =
+      table.TargetColumn(static_cast<size_t>(target_index));
+
+  // Prior.
+  switch (options.prior_kind) {
+    case PriorKind::kGlobalAverage: {
+      double sum = 0.0;
+      for (double v : target_column) sum += v;
+      inst.prior = sum / static_cast<double>(table.NumRows());
+      break;
+    }
+    case PriorKind::kSubsetAverage: {
+      double sum = 0.0;
+      for (uint32_t r : rows) sum += target_column[r];
+      inst.prior = sum / static_cast<double>(rows.size());
+      break;
+    }
+    case PriorKind::kZero:
+      inst.prior = 0.0;
+      break;
+    case PriorKind::kConstant:
+      inst.prior = options.prior_value;
+      break;
+  }
+
+  size_t num_dims = inst.dims.size();
+  inst.total_weight = static_cast<double>(rows.size());
+
+  if (!options.merge_duplicates) {
+    inst.num_rows = rows.size();
+    inst.codes.resize(rows.size() * num_dims);
+    inst.target.resize(rows.size());
+    inst.weight.assign(rows.size(), 1.0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t d = 0; d < num_dims; ++d) {
+        inst.codes[i * num_dims + d] =
+            table.DimCode(rows[i], static_cast<size_t>(inst.dims[d]));
+      }
+      inst.target[i] = target_column[rows[i]];
+    }
+    return inst;
+  }
+
+  // Merge rows with identical (dims, target) into weighted rows.
+  std::unordered_map<RowKey, uint32_t, RowKeyHash> merged;
+  merged.reserve(rows.size());
+  std::vector<ValueId> row_codes(num_dims);
+  for (uint32_t r : rows) {
+    uint64_t h = 1469598103934665603ULL;  // FNV-1a over codes
+    for (size_t d = 0; d < num_dims; ++d) {
+      row_codes[d] = table.DimCode(r, static_cast<size_t>(inst.dims[d]));
+      h ^= static_cast<uint64_t>(row_codes[d]) + 1;
+      h *= 1099511628211ULL;
+    }
+    double v = target_column[r];
+    RowKey key{h, v};
+    auto [it, inserted] = merged.emplace(key, static_cast<uint32_t>(inst.num_rows));
+    if (inserted) {
+      for (size_t d = 0; d < num_dims; ++d) inst.codes.push_back(row_codes[d]);
+      inst.target.push_back(v);
+      inst.weight.push_back(1.0);
+      ++inst.num_rows;
+    } else {
+      inst.weight[it->second] += 1.0;
+    }
+  }
+  // Note: hash collisions between distinct code vectors would merge
+  // non-identical rows; with 64-bit FNV over short code vectors this is
+  // vanishingly unlikely, and results remain valid approximations even then.
+  return inst;
+}
+
+}  // namespace vq

@@ -1,0 +1,75 @@
+// The per-problem row block every summarization algorithm operates on.
+#ifndef VQ_FACTS_INSTANCE_H_
+#define VQ_FACTS_INSTANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// How the constant prior P(r) (Definition 4) is chosen.
+enum class PriorKind {
+  kGlobalAverage,  ///< average of the target column over the whole table
+                   ///< (the paper's default, Section VIII-A)
+  kSubsetAverage,  ///< average over the queried subset
+  kZero,           ///< "users expect no delays by default" (Example 3)
+  kConstant,       ///< explicit value
+};
+
+/// \brief One speech-summarization problem: the queried data subset projected
+/// onto the fact-eligible dimensions, plus the prior.
+///
+/// Rows with identical dimension codes and identical target value are merged
+/// with a multiplicity weight; all deviation/utility computations are
+/// weighted, which leaves every result unchanged while shrinking the block
+/// (targets here are integers in practice, so merge rates are high).
+struct SummaryInstance {
+  /// Fact-eligible dimension columns (indices into the source table) -- the
+  /// dimensions not already fixed by the query's predicates.
+  std::vector<int> dims;
+  std::vector<std::string> dim_names;
+  /// Cardinality of each fact-eligible dimension (full dictionary size).
+  std::vector<size_t> dim_cardinalities;
+
+  size_t num_rows = 0;                 ///< merged rows
+  double total_weight = 0.0;           ///< original (pre-merge) row count
+  std::vector<ValueId> codes;          ///< num_rows x dims.size(), row-major
+  std::vector<double> target;          ///< per merged row
+  std::vector<double> weight;          ///< multiplicity per merged row
+
+  double prior = 0.0;                  ///< constant prior expectation
+
+  std::string target_name;
+  std::string target_unit;
+
+  ValueId CodeAt(size_t row, size_t dim_pos) const {
+    return codes[row * dims.size() + dim_pos];
+  }
+
+  /// Baseline error D(empty): weighted sum of |prior - target|.
+  double BaseError() const;
+};
+
+/// Options controlling instance construction.
+struct InstanceOptions {
+  PriorKind prior_kind = PriorKind::kGlobalAverage;
+  double prior_value = 0.0;  ///< used when prior_kind == kConstant
+  bool merge_duplicates = true;
+};
+
+/// Builds the instance for `query predicates` on `target` of `table`.
+/// Fact-eligible dimensions are all dimensions without a query predicate.
+/// Fails if the subset is empty or a dimension's cardinality exceeds the
+/// packable limit.
+Result<SummaryInstance> BuildInstance(const Table& table,
+                                      const PredicateSet& query_predicates,
+                                      int target_index,
+                                      const InstanceOptions& options = {});
+
+}  // namespace vq
+
+#endif  // VQ_FACTS_INSTANCE_H_

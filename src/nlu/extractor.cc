@@ -1,0 +1,147 @@
+#include "nlu/extractor.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace vq {
+
+namespace {
+
+bool IsStopWord(const std::string& token) {
+  static const char* const kStopWords[] = {
+      "the", "a",  "an", "in", "on",  "of",  "for", "about", "what", "whats",
+      "is",  "are", "how", "much", "many", "me",  "tell", "show",  "give",
+      "please", "average", "rate", "per", "and", "to", "by"};
+  for (const char* w : kStopWords) {
+    if (token == w) return true;
+  }
+  return false;
+}
+
+std::string NormalizeToken(const std::string& token) {
+  std::string out;
+  for (char c : token) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '+') {
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  for (const auto& raw : SplitWhitespace(text)) {
+    std::string token = NormalizeToken(raw);
+    if (!token.empty()) out.push_back(std::move(token));
+  }
+  return out;
+}
+
+/// "delay_minutes" -> tokens {"delay", "minutes"}; "Staten Island" ->
+/// {"staten", "island"}.
+std::vector<std::string> PhraseTokens(const std::string& phrase) {
+  std::string spaced;
+  for (char c : phrase) spaced.push_back(c == '_' ? ' ' : c);
+  return Tokenize(spaced);
+}
+
+}  // namespace
+
+QueryExtractor::QueryExtractor(const Table* table) : table_(table) {
+  // Dimension values.
+  for (size_t d = 0; d < table_->NumDims(); ++d) {
+    const Dictionary& dict = table_->dict(d);
+    for (ValueId v = 0; v < dict.size(); ++v) {
+      Grounding g;
+      g.kind = Grounding::Kind::kValue;
+      g.dim = static_cast<int>(d);
+      g.value = v;
+      AddPhrase(dict.Lookup(v), g);
+    }
+  }
+  // Target column names.
+  for (size_t t = 0; t < table_->NumTargets(); ++t) {
+    Grounding g;
+    g.kind = Grounding::Kind::kTarget;
+    g.target_index = static_cast<int>(t);
+    AddPhrase(table_->TargetName(t), g);
+  }
+}
+
+void QueryExtractor::AddPhrase(const std::string& phrase, Grounding grounding) {
+  std::vector<std::string> tokens = PhraseTokens(phrase);
+  if (tokens.empty()) return;
+  max_phrase_tokens_ = std::max(max_phrase_tokens_, tokens.size());
+  vocabulary_.emplace(std::move(tokens), grounding);
+}
+
+Status QueryExtractor::AddTargetSynonym(const std::string& phrase,
+                                        const std::string& target_column) {
+  int idx = table_->TargetIndex(target_column);
+  if (idx < 0) return Status::NotFound("target column '" + target_column + "' unknown");
+  Grounding g;
+  g.kind = Grounding::Kind::kTarget;
+  g.target_index = idx;
+  AddPhrase(phrase, g);
+  return Status::OK();
+}
+
+Status QueryExtractor::AddValueSynonym(const std::string& phrase,
+                                       const std::string& dim_column,
+                                       const std::string& value) {
+  int dim = table_->DimIndex(dim_column);
+  if (dim < 0) return Status::NotFound("dimension column '" + dim_column + "' unknown");
+  auto code = table_->dict(static_cast<size_t>(dim)).Find(value);
+  if (!code.has_value()) {
+    return Status::NotFound("value '" + value + "' not in column '" + dim_column + "'");
+  }
+  Grounding g;
+  g.kind = Grounding::Kind::kValue;
+  g.dim = dim;
+  g.value = *code;
+  AddPhrase(phrase, g);
+  return Status::OK();
+}
+
+ExtractedQuery QueryExtractor::Extract(const std::string& text) const {
+  ExtractedQuery out;
+  std::vector<std::string> tokens = Tokenize(text);
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Longest-match-first against the vocabulary.
+    bool matched = false;
+    size_t max_len = std::min(max_phrase_tokens_, tokens.size() - i);
+    for (size_t len = max_len; len >= 1; --len) {
+      std::vector<std::string> candidate(tokens.begin() + static_cast<long>(i),
+                                         tokens.begin() + static_cast<long>(i + len));
+      auto it = vocabulary_.find(candidate);
+      if (it == vocabulary_.end()) continue;
+      const Grounding& g = it->second;
+      if (g.kind == Grounding::Kind::kTarget) {
+        if (out.target_index < 0) out.target_index = g.target_index;
+      } else {
+        bool duplicate_dim = false;
+        for (const auto& p : out.predicates) {
+          if (p.dim == g.dim) {
+            duplicate_dim = true;
+            break;
+          }
+        }
+        if (!duplicate_dim) out.predicates.push_back(EqPredicate{g.dim, g.value});
+      }
+      i += len;
+      matched = true;
+      break;
+    }
+    if (!matched) {
+      if (!IsStopWord(tokens[i])) out.unmatched_tokens.push_back(tokens[i]);
+      ++i;
+    }
+  }
+  Status st = NormalizePredicates(&out.predicates);
+  (void)st;  // duplicates filtered above
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,72 @@
+// Text-to-query extraction: maps a voice request to a target column and a
+// set of equality predicates.
+//
+// The paper uses the Google Assistant framework's trained extractor
+// (Section III); this module substitutes a deterministic keyword/synonym
+// matcher behind the same interface (see DESIGN.md substitution table).
+#ifndef VQ_NLU_EXTRACTOR_H_
+#define VQ_NLU_EXTRACTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// Extraction result: target column (or -1) plus recognized predicates and
+/// the tokens that could not be grounded in the schema.
+struct ExtractedQuery {
+  int target_index = -1;
+  PredicateSet predicates;
+  std::vector<std::string> unmatched_tokens;
+
+  bool HasTarget() const { return target_index >= 0; }
+};
+
+/// \brief Grounds free text in a table's schema.
+///
+/// The vocabulary is built from dimension values and column names; synonyms
+/// (e.g. "cancellations" -> target "cancelled") can be registered the way
+/// the paper "train[s] an extractor with a few samples".
+class QueryExtractor {
+ public:
+  explicit QueryExtractor(const Table* table);
+
+  /// Registers a synonym phrase for a target column.
+  Status AddTargetSynonym(const std::string& phrase, const std::string& target_column);
+
+  /// Registers a synonym phrase for a dimension value.
+  Status AddValueSynonym(const std::string& phrase, const std::string& dim_column,
+                         const std::string& value);
+
+  /// Extracts target + predicates from `text`. Longest-match-first over a
+  /// lower-cased token stream; at most one predicate per dimension (the
+  /// first mention wins). Stop words are ignored.
+  ExtractedQuery Extract(const std::string& text) const;
+
+  const Table& table() const { return *table_; }
+
+ private:
+  struct Grounding {
+    enum class Kind { kTarget, kValue } kind = Kind::kTarget;
+    int target_index = -1;
+    int dim = -1;
+    ValueId value = kNoValue;
+  };
+
+  /// Adds a phrase (lower-cased, whitespace-normalized) to the vocabulary.
+  void AddPhrase(const std::string& phrase, Grounding grounding);
+
+  const Table* table_;
+  /// Phrase (as token vector) -> grounding; matched longest-first.
+  std::map<std::vector<std::string>, Grounding> vocabulary_;
+  size_t max_phrase_tokens_ = 1;
+};
+
+}  // namespace vq
+
+#endif  // VQ_NLU_EXTRACTOR_H_

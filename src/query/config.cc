@@ -1,0 +1,87 @@
+#include "query/config.h"
+
+namespace vq {
+
+namespace {
+
+Result<PriorKind> ParsePrior(const std::string& name) {
+  if (name == "global_average") return PriorKind::kGlobalAverage;
+  if (name == "subset_average") return PriorKind::kSubsetAverage;
+  if (name == "zero") return PriorKind::kZero;
+  if (name == "constant") return PriorKind::kConstant;
+  return Status::InvalidArgument("unknown prior kind '" + name + "'");
+}
+
+const char* PriorName(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kGlobalAverage: return "global_average";
+    case PriorKind::kSubsetAverage: return "subset_average";
+    case PriorKind::kZero: return "zero";
+    case PriorKind::kConstant: return "constant";
+  }
+  return "global_average";
+}
+
+}  // namespace
+
+Result<Configuration> Configuration::FromJson(const Json& json) {
+  if (!json.is_object()) return Status::InvalidArgument("configuration must be an object");
+  Configuration config;
+  config.table = json.GetString("table", "");
+  if (config.table.empty()) return Status::InvalidArgument("missing 'table'");
+
+  const Json* dims = json.Get("dimensions");
+  if (dims == nullptr || !dims->is_array() || dims->Size() == 0) {
+    return Status::InvalidArgument("missing or empty 'dimensions' array");
+  }
+  for (size_t i = 0; i < dims->Size(); ++i) {
+    if (!dims->At(i).is_string()) return Status::InvalidArgument("dimension not a string");
+    config.dimensions.push_back(dims->At(i).AsString());
+  }
+
+  const Json* targets = json.Get("targets");
+  if (targets == nullptr || !targets->is_array() || targets->Size() == 0) {
+    return Status::InvalidArgument("missing or empty 'targets' array");
+  }
+  for (size_t i = 0; i < targets->Size(); ++i) {
+    if (!targets->At(i).is_string()) return Status::InvalidArgument("target not a string");
+    config.targets.push_back(targets->At(i).AsString());
+  }
+
+  config.max_query_predicates =
+      static_cast<int>(json.GetInt("max_query_predicates", 2));
+  config.max_fact_dims = static_cast<int>(json.GetInt("max_fact_dims", 2));
+  config.max_facts = static_cast<int>(json.GetInt("max_facts", 3));
+  if (config.max_query_predicates < 0 || config.max_fact_dims < 0 ||
+      config.max_facts <= 0) {
+    return Status::InvalidArgument("limits must be non-negative (max_facts positive)");
+  }
+  VQ_ASSIGN_OR_RETURN(config.prior,
+                      ParsePrior(json.GetString("prior", "global_average")));
+  config.prior_value = json.GetDouble("prior_value", 0.0);
+  return config;
+}
+
+Result<Configuration> Configuration::FromJsonText(const std::string& text) {
+  VQ_ASSIGN_OR_RETURN(Json json, Json::Parse(text));
+  return FromJson(json);
+}
+
+Json Configuration::ToJson() const {
+  Json out = Json::Object();
+  out.Set("table", Json::Str(table));
+  Json dims = Json::Array();
+  for (const auto& d : dimensions) dims.Append(Json::Str(d));
+  out.Set("dimensions", std::move(dims));
+  Json tgts = Json::Array();
+  for (const auto& t : targets) tgts.Append(Json::Str(t));
+  out.Set("targets", std::move(tgts));
+  out.Set("max_query_predicates", Json::Int(max_query_predicates));
+  out.Set("max_fact_dims", Json::Int(max_fact_dims));
+  out.Set("max_facts", Json::Int(max_facts));
+  out.Set("prior", Json::Str(PriorName(prior)));
+  if (prior == PriorKind::kConstant) out.Set("prior_value", Json::Number(prior_value));
+  return out;
+}
+
+}  // namespace vq

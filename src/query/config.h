@@ -1,0 +1,46 @@
+// Engine configuration (Section III: "The queries to consider are described
+// in a Configuration file. ... It specifies the maximal query length to
+// consider, the columns on which to allow predicates ... and a set of
+// target columns.")
+#ifndef VQ_QUERY_CONFIG_H_
+#define VQ_QUERY_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "facts/instance.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// \brief Declarative description of the pre-processing workload.
+struct Configuration {
+  std::string table;                    ///< dataset/table name
+  std::vector<std::string> dimensions;  ///< columns allowed in predicates
+  std::vector<std::string> targets;     ///< target columns to summarize
+  int max_query_predicates = 2;         ///< maximal query length
+  int max_fact_dims = 2;                ///< extra predicates per fact
+  int max_facts = 3;                    ///< speech length m
+  PriorKind prior = PriorKind::kGlobalAverage;
+  double prior_value = 0.0;             ///< for PriorKind::kConstant
+
+  /// Parses from JSON, e.g.:
+  /// {
+  ///   "table": "flights",
+  ///   "dimensions": ["airline", "season"],
+  ///   "targets": ["cancelled"],
+  ///   "max_query_predicates": 2,
+  ///   "max_fact_dims": 2,
+  ///   "max_facts": 3,
+  ///   "prior": "global_average"
+  /// }
+  static Result<Configuration> FromJson(const Json& json);
+  static Result<Configuration> FromJsonText(const std::string& text);
+
+  Json ToJson() const;
+};
+
+}  // namespace vq
+
+#endif  // VQ_QUERY_CONFIG_H_

@@ -1,0 +1,121 @@
+#include "query/problem_generator.h"
+
+#include <bit>
+
+#include "relational/group_by.h"
+
+namespace vq {
+
+std::string VoiceQuery::Key() const {
+  return "t=" + std::to_string(target_index) + "|" + PredicatesKey(predicates);
+}
+
+Result<ProblemGenerator> ProblemGenerator::Create(const Table* table,
+                                                  Configuration config) {
+  ProblemGenerator generator(table, std::move(config));
+  for (const auto& name : generator.config_.dimensions) {
+    int idx = table->DimIndex(name);
+    if (idx < 0) {
+      return Status::NotFound("configured dimension '" + name + "' not in table '" +
+                              table->name() + "'");
+    }
+    generator.dim_indices_.push_back(idx);
+  }
+  for (const auto& name : generator.config_.targets) {
+    int idx = table->TargetIndex(name);
+    if (idx < 0) {
+      return Status::NotFound("configured target '" + name + "' not in table '" +
+                              table->name() + "'");
+    }
+    generator.target_indices_.push_back(idx);
+  }
+  if (generator.config_.max_query_predicates >
+      static_cast<int>(generator.dim_indices_.size())) {
+    generator.config_.max_query_predicates =
+        static_cast<int>(generator.dim_indices_.size());
+  }
+  return generator;
+}
+
+void ProblemGenerator::EnumeratePredicateSets(const std::vector<int>& dims,
+                                              std::vector<PredicateSet>* out) const {
+  if (dims.empty()) {
+    out->push_back({});
+    return;
+  }
+  // All value combinations that appear in the data: a group-by over the
+  // chosen dimensions (Section III considers "equality predicates for all
+  // value combinations that appear in the data set").
+  std::vector<uint32_t> all_rows(table_->NumRows());
+  for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = static_cast<uint32_t>(r);
+  GroupByResult grouped = GroupBy(*table_, all_rows, dims, {}, {});
+  for (const auto& group : grouped.groups) {
+    PredicateSet predicates;
+    uint64_t packed = group.key;
+    // Unpack 16-bit fields (reverse of packing order).
+    std::vector<ValueId> values(dims.size());
+    for (size_t i = dims.size(); i-- > 0;) {
+      values[i] = static_cast<ValueId>((packed & 0xFFFF) - 1);
+      packed >>= 16;
+    }
+    for (size_t i = 0; i < dims.size(); ++i) {
+      predicates.push_back(EqPredicate{dims[i], values[i]});
+    }
+    Status st = NormalizePredicates(&predicates);
+    (void)st;  // dims are distinct by construction
+    out->push_back(std::move(predicates));
+  }
+}
+
+std::vector<VoiceQuery> ProblemGenerator::GenerateQueries() const {
+  std::vector<PredicateSet> predicate_sets;
+  size_t num_dims = dim_indices_.size();
+  uint32_t num_masks = 1u << num_dims;
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    int bits = std::popcount(mask);
+    if (bits > config_.max_query_predicates ||
+        static_cast<size_t>(bits) > kMaxGroupDims) {
+      continue;
+    }
+    std::vector<int> dims;
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (mask & (1u << d)) dims.push_back(dim_indices_[d]);
+    }
+    EnumeratePredicateSets(dims, &predicate_sets);
+  }
+
+  std::vector<VoiceQuery> queries;
+  queries.reserve(predicate_sets.size() * target_indices_.size());
+  for (int target : target_indices_) {
+    for (const auto& predicates : predicate_sets) {
+      VoiceQuery query;
+      query.target_index = target;
+      query.predicates = predicates;
+      queries.push_back(std::move(query));
+    }
+  }
+  return queries;
+}
+
+size_t ProblemGenerator::CountQueries() const {
+  size_t per_target = 0;
+  size_t num_dims = dim_indices_.size();
+  uint32_t num_masks = 1u << num_dims;
+  std::vector<uint32_t> all_rows(table_->NumRows());
+  for (size_t r = 0; r < all_rows.size(); ++r) all_rows[r] = static_cast<uint32_t>(r);
+  for (uint32_t mask = 0; mask < num_masks; ++mask) {
+    int bits = std::popcount(mask);
+    if (bits > config_.max_query_predicates ||
+        static_cast<size_t>(bits) > kMaxGroupDims) {
+      continue;
+    }
+    std::vector<int> dims;
+    for (size_t d = 0; d < num_dims; ++d) {
+      if (mask & (1u << d)) dims.push_back(dim_indices_[d]);
+    }
+    per_target += CountDistinctCombos(*table_, all_rows, dims);
+  }
+  return per_target * target_indices_.size();
+}
+
+}  // namespace vq

@@ -1,0 +1,53 @@
+#include "relational/group_by.h"
+
+#include <cassert>
+
+namespace vq {
+
+uint64_t PackGroupKey(std::span<const ValueId> codes) {
+  assert(codes.size() <= kMaxGroupDims);
+  uint64_t key = 0;
+  for (ValueId code : codes) {
+    assert(code <= kMaxPackableCode);
+    key = (key << 16) | static_cast<uint64_t>(code + 1);  // +1 distinguishes width
+  }
+  return key;
+}
+
+double GroupByResult::AverageOf(uint64_t key) const {
+  auto it = index.find(key);
+  if (it == index.end()) return 0.0;
+  const AggregateGroup& g = groups[it->second];
+  return g.count > 0.0 ? g.sum / g.count : 0.0;
+}
+
+GroupByResult GroupBy(const Table& table, std::span<const uint32_t> row_ids,
+                      const std::vector<int>& dims, std::span<const double> values,
+                      std::span<const double> weights) {
+  assert(dims.size() <= kMaxGroupDims);
+  GroupByResult out;
+  ValueId codes[kMaxGroupDims];
+  for (size_t i = 0; i < row_ids.size(); ++i) {
+    uint32_t row = row_ids[i];
+    for (size_t d = 0; d < dims.size(); ++d) {
+      codes[d] = table.DimCode(row, static_cast<size_t>(dims[d]));
+    }
+    uint64_t key = PackGroupKey(std::span<const ValueId>(codes, dims.size()));
+    auto [it, inserted] = out.index.emplace(key, static_cast<uint32_t>(out.groups.size()));
+    if (inserted) out.groups.push_back(AggregateGroup{key, 0.0, 0.0});
+    AggregateGroup& group = out.groups[it->second];
+    double w = weights.empty() ? 1.0 : weights[i];
+    group.count += w;
+    if (!values.empty()) group.sum += values[i] * w;
+  }
+  return out;
+}
+
+size_t CountDistinctCombos(const Table& table, std::span<const uint32_t> row_ids,
+                           const std::vector<int>& dims) {
+  if (dims.empty()) return row_ids.empty() ? 0 : 1;
+  GroupByResult grouped = GroupBy(table, row_ids, dims, {}, {});
+  return grouped.groups.size();
+}
+
+}  // namespace vq

@@ -1,0 +1,57 @@
+// Hash group-by aggregation over dimension subsets (the Gamma operator of
+// Algorithms 1-3).
+#ifndef VQ_RELATIONAL_GROUP_BY_H_
+#define VQ_RELATIONAL_GROUP_BY_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace vq {
+
+/// Packs up to four dimension codes (each < 2^16) into one 64-bit key.
+/// The fact-catalog build enforces these limits; voice-query dimensions are
+/// small categorical domains.
+inline constexpr size_t kMaxGroupDims = 4;
+inline constexpr ValueId kMaxPackableCode = (1u << 16) - 1;
+
+/// Packs `codes` (one per grouped dimension, in dimension order) into a key.
+uint64_t PackGroupKey(std::span<const ValueId> codes);
+
+/// One output group of a group-by: its packed key and aggregates.
+struct AggregateGroup {
+  uint64_t key = 0;
+  double sum = 0.0;
+  double count = 0.0;  // weighted count
+};
+
+/// \brief Result of a group-by: groups in first-seen order plus an index.
+struct GroupByResult {
+  std::vector<AggregateGroup> groups;
+  std::unordered_map<uint64_t, uint32_t> index;  // key -> position in groups
+
+  double AverageOf(uint64_t key) const;
+};
+
+/// Groups `row_ids` of `table` by the dimension columns in `dims`
+/// (at most kMaxGroupDims), aggregating SUM and COUNT of
+/// `values[i]` * `weights[i]` where index i aligns with `row_ids`.
+/// Pass an empty `values` to aggregate counts only; empty `weights` means
+/// unit weights.
+GroupByResult GroupBy(const Table& table, std::span<const uint32_t> row_ids,
+                      const std::vector<int>& dims, std::span<const double> values,
+                      std::span<const double> weights);
+
+/// Number of distinct value combinations over `dims` among `row_ids`.
+/// This is the fact-count statistic M(g) of the paper's cost model
+/// (Section VI-C: "the number of facts simply equals the number of distinct
+/// value combinations in the dimension columns they restrict").
+size_t CountDistinctCombos(const Table& table, std::span<const uint32_t> row_ids,
+                           const std::vector<int>& dims);
+
+}  // namespace vq
+
+#endif  // VQ_RELATIONAL_GROUP_BY_H_

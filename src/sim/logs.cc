@@ -1,0 +1,119 @@
+#include "sim/logs.h"
+
+namespace vq {
+
+RequestMix PaperMixPrimaries() { return RequestMix{17, 3, 16, 1, 13}; }
+RequestMix PaperMixFlights() { return RequestMix{9, 0, 12, 5, 24}; }
+RequestMix PaperMixDevelopers() { return RequestMix{4, 0, 13, 16, 17}; }
+
+LogGenerator::LogGenerator(const Table* table, std::string target_phrase,
+                           int max_predicates)
+    : table_(table),
+      target_phrase_(std::move(target_phrase)),
+      max_predicates_(max_predicates) {}
+
+std::string LogGenerator::RandomValue(Rng* rng, int* dim_out) const {
+  size_t dim = static_cast<size_t>(rng->NextBelow(table_->NumDims()));
+  const Dictionary& dict = table_->dict(dim);
+  ValueId v = static_cast<ValueId>(rng->NextBelow(dict.size()));
+  if (dim_out != nullptr) *dim_out = static_cast<int>(dim);
+  return dict.Lookup(v);
+}
+
+LabeledRequest LogGenerator::MakeHelp(Rng* rng) const {
+  static const char* const kTemplates[] = {
+      "help", "help me", "what can you do", "how do I use this",
+      "what can I ask", "instructions please"};
+  LabeledRequest out;
+  out.text = kTemplates[rng->NextBelow(std::size(kTemplates))];
+  out.intended = RequestType::kHelp;
+  return out;
+}
+
+LabeledRequest LogGenerator::MakeRepeat(Rng* rng) const {
+  static const char* const kTemplates[] = {"repeat", "repeat that",
+                                           "say that again", "once more"};
+  LabeledRequest out;
+  out.text = kTemplates[rng->NextBelow(std::size(kTemplates))];
+  out.intended = RequestType::kRepeat;
+  return out;
+}
+
+LabeledRequest LogGenerator::MakeSupported(Rng* rng) const {
+  LabeledRequest out;
+  out.intended = RequestType::kSupportedQuery;
+  out.kind = QueryKind::kRetrieval;
+  // Predicate-count mix approximating Figure 9(a): most queries carry one
+  // predicate, some none, very few two.
+  size_t bucket = rng->NextWeighted({0.25, 0.72, 0.03});
+  int num_predicates = std::min<int>(static_cast<int>(bucket), max_predicates_);
+  out.num_predicates = num_predicates;
+  out.text = target_phrase_;
+  int used_dim = -1;
+  for (int i = 0; i < num_predicates; ++i) {
+    int dim = -1;
+    std::string value = RandomValue(rng, &dim);
+    if (dim == used_dim) {  // avoid two predicates on one dimension
+      value = RandomValue(rng, &dim);
+      if (dim == used_dim) {
+        out.num_predicates = i;
+        break;
+      }
+    }
+    used_dim = dim;
+    out.text += (i == 0 ? " in " : " and ") + value;
+  }
+  return out;
+}
+
+LabeledRequest LogGenerator::MakeUnsupported(Rng* rng) const {
+  LabeledRequest out;
+  out.intended = RequestType::kUnsupportedQuery;
+  size_t flavor = rng->NextBelow(3);
+  if (flavor == 0) {
+    // Relative comparison (e.g. "make a comparison between job satisfaction
+    // between men and women").
+    std::string a = RandomValue(rng, nullptr);
+    std::string b = RandomValue(rng, nullptr);
+    out.text = "compare " + target_phrase_ + " between " + a + " and " + b;
+    out.kind = QueryKind::kComparison;
+    out.num_predicates = 2;
+  } else if (flavor == 1) {
+    out.text = "which has the highest " + target_phrase_;
+    out.kind = QueryKind::kExtremum;
+    out.num_predicates = 0;
+  } else {
+    // Unavailable data (e.g. "delays of flight UA123").
+    out.text = target_phrase_ + " of record XZ" +
+               std::to_string(100 + rng->NextBelow(900));
+    out.kind = QueryKind::kRetrieval;
+    out.num_predicates = 1;
+  }
+  return out;
+}
+
+LabeledRequest LogGenerator::MakeOther(Rng* rng) const {
+  static const char* const kTemplates[] = {
+      "thanks",          "thank you",       "play some music",
+      "what time is it", "good morning",    "stop",
+      "never mind",      "who made you",    "tell me a joke"};
+  LabeledRequest out;
+  out.text = kTemplates[rng->NextBelow(std::size(kTemplates))];
+  out.intended = RequestType::kOther;
+  return out;
+}
+
+std::vector<LabeledRequest> LogGenerator::Generate(const RequestMix& mix,
+                                                   Rng* rng) const {
+  std::vector<LabeledRequest> out;
+  out.reserve(static_cast<size_t>(mix.Total()));
+  for (int i = 0; i < mix.help; ++i) out.push_back(MakeHelp(rng));
+  for (int i = 0; i < mix.repeat; ++i) out.push_back(MakeRepeat(rng));
+  for (int i = 0; i < mix.supported; ++i) out.push_back(MakeSupported(rng));
+  for (int i = 0; i < mix.unsupported; ++i) out.push_back(MakeUnsupported(rng));
+  for (int i = 0; i < mix.other; ++i) out.push_back(MakeOther(rng));
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace vq

@@ -1,0 +1,67 @@
+// Deployment-log generator: labeled voice-request strings with the mix the
+// paper observed on the Google Assistant platform (Table III, Figure 9).
+#ifndef VQ_SIM_LOGS_H_
+#define VQ_SIM_LOGS_H_
+
+#include <string>
+#include <vector>
+
+#include "nlu/classifier.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace vq {
+
+/// A generated request with its ground-truth labels.
+struct LabeledRequest {
+  std::string text;
+  RequestType intended = RequestType::kOther;
+  QueryKind kind = QueryKind::kRetrieval;  ///< for data-access requests
+  int num_predicates = 0;                  ///< for data-access requests
+};
+
+/// Counts per request category (one Table III column).
+struct RequestMix {
+  int help = 0;
+  int repeat = 0;
+  int supported = 0;
+  int unsupported = 0;
+  int other = 0;
+
+  int Total() const { return help + repeat + supported + unsupported + other; }
+};
+
+/// The paper's observed mixes (last 50 requests per deployment, Table III).
+RequestMix PaperMixPrimaries();   // 17 / 3 / 16 / 1 / 13
+RequestMix PaperMixFlights();     //  9 / 0 / 12 / 5 / 24
+RequestMix PaperMixDevelopers();  //  4 / 0 / 13 / 16 / 17
+
+/// \brief Generates labeled request strings against a concrete table, so
+/// supported queries reference real dimension values and target columns.
+class LogGenerator {
+ public:
+  /// `target_phrase`: how users refer to the target column (e.g.
+  /// "cancellations"); registered with the engine's extractor separately.
+  LogGenerator(const Table* table, std::string target_phrase, int max_predicates);
+
+  /// Generates requests matching `mix`, shuffled deterministically.
+  std::vector<LabeledRequest> Generate(const RequestMix& mix, Rng* rng) const;
+
+ private:
+  LabeledRequest MakeHelp(Rng* rng) const;
+  LabeledRequest MakeRepeat(Rng* rng) const;
+  LabeledRequest MakeSupported(Rng* rng) const;
+  LabeledRequest MakeUnsupported(Rng* rng) const;
+  LabeledRequest MakeOther(Rng* rng) const;
+
+  /// A random dimension value formatted for speech.
+  std::string RandomValue(Rng* rng, int* dim_out) const;
+
+  const Table* table_;
+  std::string target_phrase_;
+  int max_predicates_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_SIM_LOGS_H_

@@ -1,0 +1,46 @@
+#include "sim/ml_summarizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+std::vector<FactId> MlLikeSummary(const Evaluator& evaluator, int max_facts,
+                                  Rng* rng) {
+  const FactCatalog& catalog = evaluator.catalog();
+  const SummaryInstance& inst = evaluator.instance();
+  std::vector<FactId> out;
+  if (catalog.NumFacts() == 0) return out;
+
+  // Restrict attention to the most specific groups (largest dimension
+  // masks by popcount): overly narrow subsets.
+  int max_popcount = 0;
+  for (const auto& group : catalog.groups()) {
+    max_popcount = std::max(max_popcount, __builtin_popcount(group.mask));
+  }
+  std::vector<FactId> candidates;
+  for (uint32_t g = 0; g < catalog.NumGroups(); ++g) {
+    const FactGroup& group = catalog.group(g);
+    if (__builtin_popcount(group.mask) < max_popcount) continue;
+    for (uint32_t i = 0; i < group.num_facts; ++i) {
+      candidates.push_back(group.first_fact + i);
+    }
+  }
+
+  // Score by absolute deviation from the prior ("surprisingness"), with a
+  // small random tie-breaker; no coverage or redundancy reasoning at all.
+  std::vector<std::pair<double, FactId>> scored;
+  scored.reserve(candidates.size());
+  for (FactId id : candidates) {
+    double surprise = std::fabs(catalog.fact(id).value - inst.prior);
+    scored.emplace_back(surprise + rng->NextDouble() * 1e-3, id);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int i = 0; i < max_facts && static_cast<size_t>(i) < scored.size(); ++i) {
+    out.push_back(scored[static_cast<size_t>(i)].second);
+  }
+  return out;
+}
+
+}  // namespace vq

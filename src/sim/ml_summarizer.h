@@ -1,0 +1,26 @@
+// A template-based stand-in for the paper's seq2seq summarizer experiment
+// (Section VIII-E): "ML-generated speeches are often redundant (multiple
+// facts in the same speech referencing the same dimension) and tend to focus
+// on overly narrow data subsets."
+#ifndef VQ_SIM_ML_SUMMARIZER_H_
+#define VQ_SIM_ML_SUMMARIZER_H_
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "util/rng.h"
+
+namespace vq {
+
+/// Produces a speech exhibiting the defects the paper reports for the
+/// learned model: it prefers facts from the most specific fact group
+/// (narrow scopes) and freely reuses the same dimensions (redundancy),
+/// picking facts whose values deviate most from the prior (the "surprising
+/// number" heuristic a language model tends to learn) rather than
+/// optimizing expected utility.
+std::vector<FactId> MlLikeSummary(const Evaluator& evaluator, int max_facts,
+                                  Rng* rng);
+
+}  // namespace vq
+
+#endif  // VQ_SIM_ML_SUMMARIZER_H_

@@ -1,0 +1,59 @@
+#include "sim/rater.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vq {
+
+const char* AdjectiveName(Adjective adjective) {
+  switch (adjective) {
+    case Adjective::kPrecise: return "Precise";
+    case Adjective::kGood: return "Good";
+    case Adjective::kComplete: return "Complete";
+    case Adjective::kInformative: return "Informative";
+    case Adjective::kDiverse: return "Diverse";
+    case Adjective::kConcise: return "Concise";
+  }
+  return "?";
+}
+
+double SpeechRater::Rate(Rng* rng, Adjective adjective,
+                         const SpeechFeatures& features) const {
+  double conciseness = 1.0 / (1.0 + features.words / 40.0);
+  double score = 4.0;
+  switch (adjective) {
+    case Adjective::kPrecise:
+      score += 2.0 * features.value_precision + 1.5 * features.scaled_utility;
+      break;
+    case Adjective::kGood:
+      score += 1.8 * features.scaled_utility + 0.8 * features.value_precision +
+               0.6 * features.coverage;
+      break;
+    case Adjective::kComplete:
+      score += 2.2 * features.coverage + 0.8 * features.scaled_utility;
+      break;
+    case Adjective::kInformative:
+      score += 1.6 * features.scaled_utility + 1.0 * features.value_precision +
+               0.6 * features.diversity;
+      break;
+    case Adjective::kDiverse:
+      score += 2.4 * features.diversity + 0.6 * features.scaled_utility;
+      break;
+    case Adjective::kConcise:
+      score += 3.0 * conciseness + 0.4 * features.value_precision;
+      break;
+  }
+  score += rng->NextGaussian(0.0, noise_sd_);
+  return std::clamp(score, 1.0, 10.0);
+}
+
+std::array<double, kNumAdjectives> SpeechRater::RateAll(
+    Rng* rng, const SpeechFeatures& features) const {
+  std::array<double, kNumAdjectives> out{};
+  for (int a = 0; a < kNumAdjectives; ++a) {
+    out[static_cast<size_t>(a)] = Rate(rng, static_cast<Adjective>(a), features);
+  }
+  return out;
+}
+
+}  // namespace vq

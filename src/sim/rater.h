@@ -1,0 +1,58 @@
+// Simulated speech-quality raters for the preference studies
+// (Figures 5 and 11 and the Section VIII-E ML comparison).
+#ifndef VQ_SIM_RATER_H_
+#define VQ_SIM_RATER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace vq {
+
+/// The adjectives used across the paper's preference studies.
+/// Figures 5/6 use the first four; Figure 11 adds Diverse and Concise.
+enum class Adjective { kPrecise, kGood, kComplete, kInformative, kDiverse, kConcise };
+inline constexpr int kNumAdjectives = 6;
+
+const char* AdjectiveName(Adjective adjective);
+
+/// Features a rater perceives in a speech description.
+struct SpeechFeatures {
+  /// How well expectations match data after the speech, in [0, 1]
+  /// (scaled utility under the paper's model).
+  double scaled_utility = 0.0;
+  /// 1.0 for point values; lower when values are ranges (the sampling
+  /// baseline reports ranges; width is relative to the value range).
+  double value_precision = 1.0;
+  /// Distinct dimensions mentioned / facts (redundant speeches score low).
+  double diversity = 1.0;
+  /// Fraction of data rows covered by at least one fact.
+  double coverage = 1.0;
+  /// Spoken word count (longer = less concise).
+  double words = 20.0;
+};
+
+/// \brief Draws 1-10 ratings per adjective from speech features plus noise.
+///
+/// Coefficients are fixed (not fitted): each adjective reads the feature it
+/// names; "Good"/"Informative" blend utility and precision. Ratings cluster
+/// around 6-7 like the paper's Figures 5/11.
+class SpeechRater {
+ public:
+  explicit SpeechRater(double noise_sd = 1.1) : noise_sd_(noise_sd) {}
+
+  double Rate(Rng* rng, Adjective adjective, const SpeechFeatures& features) const;
+
+  /// Ratings for all six adjectives from one simulated worker.
+  std::array<double, kNumAdjectives> RateAll(Rng* rng,
+                                             const SpeechFeatures& features) const;
+
+ private:
+  double noise_sd_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_SIM_RATER_H_

@@ -1,0 +1,148 @@
+#include "sim/studies.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace vq {
+
+std::vector<RankedSpeech> RandomRankedSpeeches(const Evaluator& evaluator,
+                                               size_t count, int max_facts,
+                                               Rng* rng) {
+  std::vector<RankedSpeech> out;
+  size_t num_facts = evaluator.catalog().NumFacts();
+  if (num_facts == 0) return out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    RankedSpeech speech;
+    std::unordered_set<FactId> chosen;
+    size_t want = std::min<size_t>(static_cast<size_t>(max_facts), num_facts);
+    while (chosen.size() < want) {
+      chosen.insert(static_cast<FactId>(rng->NextBelow(num_facts)));
+    }
+    speech.facts.assign(chosen.begin(), chosen.end());
+    std::sort(speech.facts.begin(), speech.facts.end());
+    speech.utility = evaluator.Utility(speech.facts);
+    double base = evaluator.BaseError();
+    speech.scaled_utility = base > 0.0 ? speech.utility / base : 0.0;
+    out.push_back(std::move(speech));
+  }
+  std::sort(out.begin(), out.end(), [](const RankedSpeech& a, const RankedSpeech& b) {
+    return a.utility < b.utility;
+  });
+  return out;
+}
+
+SpeechFeatures FeaturesOfSpeech(const Evaluator& evaluator,
+                                const std::vector<FactId>& facts,
+                                double words_estimate) {
+  const SummaryInstance& inst = evaluator.instance();
+  const FactCatalog& catalog = evaluator.catalog();
+  SpeechFeatures features;
+  double base = evaluator.BaseError();
+  features.scaled_utility =
+      base > 0.0 ? evaluator.Utility(facts) / base : 0.0;
+  features.value_precision = 1.0;  // optimized speeches report point values
+
+  // Diversity: distinct dimensions mentioned relative to mentions.
+  std::unordered_set<int> distinct_dims;
+  size_t dim_mentions = 0;
+  for (FactId id : facts) {
+    const FactGroup& group = catalog.group(catalog.fact(id).group);
+    for (int pos : group.dim_positions) {
+      distinct_dims.insert(pos);
+      ++dim_mentions;
+    }
+  }
+  features.diversity = dim_mentions == 0
+                           ? 1.0
+                           : static_cast<double>(distinct_dims.size()) /
+                                 static_cast<double>(dim_mentions);
+
+  // Coverage: weight fraction of rows within scope of at least one fact.
+  double covered = 0.0;
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    for (FactId id : facts) {
+      if (catalog.RowInScope(r, id)) {
+        covered += inst.weight[r];
+        break;
+      }
+    }
+  }
+  features.coverage =
+      inst.total_weight > 0.0 ? covered / inst.total_weight : 0.0;
+  features.words = words_estimate > 0.0
+                       ? words_estimate
+                       : 8.0 + 7.0 * static_cast<double>(facts.size());
+  return features;
+}
+
+double TargetScale(const SummaryInstance& instance) {
+  if (instance.num_rows == 0) return 1.0;
+  double lo = instance.target[0];
+  double hi = instance.target[0];
+  for (double v : instance.target) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return std::max(1e-9, hi - lo);
+}
+
+std::vector<double> RelevantFactValues(
+    const Evaluator& evaluator, const std::vector<FactId>& facts,
+    const std::vector<std::pair<int, ValueId>>& cell) {
+  const FactCatalog& catalog = evaluator.catalog();
+  const Table* table = nullptr;  // not needed; scopes decoded from packing
+  (void)table;
+  std::vector<double> out;
+  for (FactId id : facts) {
+    const Fact& fact = catalog.fact(id);
+    const FactGroup& group = catalog.group(fact.group);
+    // Unpack the fact's scope values (16-bit fields, reverse order).
+    std::vector<ValueId> values(group.dim_positions.size());
+    uint64_t packed = fact.packed;
+    for (size_t i = group.dim_positions.size(); i-- > 0;) {
+      values[i] = static_cast<ValueId>((packed & 0xFFFF) - 1);
+      packed >>= 16;
+    }
+    bool relevant = true;
+    for (size_t i = 0; i < group.dim_positions.size(); ++i) {
+      bool dim_in_cell = false;
+      for (const auto& [dim_pos, value] : cell) {
+        if (dim_pos == group.dim_positions[i]) {
+          dim_in_cell = true;
+          if (value != values[i]) relevant = false;
+          break;
+        }
+      }
+      if (!dim_in_cell) relevant = false;  // fact restricts a dim the cell leaves open
+      if (!relevant) break;
+    }
+    if (relevant) out.push_back(fact.value);
+  }
+  return out;
+}
+
+bool CellAverage(const SummaryInstance& instance,
+                 const std::vector<std::pair<int, ValueId>>& cell, double* out) {
+  double sum = 0.0;
+  double weight = 0.0;
+  for (size_t r = 0; r < instance.num_rows; ++r) {
+    bool match = true;
+    for (const auto& [dim_pos, value] : cell) {
+      if (instance.CodeAt(r, static_cast<size_t>(dim_pos)) != value) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    sum += instance.target[r] * instance.weight[r];
+    weight += instance.weight[r];
+  }
+  if (weight <= 0.0) return false;
+  *out = sum / weight;
+  return true;
+}
+
+}  // namespace vq

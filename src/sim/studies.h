@@ -1,0 +1,52 @@
+// Reusable pieces of the simulated user studies (Figures 5-8).
+#ifndef VQ_SIM_STUDIES_H_
+#define VQ_SIM_STUDIES_H_
+
+#include <vector>
+
+#include "core/summarizer.h"
+#include "sim/rater.h"
+#include "sim/worker.h"
+#include "speech/speech.h"
+
+namespace vq {
+
+/// A random speech with its exact utility (Section VIII-C: "we generated 100
+/// speeches by randomly selecting facts and ranked them according to our
+/// quality model").
+struct RankedSpeech {
+  std::vector<FactId> facts;
+  double utility = 0.0;
+  double scaled_utility = 0.0;
+};
+
+/// Generates `count` random distinct-fact speeches of `max_facts` facts and
+/// returns them sorted by utility ascending (worst first).
+std::vector<RankedSpeech> RandomRankedSpeeches(const Evaluator& evaluator,
+                                               size_t count, int max_facts, Rng* rng);
+
+/// Perceived features of an optimized (point-value) speech, derived from the
+/// evaluator: utility, coverage, diversity, word count.
+SpeechFeatures FeaturesOfSpeech(const Evaluator& evaluator,
+                                const std::vector<FactId>& facts,
+                                double words_estimate = 0.0);
+
+/// Value scale (max - min of the target) used to size worker noise.
+double TargetScale(const SummaryInstance& instance);
+
+/// Fact values of `speech` relevant to a data "cell": the subset of fact
+/// scopes consistent with the given (dimension position, value) assignment.
+/// A fact is relevant iff all its restricted dimensions appear in the cell
+/// with matching values.
+std::vector<double> RelevantFactValues(const Evaluator& evaluator,
+                                       const std::vector<FactId>& facts,
+                                       const std::vector<std::pair<int, ValueId>>& cell);
+
+/// Weighted average target over instance rows matching the cell assignment;
+/// returns false if no row matches.
+bool CellAverage(const SummaryInstance& instance,
+                 const std::vector<std::pair<int, ValueId>>& cell, double* out);
+
+}  // namespace vq
+
+#endif  // VQ_SIM_STUDIES_H_

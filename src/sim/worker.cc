@@ -1,0 +1,25 @@
+#include "sim/worker.h"
+
+namespace vq {
+
+ConflictModel WorkerPopulation::DrawStrategy(Rng* rng) const {
+  size_t idx = rng->NextWeighted({options_.weight_closest, options_.weight_farthest,
+                                  options_.weight_average_scope,
+                                  options_.weight_average_all});
+  switch (idx) {
+    case 0: return ConflictModel::kClosest;
+    case 1: return ConflictModel::kFarthest;
+    case 2: return ConflictModel::kAverageScope;
+    default: return ConflictModel::kAverageAll;
+  }
+}
+
+double WorkerPopulation::Estimate(Rng* rng, const std::vector<double>& relevant_values,
+                                  const std::vector<double>& all_values, double prior,
+                                  double actual, double scale) const {
+  ConflictModel strategy = DrawStrategy(rng);
+  double base = ExpectedValue(strategy, relevant_values, all_values, prior, actual);
+  return base + rng->NextGaussian(0.0, options_.noise_fraction * scale);
+}
+
+}  // namespace vq

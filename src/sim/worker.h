@@ -1,0 +1,54 @@
+// Simulated crowd workers, substituting for the paper's AMT studies.
+//
+// Workers estimate data values after listening to a speech. Each simulated
+// worker resolves conflicting facts with one of the Figure 7 strategies and
+// adds Gaussian noise. The population mixture defaults to being dominated by
+// the closest-value strategy -- the behaviour the paper *measured* as the
+// best predictor of real workers -- so the studies close the loop: the
+// optimizer's model should recover the planted behaviour.
+#ifndef VQ_SIM_WORKER_H_
+#define VQ_SIM_WORKER_H_
+
+#include <vector>
+
+#include "core/expectation.h"
+#include "util/rng.h"
+
+namespace vq {
+
+/// Mixture weights over conflict-resolution strategies plus noise level.
+struct WorkerPopulationOptions {
+  double weight_closest = 0.6;
+  double weight_farthest = 0.1;
+  double weight_average_scope = 0.2;
+  double weight_average_all = 0.1;
+  /// Estimate noise as a fraction of the value scale passed to Estimate.
+  double noise_fraction = 0.12;
+};
+
+/// \brief Draws worker estimates for data points described by facts.
+class WorkerPopulation {
+ public:
+  explicit WorkerPopulation(WorkerPopulationOptions options = {})
+      : options_(options) {}
+
+  /// One worker's estimate of `actual` after hearing the facts.
+  /// `relevant_values`: fact values whose scope covers the data point;
+  /// `all_values`: all fact values in the speech; `scale`: magnitude used to
+  /// size the noise (e.g. the target column's range).
+  double Estimate(Rng* rng, const std::vector<double>& relevant_values,
+                  const std::vector<double>& all_values, double prior, double actual,
+                  double scale) const;
+
+  /// The strategy a freshly drawn worker would use.
+  ConflictModel DrawStrategy(Rng* rng) const;
+
+  const WorkerPopulationOptions& options() const { return options_; }
+
+ private:
+  WorkerPopulationOptions options_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_SIM_WORKER_H_

@@ -1,0 +1,81 @@
+#include "speech/speech.h"
+
+#include "util/string_util.h"
+
+namespace vq {
+
+namespace {
+
+/// Replaces every occurrence of `{key}` in `text` by `value`.
+std::string Substitute(std::string text, const std::string& key,
+                       const std::string& value) {
+  std::string pattern = "{" + key + "}";
+  size_t pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    text.replace(pos, pattern.size(), value);
+    pos += value.size();
+  }
+  return text;
+}
+
+std::string ScopePhrase(const SpokenFact& fact, const SpeechTemplate& tmpl) {
+  if (fact.scope.empty()) return tmpl.overall_scope;
+  // "Elders" / "Teenagers in Manhattan": first value plain, further values
+  // joined with "in" -- matching the paper's Table II phrasing for
+  // (age group, borough) scopes, and reading naturally for most dimensions.
+  std::string out = fact.scope.front().second;
+  for (size_t i = 1; i < fact.scope.size(); ++i) {
+    out += " in ";
+    out += fact.scope[i].second;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderFactSentence(const SpokenFact& fact, const std::string& unit,
+                               const SpeechTemplate& tmpl, bool is_first) {
+  std::string sentence = is_first ? tmpl.first_fact : tmpl.other_fact;
+  sentence = Substitute(std::move(sentence), "value", FormatCompact(fact.value, 1));
+  sentence = Substitute(std::move(sentence), "unit", unit.empty() ? "units" : unit);
+  sentence = Substitute(std::move(sentence), "scope", ScopePhrase(fact, tmpl));
+  return sentence;
+}
+
+Speech RenderSpeech(const Table& table, const SummaryInstance& instance,
+                    const FactCatalog& catalog, const SummaryResult& result,
+                    const PredicateSet& query_predicates, const SpeechTemplate& tmpl) {
+  Speech speech;
+  speech.target = instance.target_name;
+  speech.unit = instance.target_unit;
+  speech.subset_description = PredicatesToString(table, query_predicates);
+  speech.utility = result.utility;
+  speech.scaled_utility = result.ScaledUtility();
+
+  for (FactId id : result.facts) {
+    SpokenFact fact;
+    fact.scope = catalog.DescribeScope(table, instance, id);
+    fact.value = catalog.fact(id).value;
+    speech.facts.push_back(std::move(fact));
+  }
+
+  std::string prefix = Substitute(tmpl.subset_prefix, "target", speech.target);
+  prefix = Substitute(std::move(prefix), "subset", speech.subset_description);
+  speech.text = prefix;
+  for (size_t i = 0; i < speech.facts.size(); ++i) {
+    if (i > 0) speech.text += " ";
+    speech.text += RenderFactSentence(speech.facts[i], speech.unit, tmpl, i == 0);
+  }
+  if (speech.facts.empty()) {
+    speech.text += "No summary facts are available.";
+  }
+  return speech;
+}
+
+double EstimateSpeechSeconds(const std::string& text, double words_per_minute) {
+  if (words_per_minute <= 0.0) words_per_minute = 150.0;
+  size_t words = SplitWhitespace(text).size();
+  return static_cast<double>(words) * 60.0 / words_per_minute;
+}
+
+}  // namespace vq

@@ -1,0 +1,65 @@
+// Speech rendering: turning optimized fact sets into voice-ready text.
+//
+// Section III: "the speech is generated according to a simple text template"
+// and "Speeches are prefixed with a description of the summarized data
+// subset". Table II shows the target style:
+//   "About 80 out of 1000 elder persons identify as visually impaired.
+//    It is 17 for adults. It is 3 for teenagers in Manhattan."
+#ifndef VQ_SPEECH_SPEECH_H_
+#define VQ_SPEECH_SPEECH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/summary.h"
+#include "facts/catalog.h"
+#include "facts/instance.h"
+#include "relational/predicate.h"
+#include "storage/table.h"
+
+namespace vq {
+
+/// One fact of a rendered speech, decoded into strings.
+struct SpokenFact {
+  /// (dimension name, value) pairs; empty = the overall fact.
+  std::vector<std::pair<std::string, std::string>> scope;
+  double value = 0.0;
+};
+
+/// \brief A speech ready for voice output.
+struct Speech {
+  std::string target;                 ///< target column name
+  std::string unit;                   ///< e.g. "minutes", "out of 1000"
+  std::string subset_description;     ///< the query's data subset
+  std::vector<SpokenFact> facts;
+  std::string text;                   ///< full rendered sentence(s)
+  double utility = 0.0;
+  double scaled_utility = 0.0;
+};
+
+/// Template knobs for rendering. The defaults produce the paper's style.
+struct SpeechTemplate {
+  std::string first_fact = "About {value} {unit} for {scope}.";
+  std::string other_fact = "It is {value} for {scope}.";
+  std::string overall_scope = "all records";
+  /// Joined in front of the facts, naming the summarized subset.
+  std::string subset_prefix = "{target} for {subset}: ";
+};
+
+/// Renders the chosen facts of `result` into a Speech.
+Speech RenderSpeech(const Table& table, const SummaryInstance& instance,
+                    const FactCatalog& catalog, const SummaryResult& result,
+                    const PredicateSet& query_predicates,
+                    const SpeechTemplate& tmpl = {});
+
+/// Renders one fact sentence (exposed for tests and the ML-summary bench).
+std::string RenderFactSentence(const SpokenFact& fact, const std::string& unit,
+                               const SpeechTemplate& tmpl, bool is_first);
+
+/// Estimated speaking time in seconds at `words_per_minute` (default 150,
+/// typical for TTS voices such as the paper's "Salli").
+double EstimateSpeechSeconds(const std::string& text, double words_per_minute = 150.0);
+
+}  // namespace vq
+
+#endif  // VQ_SPEECH_SPEECH_H_

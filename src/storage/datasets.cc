@@ -1,0 +1,308 @@
+#include "storage/datasets.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace vq {
+
+namespace {
+
+const char* const kRegions[] = {"East", "South", "West", "North"};
+const char* const kSeasons[] = {"Spring", "Summer", "Fall", "Winter"};
+
+std::vector<std::string> MakeNames(const std::string& prefix, size_t count) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(prefix + std::to_string(i + 1));
+  return out;
+}
+
+}  // namespace
+
+Table MakeRunningExampleTable() {
+  Table table("running_example");
+  table.AddDimColumn("region");
+  table.AddDimColumn("season");
+  table.AddTargetColumn("delay", "minutes");
+  // delay[season][region], regions in order East, South, West, North.
+  // See the header comment for the invariants this matrix satisfies.
+  const double delay[4][4] = {
+      {0, 0, 0, 20},    // Spring
+      {0, 20, 0, 10},   // Summer
+      {0, 0, 0, 10},    // Fall
+      {20, 10, 10, 20}, // Winter
+  };
+  for (int s = 0; s < 4; ++s) {
+    for (int r = 0; r < 4; ++r) {
+      Status st = table.AppendRow({kRegions[r], kSeasons[s]}, {delay[s][r]});
+      (void)st;
+    }
+  }
+  return table;
+}
+
+Table MakeFlightsTable(size_t rows, uint64_t seed) {
+  Table table("flights");
+  table.AddDimColumn("airline");
+  table.AddDimColumn("origin_state");
+  table.AddDimColumn("dest_region");
+  table.AddDimColumn("season");
+  table.AddDimColumn("month");
+  table.AddDimColumn("time_of_day");
+  table.AddTargetColumn("delay_minutes", "minutes");
+  table.AddTargetColumn("cancelled", "percent");
+
+  const auto airlines = MakeNames("AL-", 14);
+  // 50 states + DC + PR: the 52-value dimension of the Section VIII-E
+  // ML experiment.
+  const auto states = MakeNames("ST-", 52);
+  const char* const months[] = {"January", "February", "March",     "April",
+                                "May",     "June",     "July",      "August",
+                                "September", "October", "November", "December"};
+  const char* const times[] = {"Morning", "Afternoon", "Evening", "Night"};
+
+  Rng rng(seed);
+  // Planted per-value effects (deterministic in the seed).
+  std::vector<double> airline_delay(14);
+  for (auto& e : airline_delay) e = rng.NextUniform(-4.0, 6.0);
+  std::vector<double> state_delay(52);
+  for (auto& e : state_delay) e = rng.NextUniform(-3.0, 3.0);
+  std::vector<double> airline_cancel(14);
+  for (auto& e : airline_cancel) e = rng.NextUniform(-0.015, 0.03);
+
+  for (size_t i = 0; i < rows; ++i) {
+    size_t airline = rng.NextZipf(14, 1.0);
+    size_t state = rng.NextZipf(52, 0.8);
+    size_t dest = static_cast<size_t>(rng.NextBelow(4));
+    size_t month = static_cast<size_t>(rng.NextBelow(12));
+    // Consistent month -> season mapping (Dec/Jan/Feb = Winter, ...).
+    size_t season = ((month + 1) / 3) % 4;  // 0 Winter 1 Spring 2 Summer 3 Fall
+    static const char* const season_of[] = {"Winter", "Spring", "Summer", "Fall"};
+    size_t tod = static_cast<size_t>(rng.NextBelow(4));
+
+    // Delay model: base + winter spike (strongest in the North), evening
+    // congestion, airline and origin effects, non-negative, integer minutes.
+    double delay = 8.0;
+    if (season == 0) delay += 9.0;                     // winter
+    if (season == 0 && dest == 3) delay += 6.0;        // winter && North
+    if (tod == 2) delay += 4.0;                        // evening
+    delay += airline_delay[airline] + state_delay[state];
+    delay += rng.NextGaussian(0.0, 6.0);
+    delay = std::max(0.0, std::round(delay));
+
+    // Cancellation model: ~6% base, February spike, reduced in the West
+    // (Example 5's deployment speech mentions both effects).
+    double cancel_p = 0.06;
+    if (month == 1) cancel_p += 0.07;                  // February
+    if (dest == 2) cancel_p -= 0.03;                   // West
+    if (season == 0) cancel_p += 0.02;                 // winter
+    cancel_p += airline_cancel[airline];
+    cancel_p = std::clamp(cancel_p, 0.005, 0.5);
+    double cancelled = rng.NextBool(cancel_p) ? 100.0 : 0.0;  // percent units
+
+    Status st = table.AppendRow({airlines[airline], states[state], kRegions[dest],
+                                 season_of[season], months[month], times[tod]},
+                                {delay, cancelled});
+    (void)st;
+  }
+  return table;
+}
+
+Table MakeAcsTable(size_t rows, uint64_t seed) {
+  Table table("acs");
+  table.AddDimColumn("borough");
+  table.AddDimColumn("age_group");
+  table.AddDimColumn("sex");
+  table.AddTargetColumn("hearing", "out of 1000");
+  table.AddTargetColumn("visual", "out of 1000");
+  table.AddTargetColumn("cognitive", "out of 1000");
+  table.AddTargetColumn("ambulatory", "out of 1000");
+  table.AddTargetColumn("self_care", "out of 1000");
+  table.AddTargetColumn("independent_living", "out of 1000");
+
+  const char* const boroughs[] = {"Brooklyn", "Manhattan", "Queens", "Staten Island",
+                                  "Bronx"};
+  const char* const ages[] = {"Teenagers", "Adults", "Elders"};
+  const char* const sexes[] = {"Female", "Male"};
+
+  // Base prevalence per 1000 persons, by age group (teen/adult/elder), set
+  // to echo Table II of the paper: visual impairment ~3 for teenagers, ~17
+  // for adults, ~80 for elders.
+  const double base[6][3] = {
+      {4, 14, 90},   // hearing
+      {3, 17, 80},   // visual
+      {12, 24, 70},  // cognitive
+      {2, 30, 150},  // ambulatory
+      {2, 10, 55},   // self_care
+      {3, 14, 120},  // independent_living
+  };
+  // Borough multipliers: mild geographic variation (Bronx highest).
+  const double borough_mult[5] = {1.05, 0.85, 0.95, 1.0, 1.25};
+
+  Rng rng(seed);
+  std::vector<std::string> dims(3);
+  std::vector<double> targets(6);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t borough = static_cast<size_t>(rng.NextBelow(5));
+    size_t age = rng.NextWeighted({0.2, 0.55, 0.25});
+    size_t sex = static_cast<size_t>(rng.NextBelow(2));
+    dims[0] = boroughs[borough];
+    dims[1] = ages[age];
+    dims[2] = sexes[sex];
+    for (int t = 0; t < 6; ++t) {
+      double v = base[t][age] * borough_mult[borough];
+      if (sex == 1) v *= 1.08;  // slightly higher male prevalence
+      v += rng.NextGaussian(0.0, v * 0.15);
+      targets[static_cast<size_t>(t)] = std::max(0.0, std::round(v));
+    }
+    Status st = table.AppendRow(dims, targets);
+    (void)st;
+  }
+  return table;
+}
+
+Table MakeStackOverflowTable(size_t rows, uint64_t seed) {
+  Table table("stackoverflow");
+  table.AddDimColumn("region");
+  table.AddDimColumn("dev_type");
+  table.AddDimColumn("education");
+  table.AddDimColumn("employment");
+  table.AddDimColumn("org_size");
+  table.AddDimColumn("gender");
+  table.AddDimColumn("years_coding");
+  table.AddTargetColumn("competence", "points");
+  table.AddTargetColumn("optimism", "points");
+  table.AddTargetColumn("job_satisfaction", "points");
+  table.AddTargetColumn("career_satisfaction", "points");
+  table.AddTargetColumn("salary", "thousand dollars");
+  table.AddTargetColumn("work_hours", "hours");
+
+  const char* const regions[] = {"North America", "Western Europe", "Eastern Europe",
+                                 "South Asia",    "East Asia",      "South America",
+                                 "Africa",        "Oceania"};
+  const char* const dev_types[] = {"Backend", "Frontend", "Fullstack",
+                                   "Mobile",  "DevOps",   "Data Science"};
+  const char* const educations[] = {"Self-taught", "Bootcamp", "Bachelors", "Masters",
+                                    "Doctorate"};
+  const char* const employments[] = {"Full-time", "Part-time", "Freelance", "Student"};
+  const char* const org_sizes[] = {"1-9", "10-99", "100-999", "1000-9999", "10000+"};
+  const char* const genders[] = {"Man", "Woman", "Non-binary"};
+  const char* const years[] = {"0-2", "3-5", "6-10", "10+"};
+
+  Rng rng(seed);
+  std::vector<std::string> dims(7);
+  std::vector<double> targets(6);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t region = rng.NextZipf(8, 0.7);
+    size_t dev = static_cast<size_t>(rng.NextBelow(6));
+    size_t edu = rng.NextWeighted({0.15, 0.1, 0.45, 0.25, 0.05});
+    size_t emp = rng.NextWeighted({0.7, 0.08, 0.12, 0.1});
+    size_t org = static_cast<size_t>(rng.NextBelow(5));
+    size_t gender = rng.NextWeighted({0.85, 0.12, 0.03});
+    size_t yrs = rng.NextWeighted({0.25, 0.3, 0.25, 0.2});
+    dims[0] = regions[region];
+    dims[1] = dev_types[dev];
+    dims[2] = educations[edu];
+    dims[3] = employments[emp];
+    dims[4] = org_sizes[org];
+    dims[5] = genders[gender];
+    dims[6] = years[yrs];
+
+    double experience = static_cast<double>(yrs);  // 0..3
+    double competence = 5.5 + 0.8 * experience + rng.NextGaussian(0.0, 1.2);
+    double optimism = 7.0 - 0.3 * experience + (region == 3 ? 0.8 : 0.0) +
+                      rng.NextGaussian(0.0, 1.5);
+    double job_sat = 6.0 + 0.3 * experience - (org == 4 ? 0.5 : 0.0) +
+                     (emp == 2 ? 0.4 : 0.0) + rng.NextGaussian(0.0, 1.6);
+    double career_sat = job_sat + 0.4 + rng.NextGaussian(0.0, 0.8);
+    double salary = 40.0 + 18.0 * experience + (region == 0 ? 35.0 : 0.0) +
+                    (region == 1 ? 18.0 : 0.0) + 6.0 * static_cast<double>(edu) +
+                    rng.NextGaussian(0.0, 12.0);
+    double hours = 40.0 + (emp == 1 ? -15.0 : 0.0) + (dev == 4 ? 3.0 : 0.0) +
+                   rng.NextGaussian(0.0, 4.0);
+
+    auto scale10 = [](double v) { return std::clamp(std::round(v), 1.0, 10.0); };
+    targets[0] = scale10(competence);
+    targets[1] = scale10(optimism);
+    targets[2] = scale10(job_sat);
+    targets[3] = scale10(career_sat);
+    targets[4] = std::max(5.0, std::round(salary));
+    targets[5] = std::max(5.0, std::round(hours));
+    Status st = table.AppendRow(dims, targets);
+    (void)st;
+  }
+  return table;
+}
+
+Table MakePrimariesTable(size_t rows, uint64_t seed) {
+  Table table("primaries");
+  table.AddDimColumn("candidate");
+  table.AddDimColumn("state_region");
+  table.AddDimColumn("urbanity");
+  table.AddDimColumn("age_bracket");
+  table.AddDimColumn("education");
+  table.AddTargetColumn("vote_share", "percent");
+
+  const char* const candidates[] = {"Candidate A", "Candidate B", "Candidate C",
+                                    "Candidate D", "Candidate E", "Candidate F"};
+  const char* const regions[] = {"Northeast", "South", "Midwest", "West"};
+  const char* const urbanities[] = {"Urban", "Suburban", "Rural"};
+  const char* const age_brackets[] = {"18-29", "30-44", "45-64", "65+"};
+  const char* const educations[] = {"High school", "Some college", "College",
+                                    "Postgraduate"};
+
+  Rng rng(seed);
+  // Candidate base support and interactions.
+  const double base_support[6] = {28, 24, 18, 14, 10, 6};
+  std::vector<std::string> dims(5);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t cand = static_cast<size_t>(rng.NextBelow(6));
+    size_t region = static_cast<size_t>(rng.NextBelow(4));
+    size_t urb = rng.NextWeighted({0.35, 0.4, 0.25});
+    size_t age = static_cast<size_t>(rng.NextBelow(4));
+    size_t edu = static_cast<size_t>(rng.NextBelow(4));
+    dims[0] = candidates[cand];
+    dims[1] = regions[region];
+    dims[2] = urbanities[urb];
+    dims[3] = age_brackets[age];
+    dims[4] = educations[edu];
+
+    double share = base_support[cand];
+    if (cand == 0 && age == 0) share += 14.0;  // A strong with young voters
+    if (cand == 1 && region == 1) share += 10.0;  // B strong in the South
+    if (cand == 2 && urb == 0) share += 6.0;      // C urban
+    if (cand == 3 && edu == 3) share += 8.0;      // D postgraduate
+    share += rng.NextGaussian(0.0, 5.0);
+    share = std::clamp(std::round(share), 0.0, 100.0);
+    Status st = table.AppendRow(dims, {share});
+    (void)st;
+  }
+  return table;
+}
+
+Result<Table> MakeDataset(const std::string& name, size_t rows, uint64_t seed) {
+  if (name == "running_example") return MakeRunningExampleTable();
+  if (name == "flights") return MakeFlightsTable(rows, seed);
+  if (name == "acs") return MakeAcsTable(rows, seed);
+  if (name == "stackoverflow") return MakeStackOverflowTable(rows, seed);
+  if (name == "primaries") return MakePrimariesTable(rows, seed);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+std::vector<std::string> DatasetNames() {
+  return {"running_example", "acs", "stackoverflow", "flights", "primaries"};
+}
+
+size_t DefaultRows(const std::string& name) {
+  if (name == "running_example") return 16;
+  if (name == "acs") return 8000;
+  if (name == "stackoverflow") return 40000;
+  if (name == "flights") return 80000;
+  if (name == "primaries") return 12000;
+  return 10000;
+}
+
+}  // namespace vq

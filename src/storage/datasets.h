@@ -1,0 +1,73 @@
+// Synthetic dataset generators standing in for the paper's four data sets
+// (Table I) plus the Figure 1 running example.
+//
+// The real CSVs (American Community Survey, the 2019 Stack Overflow survey,
+// the Kaggle flight-delay dump and the FiveThirtyEight primaries data) are
+// not bundled; these seeded generators reproduce their dimensionality,
+// per-dimension cardinalities and the planted effects the paper's prose
+// relies on (winter delays, February cancellation spike, elders' visual
+// impairment around 80/1000, ...). See DESIGN.md for the substitution note.
+#ifndef VQ_STORAGE_DATASETS_H_
+#define VQ_STORAGE_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// The 4x4 flight-delay table of Figure 1 (16 rows: region x season).
+///
+/// Average delays are planted so that the paper's worked examples hold with
+/// a zero prior:
+///   * D(empty) = 120 (Example 4),
+///   * the Winter fact and the North fact each have single-fact utility 40
+///     and the greedy second pick gains 25 (Example 7),
+///   * Speech 1 = {South+Summer: 20, East+Winter: 20} reaches error 80
+///     (Example 4); Speech 2 = {Winter: 15, North: 15} covers 7 cells at
+///     deviation 5 (the paper's "7*5 = 35") -- under the exact model the
+///     uncovered South-Summer cell adds its prior deviation of 20, so
+///     D(Speech 2) = 55, still well below Speech 1,
+///   * after picking the Winter fact, the Fall group bound is 10 and the
+///     East group bound is 5 (Example 8),
+///   * the pruning arithmetic of Example 6 holds verbatim.
+/// (No 4x4 matrix can satisfy Example 2, Example 4 and Example 7
+/// simultaneously -- the paper's own figures are slightly idealized; see
+/// tests/core/running_example_test.cc.)
+Table MakeRunningExampleTable();
+
+/// Flight statistics: 6 dimensions (airline, origin_state, dest_region,
+/// season, month, time_of_day), 2 targets (delay_minutes, cancelled).
+/// origin_state has 52 distinct values (the dimension used by the paper's
+/// ML experiment in Section VIII-E).
+Table MakeFlightsTable(size_t rows, uint64_t seed);
+
+/// ACS New York disability extract: 3 dimensions (borough, age_group, sex),
+/// 6 targets (prevalence per 1000 persons: hearing, visual, cognitive,
+/// ambulatory, self_care, independent_living).
+Table MakeAcsTable(size_t rows, uint64_t seed);
+
+/// Stack Overflow developer survey: 7 dimensions, 6 targets (1-10 scales
+/// plus salary and weekly hours).
+Table MakeStackOverflowTable(size_t rows, uint64_t seed);
+
+/// Democratic primaries: 5 dimensions, 1 target (vote share in percent).
+Table MakePrimariesTable(size_t rows, uint64_t seed);
+
+/// Dataset registry keyed by the paper's names: "flights", "acs",
+/// "stackoverflow", "primaries", "running_example".
+Result<Table> MakeDataset(const std::string& name, size_t rows, uint64_t seed);
+
+/// All generator names accepted by MakeDataset.
+std::vector<std::string> DatasetNames();
+
+/// Default row counts scaled so each Table I data set keeps its relative
+/// size ordering (Flights largest, ACS smallest) while benches stay fast.
+size_t DefaultRows(const std::string& name);
+
+}  // namespace vq
+
+#endif  // VQ_STORAGE_DATASETS_H_

@@ -1,0 +1,36 @@
+#include "storage/dictionary.h"
+
+#include <cassert>
+
+namespace vq {
+
+ValueId Dictionary::Intern(std::string_view value) {
+  auto it = string_to_id_.find(std::string(value));
+  if (it != string_to_id_.end()) return it->second;
+  ValueId id = static_cast<ValueId>(id_to_string_.size());
+  id_to_string_.emplace_back(value);
+  string_to_id_.emplace(id_to_string_.back(), id);
+  return id;
+}
+
+std::optional<ValueId> Dictionary::Find(std::string_view value) const {
+  auto it = string_to_id_.find(std::string(value));
+  if (it == string_to_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::Lookup(ValueId id) const {
+  assert(id < id_to_string_.size());
+  return id_to_string_[id];
+}
+
+size_t Dictionary::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const auto& s : id_to_string_) {
+    bytes += sizeof(std::string) + s.capacity();
+    bytes += sizeof(std::pair<std::string, ValueId>) + s.capacity();  // map entry
+  }
+  return bytes;
+}
+
+}  // namespace vq

@@ -1,0 +1,51 @@
+// String dictionary for dimension-column encoding.
+#ifndef VQ_STORAGE_DICTIONARY_H_
+#define VQ_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vq {
+
+/// Dictionary code of a dimension value. Codes are dense, starting at 0.
+using ValueId = uint32_t;
+
+/// Sentinel for "no value" (used by scopes for unrestricted dimensions).
+inline constexpr ValueId kNoValue = UINT32_MAX;
+
+/// \brief Append-only string dictionary; one per dimension column.
+///
+/// Dimension domains in this problem are small (regions, seasons, airlines),
+/// so codes fit comfortably in 16 bits in practice; scope packing relies on
+/// this (see facts/scope.h) and enforces it at fact-catalog build time.
+class Dictionary {
+ public:
+  /// Returns the code for `value`, inserting it if new.
+  ValueId Intern(std::string_view value);
+
+  /// Returns the code for `value` if present.
+  std::optional<ValueId> Find(std::string_view value) const;
+
+  /// Returns the string for a code. Precondition: id < size().
+  const std::string& Lookup(ValueId id) const;
+
+  size_t size() const { return id_to_string_.size(); }
+
+  /// All values in code order.
+  const std::vector<std::string>& values() const { return id_to_string_; }
+
+  /// Approximate heap footprint in bytes (for Table I size reporting).
+  size_t EstimateBytes() const;
+
+ private:
+  std::vector<std::string> id_to_string_;
+  std::unordered_map<std::string, ValueId> string_to_id_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_STORAGE_DICTIONARY_H_

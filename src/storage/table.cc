@@ -1,0 +1,142 @@
+#include "storage/table.h"
+
+#include <cassert>
+#include <charconv>
+
+#include "util/csv.h"
+
+namespace vq {
+
+int Table::AddDimColumn(std::string column_name) {
+  assert(num_rows_ == 0 && "columns must be declared before rows are appended");
+  dim_names_.push_back(std::move(column_name));
+  dictionaries_.emplace_back();
+  dim_codes_.emplace_back();
+  return static_cast<int>(dim_names_.size()) - 1;
+}
+
+int Table::AddTargetColumn(std::string column_name, std::string unit) {
+  assert(num_rows_ == 0 && "columns must be declared before rows are appended");
+  target_names_.push_back(std::move(column_name));
+  target_units_.push_back(std::move(unit));
+  target_values_.emplace_back();
+  return static_cast<int>(target_names_.size()) - 1;
+}
+
+Status Table::AppendRow(const std::vector<std::string>& dim_values,
+                        const std::vector<double>& target_values) {
+  if (dim_values.size() != dim_names_.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(dim_names_.size()) +
+                                   " dimension values, got " +
+                                   std::to_string(dim_values.size()));
+  }
+  if (target_values.size() != target_names_.size()) {
+    return Status::InvalidArgument("expected " + std::to_string(target_names_.size()) +
+                                   " target values, got " +
+                                   std::to_string(target_values.size()));
+  }
+  for (size_t d = 0; d < dim_values.size(); ++d) {
+    dim_codes_[d].push_back(dictionaries_[d].Intern(dim_values[d]));
+  }
+  for (size_t t = 0; t < target_values.size(); ++t) {
+    target_values_[t].push_back(target_values[t]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+void Table::AppendEncodedRow(const std::vector<ValueId>& dim_codes,
+                             const std::vector<double>& target_values) {
+  assert(dim_codes.size() == dim_names_.size());
+  assert(target_values.size() == target_names_.size());
+  for (size_t d = 0; d < dim_codes.size(); ++d) {
+    assert(dim_codes[d] < dictionaries_[d].size());
+    dim_codes_[d].push_back(dim_codes[d]);
+  }
+  for (size_t t = 0; t < target_values.size(); ++t) {
+    target_values_[t].push_back(target_values[t]);
+  }
+  ++num_rows_;
+}
+
+int Table::DimIndex(const std::string& column_name) const {
+  for (size_t d = 0; d < dim_names_.size(); ++d) {
+    if (dim_names_[d] == column_name) return static_cast<int>(d);
+  }
+  return -1;
+}
+
+int Table::TargetIndex(const std::string& column_name) const {
+  for (size_t t = 0; t < target_names_.size(); ++t) {
+    if (target_names_[t] == column_name) return static_cast<int>(t);
+  }
+  return -1;
+}
+
+size_t Table::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const auto& column : dim_codes_) bytes += column.capacity() * sizeof(ValueId);
+  for (const auto& column : target_values_) bytes += column.capacity() * sizeof(double);
+  for (const auto& dict : dictionaries_) bytes += dict.EstimateBytes();
+  return bytes;
+}
+
+std::string Table::ToCsv() const {
+  std::vector<std::string> header;
+  for (const auto& n : dim_names_) header.push_back(n);
+  for (const auto& n : target_names_) header.push_back(n);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    std::vector<std::string> row;
+    row.reserve(header.size());
+    for (size_t d = 0; d < dim_names_.size(); ++d) row.push_back(DimValue(r, d));
+    for (size_t t = 0; t < target_names_.size(); ++t) {
+      row.push_back(std::to_string(TargetValue(r, t)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return vq::ToCsv(header, rows);
+}
+
+Result<Table> Table::FromCsv(const CsvData& csv, const std::string& name,
+                             const std::vector<std::string>& dim_columns,
+                             const std::vector<std::string>& target_columns) {
+  Table table(name);
+  std::vector<int> dim_indices;
+  for (const auto& column : dim_columns) {
+    int idx = csv.ColumnIndex(column);
+    if (idx < 0) return Status::NotFound("dimension column '" + column + "' not in CSV");
+    dim_indices.push_back(idx);
+    table.AddDimColumn(column);
+  }
+  std::vector<int> target_indices;
+  for (const auto& column : target_columns) {
+    int idx = csv.ColumnIndex(column);
+    if (idx < 0) return Status::NotFound("target column '" + column + "' not in CSV");
+    target_indices.push_back(idx);
+    table.AddTargetColumn(column);
+  }
+  std::vector<std::string> dims(dim_columns.size());
+  std::vector<double> targets(target_columns.size());
+  for (size_t r = 0; r < csv.rows.size(); ++r) {
+    const auto& row = csv.rows[r];
+    for (size_t d = 0; d < dim_indices.size(); ++d) {
+      dims[d] = row[static_cast<size_t>(dim_indices[d])];
+    }
+    for (size_t t = 0; t < target_indices.size(); ++t) {
+      const std::string& cell = row[static_cast<size_t>(target_indices[t])];
+      double value = 0.0;
+      auto [ptr, ec] = std::from_chars(cell.data(), cell.data() + cell.size(), value);
+      if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+        return Status::ParseError("row " + std::to_string(r) + ": '" + cell +
+                                  "' is not a number");
+      }
+      targets[t] = value;
+    }
+    VQ_RETURN_IF_ERROR(table.AppendRow(dims, targets));
+  }
+  return table;
+}
+
+}  // namespace vq

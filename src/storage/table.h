@@ -1,0 +1,98 @@
+// Columnar relation: dictionary-encoded dimension columns + double targets.
+//
+// Implements the paper's data model (Definition 1): each row assigns values
+// to dimension columns and carries numerical values in target columns.
+#ifndef VQ_STORAGE_TABLE_H_
+#define VQ_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/dictionary.h"
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace vq {
+
+/// \brief In-memory columnar table with named dimension and target columns.
+///
+/// Dimension columns hold dictionary codes; target columns hold doubles.
+/// Storage is column-major for cache-friendly scans in the operator layer.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a dimension column before any row is appended; returns its index.
+  int AddDimColumn(std::string column_name);
+
+  /// Declares a target column (with an optional unit used by speech
+  /// templates, e.g. "minutes" or "out of 1000"); returns its index.
+  int AddTargetColumn(std::string column_name, std::string unit = "");
+
+  /// Appends a row; `dim_values` / `target_values` must match the declared
+  /// column counts.
+  Status AppendRow(const std::vector<std::string>& dim_values,
+                   const std::vector<double>& target_values);
+
+  /// Appends a pre-encoded row (codes must be valid for each dictionary).
+  void AppendEncodedRow(const std::vector<ValueId>& dim_codes,
+                        const std::vector<double>& target_values);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumDims() const { return dim_names_.size(); }
+  size_t NumTargets() const { return target_names_.size(); }
+
+  const std::string& DimName(size_t dim) const { return dim_names_[dim]; }
+  const std::string& TargetName(size_t target) const { return target_names_[target]; }
+  const std::string& TargetUnit(size_t target) const { return target_units_[target]; }
+
+  /// Column index by name; -1 if absent.
+  int DimIndex(const std::string& column_name) const;
+  int TargetIndex(const std::string& column_name) const;
+
+  ValueId DimCode(size_t row, size_t dim) const { return dim_codes_[dim][row]; }
+  double TargetValue(size_t row, size_t target) const {
+    return target_values_[target][row];
+  }
+
+  const std::vector<ValueId>& DimColumn(size_t dim) const { return dim_codes_[dim]; }
+  const std::vector<double>& TargetColumn(size_t target) const {
+    return target_values_[target];
+  }
+
+  const Dictionary& dict(size_t dim) const { return dictionaries_[dim]; }
+  Dictionary& mutable_dict(size_t dim) { return dictionaries_[dim]; }
+
+  /// The decoded string for a row's dimension value.
+  const std::string& DimValue(size_t row, size_t dim) const {
+    return dictionaries_[dim].Lookup(dim_codes_[dim][row]);
+  }
+
+  /// Approximate in-memory size in bytes (Table I's "Size" column analogue).
+  size_t EstimateBytes() const;
+
+  /// Serializes all rows (decoded) to CSV.
+  std::string ToCsv() const;
+
+  /// Builds a table from CSV contents given column roles. Unlisted columns
+  /// are ignored.
+  static Result<Table> FromCsv(const CsvData& csv, const std::string& name,
+                               const std::vector<std::string>& dim_columns,
+                               const std::vector<std::string>& target_columns);
+
+ private:
+  std::string name_;
+  size_t num_rows_ = 0;
+  std::vector<std::string> dim_names_;
+  std::vector<Dictionary> dictionaries_;
+  std::vector<std::vector<ValueId>> dim_codes_;
+  std::vector<std::string> target_names_;
+  std::vector<std::string> target_units_;
+  std::vector<std::vector<double>> target_values_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_STORAGE_TABLE_H_

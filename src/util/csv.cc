@@ -1,0 +1,141 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace vq {
+
+int CsvData::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvData> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field_started && field.empty()) {
+          in_quotes = true;
+          field_started = true;
+        } else {
+          field.push_back(c);
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // normalize CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !record.empty()) end_record();
+
+  if (records.empty()) {
+    return Status::ParseError("empty CSV input");
+  }
+  CsvData out;
+  out.header = std::move(records.front());
+  size_t width = out.header.size();
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() == 1 && records[r][0].empty()) continue;  // blank line
+    if (records[r].size() != width) {
+      return Status::ParseError("CSV row " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) + " fields, expected " +
+                                std::to_string(width));
+    }
+    out.rows.push_back(std::move(records[r]));
+  }
+  return out;
+}
+
+Result<CsvData> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+namespace {
+std::string EscapeField(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void AppendRecord(const std::vector<std::string>& fields, std::string* out) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    *out += EscapeField(fields[i]);
+  }
+  out->push_back('\n');
+}
+}  // namespace
+
+std::string ToCsv(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  AppendRecord(header, &out);
+  for (const auto& row : rows) AppendRecord(row, &out);
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ToCsv(header, rows);
+  if (!out) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace vq

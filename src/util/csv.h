@@ -1,0 +1,38 @@
+// Minimal RFC-4180-ish CSV reading/writing (quotes, embedded separators).
+#ifndef VQ_UTIL_CSV_H_
+#define VQ_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vq {
+
+/// \brief Parsed CSV contents: a header row plus data rows.
+struct CsvData {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a column by name, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses CSV text. The first record is treated as the header. Supports
+/// double-quoted fields with embedded commas, quotes ("") and newlines.
+Result<CsvData> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvData> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text, quoting only where necessary.
+std::string ToCsv(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// Writes CSV text to a file.
+Status WriteCsvFile(const std::string& path, const std::vector<std::string>& header,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_CSV_H_

@@ -1,0 +1,407 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vq {
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double d) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = d;
+  return j;
+}
+
+Json Json::Int(int64_t i) { return Number(static_cast<double>(i)); }
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::AsBool() const {
+  assert(is_bool());
+  return bool_;
+}
+
+double Json::AsDouble() const {
+  assert(is_number());
+  return number_;
+}
+
+int64_t Json::AsInt() const {
+  assert(is_number());
+  return static_cast<int64_t>(std::llround(number_));
+}
+
+const std::string& Json::AsString() const {
+  assert(is_string());
+  return string_;
+}
+
+size_t Json::Size() const {
+  if (is_array()) return array_.size();
+  if (is_object()) return object_.size();
+  return 0;
+}
+
+const Json& Json::At(size_t index) const {
+  assert(is_array() && index < array_.size());
+  return array_[index];
+}
+
+void Json::Append(Json value) {
+  assert(is_array());
+  array_.push_back(std::move(value));
+}
+
+const Json* Json::Get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  assert(is_object());
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::Members() const {
+  assert(is_object());
+  return object_;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_bool()) ? v->AsBool() : fallback;
+}
+
+double Json::GetDouble(const std::string& key, double fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : fallback;
+}
+
+int64_t Json::GetInt(const std::string& key, int64_t fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_number()) ? v->AsInt() : fallback;
+}
+
+std::string Json::GetString(const std::string& key, const std::string& fallback) const {
+  const Json* v = Get(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+namespace {
+
+void EscapeStringTo(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(double d, std::string* out) {
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: NumberTo(number_, out); break;
+    case Type::kString: EscapeStringTo(string_, out); break;
+    case Type::kArray: {
+      if (array_.empty()) { *out += "[]"; break; }
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) { *out += "{}"; break; }
+      out->push_back('{');
+      for (size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        newline(depth + 1);
+        EscapeStringTo(object_[i].first, out);
+        *out += indent > 0 ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    Json value;
+    VQ_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Json* out) {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        std::string s;
+        VQ_RETURN_IF_ERROR(ParseString(&s));
+        *out = Json::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          *out = Json::Bool(true);
+          return Status::OK();
+        }
+        return Err("invalid literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          *out = Json::Bool(false);
+          return Status::OK();
+        }
+        return Err("invalid literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          *out = Json::Null();
+          return Status::OK();
+        }
+        return Err("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Err("expected '\"'");
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Err("bad escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Err("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs unsupported;
+            // configurations are ASCII in practice).
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected a value");
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("invalid number '" + token + "'");
+    *out = Json::Number(value);
+    return Status::OK();
+  }
+
+  Status ParseArray(Json* out) {
+    Consume('[');
+    *out = Json::Array();
+    SkipWs();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      Json element;
+      VQ_RETURN_IF_ERROR(ParseValue(&element));
+      out->Append(std::move(element));
+      SkipWs();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Err("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Json* out) {
+    Consume('{');
+    *out = Json::Object();
+    SkipWs();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      std::string key;
+      VQ_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':' in object");
+      SkipWs();
+      Json value;
+      VQ_RETURN_IF_ERROR(ParseValue(&value));
+      out->Set(key, std::move(value));
+      SkipWs();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Err("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace vq

@@ -1,0 +1,85 @@
+// Self-contained JSON value model, parser and writer.
+//
+// Used for the engine Configuration files (Section III: "The queries to
+// consider are described in a Configuration file") and for persisting the
+// pre-computed speech store.
+#ifndef VQ_UTIL_JSON_H_
+#define VQ_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vq {
+
+/// \brief A JSON value: null, bool, number, string, array or object.
+///
+/// Object member order is preserved (kept as a vector of pairs) so that
+/// serialized configurations diff cleanly.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  static Json Null() { return Json(); }
+  static Json Bool(bool b);
+  static Json Number(double d);
+  static Json Int(int64_t i);
+  static Json Str(std::string s);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; preconditions checked with assert.
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+
+  /// Array access.
+  size_t Size() const;
+  const Json& At(size_t index) const;
+  void Append(Json value);
+
+  /// Object access. `Get` returns nullptr if absent.
+  const Json* Get(const std::string& key) const;
+  void Set(const std::string& key, Json value);
+  const std::vector<std::pair<std::string, Json>>& Members() const;
+
+  /// Convenience typed object getters with defaults.
+  bool GetBool(const std::string& key, bool fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+
+  /// Serialization. `indent` <= 0 yields compact output.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses JSON text.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_JSON_H_

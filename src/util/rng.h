@@ -1,0 +1,76 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+#ifndef VQ_UTIL_RNG_H_
+#define VQ_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vq {
+
+/// \brief Fast, reproducible PRNG (xoshiro256**), seeded via SplitMix64.
+///
+/// Every stochastic component of the library (dataset generators, simulated
+/// crowd workers, the sampling baseline) takes an explicit seed so that all
+/// experiments are bit-reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Index sampled from non-negative weights; returns weights.size() only if
+  /// all weights are zero or the vector is empty.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s >= 0; s = 0 is
+  /// uniform). Used to plant realistic value-frequency skew in generators.
+  size_t NextZipf(size_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Derives an independent child stream; deterministic in (state, label).
+  Rng Fork(uint64_t label);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// SplitMix64 step: used for seeding and hash-style mixing.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_RNG_H_

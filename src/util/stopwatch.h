@@ -1,0 +1,53 @@
+// Wall-clock timing for benchmarks and per-scenario timeouts.
+#ifndef VQ_UTIL_STOPWATCH_H_
+#define VQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vq {
+
+/// \brief Monotonic stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Deadline helper for per-scenario timeouts (Section VIII-B uses a
+/// 48 h per-scenario timeout; benches here use seconds-scale budgets).
+class Deadline {
+ public:
+  /// A non-positive budget means "no deadline".
+  explicit Deadline(double budget_seconds)
+      : enabled_(budget_seconds > 0.0), budget_seconds_(budget_seconds) {}
+
+  bool Expired() const {
+    return enabled_ && watch_.ElapsedSeconds() >= budget_seconds_;
+  }
+
+  double RemainingSeconds() const {
+    if (!enabled_) return 1e18;
+    return budget_seconds_ - watch_.ElapsedSeconds();
+  }
+
+ private:
+  bool enabled_;
+  double budget_seconds_;
+  Stopwatch watch_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_STOPWATCH_H_

@@ -1,0 +1,40 @@
+// Small string helpers shared across modules (no locale dependence).
+#ifndef VQ_UTIL_STRING_UTIL_H_
+#define VQ_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vq {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `needle` occurs in `haystack` (case-insensitive ASCII).
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Formats a double trimming trailing zeros ("12.5", "3", "0.25").
+std::string FormatCompact(double value, int max_decimals = 2);
+
+/// "1_234_567" style human-readable integer (thousands separated by commas).
+std::string FormatThousands(uint64_t value);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_STRING_UTIL_H_

@@ -1,0 +1,74 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace vq {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddNumericRow(const std::string& label,
+                                 const std::vector<double>& values, int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatCompact(v, decimals));
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::Render(const std::string& title) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      if (c + 1 < header_.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out;
+  if (!title.empty()) {
+    out += title;
+    out.push_back('\n');
+  }
+  out += render_row(header_);
+  size_t rule_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule_width, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::fputs(Render(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+void PrintBanner(const std::string& title) {
+  std::string line(title.size() + 6, '=');
+  std::printf("%s\n== %s ==\n%s\n", line.c_str(), title.c_str(), line.c_str());
+}
+
+}  // namespace vq

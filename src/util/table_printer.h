@@ -1,0 +1,42 @@
+// Aligned plain-text tables: every bench binary prints its paper table/figure
+// through this so outputs are uniform and diffable.
+#ifndef VQ_UTIL_TABLE_PRINTER_H_
+#define VQ_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace vq {
+
+/// \brief Collects rows of string cells and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded empty).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with FormatCompact.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int decimals = 2);
+
+  /// Renders the table with a header rule. `title` is printed above if set.
+  std::string Render(const std::string& title = "") const;
+
+  /// Renders and writes to stdout.
+  void Print(const std::string& title = "") const;
+
+  size_t RowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") to stdout; benches use this to
+/// delimit paper tables/figures in combined logs.
+void PrintBanner(const std::string& title);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the batch pre-processor (Section III: all
+// speeches are generated in one batch operation; problems are independent).
+#ifndef VQ_UTIL_THREAD_POOL_H_
+#define VQ_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace vq {
+
+/// \brief Simple fixed-size thread pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t NumThreads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs `body(i)` for i in [0, count) across the pool, blocking until done.
+/// Iteration order across threads is unspecified; bodies must be independent.
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& body);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_THREAD_POOL_H_

@@ -1,0 +1,104 @@
+#include "baseline/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "core/exact.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+TEST(SamplingBaselineTest, ProducesRequestedFactsWithRanges) {
+  RandomProblem problem = MakeRandomProblem(3, 3, 3, 200, 20);
+  SamplingVocalizer vocalizer;
+  Rng rng(7);
+  BaselineResult result = vocalizer.Run(*problem.evaluator, &rng);
+  EXPECT_LE(result.facts.size(), 3u);
+  EXPECT_GE(result.facts.size(), 1u);
+  for (const RangeFact& fact : result.facts) {
+    EXPECT_LE(fact.low, fact.estimate);
+    EXPECT_GE(fact.high, fact.estimate);
+    EXPECT_LT(fact.id, problem.catalog->NumFacts());
+  }
+  EXPECT_GT(result.rows_sampled, 0u);
+}
+
+TEST(SamplingBaselineTest, LatencyAtMostTotalTime) {
+  RandomProblem problem = MakeRandomProblem(5, 3, 3, 200, 20);
+  SamplingVocalizer vocalizer;
+  Rng rng(11);
+  BaselineResult result = vocalizer.Run(*problem.evaluator, &rng);
+  EXPECT_LE(result.latency_seconds, result.total_seconds + 1e-9);
+}
+
+TEST(SamplingBaselineTest, EstimatesConvergeToTrueValues) {
+  // With many samples, committed estimates approach the facts' true values.
+  RandomProblem problem = MakeRandomProblem(13, 2, 3, 400, 10);
+  BaselineOptions options;
+  options.batch_rows = 512;
+  options.max_rounds = 60;
+  options.commit_ci_fraction = 0.02;  // demand tight CIs
+  SamplingVocalizer vocalizer(options);
+  Rng rng(17);
+  BaselineResult result = vocalizer.Run(*problem.evaluator, &rng);
+  for (const RangeFact& fact : result.facts) {
+    double truth = problem.catalog->fact(fact.id).value;
+    double scale = 10.0;
+    EXPECT_NEAR(fact.estimate, truth, 0.15 * scale) << fact.id;
+  }
+}
+
+TEST(SamplingBaselineTest, UtilityWithinValidRange) {
+  // Note: the baseline's spoken values are sample estimates, and since the
+  // deviation metric is L1, an estimate can even beat the true scope mean
+  // (the mean minimizes L2, not L1) -- so no dominance relation against the
+  // exact optimizer holds per instance. What must hold: utility in
+  // [0, base_error] (the prior always backstops expectations), and a
+  // well-sampled baseline should realize a solid fraction of the greedy
+  // utility across seeds.
+  double baseline_sum = 0.0;
+  double greedy_sum = 0.0;
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    RandomProblem problem = MakeRandomProblem(seed, 2, 3, 150, 20);
+    SamplingVocalizer vocalizer;
+    Rng rng(seed * 99);
+    BaselineResult baseline = vocalizer.Run(*problem.evaluator, &rng);
+    EXPECT_GE(baseline.utility, -1e-9) << seed;
+    EXPECT_LE(baseline.utility, baseline.base_error + 1e-9) << seed;
+    baseline_sum += baseline.utility;
+    GreedyOptions greedy_options;
+    greedy_options.max_facts = 3;
+    greedy_sum += GreedySummary(*problem.evaluator, greedy_options).utility;
+  }
+  EXPECT_GE(baseline_sum, 0.3 * greedy_sum);
+}
+
+TEST(SamplingBaselineTest, DeterministicGivenSeed) {
+  RandomProblem problem = MakeRandomProblem(21, 3, 3, 200, 20);
+  SamplingVocalizer vocalizer;
+  Rng rng_a(5);
+  Rng rng_b(5);
+  BaselineResult a = vocalizer.Run(*problem.evaluator, &rng_a);
+  BaselineResult b = vocalizer.Run(*problem.evaluator, &rng_b);
+  ASSERT_EQ(a.facts.size(), b.facts.size());
+  for (size_t i = 0; i < a.facts.size(); ++i) {
+    EXPECT_EQ(a.facts[i].id, b.facts[i].id);
+    EXPECT_DOUBLE_EQ(a.facts[i].estimate, b.facts[i].estimate);
+  }
+}
+
+TEST(SamplingBaselineTest, ErrorConsistentWithUtility) {
+  RandomProblem problem = MakeRandomProblem(31, 3, 3, 200, 20);
+  SamplingVocalizer vocalizer;
+  Rng rng(3);
+  BaselineResult result = vocalizer.Run(*problem.evaluator, &rng);
+  EXPECT_NEAR(result.base_error - result.error, result.utility, 1e-9);
+  EXPECT_GE(result.error, 0.0);
+}
+
+}  // namespace
+}  // namespace vq

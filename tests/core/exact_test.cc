@@ -1,0 +1,98 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/greedy.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+TEST(ExactTest, NeverWorseThanGreedy) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    RandomProblem problem = MakeRandomProblem(seed);
+    GreedyOptions greedy_options;
+    greedy_options.max_facts = 3;
+    SummaryResult greedy = GreedySummary(*problem.evaluator, greedy_options);
+    ExactOptions exact_options;
+    exact_options.max_facts = 3;
+    SummaryResult exact = ExactSummary(*problem.evaluator, exact_options);
+    EXPECT_GE(exact.utility + 1e-9, greedy.utility) << seed;
+  }
+}
+
+TEST(ExactTest, BoundPruningCutsNodes) {
+  RandomProblem problem = MakeRandomProblem(5, 3, 3, 60);
+  ExactOptions with;
+  with.max_facts = 3;
+  ExactOptions without = with;
+  without.bound_pruning = false;
+  SummaryResult r_with = ExactSummary(*problem.evaluator, with);
+  SummaryResult r_without = ExactSummary(*problem.evaluator, without);
+  EXPECT_NEAR(r_with.utility, r_without.utility, 1e-9);
+  EXPECT_LE(r_with.counters.leaf_evals, r_without.counters.leaf_evals);
+  EXPECT_GT(r_with.counters.pruned_by_bound, 0u);
+}
+
+TEST(ExactTest, OrderPruningAvoidsPermutationBlowup) {
+  RandomProblem problem = MakeRandomProblem(9, 2, 2, 20);
+  ExactOptions combos;
+  combos.max_facts = 2;
+  combos.bound_pruning = false;
+  ExactOptions perms = combos;
+  perms.order_pruning = false;
+  SummaryResult r_combos = ExactSummary(*problem.evaluator, combos);
+  SummaryResult r_perms = ExactSummary(*problem.evaluator, perms);
+  EXPECT_NEAR(r_combos.utility, r_perms.utility, 1e-9);
+  // Permutation enumeration evaluates roughly m! times more leaves.
+  EXPECT_GT(r_perms.counters.leaf_evals, r_combos.counters.leaf_evals);
+}
+
+TEST(ExactTest, TimeoutReturnsIncumbent) {
+  RandomProblem problem = MakeRandomProblem(21, 4, 4, 120);
+  ExactOptions options;
+  options.max_facts = 3;
+  options.timeout_seconds = 1e-9;  // expire immediately
+  SummaryResult result = ExactSummary(*problem.evaluator, options);
+  EXPECT_TRUE(result.timed_out);
+  // The incumbent is at least the greedy seed.
+  GreedyOptions greedy_options;
+  greedy_options.max_facts = 3;
+  SummaryResult greedy = GreedySummary(*problem.evaluator, greedy_options);
+  EXPECT_GE(result.utility + 1e-9, greedy.utility);
+}
+
+TEST(ExactTest, LeafEvalBudgetRespected) {
+  RandomProblem problem = MakeRandomProblem(23, 3, 3, 60);
+  ExactOptions options;
+  options.max_facts = 3;
+  options.max_leaf_evals = 10;
+  SummaryResult result = ExactSummary(*problem.evaluator, options);
+  EXPECT_LE(result.counters.leaf_evals, 10u);
+  EXPECT_TRUE(result.timed_out);
+}
+
+TEST(ExactTest, MaxFactsLargerThanCatalog) {
+  // m exceeding the number of facts must still terminate and match brute
+  // force over all facts.
+  Table table("t");
+  table.AddDimColumn("d");
+  table.AddTargetColumn("y");
+  ASSERT_TRUE(table.AppendRow({"a"}, {0.0}).ok());
+  ASSERT_TRUE(table.AppendRow({"b"}, {10.0}).ok());
+  auto instance = BuildInstance(table, {}, 0).value();
+  auto catalog = FactCatalog::Build(instance, 1).value();
+  Evaluator evaluator(&instance, &catalog);
+  ExactOptions options;
+  options.max_facts = 10;
+  SummaryResult exact = ExactSummary(evaluator, options);
+  SummaryResult brute = BruteForceSummary(evaluator, 10);
+  EXPECT_NEAR(exact.utility, brute.utility, 1e-9);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,70 @@
+#include "core/expectation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vq {
+namespace {
+
+TEST(ExpectationTest, NoRelevantFactsReturnsPrior) {
+  for (ConflictModel model :
+       {ConflictModel::kClosest, ConflictModel::kFarthest,
+        ConflictModel::kAverageScope, ConflictModel::kAverageAll}) {
+    EXPECT_DOUBLE_EQ(ExpectedValue(model, {}, {1.0, 2.0}, 5.0, 3.0), 5.0);
+  }
+}
+
+TEST(ExpectationTest, ClosestPicksNearestIncludingPrior) {
+  // Definition 4: the prior participates in the argmin.
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, {10.0, 2.0}, {}, 0.0, 3.0),
+                   2.0);
+  // Prior closest: actual 0.5, prior 0, facts {10, 2}.
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, {10.0, 2.0}, {}, 0.0, 0.5),
+                   0.0);
+}
+
+TEST(ExpectationTest, FarthestPicksWorstRelevantValue) {
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kFarthest, {10.0, 2.0}, {}, 0.0, 3.0),
+                   10.0);
+}
+
+TEST(ExpectationTest, AverageScopeAveragesRelevant) {
+  EXPECT_DOUBLE_EQ(
+      ExpectedValue(ConflictModel::kAverageScope, {10.0, 2.0}, {}, 0.0, 3.0), 6.0);
+}
+
+TEST(ExpectationTest, AverageAllUsesEveryFact) {
+  EXPECT_DOUBLE_EQ(
+      ExpectedValue(ConflictModel::kAverageAll, {10.0}, {10.0, 2.0, 6.0}, 0.0, 3.0),
+      6.0);
+}
+
+TEST(ExpectationTest, ClosestMinimizesDeviationAmongCandidates) {
+  // kClosest minimizes |E - actual| among the *candidate values* (relevant
+  // fact values and the prior). Averaging models can interpolate and land
+  // closer, but no candidate value -- and hence not kFarthest -- can beat it.
+  for (double actual : {0.0, 1.5, 4.0, 9.0}) {
+    std::vector<double> relevant = {2.0, 7.0};
+    std::vector<double> all = {2.0, 7.0, 11.0};
+    double prior = 5.0;
+    double closest = std::fabs(
+        ExpectedValue(ConflictModel::kClosest, relevant, all, prior, actual) - actual);
+    for (double candidate : {2.0, 7.0, prior}) {
+      EXPECT_LE(closest, std::fabs(candidate - actual) + 1e-12);
+    }
+    double farthest = std::fabs(
+        ExpectedValue(ConflictModel::kFarthest, relevant, all, prior, actual) - actual);
+    EXPECT_LE(closest, farthest + 1e-12);
+  }
+}
+
+TEST(ExpectationTest, ModelNames) {
+  EXPECT_STREQ(ConflictModelName(ConflictModel::kClosest), "Closest");
+  EXPECT_STREQ(ConflictModelName(ConflictModel::kFarthest), "Farthest");
+  EXPECT_STREQ(ConflictModelName(ConflictModel::kAverageScope), "Avg. Scope");
+  EXPECT_STREQ(ConflictModelName(ConflictModel::kAverageAll), "Avg. All");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,102 @@
+#include "core/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+TEST(GreedyTest, EmptyCatalogYieldsEmptySpeech) {
+  // A single-row table: catalog has facts but all have zero utility when the
+  // prior equals the only value.
+  Table table("t");
+  table.AddDimColumn("d");
+  table.AddTargetColumn("y");
+  ASSERT_TRUE(table.AppendRow({"a"}, {5.0}).ok());
+  auto instance = BuildInstance(table, {}, 0).value();  // prior = 5.0
+  auto catalog = FactCatalog::Build(instance, 1).value();
+  Evaluator evaluator(&instance, &catalog);
+  GreedyOptions options;
+  SummaryResult result = GreedySummary(evaluator, options);
+  EXPECT_TRUE(result.facts.empty());  // nothing improves a perfect prior
+  EXPECT_DOUBLE_EQ(result.utility, 0.0);
+}
+
+TEST(GreedyTest, MaxFactsZeroReturnsEmpty) {
+  RandomProblem problem = MakeRandomProblem(3);
+  GreedyOptions options;
+  options.max_facts = 0;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  EXPECT_TRUE(result.facts.empty());
+  EXPECT_DOUBLE_EQ(result.error, result.base_error);
+}
+
+TEST(GreedyTest, UtilityIncreasesWithSpeechLength) {
+  RandomProblem problem = MakeRandomProblem(7, 3, 3, 60);
+  double previous = -1.0;
+  for (int m = 1; m <= 4; ++m) {
+    GreedyOptions options;
+    options.max_facts = m;
+    SummaryResult result = GreedySummary(*problem.evaluator, options);
+    EXPECT_GE(result.utility, previous - 1e-9) << m;
+    previous = result.utility;
+  }
+}
+
+TEST(GreedyTest, SelectsDistinctFacts) {
+  RandomProblem problem = MakeRandomProblem(11);
+  GreedyOptions options;
+  options.max_facts = 3;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  for (size_t i = 0; i < result.facts.size(); ++i) {
+    for (size_t j = i + 1; j < result.facts.size(); ++j) {
+      EXPECT_NE(result.facts[i], result.facts[j]);
+    }
+  }
+}
+
+TEST(GreedyTest, FirstFactIsMaxSingleUtility) {
+  RandomProblem problem = MakeRandomProblem(13);
+  GreedyOptions options;
+  options.max_facts = 1;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  std::vector<double> utilities = problem.evaluator->SingleFactUtilities();
+  double best = 0.0;
+  for (double u : utilities) best = std::max(best, u);
+  ASSERT_EQ(result.facts.size(), 1u);
+  EXPECT_NEAR(utilities[result.facts[0]], best, 1e-9);
+}
+
+TEST(GreedyTest, PruningReducesJoinWork) {
+  // On an instance with clearly separated group utilities, pruning should
+  // compute utility for fewer groups than the base greedy.
+  RandomProblem problem = MakeRandomProblem(17, /*num_dims=*/4, /*max_card=*/4,
+                                            /*num_rows=*/200, /*value_range=*/30);
+  GreedyOptions base;
+  base.max_facts = 3;
+  SummaryResult r_base = GreedySummary(*problem.evaluator, base);
+  GreedyOptions optimized = base;
+  optimized.pruning = FactPruning::kOptimized;
+  SummaryResult r_opt = GreedySummary(*problem.evaluator, optimized);
+  EXPECT_NEAR(r_base.utility, r_opt.utility, 1e-9);
+  // The optimized variant may prune; it must never join more groups.
+  EXPECT_LE(r_opt.counters.groups_joined, r_base.counters.groups_joined);
+}
+
+TEST(GreedyTest, Counterspopulated) {
+  RandomProblem problem = MakeRandomProblem(19);
+  GreedyOptions options;
+  options.max_facts = 2;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  EXPECT_GT(result.counters.join_rows, 0u);
+  EXPECT_GT(result.counters.groups_joined, 0u);
+  EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace vq

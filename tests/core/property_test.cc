@@ -1,0 +1,194 @@
+// Property-based tests of the paper's theorems on randomized instances.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute_force.h"
+#include "core/evaluator.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144,
+                                           233, 377, 610, 987));
+
+/// Theorem 1: utility is sub-modular -- the marginal gain of any fact is no
+/// larger on a superset speech.
+TEST_P(SeededProperty, UtilityIsSubmodular) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  Rng rng(GetParam() ^ 0xABCD);
+  size_t k = problem.catalog->NumFacts();
+  ASSERT_GE(k, 3u);
+  for (int trial = 0; trial < 20; ++trial) {
+    FactId f = static_cast<FactId>(rng.NextBelow(k));
+    FactId extra = static_cast<FactId>(rng.NextBelow(k));
+    FactId base = static_cast<FactId>(rng.NextBelow(k));
+    if (f == extra || f == base || base == extra) continue;
+    std::vector<FactId> small = {base};
+    std::vector<FactId> big = {base, extra};
+    double gain_small = ev.Utility(std::vector<FactId>{base, f}) - ev.Utility(small);
+    double gain_big =
+        ev.Utility(std::vector<FactId>{base, extra, f}) - ev.Utility(big);
+    EXPECT_GE(gain_small, gain_big - 1e-9);
+  }
+}
+
+/// Monotonicity: adding a fact never reduces utility.
+TEST_P(SeededProperty, UtilityIsMonotone) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  Rng rng(GetParam() ^ 0x1234);
+  size_t k = problem.catalog->NumFacts();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<FactId> speech;
+    for (int i = 0; i < 2; ++i) {
+      speech.push_back(static_cast<FactId>(rng.NextBelow(k)));
+    }
+    FactId f = static_cast<FactId>(rng.NextBelow(k));
+    double before = ev.Utility(speech);
+    speech.push_back(f);
+    double after = ev.Utility(speech);
+    EXPECT_GE(after, before - 1e-9);
+  }
+}
+
+/// Utility is non-negative (the prior is always a fallback expectation).
+TEST_P(SeededProperty, UtilityIsNonNegative) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  Rng rng(GetParam() ^ 0x77);
+  size_t k = problem.catalog->NumFacts();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<FactId> speech = {static_cast<FactId>(rng.NextBelow(k)),
+                                  static_cast<FactId>(rng.NextBelow(k))};
+    EXPECT_GE(ev.Utility(speech), -1e-9);
+  }
+}
+
+/// Single-fact utilities from the batch join equal Utility({f}).
+TEST_P(SeededProperty, SingleFactUtilitiesMatchPointwise) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  std::vector<double> utilities = ev.SingleFactUtilities();
+  for (FactId f = 0; f < problem.catalog->NumFacts(); ++f) {
+    EXPECT_NEAR(utilities[f], ev.Utility(std::vector<FactId>{f}), 1e-9) << f;
+  }
+}
+
+/// Theorem 3: greedy achieves at least (1 - 1/e) of the optimum.
+TEST_P(SeededProperty, GreedyWithinBoundOfOptimum) {
+  RandomProblem problem = MakeRandomProblem(GetParam(), /*num_dims=*/2,
+                                            /*max_card=*/3, /*num_rows=*/25);
+  const Evaluator& ev = *problem.evaluator;
+  GreedyOptions greedy_options;
+  greedy_options.max_facts = 3;
+  SummaryResult greedy = GreedySummary(ev, greedy_options);
+  SummaryResult optimal = BruteForceSummary(ev, 3);
+  const double kBound = 1.0 - 1.0 / M_E;
+  EXPECT_GE(greedy.utility + 1e-9, kBound * optimal.utility);
+}
+
+/// Corollary 1: the exact algorithm matches brute force.
+TEST_P(SeededProperty, ExactMatchesBruteForce) {
+  RandomProblem problem = MakeRandomProblem(GetParam(), /*num_dims=*/2,
+                                            /*max_card=*/3, /*num_rows=*/25);
+  const Evaluator& ev = *problem.evaluator;
+  ExactOptions exact_options;
+  exact_options.max_facts = 3;
+  SummaryResult exact = ExactSummary(ev, exact_options);
+  SummaryResult brute = BruteForceSummary(ev, 3);
+  EXPECT_FALSE(exact.timed_out);
+  EXPECT_NEAR(exact.utility, brute.utility, 1e-9);
+}
+
+/// Theorem 2: disabling either pruning rule must not change the optimum.
+TEST_P(SeededProperty, PruningPreservesOptimality) {
+  RandomProblem problem = MakeRandomProblem(GetParam(), /*num_dims=*/2,
+                                            /*max_card=*/2, /*num_rows=*/20);
+  const Evaluator& ev = *problem.evaluator;
+  ExactOptions with;
+  with.max_facts = 2;
+  ExactOptions no_bound = with;
+  no_bound.bound_pruning = false;
+  ExactOptions no_order = with;
+  no_order.order_pruning = false;
+  double u_with = ExactSummary(ev, with).utility;
+  double u_no_bound = ExactSummary(ev, no_bound).utility;
+  double u_no_order = ExactSummary(ev, no_order).utility;
+  EXPECT_NEAR(u_with, u_no_bound, 1e-9);
+  EXPECT_NEAR(u_with, u_no_order, 1e-9);
+}
+
+/// Fact-group pruning is work reduction only: G-B, G-P, G-O must pick
+/// speeches of identical utility.
+TEST_P(SeededProperty, GroupPruningInvariant) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  GreedyOptions base;
+  base.max_facts = 3;
+  GreedyOptions naive = base;
+  naive.pruning = FactPruning::kNaive;
+  GreedyOptions optimized = base;
+  optimized.pruning = FactPruning::kOptimized;
+  SummaryResult r_base = GreedySummary(ev, base);
+  SummaryResult r_naive = GreedySummary(ev, naive);
+  SummaryResult r_opt = GreedySummary(ev, optimized);
+  EXPECT_NEAR(r_base.utility, r_naive.utility, 1e-9);
+  EXPECT_NEAR(r_base.utility, r_opt.utility, 1e-9);
+  EXPECT_EQ(r_base.facts, r_naive.facts);
+  EXPECT_EQ(r_base.facts, r_opt.facts);
+}
+
+/// The Algorithm 3 group bound dominates the true best gain of the group.
+TEST_P(SeededProperty, GroupBoundIsSound) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  GreedyState state(ev);
+  // Apply one greedy fact so bounds are evaluated mid-speech.
+  GreedyOptions options;
+  options.max_facts = 1;
+  SummaryResult first = GreedySummary(ev, options);
+  if (!first.facts.empty()) state.ApplyFact(first.facts[0]);
+  for (uint32_t g = 0; g < problem.catalog->NumGroups(); ++g) {
+    std::vector<double> gains(problem.catalog->NumFacts(), 0.0);
+    auto [best_gain, best_fact] = state.AccumulateGroupGains(g, &gains, nullptr);
+    double bound = state.GroupUtilityBound(g, nullptr);
+    EXPECT_GE(bound + 1e-9, best_gain) << "group " << g;
+    (void)best_fact;
+  }
+}
+
+/// Exact utility from the evaluator is consistent with the greedy state's
+/// incremental error bookkeeping.
+TEST_P(SeededProperty, GreedyStateErrorMatchesEvaluator) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  const Evaluator& ev = *problem.evaluator;
+  GreedyOptions options;
+  options.max_facts = 3;
+  SummaryResult greedy = GreedySummary(ev, options);
+  EXPECT_NEAR(greedy.error, ev.Error(greedy.facts), 1e-9);
+  EXPECT_NEAR(greedy.utility, ev.Utility(greedy.facts), 1e-9);
+}
+
+/// Scaled utility lies in [0, 1].
+TEST_P(SeededProperty, ScaledUtilityInUnitInterval) {
+  RandomProblem problem = MakeRandomProblem(GetParam());
+  GreedyOptions options;
+  options.max_facts = 3;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  EXPECT_GE(result.ScaledUtility(), 0.0);
+  EXPECT_LE(result.ScaledUtility(), 1.0 + 1e-12);
+}
+
+}  // namespace
+}  // namespace vq

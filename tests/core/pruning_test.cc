@@ -1,0 +1,114 @@
+#include "core/pruning.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+PruningPlanner MakePlanner() {
+  // Four groups: overall (1 fact), two single-dim groups, one pair group.
+  std::vector<uint32_t> masks = {0b00, 0b01, 0b10, 0b11};
+  std::vector<size_t> counts = {1, 4, 8, 32};
+  return PruningPlanner(std::move(masks), std::move(counts), 1000);
+}
+
+TEST(PruningPlannerTest, PruneProbabilityOrdering) {
+  PruningPlanner planner = MakePlanner();
+  // A small group (few facts, high mean utility) prunes a large group with
+  // probability > 1/2; the reverse is < 1/2.
+  EXPECT_GT(planner.PruneProbability(0, 3), 0.5);
+  EXPECT_LT(planner.PruneProbability(3, 0), 0.5);
+  // Self comparison is a coin flip.
+  EXPECT_NEAR(planner.PruneProbability(1, 1), 0.5, 1e-12);
+}
+
+TEST(PruningPlannerTest, TargetPruneProbabilityGrowsWithSources) {
+  PruningPlanner planner = MakePlanner();
+  double one = planner.TargetPruneProbability({0}, 3);
+  double two = planner.TargetPruneProbability({0, 1}, 3);
+  EXPECT_GT(two, one);
+  EXPECT_LE(two, 1.0);
+}
+
+TEST(PruningPlannerTest, TrivialPlanCostIsAllJoins) {
+  PruningPlanner planner = MakePlanner();
+  PruningPlan trivial;
+  trivial.sources = {0, 1, 2, 3};
+  // cost = 4 groups * join_cost(2.0) * 1000 rows.
+  EXPECT_DOUBLE_EQ(planner.EstimateCost(trivial), 4 * 2.0 * 1000);
+}
+
+TEST(PruningPlannerTest, GeneratePlansIncludesTrivialAndCandidates) {
+  PruningPlanner planner = MakePlanner();
+  std::vector<PruningPlan> plans = planner.GeneratePlans();
+  ASSERT_GE(plans.size(), 2u);
+  // First candidate is the trivial plan with no targets.
+  EXPECT_TRUE(plans[0].targets.empty());
+  EXPECT_EQ(plans[0].sources.size(), 4u);
+  // All other plans have nonempty sources and targets.
+  for (size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_FALSE(plans[i].sources.empty());
+    EXPECT_FALSE(plans[i].targets.empty());
+  }
+}
+
+TEST(PruningPlannerTest, SourcesAreCardinalityPrefixes) {
+  PruningPlanner planner = MakePlanner();
+  for (const PruningPlan& plan : planner.GeneratePlans()) {
+    // Every source must have a fact count <= every non-source group's count
+    // (Algorithm 4's source condition). Counts: group0=1,1=4,2=8,3=32.
+    const size_t counts[] = {1, 4, 8, 32};
+    size_t max_source = 0;
+    std::vector<bool> is_source(4, false);
+    for (uint32_t s : plan.sources) {
+      max_source = std::max(max_source, counts[s]);
+      is_source[s] = true;
+    }
+    for (uint32_t g = 0; g < 4; ++g) {
+      if (!is_source[g]) {
+        EXPECT_GE(counts[g], max_source);
+      }
+    }
+  }
+}
+
+TEST(PruningPlannerTest, ChoosePlanReturnsMinimumCost) {
+  PruningPlanner planner = MakePlanner();
+  PruningPlan best = planner.ChoosePlan();
+  for (const PruningPlan& plan : planner.GeneratePlans()) {
+    EXPECT_LE(best.estimated_cost, plan.estimated_cost + 1e-9);
+  }
+}
+
+TEST(PruningPlannerTest, NaivePlanShape) {
+  PruningPlanner planner = MakePlanner();
+  PruningPlan naive = planner.NaivePlan();
+  ASSERT_EQ(naive.sources.size(), 1u);
+  EXPECT_EQ(naive.sources[0], 0u);  // smallest group
+  EXPECT_EQ(naive.targets.size(), 3u);
+  // Targets ascend by fact count.
+  EXPECT_EQ(naive.targets[0], 1u);
+  EXPECT_EQ(naive.targets[2], 3u);
+}
+
+TEST(PruningPlannerTest, HigherSigmaLowersPruningConfidence) {
+  std::vector<uint32_t> masks = {0b0, 0b1};
+  std::vector<size_t> counts = {1, 16};
+  CostModelParams tight;
+  tight.sigma = 0.05;
+  CostModelParams loose;
+  loose.sigma = 1.0;
+  PruningPlanner planner_tight(masks, counts, 100, tight);
+  PruningPlanner planner_loose(masks, counts, 100, loose);
+  EXPECT_GT(planner_tight.PruneProbability(0, 1),
+            planner_loose.PruneProbability(0, 1));
+}
+
+TEST(PruningPlannerTest, FactPruningNames) {
+  EXPECT_STREQ(FactPruningName(FactPruning::kNone), "G-B");
+  EXPECT_STREQ(FactPruningName(FactPruning::kNaive), "G-P");
+  EXPECT_STREQ(FactPruningName(FactPruning::kOptimized), "G-O");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,102 @@
+#include "core/summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class SummarizerTest : public ::testing::Test {
+ protected:
+  Table table_ = MakeRunningExampleTable();
+};
+
+TEST_F(SummarizerTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kExact), "E");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGreedy), "G-B");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGreedyNaive), "G-P");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kGreedyOptimized), "G-O");
+}
+
+TEST_F(SummarizerTest, PrepareOnceRunMany) {
+  SummarizerOptions options;
+  options.max_facts = 2;
+  options.instance.prior_kind = PriorKind::kZero;
+  auto prepared = PreparedProblem::Prepare(table_, {}, 0, options);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // All four methods run on the same prepared problem; utilities ordered.
+  options.algorithm = Algorithm::kExact;
+  SummaryResult exact = prepared.value().Run(options);
+  options.algorithm = Algorithm::kGreedy;
+  SummaryResult greedy = prepared.value().Run(options);
+  options.algorithm = Algorithm::kGreedyNaive;
+  SummaryResult naive = prepared.value().Run(options);
+  options.algorithm = Algorithm::kGreedyOptimized;
+  SummaryResult optimized = prepared.value().Run(options);
+  EXPECT_GE(exact.utility + 1e-9, greedy.utility);
+  EXPECT_NEAR(greedy.utility, naive.utility, 1e-9);
+  EXPECT_NEAR(greedy.utility, optimized.utility, 1e-9);
+  // Brute force agrees with the exact facade path.
+  SummaryResult brute = BruteForceSummary(prepared.value().evaluator(), 2);
+  EXPECT_NEAR(exact.utility, brute.utility, 1e-9);
+}
+
+TEST_F(SummarizerTest, OneShotSummarizeMatchesPreparedPath) {
+  SummarizerOptions options;
+  options.max_facts = 2;
+  options.algorithm = Algorithm::kGreedy;
+  options.instance.prior_kind = PriorKind::kZero;
+  auto one_shot = Summarize(table_, {}, 0, options);
+  ASSERT_TRUE(one_shot.ok());
+  auto prepared = PreparedProblem::Prepare(table_, {}, 0, options).value();
+  SummaryResult two_step = prepared.Run(options);
+  EXPECT_NEAR(one_shot.value().utility, two_step.utility, 1e-9);
+  EXPECT_EQ(one_shot.value().facts, two_step.facts);
+}
+
+TEST_F(SummarizerTest, PropagatesInstanceErrors) {
+  SummarizerOptions options;
+  EXPECT_FALSE(Summarize(table_, {}, /*target_index=*/5, options).ok());
+}
+
+TEST_F(SummarizerTest, QueryPredicatesShrinkTheProblem) {
+  SummarizerOptions options;
+  options.instance.prior_kind = PriorKind::kZero;
+  PredicateSet winter = {MakePredicate(table_, "season", "Winter").value()};
+  auto prepared = PreparedProblem::Prepare(table_, winter, 0, options).value();
+  // Only the region dimension remains fact-eligible.
+  EXPECT_EQ(prepared.instance().dims.size(), 1u);
+  // Facts: overall + 4 regions.
+  EXPECT_EQ(prepared.catalog().NumFacts(), 5u);
+  SummaryResult result = prepared.Run(options);
+  // Within the winter subset (delays 20/10/10/20, prior 0) the greedy
+  // speech removes most of the 60-minute deviation mass.
+  EXPECT_GT(result.utility, 40.0);
+  EXPECT_LE(result.utility, 60.0);
+}
+
+TEST_F(SummarizerTest, ExactTimeoutSurfacesInResult) {
+  Table big = MakeStackOverflowTable(3000, 3);
+  SummarizerOptions options;
+  options.algorithm = Algorithm::kExact;
+  options.exact_timeout_seconds = 1e-9;
+  auto result = Summarize(big, {}, 0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().timed_out);
+  EXPECT_GE(result.value().utility, 0.0);  // greedy incumbent
+}
+
+TEST_F(SummarizerTest, MaxFactDimsRespected) {
+  SummarizerOptions options;
+  options.max_fact_dims = 1;
+  options.instance.prior_kind = PriorKind::kZero;
+  auto prepared = PreparedProblem::Prepare(table_, {}, 0, options).value();
+  for (const auto& group : prepared.catalog().groups()) {
+    EXPECT_LE(__builtin_popcount(group.mask), 1);
+  }
+}
+
+}  // namespace
+}  // namespace vq

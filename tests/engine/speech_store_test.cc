@@ -1,0 +1,129 @@
+#include "engine/speech_store.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class SpeechStoreTest : public ::testing::Test {
+ protected:
+  StoredSpeech Make(int target, PredicateSet predicates, const std::string& text) {
+    StoredSpeech stored;
+    stored.query.target_index = target;
+    stored.query.predicates = std::move(predicates);
+    stored.speech.text = text;
+    stored.speech.target = table_.TargetName(static_cast<size_t>(target));
+    return stored;
+  }
+
+  EqPredicate Pred(const std::string& dim, const std::string& value) {
+    return MakePredicate(table_, dim, value).value();
+  }
+
+  Table table_ = MakeRunningExampleTable();
+};
+
+TEST_F(SpeechStoreTest, PutAndFindExact) {
+  SpeechStore store;
+  store.Put(Make(0, {Pred("season", "Winter")}, "winter speech"));
+  VoiceQuery query;
+  query.target_index = 0;
+  query.predicates = {Pred("season", "Winter")};
+  const StoredSpeech* found = store.FindExact(query);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->speech.text, "winter speech");
+  query.predicates = {Pred("season", "Summer")};
+  EXPECT_EQ(store.FindExact(query), nullptr);
+}
+
+TEST_F(SpeechStoreTest, PutReplacesExisting) {
+  SpeechStore store;
+  store.Put(Make(0, {}, "v1"));
+  store.Put(Make(0, {}, "v2"));
+  EXPECT_EQ(store.size(), 1u);
+  VoiceQuery query;
+  query.target_index = 0;
+  EXPECT_EQ(store.FindExact(query)->speech.text, "v2");
+}
+
+TEST_F(SpeechStoreTest, FindBestPrefersMostSpecificSubset) {
+  // Section III: choose S subseteq Q maximizing |S|.
+  SpeechStore store;
+  store.Put(Make(0, {}, "overall"));
+  store.Put(Make(0, {Pred("season", "Winter")}, "winter"));
+  VoiceQuery query;
+  query.target_index = 0;
+  query.predicates = {Pred("region", "North"), Pred("season", "Winter")};
+  ASSERT_TRUE(NormalizePredicates(&query.predicates).ok());
+  const StoredSpeech* best = store.FindBest(query);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->speech.text, "winter");  // |S|=1 beats |S|=0
+}
+
+TEST_F(SpeechStoreTest, FindBestExactWins) {
+  SpeechStore store;
+  store.Put(Make(0, {}, "overall"));
+  PredicateSet exact = {Pred("region", "North"), Pred("season", "Winter")};
+  ASSERT_TRUE(NormalizePredicates(&exact).ok());
+  store.Put(Make(0, exact, "exact"));
+  VoiceQuery query;
+  query.target_index = 0;
+  query.predicates = exact;
+  EXPECT_EQ(store.FindBest(query)->speech.text, "exact");
+}
+
+TEST_F(SpeechStoreTest, FindBestFallsBackToEmptyPredicateSpeech) {
+  SpeechStore store;
+  store.Put(Make(0, {}, "overall"));
+  VoiceQuery query;
+  query.target_index = 0;
+  query.predicates = {Pred("region", "East")};
+  EXPECT_EQ(store.FindBest(query)->speech.text, "overall");
+}
+
+TEST_F(SpeechStoreTest, FindBestRespectsTarget) {
+  SpeechStore store;
+  store.Put(Make(0, {}, "target0"));
+  VoiceQuery query;
+  query.target_index = 1;  // no speeches for target 1
+  EXPECT_EQ(store.FindBest(query), nullptr);
+}
+
+TEST_F(SpeechStoreTest, JsonRoundTrip) {
+  SpeechStore store;
+  StoredSpeech stored = Make(0, {Pred("season", "Winter")}, "winter facts");
+  stored.speech.utility = 40.0;
+  stored.speech.scaled_utility = 0.33;
+  stored.speech.unit = "minutes";
+  stored.speech.subset_description = "season=Winter";
+  SpokenFact fact;
+  fact.scope = {{"region", "North"}};
+  fact.value = 15.0;
+  stored.speech.facts.push_back(fact);
+  store.Put(std::move(stored));
+
+  Json json = store.ToJson(table_);
+  auto reloaded = SpeechStore::FromJson(json, table_);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded.value().size(), 1u);
+  const StoredSpeech& round = reloaded.value().speeches()[0];
+  EXPECT_EQ(round.speech.text, "winter facts");
+  EXPECT_DOUBLE_EQ(round.speech.utility, 40.0);
+  EXPECT_EQ(round.query.predicates.size(), 1u);
+  ASSERT_EQ(round.speech.facts.size(), 1u);
+  EXPECT_EQ(round.speech.facts[0].scope[0].second, "North");
+  EXPECT_DOUBLE_EQ(round.speech.facts[0].value, 15.0);
+}
+
+TEST_F(SpeechStoreTest, FromJsonRejectsUnknownTarget) {
+  auto json = Json::Parse(
+                  R"({"speeches": [{"target": "bogus", "predicates": [],
+                      "text": "x"}]})")
+                  .value();
+  EXPECT_FALSE(SpeechStore::FromJson(json, table_).ok());
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,79 @@
+#include "nlu/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    extractor_ = std::make_unique<QueryExtractor>(&table_);
+    ASSERT_TRUE(extractor_->AddTargetSynonym("delays", "delay").ok());
+    classifier_ = std::make_unique<RequestClassifier>(extractor_.get(), 2);
+  }
+
+  Table table_ = MakeRunningExampleTable();
+  std::unique_ptr<QueryExtractor> extractor_;
+  std::unique_ptr<RequestClassifier> classifier_;
+};
+
+TEST_F(ClassifierTest, Help) {
+  EXPECT_EQ(classifier_->Classify("help").type, RequestType::kHelp);
+  EXPECT_EQ(classifier_->Classify("what can you do?").type, RequestType::kHelp);
+}
+
+TEST_F(ClassifierTest, Repeat) {
+  EXPECT_EQ(classifier_->Classify("repeat that").type, RequestType::kRepeat);
+  EXPECT_EQ(classifier_->Classify("say that again").type, RequestType::kRepeat);
+}
+
+TEST_F(ClassifierTest, SupportedRetrieval) {
+  ClassifiedRequest r = classifier_->Classify("delays in Winter");
+  EXPECT_EQ(r.type, RequestType::kSupportedQuery);
+  EXPECT_EQ(r.kind, QueryKind::kRetrieval);
+  EXPECT_EQ(r.query.predicates.size(), 1u);
+}
+
+TEST_F(ClassifierTest, ComparisonIsUnsupported) {
+  ClassifiedRequest r =
+      classifier_->Classify("compare delays between Winter and Summer");
+  EXPECT_EQ(r.type, RequestType::kUnsupportedQuery);
+  EXPECT_EQ(r.kind, QueryKind::kComparison);
+}
+
+TEST_F(ClassifierTest, ExtremumIsUnsupported) {
+  ClassifiedRequest r = classifier_->Classify("which season has the highest delays");
+  EXPECT_EQ(r.type, RequestType::kUnsupportedQuery);
+  EXPECT_EQ(r.kind, QueryKind::kExtremum);
+}
+
+TEST_F(ClassifierTest, UnresolvedContentTokensMakeQueryUnsupported) {
+  // References data we do not have (like the paper's "delays of specific
+  // flights").
+  ClassifiedRequest r = classifier_->Classify("delays of flight UA123");
+  EXPECT_EQ(r.type, RequestType::kUnsupportedQuery);
+  EXPECT_EQ(r.kind, QueryKind::kRetrieval);
+}
+
+TEST_F(ClassifierTest, ChitChatIsOther) {
+  EXPECT_EQ(classifier_->Classify("tell me a joke").type, RequestType::kOther);
+  EXPECT_EQ(classifier_->Classify("good morning").type, RequestType::kOther);
+}
+
+TEST_F(ClassifierTest, PredicateBudgetEnforced) {
+  RequestClassifier tight(extractor_.get(), 0);
+  ClassifiedRequest r = tight.Classify("delays in Winter");
+  EXPECT_EQ(r.type, RequestType::kUnsupportedQuery);
+}
+
+TEST_F(ClassifierTest, NamesAreStable) {
+  EXPECT_STREQ(RequestTypeName(RequestType::kSupportedQuery), "S-Query");
+  EXPECT_STREQ(RequestTypeName(RequestType::kUnsupportedQuery), "U-Query");
+  EXPECT_STREQ(QueryKindName(QueryKind::kComparison), "Comparison");
+}
+
+}  // namespace
+}  // namespace vq

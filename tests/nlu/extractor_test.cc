@@ -1,0 +1,87 @@
+#include "nlu/extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    extractor_ = std::make_unique<QueryExtractor>(&table_);
+    ASSERT_TRUE(extractor_->AddTargetSynonym("delays", "delay").ok());
+    ASSERT_TRUE(extractor_->AddTargetSynonym("how late", "delay").ok());
+  }
+
+  Table table_ = MakeRunningExampleTable();
+  std::unique_ptr<QueryExtractor> extractor_;
+};
+
+TEST_F(ExtractorTest, ExtractsTargetAndPredicate) {
+  ExtractedQuery q = extractor_->Extract("delays in Winter?");
+  EXPECT_EQ(q.target_index, table_.TargetIndex("delay"));
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].dim, table_.DimIndex("season"));
+  EXPECT_TRUE(q.unmatched_tokens.empty());
+}
+
+TEST_F(ExtractorTest, CaseAndPunctuationInsensitive) {
+  ExtractedQuery q = extractor_->Extract("DELAYS in wInTeR, in the NORTH!");
+  EXPECT_TRUE(q.HasTarget());
+  EXPECT_EQ(q.predicates.size(), 2u);
+}
+
+TEST_F(ExtractorTest, MultiWordSynonym) {
+  ExtractedQuery q = extractor_->Extract("how late are flights in the South");
+  EXPECT_EQ(q.target_index, table_.TargetIndex("delay"));
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].dim, table_.DimIndex("region"));
+  // "flights" stays unmatched (content token not in the schema).
+  ASSERT_EQ(q.unmatched_tokens.size(), 1u);
+  EXPECT_EQ(q.unmatched_tokens[0], "flights");
+}
+
+TEST_F(ExtractorTest, ColumnNameActsAsTargetPhrase) {
+  // The raw column name "delay" is in the vocabulary.
+  ExtractedQuery q = extractor_->Extract("average delay in Summer");
+  EXPECT_TRUE(q.HasTarget());
+}
+
+TEST_F(ExtractorTest, FirstMentionWinsPerDimension) {
+  ExtractedQuery q = extractor_->Extract("delays in Winter or Summer");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(table_.dict(static_cast<size_t>(q.predicates[0].dim))
+                .Lookup(q.predicates[0].value),
+            "Winter");
+}
+
+TEST_F(ExtractorTest, NoTargetNoPredicates) {
+  ExtractedQuery q = extractor_->Extract("play some music");
+  EXPECT_FALSE(q.HasTarget());
+  EXPECT_TRUE(q.predicates.empty());
+  EXPECT_FALSE(q.unmatched_tokens.empty());
+}
+
+TEST_F(ExtractorTest, ValueSynonym) {
+  ASSERT_TRUE(extractor_->AddValueSynonym("wintertime", "season", "Winter").ok());
+  ExtractedQuery q = extractor_->Extract("delays in wintertime");
+  ASSERT_EQ(q.predicates.size(), 1u);
+  EXPECT_EQ(q.predicates[0].dim, table_.DimIndex("season"));
+}
+
+TEST_F(ExtractorTest, SynonymRegistrationValidates) {
+  EXPECT_FALSE(extractor_->AddTargetSynonym("x", "bogus_column").ok());
+  EXPECT_FALSE(extractor_->AddValueSynonym("x", "bogus", "Winter").ok());
+  EXPECT_FALSE(extractor_->AddValueSynonym("x", "season", "Monsoon").ok());
+}
+
+TEST_F(ExtractorTest, PredicatesComeOutNormalized) {
+  ExtractedQuery q = extractor_->Extract("delays Winter North");
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_LT(q.predicates[0].dim, q.predicates[1].dim);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,90 @@
+#include "query/config.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+const char* kValid = R"({
+  "table": "flights",
+  "dimensions": ["airline", "season"],
+  "targets": ["cancelled"],
+  "max_query_predicates": 2,
+  "max_fact_dims": 2,
+  "max_facts": 3,
+  "prior": "global_average"
+})";
+
+TEST(ConfigTest, ParsesValid) {
+  auto config = Configuration::FromJsonText(kValid);
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  EXPECT_EQ(config.value().table, "flights");
+  ASSERT_EQ(config.value().dimensions.size(), 2u);
+  EXPECT_EQ(config.value().dimensions[1], "season");
+  EXPECT_EQ(config.value().targets[0], "cancelled");
+  EXPECT_EQ(config.value().max_facts, 3);
+  EXPECT_EQ(config.value().prior, PriorKind::kGlobalAverage);
+}
+
+TEST(ConfigTest, DefaultsApplied) {
+  auto config = Configuration::FromJsonText(
+      R"({"table": "t", "dimensions": ["a"], "targets": ["y"]})");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config.value().max_query_predicates, 2);
+  EXPECT_EQ(config.value().max_fact_dims, 2);
+  EXPECT_EQ(config.value().max_facts, 3);
+}
+
+TEST(ConfigTest, PriorKinds) {
+  for (const auto& [name, kind] :
+       std::vector<std::pair<std::string, PriorKind>>{
+           {"global_average", PriorKind::kGlobalAverage},
+           {"subset_average", PriorKind::kSubsetAverage},
+           {"zero", PriorKind::kZero},
+           {"constant", PriorKind::kConstant}}) {
+    auto config = Configuration::FromJsonText(
+        R"({"table": "t", "dimensions": ["a"], "targets": ["y"], "prior": ")" + name +
+        R"(", "prior_value": 4.5})");
+    ASSERT_TRUE(config.ok()) << name;
+    EXPECT_EQ(config.value().prior, kind) << name;
+  }
+  EXPECT_FALSE(Configuration::FromJsonText(
+                   R"({"table": "t", "dimensions": ["a"], "targets": ["y"],
+                       "prior": "martian"})")
+                   .ok());
+}
+
+TEST(ConfigTest, RejectsMissingFields) {
+  EXPECT_FALSE(Configuration::FromJsonText(R"({"dimensions": ["a"], "targets": ["y"]})").ok());
+  EXPECT_FALSE(Configuration::FromJsonText(R"({"table": "t", "targets": ["y"]})").ok());
+  EXPECT_FALSE(Configuration::FromJsonText(R"({"table": "t", "dimensions": ["a"]})").ok());
+  EXPECT_FALSE(Configuration::FromJsonText(R"({"table": "t", "dimensions": [], "targets": ["y"]})").ok());
+  EXPECT_FALSE(Configuration::FromJsonText("[1,2]").ok());
+  EXPECT_FALSE(Configuration::FromJsonText("not json").ok());
+}
+
+TEST(ConfigTest, RejectsBadLimits) {
+  EXPECT_FALSE(Configuration::FromJsonText(
+                   R"({"table": "t", "dimensions": ["a"], "targets": ["y"],
+                       "max_facts": 0})")
+                   .ok());
+  EXPECT_FALSE(Configuration::FromJsonText(
+                   R"({"table": "t", "dimensions": ["a"], "targets": ["y"],
+                       "max_query_predicates": -1})")
+                   .ok());
+}
+
+TEST(ConfigTest, JsonRoundTrip) {
+  Configuration config = Configuration::FromJsonText(kValid).value();
+  std::string dumped = config.ToJson().Dump(2);
+  auto reparsed = Configuration::FromJsonText(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().table, config.table);
+  EXPECT_EQ(reparsed.value().dimensions, config.dimensions);
+  EXPECT_EQ(reparsed.value().targets, config.targets);
+  EXPECT_EQ(reparsed.value().max_facts, config.max_facts);
+  EXPECT_EQ(reparsed.value().prior, config.prior);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,121 @@
+#include "query/problem_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+Configuration RunningExampleConfig(int max_preds = 2) {
+  Configuration config;
+  config.table = "running_example";
+  config.dimensions = {"region", "season"};
+  config.targets = {"delay"};
+  config.max_query_predicates = max_preds;
+  return config;
+}
+
+TEST(ProblemGeneratorTest, CountsOnRunningExample) {
+  Table table = MakeRunningExampleTable();
+  auto generator = ProblemGenerator::Create(&table, RunningExampleConfig());
+  ASSERT_TRUE(generator.ok());
+  // Queries: 1 empty + 4 regions + 4 seasons + 16 pairs = 25 per target.
+  std::vector<VoiceQuery> queries = generator.value().GenerateQueries();
+  EXPECT_EQ(queries.size(), 25u);
+  EXPECT_EQ(generator.value().CountQueries(), 25u);
+}
+
+TEST(ProblemGeneratorTest, MaxPredicatesOneDropsPairs) {
+  Table table = MakeRunningExampleTable();
+  auto generator = ProblemGenerator::Create(&table, RunningExampleConfig(1));
+  ASSERT_TRUE(generator.ok());
+  EXPECT_EQ(generator.value().GenerateQueries().size(), 9u);
+}
+
+TEST(ProblemGeneratorTest, QueriesAreDistinctAndNormalized) {
+  Table table = MakeRunningExampleTable();
+  auto generator = ProblemGenerator::Create(&table, RunningExampleConfig());
+  std::set<std::string> keys;
+  for (const auto& query : generator.value().GenerateQueries()) {
+    EXPECT_TRUE(keys.insert(query.Key()).second) << query.Key();
+    for (size_t i = 1; i < query.predicates.size(); ++i) {
+      EXPECT_LT(query.predicates[i - 1].dim, query.predicates[i].dim);
+    }
+  }
+}
+
+TEST(ProblemGeneratorTest, MultipleTargetsMultiply) {
+  Table table = MakeAcsTable(500, 3);
+  Configuration config;
+  config.table = "acs";
+  config.dimensions = {"borough", "age_group"};
+  config.targets = {"visual", "hearing"};
+  config.max_query_predicates = 1;
+  auto generator = ProblemGenerator::Create(&table, config);
+  ASSERT_TRUE(generator.ok());
+  // Per target: 1 + 5 + 3 = 9; two targets -> 18.
+  EXPECT_EQ(generator.value().GenerateQueries().size(), 18u);
+}
+
+TEST(ProblemGeneratorTest, OnlyExistingCombinationsGenerated) {
+  // A table where one (a, b) combination is absent.
+  Table table("t");
+  table.AddDimColumn("a");
+  table.AddDimColumn("b");
+  table.AddTargetColumn("y");
+  ASSERT_TRUE(table.AppendRow({"a1", "b1"}, {1.0}).ok());
+  ASSERT_TRUE(table.AppendRow({"a1", "b2"}, {2.0}).ok());
+  ASSERT_TRUE(table.AppendRow({"a2", "b1"}, {3.0}).ok());
+  Configuration config;
+  config.table = "t";
+  config.dimensions = {"a", "b"};
+  config.targets = {"y"};
+  config.max_query_predicates = 2;
+  auto generator = ProblemGenerator::Create(&table, config);
+  ASSERT_TRUE(generator.ok());
+  // 1 empty + 2 a-values + 2 b-values + 3 present pairs = 8 (not 9).
+  EXPECT_EQ(generator.value().GenerateQueries().size(), 8u);
+}
+
+TEST(ProblemGeneratorTest, TheoremTenBound) {
+  // The number of queries is O(t * C(d, l) * n^l): on the running example
+  // with t=1, d=2, l=2 and 4 distinct values per dimension, the bound's
+  // dominant term is C(2,2) * 16 pairs; the generated count must stay below
+  // the worst case sum over all lengths.
+  Table table = MakeRunningExampleTable();
+  auto generator = ProblemGenerator::Create(&table, RunningExampleConfig());
+  size_t upper = 1 + 2 * 4 + 1 * 16;  // lengths 0, 1, 2 worst case
+  EXPECT_LE(generator.value().CountQueries(), upper);
+}
+
+TEST(ProblemGeneratorTest, UnknownColumnsFail) {
+  Table table = MakeRunningExampleTable();
+  Configuration config = RunningExampleConfig();
+  config.dimensions = {"region", "bogus"};
+  EXPECT_FALSE(ProblemGenerator::Create(&table, config).ok());
+  config = RunningExampleConfig();
+  config.targets = {"bogus"};
+  EXPECT_FALSE(ProblemGenerator::Create(&table, config).ok());
+  // A target name passed as dimension must fail too.
+  config = RunningExampleConfig();
+  config.dimensions = {"delay"};
+  EXPECT_FALSE(ProblemGenerator::Create(&table, config).ok());
+}
+
+TEST(ProblemGeneratorTest, KeyEncodesTargetAndPredicates) {
+  VoiceQuery q1;
+  q1.target_index = 0;
+  VoiceQuery q2;
+  q2.target_index = 1;
+  EXPECT_NE(q1.Key(), q2.Key());
+  q1.predicates.push_back(EqPredicate{2, 5});
+  VoiceQuery q3 = q1;
+  q3.predicates[0].value = 6;
+  EXPECT_NE(q1.Key(), q3.Key());
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,69 @@
+#include "relational/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  Table table_ = MakeRunningExampleTable();
+};
+
+TEST_F(PredicateTest, MakePredicateResolvesNames) {
+  auto p = MakePredicate(table_, "season", "Winter");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().dim, table_.DimIndex("season"));
+  EXPECT_FALSE(MakePredicate(table_, "bogus", "Winter").ok());
+  EXPECT_FALSE(MakePredicate(table_, "season", "Monsoon").ok());
+}
+
+TEST_F(PredicateTest, FilterRowsMatchesConjunction) {
+  PredicateSet preds = {MakePredicate(table_, "season", "Winter").value()};
+  EXPECT_EQ(FilterRows(table_, preds).size(), 4u);
+  preds.push_back(MakePredicate(table_, "region", "North").value());
+  ASSERT_TRUE(NormalizePredicates(&preds).ok());
+  auto rows = FilterRows(table_, preds);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table_.TargetValue(rows[0], 0), 20.0);  // Winter-North cell
+}
+
+TEST_F(PredicateTest, EmptyPredicateSetSelectsAll) {
+  EXPECT_EQ(FilterRows(table_, {}).size(), table_.NumRows());
+}
+
+TEST_F(PredicateTest, NormalizeSortsAndRejectsDuplicates) {
+  PredicateSet preds = {MakePredicate(table_, "season", "Winter").value(),
+                        MakePredicate(table_, "region", "East").value()};
+  ASSERT_TRUE(NormalizePredicates(&preds).ok());
+  EXPECT_LT(preds[0].dim, preds[1].dim);
+  preds.push_back(MakePredicate(table_, "season", "Summer").value());
+  EXPECT_FALSE(NormalizePredicates(&preds).ok());
+}
+
+TEST_F(PredicateTest, SubsetRelation) {
+  EqPredicate winter = MakePredicate(table_, "season", "Winter").value();
+  EqPredicate north = MakePredicate(table_, "region", "North").value();
+  PredicateSet small = {winter};
+  PredicateSet big = {winter, north};
+  EXPECT_TRUE(IsSubsetOf(small, big));
+  EXPECT_FALSE(IsSubsetOf(big, small));
+  EXPECT_TRUE(IsSubsetOf({}, small));
+  EXPECT_TRUE(IsSubsetOf(big, big));
+}
+
+TEST_F(PredicateTest, ToStringAndKey) {
+  PredicateSet preds = {MakePredicate(table_, "region", "East").value(),
+                        MakePredicate(table_, "season", "Winter").value()};
+  ASSERT_TRUE(NormalizePredicates(&preds).ok());
+  EXPECT_EQ(PredicatesToString(table_, preds), "region=East AND season=Winter");
+  EXPECT_EQ(PredicatesToString(table_, {}), "<all rows>");
+  // Key is stable and distinct from other sets.
+  EXPECT_NE(PredicatesKey(preds), PredicatesKey({preds[0]}));
+  EXPECT_EQ(PredicatesKey({}), "");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,89 @@
+#include "sim/logs.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+TEST(LogsTest, PaperMixesMatchTableThree) {
+  EXPECT_EQ(PaperMixPrimaries().Total(), 50);
+  EXPECT_EQ(PaperMixFlights().Total(), 50);
+  EXPECT_EQ(PaperMixDevelopers().Total(), 50);
+  EXPECT_EQ(PaperMixPrimaries().help, 17);
+  EXPECT_EQ(PaperMixFlights().other, 24);
+  EXPECT_EQ(PaperMixDevelopers().unsupported, 16);
+}
+
+TEST(LogsTest, GeneratesRequestedCounts) {
+  Table table = MakeRunningExampleTable();
+  LogGenerator generator(&table, "delays", 2);
+  Rng rng(1);
+  auto requests = generator.Generate(PaperMixPrimaries(), &rng);
+  EXPECT_EQ(requests.size(), 50u);
+  int help = 0;
+  int repeat = 0;
+  int supported = 0;
+  int unsupported = 0;
+  int other = 0;
+  for (const auto& request : requests) {
+    EXPECT_FALSE(request.text.empty());
+    switch (request.intended) {
+      case RequestType::kHelp: ++help; break;
+      case RequestType::kRepeat: ++repeat; break;
+      case RequestType::kSupportedQuery: ++supported; break;
+      case RequestType::kUnsupportedQuery: ++unsupported; break;
+      case RequestType::kOther: ++other; break;
+    }
+  }
+  EXPECT_EQ(help, 17);
+  EXPECT_EQ(repeat, 3);
+  EXPECT_EQ(supported, 16);
+  EXPECT_EQ(unsupported, 1);
+  EXPECT_EQ(other, 13);
+}
+
+TEST(LogsTest, SupportedQueriesAreClassifiedSupported) {
+  Table table = MakeRunningExampleTable();
+  LogGenerator generator(&table, "delay", 2);
+  Rng rng(5);
+  RequestMix only_supported{0, 0, 30, 0, 0};
+  auto requests = generator.Generate(only_supported, &rng);
+  QueryExtractor extractor(&table);
+  RequestClassifier classifier(&extractor, 2);
+  int correct = 0;
+  for (const auto& request : requests) {
+    if (classifier.Classify(request.text).type == RequestType::kSupportedQuery) {
+      ++correct;
+    }
+  }
+  // The classifier must recognize the overwhelming majority (value phrases
+  // are drawn from the schema).
+  EXPECT_GE(correct, 27);
+}
+
+TEST(LogsTest, PredicateCountsWithinBudget) {
+  Table table = MakeRunningExampleTable();
+  LogGenerator generator(&table, "delay", 2);
+  Rng rng(9);
+  RequestMix mix{0, 0, 100, 0, 0};
+  for (const auto& request : generator.Generate(mix, &rng)) {
+    EXPECT_GE(request.num_predicates, 0);
+    EXPECT_LE(request.num_predicates, 2);
+  }
+}
+
+TEST(LogsTest, DeterministicForSeed) {
+  Table table = MakeRunningExampleTable();
+  LogGenerator generator(&table, "delay", 2);
+  Rng rng_a(3);
+  Rng rng_b(3);
+  auto a = generator.Generate(PaperMixFlights(), &rng_a);
+  auto b = generator.Generate(PaperMixFlights(), &rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+}  // namespace
+}  // namespace vq

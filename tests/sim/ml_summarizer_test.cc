@@ -1,0 +1,68 @@
+#include "sim/ml_summarizer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "sim/studies.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+TEST(MlSummarizerTest, PicksFromMostSpecificGroups) {
+  RandomProblem problem = MakeRandomProblem(3);
+  Rng rng(1);
+  auto facts = MlLikeSummary(*problem.evaluator, 3, &rng);
+  ASSERT_FALSE(facts.empty());
+  int max_popcount = 0;
+  for (const auto& group : problem.catalog->groups()) {
+    max_popcount = std::max(max_popcount, __builtin_popcount(group.mask));
+  }
+  for (FactId id : facts) {
+    const FactGroup& group =
+        problem.catalog->group(problem.catalog->fact(id).group);
+    EXPECT_EQ(__builtin_popcount(group.mask), max_popcount);
+  }
+}
+
+TEST(MlSummarizerTest, UtilityTrailsGreedy) {
+  // Across several instances the defect-ridden summaries must not beat the
+  // optimizing greedy (Section VIII-E's finding).
+  double ml_sum = 0.0;
+  double greedy_sum = 0.0;
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull, 6ull}) {
+    RandomProblem problem = MakeRandomProblem(seed, 3, 3, 120, 20);
+    Rng rng(seed);
+    auto ml = MlLikeSummary(*problem.evaluator, 3, &rng);
+    ml_sum += problem.evaluator->Utility(ml);
+    GreedyOptions options;
+    options.max_facts = 3;
+    greedy_sum += GreedySummary(*problem.evaluator, options).utility;
+  }
+  EXPECT_LT(ml_sum, greedy_sum);
+}
+
+TEST(MlSummarizerTest, RespectsFactBudget) {
+  RandomProblem problem = MakeRandomProblem(9);
+  Rng rng(2);
+  EXPECT_LE(MlLikeSummary(*problem.evaluator, 2, &rng).size(), 2u);
+  EXPECT_LE(MlLikeSummary(*problem.evaluator, 5, &rng).size(), 5u);
+}
+
+TEST(MlSummarizerTest, NarrowFactsYieldLowCoverage) {
+  RandomProblem problem = MakeRandomProblem(11, 3, 3, 200, 20);
+  Rng rng(3);
+  auto ml = MlLikeSummary(*problem.evaluator, 3, &rng);
+  SpeechFeatures ml_features = FeaturesOfSpeech(*problem.evaluator, ml);
+  GreedyOptions options;
+  options.max_facts = 3;
+  auto greedy = GreedySummary(*problem.evaluator, options);
+  SpeechFeatures greedy_features = FeaturesOfSpeech(*problem.evaluator, greedy.facts);
+  EXPECT_LE(ml_features.coverage, greedy_features.coverage + 1e-9);
+}
+
+}  // namespace
+}  // namespace vq

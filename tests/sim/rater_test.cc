@@ -1,0 +1,87 @@
+#include "sim/rater.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace vq {
+namespace {
+
+double MeanRating(const SpeechRater& rater, Adjective adjective,
+                  const SpeechFeatures& features, uint64_t seed, int n = 2000) {
+  Rng rng(seed);
+  std::vector<double> ratings;
+  for (int i = 0; i < n; ++i) ratings.push_back(rater.Rate(&rng, adjective, features));
+  return Mean(ratings);
+}
+
+TEST(RaterTest, RatingsStayOnScale) {
+  SpeechRater rater;
+  Rng rng(1);
+  SpeechFeatures features;
+  for (int i = 0; i < 2000; ++i) {
+    for (double r : rater.RateAll(&rng, features)) {
+      EXPECT_GE(r, 1.0);
+      EXPECT_LE(r, 10.0);
+    }
+  }
+}
+
+TEST(RaterTest, HigherUtilityRatesBetterOnGood) {
+  SpeechRater rater;
+  SpeechFeatures low;
+  low.scaled_utility = 0.1;
+  SpeechFeatures high = low;
+  high.scaled_utility = 0.9;
+  EXPECT_GT(MeanRating(rater, Adjective::kGood, high, 2),
+            MeanRating(rater, Adjective::kGood, low, 2) + 0.5);
+}
+
+TEST(RaterTest, PointValuesBeatRangesOnPrecise) {
+  // Figure 11's expectation: precise values score better on "Precise".
+  SpeechRater rater;
+  SpeechFeatures point;
+  point.value_precision = 1.0;
+  SpeechFeatures range = point;
+  range.value_precision = 0.4;
+  EXPECT_GT(MeanRating(rater, Adjective::kPrecise, point, 3),
+            MeanRating(rater, Adjective::kPrecise, range, 3) + 0.5);
+}
+
+TEST(RaterTest, CoverageDrivesComplete) {
+  SpeechRater rater;
+  SpeechFeatures covered;
+  covered.coverage = 1.0;
+  SpeechFeatures sparse = covered;
+  sparse.coverage = 0.2;
+  EXPECT_GT(MeanRating(rater, Adjective::kComplete, covered, 4),
+            MeanRating(rater, Adjective::kComplete, sparse, 4) + 0.5);
+}
+
+TEST(RaterTest, RedundancyHurtsDiverse) {
+  SpeechRater rater;
+  SpeechFeatures diverse;
+  diverse.diversity = 1.0;
+  SpeechFeatures redundant = diverse;
+  redundant.diversity = 0.33;
+  EXPECT_GT(MeanRating(rater, Adjective::kDiverse, diverse, 5),
+            MeanRating(rater, Adjective::kDiverse, redundant, 5) + 0.5);
+}
+
+TEST(RaterTest, LongSpeechesLessConcise) {
+  SpeechRater rater;
+  SpeechFeatures brief;
+  brief.words = 15;
+  SpeechFeatures lengthy = brief;
+  lengthy.words = 120;
+  EXPECT_GT(MeanRating(rater, Adjective::kConcise, brief, 6),
+            MeanRating(rater, Adjective::kConcise, lengthy, 6) + 0.5);
+}
+
+TEST(RaterTest, AdjectiveNames) {
+  EXPECT_STREQ(AdjectiveName(Adjective::kPrecise), "Precise");
+  EXPECT_STREQ(AdjectiveName(Adjective::kConcise), "Concise");
+}
+
+}  // namespace
+}  // namespace vq

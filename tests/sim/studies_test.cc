@@ -1,0 +1,120 @@
+#include "sim/studies.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datasets.h"
+#include "testing/random_instance.h"
+
+namespace vq {
+namespace {
+
+using testing::MakeRandomProblem;
+using testing::RandomProblem;
+
+TEST(StudiesTest, RandomRankedSpeechesAreSortedAndSized) {
+  RandomProblem problem = MakeRandomProblem(3);
+  Rng rng(1);
+  auto speeches = RandomRankedSpeeches(*problem.evaluator, 50, 3, &rng);
+  ASSERT_EQ(speeches.size(), 50u);
+  for (size_t i = 1; i < speeches.size(); ++i) {
+    EXPECT_LE(speeches[i - 1].utility, speeches[i].utility + 1e-12);
+  }
+  for (const auto& speech : speeches) {
+    EXPECT_LE(speech.facts.size(), 3u);
+    EXPECT_GE(speech.scaled_utility, 0.0);
+  }
+}
+
+TEST(StudiesTest, FeaturesOfFullCoverageSpeech) {
+  // The overall fact covers everything: coverage 1, diversity 1 (no dims).
+  RandomProblem problem = MakeRandomProblem(5);
+  int overall = problem.catalog->GroupIndexForMask(0);
+  ASSERT_GE(overall, 0);
+  FactId overall_fact = problem.catalog->group(static_cast<uint32_t>(overall)).first_fact;
+  SpeechFeatures features =
+      FeaturesOfSpeech(*problem.evaluator, {overall_fact});
+  EXPECT_DOUBLE_EQ(features.coverage, 1.0);
+  EXPECT_DOUBLE_EQ(features.diversity, 1.0);
+  EXPECT_DOUBLE_EQ(features.value_precision, 1.0);
+  EXPECT_GT(features.words, 0.0);
+}
+
+TEST(StudiesTest, RedundantSpeechScoresLowDiversity) {
+  Table table = MakeRunningExampleTable();
+  InstanceOptions options;
+  options.prior_kind = PriorKind::kZero;
+  auto instance = BuildInstance(table, {}, 0, options).value();
+  auto catalog = FactCatalog::Build(instance, 1, 1).value();
+  Evaluator evaluator(&instance, &catalog);
+  // Two facts from the same (single-dimension) group: diversity 1/2.
+  const FactGroup& group = catalog.group(0);
+  ASSERT_GE(group.num_facts, 2u);
+  SpeechFeatures features = FeaturesOfSpeech(
+      evaluator, {group.first_fact, static_cast<FactId>(group.first_fact + 1)});
+  EXPECT_DOUBLE_EQ(features.diversity, 0.5);
+}
+
+TEST(StudiesTest, TargetScaleOfRunningExample) {
+  Table table = MakeRunningExampleTable();
+  auto instance = BuildInstance(table, {}, 0).value();
+  EXPECT_DOUBLE_EQ(TargetScale(instance), 20.0);
+}
+
+TEST(StudiesTest, RelevantFactValuesMatchesScopes) {
+  Table table = MakeRunningExampleTable();
+  InstanceOptions options;
+  options.prior_kind = PriorKind::kZero;
+  auto instance = BuildInstance(table, {}, 0, options).value();
+  auto catalog = FactCatalog::Build(instance, 2, 1).value();
+  Evaluator evaluator(&instance, &catalog);
+  // Find the Winter fact and the North fact.
+  FactId winter = kNoFact;
+  FactId north = kNoFact;
+  for (FactId id = 0; id < catalog.NumFacts(); ++id) {
+    auto scope = catalog.DescribeScope(table, instance, id);
+    if (scope.size() == 1 && scope[0].second == "Winter") winter = id;
+    if (scope.size() == 1 && scope[0].second == "North") north = id;
+  }
+  ASSERT_NE(winter, kNoFact);
+  ASSERT_NE(north, kNoFact);
+  // Cell (region=North, season=Winter): both facts relevant.
+  int region_pos = 0;
+  int season_pos = 1;
+  ValueId north_code = *table.dict(0).Find("North");
+  ValueId winter_code = *table.dict(1).Find("Winter");
+  auto values = RelevantFactValues(evaluator, {winter, north},
+                                   {{region_pos, north_code}, {season_pos, winter_code}});
+  EXPECT_EQ(values.size(), 2u);
+  // Cell (region=East, season=Summer): neither fact relevant.
+  ValueId east_code = *table.dict(0).Find("East");
+  ValueId summer_code = *table.dict(1).Find("Summer");
+  values = RelevantFactValues(evaluator, {winter, north},
+                              {{region_pos, east_code}, {season_pos, summer_code}});
+  EXPECT_TRUE(values.empty());
+  // Partial cell (only region=North): the Winter fact restricts a dimension
+  // the cell leaves open -> only the North fact is relevant.
+  values = RelevantFactValues(evaluator, {winter, north}, {{region_pos, north_code}});
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_DOUBLE_EQ(values[0], 15.0);
+}
+
+TEST(StudiesTest, CellAverageOnRunningExample) {
+  Table table = MakeRunningExampleTable();
+  auto instance = BuildInstance(table, {}, 0).value();
+  ValueId winter_code = *table.dict(1).Find("Winter");
+  double avg = 0.0;
+  ASSERT_TRUE(CellAverage(instance, {{1, winter_code}}, &avg));
+  EXPECT_DOUBLE_EQ(avg, 15.0);
+  // Impossible cell (no rows): CellAverage reports false. Use an interned
+  // but unused value.
+  Table tiny("tiny");
+  tiny.AddDimColumn("d");
+  tiny.AddTargetColumn("y");
+  ASSERT_TRUE(tiny.AppendRow({"a"}, {1.0}).ok());
+  tiny.mutable_dict(0).Intern("b");
+  auto tiny_inst = BuildInstance(tiny, {}, 0).value();
+  EXPECT_FALSE(CellAverage(tiny_inst, {{0, *tiny.dict(0).Find("b")}}, &avg));
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,66 @@
+#include "sim/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace vq {
+namespace {
+
+TEST(WorkerTest, StrategyMixtureMatchesWeights) {
+  WorkerPopulationOptions options;
+  options.weight_closest = 1.0;
+  options.weight_farthest = 0.0;
+  options.weight_average_scope = 0.0;
+  options.weight_average_all = 0.0;
+  WorkerPopulation population(options);
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(population.DrawStrategy(&rng), ConflictModel::kClosest);
+  }
+}
+
+TEST(WorkerTest, DefaultMixtureDominatedByClosest) {
+  WorkerPopulation population;
+  Rng rng(2);
+  int closest = 0;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (population.DrawStrategy(&rng) == ConflictModel::kClosest) ++closest;
+  }
+  EXPECT_NEAR(static_cast<double>(closest) / kDraws, 0.6, 0.05);
+}
+
+TEST(WorkerTest, NoiseScalesWithScale) {
+  WorkerPopulationOptions options;
+  options.weight_closest = 1.0;
+  options.weight_farthest = 0.0;
+  options.weight_average_scope = 0.0;
+  options.weight_average_all = 0.0;
+  options.noise_fraction = 0.1;
+  WorkerPopulation population(options);
+  Rng rng(3);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 4000; ++i) {
+    // Single relevant value 10 == actual: base estimate 10, pure noise on top.
+    small.push_back(population.Estimate(&rng, {10.0}, {10.0}, 0.0, 10.0, 1.0));
+    large.push_back(population.Estimate(&rng, {10.0}, {10.0}, 0.0, 10.0, 100.0));
+  }
+  EXPECT_NEAR(Stddev(small), 0.1, 0.02);
+  EXPECT_NEAR(Stddev(large), 10.0, 2.0);
+  EXPECT_NEAR(Mean(small), 10.0, 0.05);
+}
+
+TEST(WorkerTest, NoRelevantFactsFallsBackToPrior) {
+  WorkerPopulationOptions options;
+  options.noise_fraction = 0.0;
+  WorkerPopulation population(options);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(population.Estimate(&rng, {}, {}, 7.5, 100.0, 10.0), 7.5);
+  }
+}
+
+}  // namespace
+}  // namespace vq

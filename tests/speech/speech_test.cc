@@ -1,0 +1,109 @@
+#include "speech/speech.h"
+
+#include <gtest/gtest.h>
+
+#include "core/greedy.h"
+#include "storage/datasets.h"
+
+namespace vq {
+namespace {
+
+class SpeechTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstanceOptions options;
+    options.prior_kind = PriorKind::kZero;
+    instance_ = BuildInstance(table_, {}, 0, options).value();
+    catalog_ = FactCatalog::Build(instance_, 2, 1).value();
+    evaluator_ = std::make_unique<Evaluator>(&instance_, &catalog_);
+  }
+
+  Table table_ = MakeRunningExampleTable();
+  SummaryInstance instance_;
+  FactCatalog catalog_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(SpeechTest, RendersGreedySpeech) {
+  GreedyOptions options;
+  options.max_facts = 2;
+  SummaryResult result = GreedySummary(*evaluator_, options);
+  Speech speech = RenderSpeech(table_, instance_, catalog_, result, {});
+  EXPECT_EQ(speech.target, "delay");
+  EXPECT_EQ(speech.unit, "minutes");
+  EXPECT_EQ(speech.facts.size(), 2u);
+  // The greedy speech mentions Winter and North (Example 7).
+  EXPECT_NE(speech.text.find("15"), std::string::npos);
+  bool mentions_winter = speech.text.find("Winter") != std::string::npos;
+  bool mentions_north = speech.text.find("North") != std::string::npos;
+  EXPECT_TRUE(mentions_winter && mentions_north) << speech.text;
+  // Subset prefix names the target and the (full) subset.
+  EXPECT_NE(speech.text.find("delay for <all rows>:"), std::string::npos)
+      << speech.text;
+}
+
+TEST_F(SpeechTest, SubsetDescriptionUsesPredicates) {
+  PredicateSet preds = {MakePredicate(table_, "season", "Winter").value()};
+  GreedyOptions options;
+  options.max_facts = 1;
+  SummaryResult result = GreedySummary(*evaluator_, options);
+  Speech speech = RenderSpeech(table_, instance_, catalog_, result, preds);
+  EXPECT_EQ(speech.subset_description, "season=Winter");
+  EXPECT_NE(speech.text.find("season=Winter"), std::string::npos);
+}
+
+TEST_F(SpeechTest, FirstAndFollowupTemplatesDiffer) {
+  SpokenFact first;
+  first.scope = {{"season", "Winter"}};
+  first.value = 15.0;
+  SpeechTemplate tmpl;
+  std::string s1 = RenderFactSentence(first, "minutes", tmpl, /*is_first=*/true);
+  std::string s2 = RenderFactSentence(first, "minutes", tmpl, /*is_first=*/false);
+  EXPECT_EQ(s1, "About 15 minutes for Winter.");
+  EXPECT_EQ(s2, "It is 15 for Winter.");
+}
+
+TEST_F(SpeechTest, TwoDimScopeJoinsWithIn) {
+  SpokenFact fact;
+  fact.scope = {{"age_group", "Teenagers"}, {"borough", "Manhattan"}};
+  fact.value = 3.0;
+  SpeechTemplate tmpl;
+  std::string text = RenderFactSentence(fact, "out of 1000", tmpl, false);
+  // Table II style: "It is 3 for teenagers in Manhattan."
+  EXPECT_EQ(text, "It is 3 for Teenagers in Manhattan.");
+}
+
+TEST_F(SpeechTest, OverallScopePhrase) {
+  SpokenFact fact;
+  fact.value = 35.0;
+  SpeechTemplate tmpl;
+  std::string text = RenderFactSentence(fact, "out of 1000", tmpl, false);
+  EXPECT_EQ(text, "It is 35 for all records.");
+}
+
+TEST_F(SpeechTest, EmptySpeechHasFallbackText) {
+  SummaryResult empty;
+  Speech speech = RenderSpeech(table_, instance_, catalog_, empty, {});
+  EXPECT_NE(speech.text.find("No summary facts"), std::string::npos);
+}
+
+TEST_F(SpeechTest, CustomTemplate) {
+  SpokenFact fact;
+  fact.scope = {{"season", "Winter"}};
+  fact.value = 15.5;
+  SpeechTemplate tmpl;
+  tmpl.other_fact = "{scope}: {value} {unit}";
+  EXPECT_EQ(RenderFactSentence(fact, "min", tmpl, false), "Winter: 15.5 min");
+}
+
+TEST(SpeechDurationTest, ScalesWithWordsAndRate) {
+  std::string ten_words = "one two three four five six seven eight nine ten";
+  EXPECT_NEAR(EstimateSpeechSeconds(ten_words, 150.0), 4.0, 1e-9);
+  EXPECT_NEAR(EstimateSpeechSeconds(ten_words, 300.0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(EstimateSpeechSeconds("", 150.0), 0.0);
+  // Non-positive rate falls back to the default.
+  EXPECT_NEAR(EstimateSpeechSeconds(ten_words, 0.0), 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,137 @@
+#include "storage/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vq {
+namespace {
+
+double ColumnAverage(const Table& table, int target,
+                     const std::string& dim = "", const std::string& value = "") {
+  double sum = 0.0;
+  size_t count = 0;
+  int dim_idx = dim.empty() ? -1 : table.DimIndex(dim);
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (dim_idx >= 0 &&
+        table.DimValue(r, static_cast<size_t>(dim_idx)) != value) {
+      continue;
+    }
+    sum += table.TargetValue(r, static_cast<size_t>(target));
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+TEST(RunningExampleTest, MatchesFigureOneShape) {
+  Table table = MakeRunningExampleTable();
+  EXPECT_EQ(table.NumRows(), 16u);
+  EXPECT_EQ(table.NumDims(), 2u);
+  EXPECT_EQ(table.NumTargets(), 1u);
+  // Total delay = D(empty) with a zero prior = 120 (Example 4).
+  double total = 0.0;
+  for (size_t r = 0; r < 16; ++r) total += table.TargetValue(r, 0);
+  EXPECT_DOUBLE_EQ(total, 120.0);
+}
+
+TEST(RunningExampleTest, PlantedAverages) {
+  Table table = MakeRunningExampleTable();
+  // Winter average = 15 (Example 2), North average = 15 (Example 7 ties).
+  EXPECT_DOUBLE_EQ(ColumnAverage(table, 0, "season", "Winter"), 15.0);
+  EXPECT_DOUBLE_EQ(ColumnAverage(table, 0, "region", "North"), 15.0);
+}
+
+TEST(DatasetsTest, TableOneDimensionalities) {
+  // Table I: ACS 3 dims / 6 targets; Stack Overflow 7 / 6; Flights 6 dims;
+  // Primaries 5 dims / 1 target.
+  Table acs = MakeAcsTable(500, 1);
+  EXPECT_EQ(acs.NumDims(), 3u);
+  EXPECT_EQ(acs.NumTargets(), 6u);
+  Table so = MakeStackOverflowTable(500, 1);
+  EXPECT_EQ(so.NumDims(), 7u);
+  EXPECT_EQ(so.NumTargets(), 6u);
+  Table flights = MakeFlightsTable(500, 1);
+  EXPECT_EQ(flights.NumDims(), 6u);
+  EXPECT_EQ(flights.NumTargets(), 2u);
+  Table primaries = MakePrimariesTable(500, 1);
+  EXPECT_EQ(primaries.NumDims(), 5u);
+  EXPECT_EQ(primaries.NumTargets(), 1u);
+}
+
+TEST(DatasetsTest, GeneratorsAreDeterministicInSeed) {
+  Table a = MakeFlightsTable(200, 42);
+  Table b = MakeFlightsTable(200, 42);
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t r = 0; r < a.NumRows(); ++r) {
+    EXPECT_EQ(a.DimValue(r, 0), b.DimValue(r, 0));
+    EXPECT_DOUBLE_EQ(a.TargetValue(r, 0), b.TargetValue(r, 0));
+  }
+  Table c = MakeFlightsTable(200, 43);
+  bool any_diff = false;
+  for (size_t r = 0; r < a.NumRows() && !any_diff; ++r) {
+    any_diff = a.TargetValue(r, 0) != c.TargetValue(r, 0);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DatasetsTest, FlightsOriginStateHas52Values) {
+  // The Section VIII-E ML experiment needs the 52-value dimension.
+  Table flights = MakeFlightsTable(20000, 7);
+  int dim = flights.DimIndex("origin_state");
+  ASSERT_GE(dim, 0);
+  EXPECT_EQ(flights.dict(static_cast<size_t>(dim)).size(), 52u);
+}
+
+TEST(DatasetsTest, FlightsPlantedEffects) {
+  Table flights = MakeFlightsTable(30000, 11);
+  // Winter delays exceed summer delays.
+  EXPECT_GT(ColumnAverage(flights, 0, "season", "Winter"),
+            ColumnAverage(flights, 0, "season", "Summer") + 3.0);
+  // February cancellation spike (Example 5's deployed speech).
+  EXPECT_GT(ColumnAverage(flights, 1, "month", "February"),
+            ColumnAverage(flights, 1, "month", "June") + 2.0);
+  // Reduced probability in the West.
+  EXPECT_LT(ColumnAverage(flights, 1, "dest_region", "West"),
+            ColumnAverage(flights, 1, "dest_region", "East") - 1.0);
+}
+
+TEST(DatasetsTest, AcsEchoesTableTwo) {
+  Table acs = MakeAcsTable(20000, 13);
+  int visual = acs.TargetIndex("visual");
+  ASSERT_GE(visual, 0);
+  // Table II: elders ~80, adults ~17, teenagers low single digits (scaled by
+  // borough variation; generous tolerances).
+  EXPECT_NEAR(ColumnAverage(acs, visual, "age_group", "Elders"), 80.0, 15.0);
+  EXPECT_NEAR(ColumnAverage(acs, visual, "age_group", "Adults"), 17.0, 6.0);
+  EXPECT_LT(ColumnAverage(acs, visual, "age_group", "Teenagers"), 8.0);
+}
+
+TEST(DatasetsTest, TargetsAreNonNegative) {
+  for (const auto& name : DatasetNames()) {
+    auto table = MakeDataset(name, 300, 3);
+    ASSERT_TRUE(table.ok()) << name;
+    for (size_t r = 0; r < table.value().NumRows(); ++r) {
+      for (size_t t = 0; t < table.value().NumTargets(); ++t) {
+        EXPECT_GE(table.value().TargetValue(r, t), 0.0) << name;
+      }
+    }
+  }
+}
+
+TEST(DatasetsTest, RegistryKnowsAllNamesAndRejectsUnknown) {
+  for (const auto& name : DatasetNames()) {
+    EXPECT_TRUE(MakeDataset(name, 10, 1).ok()) << name;
+    EXPECT_GT(DefaultRows(name), 0u);
+  }
+  EXPECT_FALSE(MakeDataset("bogus", 10, 1).ok());
+}
+
+TEST(DatasetsTest, SizeOrderingMatchesTableOne) {
+  // Flights is the largest data set in Table I, ACS the smallest.
+  Table flights = MakeFlightsTable(DefaultRows("flights") / 10, 1);
+  Table acs = MakeAcsTable(DefaultRows("acs") / 10, 1);
+  EXPECT_GT(flights.EstimateBytes(), acs.EstimateBytes());
+}
+
+}  // namespace
+}  // namespace vq

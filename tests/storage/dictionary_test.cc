@@ -1,0 +1,49 @@
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseCodes) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupInverse) {
+  Dictionary dict;
+  ValueId winter = dict.Intern("Winter");
+  ValueId north = dict.Intern("North");
+  EXPECT_EQ(dict.Lookup(winter), "Winter");
+  EXPECT_EQ(dict.Lookup(north), "North");
+}
+
+TEST(DictionaryTest, FindAbsentReturnsNullopt) {
+  Dictionary dict;
+  dict.Intern("x");
+  EXPECT_TRUE(dict.Find("x").has_value());
+  EXPECT_FALSE(dict.Find("y").has_value());
+}
+
+TEST(DictionaryTest, ValuesInCodeOrder) {
+  Dictionary dict;
+  dict.Intern("c");
+  dict.Intern("a");
+  dict.Intern("b");
+  ASSERT_EQ(dict.values().size(), 3u);
+  EXPECT_EQ(dict.values()[0], "c");
+  EXPECT_EQ(dict.values()[2], "b");
+}
+
+TEST(DictionaryTest, EstimateBytesGrows) {
+  Dictionary dict;
+  size_t empty = dict.EstimateBytes();
+  dict.Intern("some value with a body");
+  EXPECT_GT(dict.EstimateBytes(), empty);
+}
+
+}  // namespace
+}  // namespace vq

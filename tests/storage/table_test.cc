@@ -1,0 +1,97 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+Table MakeSmall() {
+  Table table("t");
+  table.AddDimColumn("region");
+  table.AddDimColumn("season");
+  table.AddTargetColumn("delay", "minutes");
+  EXPECT_TRUE(table.AppendRow({"East", "Winter"}, {20.0}).ok());
+  EXPECT_TRUE(table.AppendRow({"West", "Winter"}, {10.0}).ok());
+  EXPECT_TRUE(table.AppendRow({"East", "Summer"}, {0.0}).ok());
+  return table;
+}
+
+TEST(TableTest, SchemaAccessors) {
+  Table table = MakeSmall();
+  EXPECT_EQ(table.NumRows(), 3u);
+  EXPECT_EQ(table.NumDims(), 2u);
+  EXPECT_EQ(table.NumTargets(), 1u);
+  EXPECT_EQ(table.DimIndex("season"), 1);
+  EXPECT_EQ(table.DimIndex("nope"), -1);
+  EXPECT_EQ(table.TargetIndex("delay"), 0);
+  EXPECT_EQ(table.TargetIndex("region"), -1);
+  EXPECT_EQ(table.TargetUnit(0), "minutes");
+}
+
+TEST(TableTest, ValuesRoundTrip) {
+  Table table = MakeSmall();
+  EXPECT_EQ(table.DimValue(0, 0), "East");
+  EXPECT_EQ(table.DimValue(1, 0), "West");
+  EXPECT_EQ(table.DimValue(2, 1), "Summer");
+  EXPECT_DOUBLE_EQ(table.TargetValue(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(table.TargetValue(2, 0), 0.0);
+}
+
+TEST(TableTest, DictionarySharedPerColumn) {
+  Table table = MakeSmall();
+  // "East" appears twice but gets one code.
+  EXPECT_EQ(table.DimCode(0, 0), table.DimCode(2, 0));
+  EXPECT_NE(table.DimCode(0, 0), table.DimCode(1, 0));
+  EXPECT_EQ(table.dict(0).size(), 2u);
+  EXPECT_EQ(table.dict(1).size(), 2u);
+}
+
+TEST(TableTest, AppendRowValidatesArity) {
+  Table table = MakeSmall();
+  EXPECT_FALSE(table.AppendRow({"East"}, {1.0}).ok());
+  EXPECT_FALSE(table.AppendRow({"East", "Winter"}, {}).ok());
+}
+
+TEST(TableTest, AppendEncodedRow) {
+  Table table = MakeSmall();
+  std::vector<ValueId> codes = {table.DimCode(0, 0), table.DimCode(0, 1)};
+  table.AppendEncodedRow(codes, {5.0});
+  EXPECT_EQ(table.NumRows(), 4u);
+  EXPECT_EQ(table.DimValue(3, 0), "East");
+  EXPECT_DOUBLE_EQ(table.TargetValue(3, 0), 5.0);
+}
+
+TEST(TableTest, EstimateBytesNonZero) {
+  EXPECT_GT(MakeSmall().EstimateBytes(), 0u);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table table = MakeSmall();
+  std::string csv_text = table.ToCsv();
+  auto csv = ParseCsv(csv_text);
+  ASSERT_TRUE(csv.ok());
+  auto rebuilt = Table::FromCsv(csv.value(), "t2", {"region", "season"}, {"delay"});
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  const Table& t2 = rebuilt.value();
+  ASSERT_EQ(t2.NumRows(), table.NumRows());
+  for (size_t r = 0; r < t2.NumRows(); ++r) {
+    EXPECT_EQ(t2.DimValue(r, 0), table.DimValue(r, 0));
+    EXPECT_DOUBLE_EQ(t2.TargetValue(r, 0), table.TargetValue(r, 0));
+  }
+}
+
+TEST(TableTest, FromCsvMissingColumnFails) {
+  auto csv = ParseCsv("a,b\nx,1\n").value();
+  EXPECT_FALSE(Table::FromCsv(csv, "t", {"missing"}, {"b"}).ok());
+  EXPECT_FALSE(Table::FromCsv(csv, "t", {"a"}, {"missing"}).ok());
+}
+
+TEST(TableTest, FromCsvBadNumberFails) {
+  auto csv = ParseCsv("a,b\nx,notanumber\n").value();
+  auto result = Table::FromCsv(csv, "t", {"a"}, {"b"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,64 @@
+// Shared test helper: random small summarization instances.
+#ifndef VQ_TESTS_TESTING_RANDOM_INSTANCE_H_
+#define VQ_TESTS_TESTING_RANDOM_INSTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/evaluator.h"
+#include "facts/catalog.h"
+#include "facts/instance.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace vq {
+namespace testing {
+
+/// A self-owning random problem: table + instance + catalog + evaluator.
+struct RandomProblem {
+  std::unique_ptr<Table> table;
+  std::unique_ptr<SummaryInstance> instance;
+  std::unique_ptr<FactCatalog> catalog;
+  std::unique_ptr<Evaluator> evaluator;
+};
+
+/// Builds a random instance with `num_dims` dimensions of cardinality in
+/// [2, max_card], `num_rows` rows with integer targets in [0, value_range],
+/// and a fact catalog with up to `max_fact_dims` restricted dimensions.
+inline RandomProblem MakeRandomProblem(uint64_t seed, int num_dims = 3,
+                                       int max_card = 3, int num_rows = 40,
+                                       int value_range = 20,
+                                       int max_fact_dims = 2) {
+  Rng rng(seed);
+  RandomProblem problem;
+  problem.table = std::make_unique<Table>("random");
+  std::vector<size_t> cards;
+  for (int d = 0; d < num_dims; ++d) {
+    problem.table->AddDimColumn("d" + std::to_string(d));
+    cards.push_back(static_cast<size_t>(rng.NextInt(2, max_card)));
+  }
+  problem.table->AddTargetColumn("y");
+  std::vector<std::string> dims(static_cast<size_t>(num_dims));
+  for (int r = 0; r < num_rows; ++r) {
+    for (int d = 0; d < num_dims; ++d) {
+      dims[static_cast<size_t>(d)] =
+          "v" + std::to_string(rng.NextBelow(cards[static_cast<size_t>(d)]));
+    }
+    double y = static_cast<double>(rng.NextInt(0, value_range));
+    (void)problem.table->AppendRow(dims, {y});
+  }
+  InstanceOptions options;
+  options.prior_kind = PriorKind::kGlobalAverage;
+  problem.instance = std::make_unique<SummaryInstance>(
+      BuildInstance(*problem.table, {}, 0, options).value());
+  problem.catalog = std::make_unique<FactCatalog>(
+      FactCatalog::Build(*problem.instance, max_fact_dims).value());
+  problem.evaluator =
+      std::make_unique<Evaluator>(problem.instance.get(), problem.catalog.get());
+  return problem;
+}
+
+}  // namespace testing
+}  // namespace vq
+
+#endif  // VQ_TESTS_TESTING_RANDOM_INSTANCE_H_

@@ -1,0 +1,90 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+TEST(CsvTest, ParsesSimple) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CsvData& csv = result.value();
+  ASSERT_EQ(csv.header.size(), 3u);
+  ASSERT_EQ(csv.rows.size(), 2u);
+  EXPECT_EQ(csv.rows[1][2], "6");
+}
+
+TEST(CsvTest, ColumnIndex) {
+  auto csv = ParseCsv("x,y\n1,2\n").value();
+  EXPECT_EQ(csv.ColumnIndex("x"), 0);
+  EXPECT_EQ(csv.ColumnIndex("y"), 1);
+  EXPECT_EQ(csv.ColumnIndex("z"), -1);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto result = ParseCsv("name,notes\n\"Doe, Jane\",\"said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "Doe, Jane");
+  EXPECT_EQ(result.value().rows[0][1], "said \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewline) {
+  auto result = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfNormalized) {
+  auto result = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows[0][1], "2");
+}
+
+TEST(CsvTest, MissingFinalNewlineOk) {
+  auto result = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 1u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto result = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto result = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  std::vector<std::string> header = {"a", "b"};
+  std::vector<std::vector<std::string>> rows = {{"x,1", "plain"},
+                                                {"with \"q\"", "nl\nline"}};
+  std::string text = ToCsv(header, rows);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().header, header);
+  EXPECT_EQ(parsed.value().rows, rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/vq_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {"k", "v"}, {{"a", "1"}}).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().rows[0][0], "a");
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace vq

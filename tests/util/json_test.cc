@@ -1,0 +1,99 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_TRUE(Json::Parse("true").value().AsBool());
+  EXPECT_FALSE(Json::Parse("false").value().AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("3.25").value().AsDouble(), 3.25);
+  EXPECT_EQ(Json::Parse("-17").value().AsInt(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3").value().AsDouble(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"").value().AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNested) {
+  auto result = Json::Parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": true}})");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Json& json = result.value();
+  ASSERT_TRUE(json.is_object());
+  const Json* a = json.Get("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->Size(), 3u);
+  EXPECT_EQ(a->At(2).Get("b")->AsString(), "c");
+  EXPECT_TRUE(json.Get("d")->Get("e")->AsBool());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto result = Json::Parse(R"("line\nbreak \"quoted\" A\t")");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().AsString(), "line\nbreak \"quoted\" A\t");
+}
+
+TEST(JsonTest, UnicodeEscapeUtf8) {
+  auto result = Json::Parse(R"("é")");  // e-acute
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().AsString(), "\xC3\xA9");
+}
+
+TEST(JsonTest, RejectsMalformed) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplaces) {
+  Json obj = Json::Object();
+  obj.Set("z", Json::Int(1));
+  obj.Set("a", Json::Int(2));
+  obj.Set("z", Json::Int(3));  // replaces, stays first
+  ASSERT_EQ(obj.Members().size(), 2u);
+  EXPECT_EQ(obj.Members()[0].first, "z");
+  EXPECT_EQ(obj.Members()[0].second.AsInt(), 3);
+}
+
+TEST(JsonTest, TypedGettersWithDefaults) {
+  auto json = Json::Parse(R"({"n": 5, "s": "x", "b": true})").value();
+  EXPECT_EQ(json.GetInt("n", -1), 5);
+  EXPECT_EQ(json.GetInt("missing", -1), -1);
+  EXPECT_EQ(json.GetString("s", "d"), "x");
+  EXPECT_EQ(json.GetString("n", "d"), "d");  // wrong type -> default
+  EXPECT_TRUE(json.GetBool("b", false));
+  EXPECT_DOUBLE_EQ(json.GetDouble("n", 0.0), 5.0);
+}
+
+TEST(JsonTest, DumpCompactRoundTrip) {
+  std::string text = R"({"a":[1,2.5,"x"],"b":{"c":null,"d":false}})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Dump(), text);
+}
+
+TEST(JsonTest, DumpPrettyReparses) {
+  auto json = Json::Parse(R"({"a": [1, {"b": "c"}], "d": true})").value();
+  std::string pretty = json.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = Json::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().Dump(), json.Dump());
+}
+
+TEST(JsonTest, DumpEscapesControlCharacters) {
+  Json s = Json::Str(std::string("a\x01" "b"));
+  EXPECT_EQ(s.Dump(), "\"a\\u0001b\"");
+}
+
+TEST(JsonTest, IntegerNumbersPrintWithoutExponent) {
+  EXPECT_EQ(Json::Int(1234567).Dump(), "1234567");
+  EXPECT_EQ(Json::Number(2.5).Dump(), "2.5");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,137 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace vq {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 - 1000);
+    EXPECT_LT(c, kDraws / 10 + 1000);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, WeightedRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, WeightedAllZeroReturnsSize) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.NextWeighted(weights), weights.size());
+  EXPECT_EQ(rng.NextWeighted({}), 0u);
+}
+
+TEST(RngTest, ZipfSkewsTowardsSmallIndices) {
+  Rng rng(19);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.NextZipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[1], counts[9]);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[rng.NextZipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 800);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> items(50);
+  std::iota(items.begin(), items.end(), 0);
+  std::vector<int> shuffled = items;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::equal(items.begin(), items.end(), shuffled.begin()) &&
+               items == shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(items, shuffled);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng rng(31);
+  Rng child = rng.Fork(1);
+  Rng child2 = rng.Fork(2);
+  EXPECT_NE(child.NextU64(), child2.NextU64());
+}
+
+}  // namespace
+}  // namespace vq

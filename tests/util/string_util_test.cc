@@ -1,0 +1,73 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  hello   world\t\nfoo ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "hello");
+  EXPECT_EQ(parts[2], "foo");
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("HeLLo-42"), "hello-42");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("flights", "fli"));
+  EXPECT_FALSE(StartsWith("fli", "flights"));
+  EXPECT_TRUE(EndsWith("delay_minutes", "minutes"));
+  EXPECT_FALSE(EndsWith("minutes", "delay_minutes"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Average Delay in WINTER", "winter"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(ContainsIgnoreCase("summer", "winter"));
+}
+
+TEST(StringUtilTest, FormatCompactTrimsZeros) {
+  EXPECT_EQ(FormatCompact(12.50), "12.5");
+  EXPECT_EQ(FormatCompact(3.00), "3");
+  EXPECT_EQ(FormatCompact(0.25), "0.25");
+  EXPECT_EQ(FormatCompact(-0.0), "0");
+  EXPECT_EQ(FormatCompact(1.239, 2), "1.24");
+  EXPECT_EQ(FormatCompact(1.2345, 3), "1.234");  // printf rounds-half-even here
+}
+
+TEST(StringUtilTest, FormatThousands) {
+  EXPECT_EQ(FormatThousands(0), "0");
+  EXPECT_EQ(FormatThousands(999), "999");
+  EXPECT_EQ(FormatThousands(1000), "1,000");
+  EXPECT_EQ(FormatThousands(1234567), "1,234,567");
+}
+
+}  // namespace
+}  // namespace vq

@@ -1,0 +1,36 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace vq {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.Render();
+  // Header, rule, two rows.
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, TitleAndShortRows) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::string out = table.Render("My Title");
+  EXPECT_EQ(out.rfind("My Title", 0), 0u);
+  EXPECT_EQ(table.RowCount(), 1u);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter table({"label", "x", "y"});
+  table.AddNumericRow("row", {1.50, 2.0}, 2);
+  std::string out = table.Render();
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_EQ(out.find("2.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vq

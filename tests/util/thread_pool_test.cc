@@ -1,0 +1,58 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace vq {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareThreads) {
+  ThreadPool pool;
+  EXPECT_GE(pool.NumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t kCount = 10000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(&pool, kCount, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForZeroCountIsNoop) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSmallerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  ParallelFor(&pool, 3, [&counter](size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 3);
+}
+
+}  // namespace
+}  // namespace vq

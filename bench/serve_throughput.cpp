@@ -1,0 +1,224 @@
+// Serving-layer throughput: queries/sec and latency percentiles of
+// SummaryService at 1/4/16 worker threads on a cache-warm workload, plus a
+// cold repeated-query workload that verifies request coalescing (exactly one
+// on-demand summarization per unique missed query).
+//
+// Each request carries a small simulated vocalization/transport latency
+// (ServiceOptions::simulated_vocalize_seconds) standing in for the TTS and
+// network time of a real voice deployment; scaling across threads comes from
+// overlapping those waits, which is precisely the serving layer's job.
+//
+// Emits a machine-readable JSON report (default BENCH_serve.json, override
+// with VQ_BENCH_OUT) to start the serving-performance trajectory.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/voice_engine.h"
+#include "serve/service.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+// Renders a voice-request string the NLU front end grounds back into
+// `query`: the target column name followed by the predicate value names.
+std::string RequestText(const vq::Table& table, const vq::VoiceQuery& query) {
+  std::string text = table.TargetName(static_cast<size_t>(query.target_index));
+  for (const auto& predicate : query.predicates) {
+    text += " ";
+    text += table.dict(static_cast<size_t>(predicate.dim)).Lookup(predicate.value);
+  }
+  return text;
+}
+
+struct RunResult {
+  size_t threads = 0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+RunResult TimedRun(const vq::VoiceQueryEngine& engine, size_t threads,
+                   const std::vector<std::string>& requests, size_t total_requests,
+                   double vocalize_seconds) {
+  vq::serve::ServiceOptions options;
+  options.num_threads = threads;
+  options.cache_capacity = 1 << 14;
+  options.simulated_vocalize_seconds = vocalize_seconds;
+  vq::serve::SummaryService service(&engine, options);
+
+  // Warm the cache: every unique request answered once.
+  for (const auto& request : requests) (void)service.AnswerNow(request);
+
+  std::vector<std::future<vq::serve::ServeResponse>> futures;
+  futures.reserve(total_requests);
+  vq::Stopwatch watch;
+  for (size_t i = 0; i < total_requests; ++i) {
+    futures.push_back(service.Submit(requests[i % requests.size()]));
+  }
+  std::vector<double> latency_ms;
+  latency_ms.reserve(total_requests);
+  for (auto& future : futures) {
+    latency_ms.push_back(future.get().seconds * 1e3);
+  }
+  double wall = watch.ElapsedSeconds();
+
+  RunResult result;
+  result.threads = threads;
+  result.requests = total_requests;
+  result.wall_seconds = wall;
+  result.qps = static_cast<double>(total_requests) / wall;
+  result.p50_ms = vq::Quantile(latency_ms, 0.50);
+  result.p99_ms = vq::Quantile(latency_ms, 0.99);
+  result.cache_hit_rate = service.cache().TotalStats().HitRate();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  const double kVocalizeSeconds = 1e-3;  // 1 ms simulated TTS/transport
+  const size_t kWorkloadQueries = 64;
+  const size_t kTotalRequests = 2000;
+  vq::bench::PrintHeader("Summary-serving throughput", "serving layer", kSeed);
+
+  vq::Table table = vq::bench::BenchTable("flights", kSeed);
+  vq::Configuration config;
+  config.table = "flights";
+  config.dimensions = {"airline", "season", "dest_region"};
+  config.targets = {"cancelled"};
+  config.max_query_predicates = 2;
+
+  vq::ThreadPool preprocess_pool;
+  vq::PreprocessOptions preprocess;
+  preprocess.pool = &preprocess_pool;
+  vq::PreprocessStats stats;
+  auto engine = vq::VoiceQueryEngine::Build(&table, config, preprocess, &stats);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Pre-processed %zu speeches in %.2f s\n", stats.num_speeches,
+              stats.total_seconds);
+
+  // Cache-warm workload: store-backed queries, as served after warm-up.
+  auto generator = vq::ProblemGenerator::Create(&table, config).value();
+  auto queries = vq::bench::StratifiedSampleQueries(generator, kWorkloadQueries, kSeed);
+  std::vector<std::string> requests;
+  requests.reserve(queries.size());
+  for (const auto& query : queries) requests.push_back(RequestText(table, query));
+
+  vq::TablePrinter printer(
+      {"Threads", "Requests", "Wall (s)", "QPS", "p50 (ms)", "p99 (ms)", "Hit rate"});
+  std::vector<RunResult> runs;
+  for (size_t threads : {1, 4, 16}) {
+    RunResult run = TimedRun(engine.value(), threads, requests, kTotalRequests,
+                             kVocalizeSeconds);
+    runs.push_back(run);
+    char qps[32], p50[32], p99[32], wall[32], rate[32];
+    std::snprintf(qps, sizeof(qps), "%.0f", run.qps);
+    std::snprintf(p50, sizeof(p50), "%.3f", run.p50_ms);
+    std::snprintf(p99, sizeof(p99), "%.3f", run.p99_ms);
+    std::snprintf(wall, sizeof(wall), "%.3f", run.wall_seconds);
+    std::snprintf(rate, sizeof(rate), "%.3f", run.cache_hit_rate);
+    printer.AddRow({std::to_string(run.threads), std::to_string(run.requests),
+                    wall, qps, p50, p99, rate});
+  }
+  printer.Print();
+  double speedup_4v1 = runs[1].qps / runs[0].qps;
+  double speedup_16v1 = runs[2].qps / runs[0].qps;
+  std::printf("Speedup: %.2fx at 4 threads, %.2fx at 16 threads (vs 1)\n",
+              speedup_4v1, speedup_16v1);
+
+  // Cold repeated-query workload over non-materialized queries: predicates
+  // on time_of_day are outside the configuration, so every unique query
+  // requires one on-demand summarization -- and exactly one, despite the
+  // concurrent repeats (the coalescer + cache absorb the rest).
+  const vq::Dictionary& times =
+      table.dict(static_cast<size_t>(table.DimIndex("time_of_day")));
+  std::vector<std::string> unique_requests;
+  for (size_t v = 0; v < times.size(); ++v) {
+    unique_requests.push_back("cancelled " + times.Lookup(static_cast<vq::ValueId>(v)));
+  }
+  const size_t kRepeats = 50;
+  vq::serve::ServiceOptions cold_options;
+  cold_options.num_threads = 4;
+  vq::serve::SummaryService cold_service(&engine.value(), cold_options);
+  std::vector<std::future<vq::serve::ServeResponse>> cold_futures;
+  for (size_t r = 0; r < kRepeats; ++r) {
+    for (const auto& request : unique_requests) {
+      cold_futures.push_back(cold_service.Submit(request));
+    }
+  }
+  size_t answered = 0;
+  for (auto& future : cold_futures) {
+    if (future.get().answered) ++answered;
+  }
+  vq::serve::ServiceStats cold_stats = cold_service.stats();
+  double cold_hit_rate = cold_service.cache().TotalStats().HitRate();
+  bool coalescing_ok =
+      cold_stats.on_demand_summaries == unique_requests.size() && cold_hit_rate > 0.0;
+  std::printf(
+      "Cold repeats: %zu unique x %zu repeats -> %llu summarizations "
+      "(%zu expected), %llu coalesced waits, hit rate %.3f [%s]\n",
+      unique_requests.size(), kRepeats,
+      static_cast<unsigned long long>(cold_stats.on_demand_summaries),
+      unique_requests.size(),
+      static_cast<unsigned long long>(cold_stats.coalesced_waits), cold_hit_rate,
+      coalescing_ok ? "OK" : "FAIL");
+
+  // Machine-readable report.
+  vq::Json report = vq::Json::Object();
+  report.Set("bench", vq::Json::Str("serve_throughput"));
+  report.Set("seed", vq::Json::Int(static_cast<int64_t>(kSeed)));
+  report.Set("dataset", vq::Json::Str("flights"));
+  report.Set("rows", vq::Json::Int(static_cast<int64_t>(table.NumRows())));
+  report.Set("speeches", vq::Json::Int(static_cast<int64_t>(stats.num_speeches)));
+  report.Set("vocalize_ms", vq::Json::Number(kVocalizeSeconds * 1e3));
+  vq::Json warm = vq::Json::Array();
+  for (const RunResult& run : runs) {
+    vq::Json entry = vq::Json::Object();
+    entry.Set("threads", vq::Json::Int(static_cast<int64_t>(run.threads)));
+    entry.Set("requests", vq::Json::Int(static_cast<int64_t>(run.requests)));
+    entry.Set("wall_seconds", vq::Json::Number(run.wall_seconds));
+    entry.Set("qps", vq::Json::Number(run.qps));
+    entry.Set("p50_ms", vq::Json::Number(run.p50_ms));
+    entry.Set("p99_ms", vq::Json::Number(run.p99_ms));
+    entry.Set("cache_hit_rate", vq::Json::Number(run.cache_hit_rate));
+    warm.Append(std::move(entry));
+  }
+  report.Set("cache_warm", std::move(warm));
+  report.Set("speedup_4v1", vq::Json::Number(speedup_4v1));
+  report.Set("speedup_16v1", vq::Json::Number(speedup_16v1));
+  vq::Json cold = vq::Json::Object();
+  cold.Set("unique_queries", vq::Json::Int(static_cast<int64_t>(unique_requests.size())));
+  cold.Set("repeats", vq::Json::Int(static_cast<int64_t>(kRepeats)));
+  cold.Set("answered", vq::Json::Int(static_cast<int64_t>(answered)));
+  cold.Set("on_demand_summaries",
+           vq::Json::Int(static_cast<int64_t>(cold_stats.on_demand_summaries)));
+  cold.Set("coalesced_waits",
+           vq::Json::Int(static_cast<int64_t>(cold_stats.coalesced_waits)));
+  cold.Set("cache_hits", vq::Json::Int(static_cast<int64_t>(cold_stats.cache_hits)));
+  cold.Set("cache_hit_rate", vq::Json::Number(cold_hit_rate));
+  cold.Set("coalescing_ok", vq::Json::Bool(coalescing_ok));
+  report.Set("cold_repeated", std::move(cold));
+
+  const char* out_env = std::getenv("VQ_BENCH_OUT");
+  std::string out_path = out_env != nullptr ? out_env : "BENCH_serve.json";
+  std::ofstream out(out_path);
+  out << report.Dump(2) << "\n";
+  out.close();
+  std::printf("Report written to %s\n", out_path.c_str());
+
+  return coalescing_ok && speedup_4v1 > 2.0 ? 0 : 1;
+}

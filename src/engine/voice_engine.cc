@@ -18,7 +18,27 @@ Result<VoiceQueryEngine> VoiceQueryEngine::Build(const Table* table,
   return engine;
 }
 
-VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request) {
+std::string VoiceQueryEngine::HelpText() const {
+  return "You can ask for an average value, optionally narrowed down by up to " +
+         std::to_string(config_.max_query_predicates) +
+         " filters. For example: 'delays in Winter'.";
+}
+
+VoiceQuery VoiceQueryEngine::GroundQuery(const ClassifiedRequest& classified) const {
+  VoiceQuery query;
+  query.target_index = classified.query.target_index;
+  query.predicates = classified.query.predicates;
+  if (query.target_index < 0 && !store_.speeches().empty()) {
+    // No target grounded: default to the first configured target, as the
+    // deployed app answers "cancellations?"-style queries with its
+    // single target column.
+    query.target_index = store_.speeches().front().query.target_index;
+  }
+  return query;
+}
+
+VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request,
+                                                    Session* session) const {
   Stopwatch watch;
   Response response;
   ClassifiedRequest classified = classifier_->Classify(request);
@@ -26,45 +46,38 @@ VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request) 
 
   switch (classified.type) {
     case RequestType::kHelp:
-      response.text =
-          "You can ask for an average value, optionally narrowed down by up to " +
-          std::to_string(config_.max_query_predicates) +
-          " filters. For example: 'delays in Winter'.";
+      response.text = HelpText();
       break;
     case RequestType::kRepeat:
-      response.text = last_speech_text_.empty()
-                          ? "There is nothing to repeat yet."
-                          : last_speech_text_;
+      response.text = (session == nullptr || session->last_speech_text.empty())
+                          ? NothingToRepeatText()
+                          : session->last_speech_text;
       break;
     case RequestType::kSupportedQuery:
     case RequestType::kUnsupportedQuery: {
-      VoiceQuery query;
-      query.target_index = classified.query.target_index;
-      query.predicates = classified.query.predicates;
-      if (query.target_index < 0 && !store_.speeches().empty()) {
-        // No target grounded: default to the first configured target, as the
-        // deployed app answers "cancellations?"-style queries with its
-        // single target column.
-        query.target_index = store_.speeches().front().query.target_index;
-      }
+      VoiceQuery query = GroundQuery(classified);
       const StoredSpeech* exact = store_.FindExact(query);
       const StoredSpeech* best = exact != nullptr ? exact : store_.FindBest(query);
       if (best != nullptr) {
         response.speech = best;
         response.exact_match = exact != nullptr;
         response.text = best->speech.text;
-        last_speech_text_ = best->speech.text;
+        if (session != nullptr) session->last_speech_text = best->speech.text;
       } else {
-        response.text = "I have no summary matching that question.";
+        response.text = NoSummaryText();
       }
       break;
     }
     case RequestType::kOther:
-      response.text = "Sorry, I did not understand. Ask for help to hear examples.";
+      response.text = NotUnderstoodText();
       break;
   }
   response.lookup_seconds = watch.ElapsedSeconds();
   return response;
+}
+
+VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request) {
+  return Answer(request, &default_session_);
 }
 
 }  // namespace vq

@@ -15,6 +15,20 @@
 namespace vq {
 
 /// \brief Answers voice requests from the pre-computed store.
+///
+/// Thread-safety contract: after Build() (and any AddTargetSynonym /
+/// AddValueSynonym calls via mutable_extractor()) have completed, the engine
+/// is immutable and `Answer(request, session) const` may be called from any
+/// number of threads concurrently -- classification, extraction and store
+/// lookup only read the vocabulary and the speech index. The caveats:
+///   * each thread (or each user session) must pass its own Session object;
+///     sessions are not internally synchronized,
+///   * the stateful convenience overload `Answer(request)` uses one shared
+///     internal Session and is therefore NOT safe for concurrent callers,
+///   * mutable_extractor() must not be used once concurrent answering has
+///     started.
+/// SummaryService (src/serve/) relies on this contract to share one engine
+/// across all of its workers.
 class VoiceQueryEngine {
  public:
   /// Runs pre-processing for `config` over `table` and wires up the NLU
@@ -34,12 +48,42 @@ class VoiceQueryEngine {
     bool exact_match = false;
   };
 
+  /// Per-conversation state ("repeat that" memory). One per user session.
+  struct Session {
+    std::string last_speech_text;
+  };
+
   /// Handles one request string: classifies it, then answers data-access
   /// queries from the store (help/repeat handled inline, like the paper's
-  /// deployed application).
+  /// deployed application). `session` may be nullptr, in which case repeat
+  /// requests report that there is nothing to repeat. Thread-safe for
+  /// concurrent calls with distinct sessions (see class comment).
+  Response Answer(const std::string& request, Session* session) const;
+
+  /// Single-threaded convenience overload backed by one internal session.
   Response Answer(const std::string& request);
 
+  /// Grounds a classified request into a store-keyed query, applying the
+  /// deployed app's default: with no target extracted, queries fall back to
+  /// the first configured target (so "cancellations?"-style requests work).
+  VoiceQuery GroundQuery(const ClassifiedRequest& classified) const;
+
+  /// The help text spoken for RequestType::kHelp.
+  std::string HelpText() const;
+
+  /// Canned responses shared with the serving layer, so engine and service
+  /// never diverge for the same request.
+  static const char* NothingToRepeatText() { return "There is nothing to repeat yet."; }
+  static const char* NotUnderstoodText() {
+    return "Sorry, I did not understand. Ask for help to hear examples.";
+  }
+  static const char* NoSummaryText() {
+    return "I have no summary matching that question.";
+  }
+
   const SpeechStore& store() const { return store_; }
+  const RequestClassifier& classifier() const { return *classifier_; }
+  const Configuration& config() const { return config_; }
   QueryExtractor* mutable_extractor() { return extractor_.get(); }
   const Table& table() const { return *table_; }
 
@@ -51,7 +95,7 @@ class VoiceQueryEngine {
   SpeechStore store_;
   std::unique_ptr<QueryExtractor> extractor_;
   std::unique_ptr<RequestClassifier> classifier_;
-  std::string last_speech_text_;
+  Session default_session_;
 };
 
 }  // namespace vq

@@ -1,0 +1,40 @@
+#include "serve/answer.h"
+
+#include <cstdio>
+#include <functional>
+
+namespace vq {
+namespace serve {
+
+const char* AnswerSourceName(AnswerSource source) {
+  switch (source) {
+    case AnswerSource::kStoreExact:
+      return "store_exact";
+    case AnswerSource::kStoreFallback:
+      return "store_fallback";
+    case AnswerSource::kOnDemand:
+      return "on_demand";
+    case AnswerSource::kUnanswerable:
+      return "unanswerable";
+  }
+  return "unknown";
+}
+
+std::string ConfigFingerprint(const Configuration& config) {
+  // The JSON form covers every semantic field (table, dimensions, targets,
+  // limits, prior) in a deterministic member order; hash it down to a short
+  // hex prefix for the key.
+  std::string canonical = config.ToJson().Dump();
+  size_t hash = std::hash<std::string>{}(canonical);
+  char buffer[2 * sizeof(size_t) + 1];
+  std::snprintf(buffer, sizeof(buffer), "%zx", hash);
+  return buffer;
+}
+
+std::string CanonicalQueryKey(const std::string& config_fingerprint,
+                              const VoiceQuery& query) {
+  return config_fingerprint + "|" + query.Key();
+}
+
+}  // namespace serve
+}  // namespace vq

@@ -1,0 +1,57 @@
+// Shared value types of the serving layer: the immutable answer object that
+// flows through cache, coalescer and service, plus the canonical cache key.
+#ifndef VQ_SERVE_ANSWER_H_
+#define VQ_SERVE_ANSWER_H_
+
+#include <memory>
+#include <string>
+
+#include "query/config.h"
+#include "query/problem_generator.h"
+
+namespace vq {
+namespace serve {
+
+/// How a query answer was produced.
+enum class AnswerSource {
+  kStoreExact,     ///< exact pre-computed speech (the paper's fast path)
+  kStoreFallback,  ///< most-specific containing pre-computed speech
+  kOnDemand,       ///< greedy summarization ran at request time
+  kUnanswerable,   ///< no speech could be produced (e.g. empty subset)
+};
+
+const char* AnswerSourceName(AnswerSource source);
+
+/// \brief One rendered answer for a canonical query. Immutable after
+/// construction; shared by pointer between cache entries, in-flight waiters
+/// and responses, so concurrent readers need no synchronization.
+struct ServedAnswer {
+  std::string text;
+  AnswerSource source = AnswerSource::kUnanswerable;
+  /// True when `text` is a speech (not an apology).
+  bool answered = false;
+  /// Utility of the underlying summary, when known.
+  double scaled_utility = 0.0;
+  /// Seconds spent producing this answer the first time (store lookup or
+  /// on-demand optimization). Cache hits return the original cost.
+  double compute_seconds = 0.0;
+};
+
+using ServedAnswerPtr = std::shared_ptr<const ServedAnswer>;
+
+/// A stable fingerprint of the parts of a configuration that change what a
+/// query means (targets/dimensions/limits/prior). Two services built from
+/// configurations with equal fingerprints may share cached answers.
+std::string ConfigFingerprint(const Configuration& config);
+
+/// Canonical cache key for a grounded query under a configuration
+/// fingerprint: "<fingerprint>|t=<target>|<dim>:<value>|...". Predicates are
+/// assumed normalized (sorted by dimension), which VoiceQuery::Key()
+/// guarantees for store-grounded queries.
+std::string CanonicalQueryKey(const std::string& config_fingerprint,
+                              const VoiceQuery& query);
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_ANSWER_H_

@@ -1,0 +1,116 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace vq {
+namespace serve {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t result = 1;
+  while (result < n) result <<= 1;
+  return result;
+}
+
+}  // namespace
+
+ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards) {
+  capacity_ = std::max<size_t>(1, capacity);
+  num_shards = RoundUpToPowerOfTwo(std::max<size_t>(1, num_shards));
+  // More shards than entries would leave shards with zero budget.
+  while (num_shards > capacity_) num_shards >>= 1;
+  // Split the budget so the shard capacities sum exactly to capacity_: the
+  // first (capacity_ % num_shards) shards take one extra entry.
+  size_t base = capacity_ / num_shards;
+  size_t remainder = capacity_ % num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+size_t ShardedSummaryCache::ShardIndex(const std::string& key) const {
+  return std::hash<std::string>{}(key) & (shards_.size() - 1);
+}
+
+ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  ++shard.stats.hits;
+  // Move the entry to the front of the recency list.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(answer);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+  shard.lru.emplace_front(key, std::move(answer));
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.insertions;
+}
+
+bool ShardedSummaryCache::Contains(const std::string& key) const {
+  const Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.find(key) != shard.index.end();
+}
+
+void ShardedSummaryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats ShardedSummaryCache::TotalStats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+std::vector<size_t> ShardedSummaryCache::ShardSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    sizes.push_back(shard->lru.size());
+  }
+  return sizes;
+}
+
+size_t ShardedSummaryCache::size() const {
+  size_t total = 0;
+  for (size_t s : ShardSizes()) total += s;
+  return total;
+}
+
+}  // namespace serve
+}  // namespace vq

@@ -1,0 +1,100 @@
+// Sharded LRU cache of rendered answers, keyed by canonical query.
+//
+// The speech store already holds every pre-computed speech, but serving adds
+// work per request (NLU, subset-fallback search, on-demand optimization for
+// non-materialized queries). The cache memoizes the *final rendered answer*
+// per canonical query so repeated traffic -- voice workloads are heavily
+// skewed toward a few popular questions -- bypasses all of it. Sharding
+// keeps lock hold times per request independent of the worker count.
+#ifndef VQ_SERVE_CACHE_H_
+#define VQ_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/answer.h"
+
+namespace vq {
+namespace serve {
+
+/// Aggregated cache counters (monotonic).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) / static_cast<double>(lookups)
+                       : 0.0;
+  }
+};
+
+/// \brief Thread-safe LRU cache split into independently locked shards.
+///
+/// Keys are hashed onto shards; each shard maintains its own recency list,
+/// map and counters under one mutex, so concurrent requests for different
+/// keys rarely contend. Values are shared_ptrs to immutable answers: a Get
+/// may outlive the entry's eviction without copying.
+class ShardedSummaryCache {
+ public:
+  /// `capacity` is the total entry budget; shard capacities sum to exactly
+  /// this value (each shard holds at least one entry). Shard count is
+  /// rounded up to a power of two for mask-based routing, then halved while
+  /// it exceeds the capacity.
+  explicit ShardedSummaryCache(size_t capacity, size_t num_shards = 16);
+
+  ShardedSummaryCache(const ShardedSummaryCache&) = delete;
+  ShardedSummaryCache& operator=(const ShardedSummaryCache&) = delete;
+
+  /// Returns the cached answer and refreshes its recency, or nullptr.
+  ServedAnswerPtr Get(const std::string& key);
+
+  /// Inserts (or replaces) the answer for `key`, evicting the shard's least
+  /// recently used entry if the shard is full.
+  void Put(const std::string& key, ServedAnswerPtr answer);
+
+  /// True if present, without touching recency or counters.
+  bool Contains(const std::string& key) const;
+
+  void Clear();
+
+  /// Counters summed over all shards.
+  CacheStats TotalStats() const;
+
+  /// Current entry count per shard (index = shard).
+  std::vector<size_t> ShardSizes() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard a key routes to (exposed so tests can pin keys to shards).
+  size_t ShardIndex(const std::string& key) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    /// Front = most recently used. Stores the key alongside the value so
+    /// eviction can erase the map entry.
+    std::list<std::pair<std::string, ServedAnswerPtr>> lru;
+    std::unordered_map<std::string, decltype(lru)::iterator> index;
+    CacheStats stats;
+    size_t capacity = 0;
+  };
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_CACHE_H_

@@ -1,0 +1,48 @@
+#include "serve/coalescer.h"
+
+#include <utility>
+
+namespace vq {
+namespace serve {
+
+InflightCoalescer::Ticket InflightCoalescer::Join(const std::string& key) {
+  Ticket ticket;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    ++it->second->followers;
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    ticket.leader = false;
+    ticket.result = it->second->future;
+    return ticket;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->future = entry->promise.get_future().share();
+  ticket.leader = true;
+  ticket.result = entry->future;
+  inflight_.emplace(key, std::move(entry));
+  leaders_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+size_t InflightCoalescer::Fulfill(const std::string& key, ServedAnswerPtr answer) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return 0;  // Fulfill without Join: no-op
+    entry = std::move(it->second);
+    inflight_.erase(it);
+  }
+  // Wake followers outside the lock so they never contend on mutex_.
+  entry->promise.set_value(std::move(answer));
+  return entry->followers;
+}
+
+size_t InflightCoalescer::InFlight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_.size();
+}
+
+}  // namespace serve
+}  // namespace vq

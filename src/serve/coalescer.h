@@ -1,0 +1,70 @@
+// In-flight request coalescing ("single-flight"): when many concurrent
+// requests miss the cache on the same canonical query, exactly one of them
+// computes the answer while the rest wait on its future. Without this, a
+// burst of identical cold queries -- the common case for voice traffic after
+// a dataset refresh -- would run the same greedy optimization once per
+// request.
+#ifndef VQ_SERVE_COALESCER_H_
+#define VQ_SERVE_COALESCER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "serve/answer.h"
+
+namespace vq {
+namespace serve {
+
+/// \brief Deduplicates concurrent computations of the same key.
+///
+/// Protocol: every would-be computer calls Join(key). Exactly one caller per
+/// key-at-a-time gets `leader == true`; it MUST eventually call
+/// Fulfill(key, answer) -- also on failure (with an unanswerable answer) --
+/// or the followers block forever. Followers wait on `ticket.result`.
+class InflightCoalescer {
+ public:
+  struct Ticket {
+    /// True for the caller elected to compute this key.
+    bool leader = false;
+    /// Resolves to the leader's answer. Valid for leader and followers.
+    std::shared_future<ServedAnswerPtr> result;
+  };
+
+  /// Joins (or starts) the in-flight computation for `key`.
+  Ticket Join(const std::string& key);
+
+  /// Publishes the leader's answer to all followers of `key` and retires the
+  /// entry, so a later Join starts a fresh computation. Returns the number
+  /// of followers that were waiting.
+  size_t Fulfill(const std::string& key, ServedAnswerPtr answer);
+
+  /// Keys currently being computed.
+  size_t InFlight() const;
+
+  /// Total elections (== distinct computations started).
+  uint64_t leaders() const { return leaders_.load(std::memory_order_relaxed); }
+  /// Total followers that piggybacked on a leader's computation.
+  uint64_t coalesced() const { return coalesced_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::promise<ServedAnswerPtr> promise;
+    std::shared_future<ServedAnswerPtr> future;
+    size_t followers = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_;
+  std::atomic<uint64_t> leaders_{0};
+  std::atomic<uint64_t> coalesced_{0};
+};
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_COALESCER_H_

@@ -7,9 +7,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace vq {
@@ -27,17 +31,34 @@ class ThreadPool {
   /// Enqueues a task; tasks must not throw.
   void Submit(std::function<void()> task);
 
+  /// Enqueues a callable and returns a future for its result. Unlike
+  /// Submit(), the callable may throw: the exception is captured in the
+  /// future. Used by the serving layer to hand per-request results back to
+  /// callers without a side channel.
+  template <typename F>
+  auto SubmitTask(F&& callable) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(callable));
+    std::future<R> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
+
   /// Blocks until all submitted tasks have finished.
   void Wait();
 
   size_t NumThreads() const { return workers_.size(); }
+
+  /// Tasks submitted but not yet finished (queued + running). Snapshot only:
+  /// the value may change before the caller uses it.
+  size_t PendingTasks() const;
 
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;

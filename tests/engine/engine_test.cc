@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "engine/preprocessor.h"
 #include "engine/voice_engine.h"
 #include "storage/datasets.h"
@@ -126,6 +130,42 @@ TEST_F(VoiceEngineTest, UnsupportedQueryStillAnswersFromStore) {
   auto response = engine_->Answer("which season has the highest delays");
   EXPECT_EQ(response.type, RequestType::kUnsupportedQuery);
   EXPECT_FALSE(response.text.empty());
+}
+
+TEST_F(VoiceEngineTest, ConstAnswerWithExplicitSessions) {
+  // Answer(request, session) is const and keeps repeat state per session.
+  const VoiceQueryEngine& engine = *engine_;
+  VoiceQueryEngine::Session alice;
+  VoiceQueryEngine::Session bob;
+  auto answer = engine.Answer("delays in Winter", &alice);
+  EXPECT_EQ(answer.type, RequestType::kSupportedQuery);
+  // Alice can repeat her speech; Bob has heard nothing yet.
+  EXPECT_EQ(engine.Answer("repeat that", &alice).text, answer.text);
+  EXPECT_NE(engine.Answer("repeat that", &bob).text, answer.text);
+  // A null session answers queries but keeps no repeat memory.
+  auto stateless = engine.Answer("delays in Winter", nullptr);
+  EXPECT_EQ(stateless.text, answer.text);
+  EXPECT_NE(engine.Answer("repeat that", nullptr).text, answer.text);
+}
+
+TEST_F(VoiceEngineTest, ConcurrentConstAnswersAgree) {
+  const VoiceQueryEngine& engine = *engine_;
+  VoiceQueryEngine::Session warm;
+  const std::string expected = engine.Answer("delays in Winter", &warm).text;
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &expected, &mismatches] {
+      VoiceQueryEngine::Session session;
+      for (int i = 0; i < 50; ++i) {
+        if (engine.Answer("delays in Winter", &session).text != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST_F(VoiceEngineTest, OtherRequests) {

@@ -1,0 +1,98 @@
+#include "serve/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace vq {
+namespace serve {
+namespace {
+
+ServedAnswerPtr MakeAnswer(const std::string& text) {
+  auto answer = std::make_shared<ServedAnswer>();
+  answer->text = text;
+  answer->answered = true;
+  return answer;
+}
+
+TEST(InflightCoalescerTest, FirstJoinIsLeader) {
+  InflightCoalescer coalescer;
+  auto ticket = coalescer.Join("k");
+  EXPECT_TRUE(ticket.leader);
+  EXPECT_EQ(coalescer.InFlight(), 1u);
+  EXPECT_EQ(coalescer.leaders(), 1u);
+  EXPECT_EQ(coalescer.coalesced(), 0u);
+  EXPECT_EQ(coalescer.Fulfill("k", MakeAnswer("a")), 0u);
+  EXPECT_EQ(coalescer.InFlight(), 0u);
+}
+
+TEST(InflightCoalescerTest, SecondJoinFollowsAndSeesLeaderValue) {
+  InflightCoalescer coalescer;
+  auto leader = coalescer.Join("k");
+  auto follower = coalescer.Join("k");
+  ASSERT_TRUE(leader.leader);
+  EXPECT_FALSE(follower.leader);
+  EXPECT_EQ(coalescer.coalesced(), 1u);
+  EXPECT_EQ(coalescer.Fulfill("k", MakeAnswer("speech")), 1u);
+  EXPECT_EQ(follower.result.get()->text, "speech");
+  EXPECT_EQ(leader.result.get()->text, "speech");
+}
+
+TEST(InflightCoalescerTest, DistinctKeysGetDistinctLeaders) {
+  InflightCoalescer coalescer;
+  EXPECT_TRUE(coalescer.Join("a").leader);
+  EXPECT_TRUE(coalescer.Join("b").leader);
+  EXPECT_EQ(coalescer.InFlight(), 2u);
+  coalescer.Fulfill("a", MakeAnswer("a"));
+  coalescer.Fulfill("b", MakeAnswer("b"));
+}
+
+TEST(InflightCoalescerTest, KeyIsReusableAfterFulfill) {
+  InflightCoalescer coalescer;
+  ASSERT_TRUE(coalescer.Join("k").leader);
+  coalescer.Fulfill("k", MakeAnswer("first"));
+  auto again = coalescer.Join("k");
+  EXPECT_TRUE(again.leader);  // fresh computation, not the stale future
+  coalescer.Fulfill("k", MakeAnswer("second"));
+  EXPECT_EQ(again.result.get()->text, "second");
+  EXPECT_EQ(coalescer.leaders(), 2u);
+}
+
+TEST(InflightCoalescerTest, FulfillWithoutJoinIsNoop) {
+  InflightCoalescer coalescer;
+  EXPECT_EQ(coalescer.Fulfill("never-joined", MakeAnswer("x")), 0u);
+}
+
+TEST(InflightCoalescerTest, ConcurrentJoinsElectExactlyOneLeader) {
+  InflightCoalescer coalescer;
+  const int kThreads = 16;
+  std::atomic<int> leaders{0};
+  std::atomic<int> joined{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto ticket = coalescer.Join("hot-key");
+      joined.fetch_add(1);
+      if (ticket.leader) {
+        leaders.fetch_add(1);
+        // Hold the computation open until every thread has joined, so all
+        // followers demonstrably coalesce onto this one run.
+        while (joined.load() < kThreads) std::this_thread::yield();
+        coalescer.Fulfill("hot-key", MakeAnswer("computed-once"));
+      }
+      EXPECT_EQ(ticket.result.get()->text, "computed-once");
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(coalescer.leaders(), 1u);
+  EXPECT_EQ(coalescer.coalesced(), static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(coalescer.InFlight(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vq

@@ -1,0 +1,225 @@
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/voice_engine.h"
+#include "storage/datasets.h"
+
+namespace vq {
+namespace serve {
+namespace {
+
+Configuration RunningExampleConfig(std::vector<std::string> dimensions = {
+                                       "region", "season"}) {
+  Configuration config;
+  config.table = "running_example";
+  config.dimensions = std::move(dimensions);
+  config.targets = {"delay"};
+  config.max_query_predicates = 2;
+  config.max_fact_dims = 2;
+  config.max_facts = 3;
+  config.prior = PriorKind::kZero;
+  return config;
+}
+
+class SummaryServiceTest : public ::testing::Test {
+ protected:
+  void BuildEngine(Configuration config) {
+    table_ = std::make_unique<Table>(MakeRunningExampleTable());
+    auto engine = VoiceQueryEngine::Build(table_.get(), std::move(config), {});
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    engine_ = std::make_unique<VoiceQueryEngine>(std::move(engine).value());
+    ASSERT_TRUE(
+        engine_->mutable_extractor()->AddTargetSynonym("delays", "delay").ok());
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<VoiceQueryEngine> engine_;
+};
+
+TEST_F(SummaryServiceTest, AnswersExactQueryLikeTheEngine) {
+  BuildEngine(RunningExampleConfig());
+  VoiceQueryEngine::Session session;
+  auto expected = engine_->Answer("delays in Winter", &session);
+  ASSERT_NE(expected.speech, nullptr);
+
+  SummaryService service(engine_.get());
+  ServeResponse response = service.AnswerNow("delays in Winter");
+  EXPECT_EQ(response.type, RequestType::kSupportedQuery);
+  EXPECT_TRUE(response.answered);
+  EXPECT_EQ(response.source, AnswerSource::kStoreExact);
+  EXPECT_EQ(response.text, expected.text);
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_GE(response.seconds, 0.0);
+}
+
+TEST_F(SummaryServiceTest, RepeatedQueryHitsTheCache) {
+  BuildEngine(RunningExampleConfig());
+  SummaryService service(engine_.get());
+  ServeResponse first = service.AnswerNow("delays in Winter");
+  ServeResponse second = service.AnswerNow("delays in Winter");
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.text, first.text);
+  EXPECT_EQ(second.source, first.source);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.store_exact_hits, 1u);
+  EXPECT_GT(service.cache().TotalStats().HitRate(), 0.0);
+}
+
+TEST_F(SummaryServiceTest, HelpRepeatAndOtherAreServedInline) {
+  BuildEngine(RunningExampleConfig());
+  SummaryService service(engine_.get());
+  ServeResponse help = service.AnswerNow("help");
+  EXPECT_EQ(help.type, RequestType::kHelp);
+  EXPECT_EQ(help.text, engine_->HelpText());
+  ServeResponse repeat = service.AnswerNow("repeat that");
+  EXPECT_EQ(repeat.type, RequestType::kRepeat);
+  EXPECT_NE(repeat.text.find("nothing to repeat"), std::string::npos);
+  ServeResponse other = service.AnswerNow("sing me a song please");
+  EXPECT_EQ(other.type, RequestType::kOther);
+  EXPECT_EQ(service.stats().requests, 3u);
+  EXPECT_EQ(service.stats().queries, 0u);
+}
+
+TEST_F(SummaryServiceTest, OnDemandSummarizesNonMaterializedQuery) {
+  // Pre-process only season queries; ask about a region. The bare engine can
+  // only fall back to the all-records speech, the service optimizes the
+  // exact subset on demand -- and its answer must match what a full
+  // pre-processing run would have stored for region=North.
+  Configuration full = RunningExampleConfig();
+  BuildEngine(full);
+  VoiceQueryEngine::Session session;
+  std::string expected_north =
+      engine_->Answer("delays in the North", &session).text;
+
+  BuildEngine(RunningExampleConfig({"season"}));
+  VoiceQueryEngine::Session season_session;
+  auto engine_answer = engine_->Answer("delays in the North", &season_session);
+  ASSERT_NE(engine_answer.speech, nullptr);
+  EXPECT_TRUE(engine_answer.speech->query.predicates.empty())
+      << "engine should only find the unfiltered fallback speech";
+
+  SummaryService service(engine_.get());
+  ServeResponse response = service.AnswerNow("delays in the North");
+  EXPECT_TRUE(response.answered);
+  EXPECT_EQ(response.source, AnswerSource::kOnDemand);
+  EXPECT_EQ(response.text, expected_north);
+  EXPECT_NE(response.text, engine_answer.text);
+  EXPECT_EQ(service.stats().on_demand_summaries, 1u);
+
+  // The on-demand answer is cached like any other.
+  ServeResponse again = service.AnswerNow("delays in the North");
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.text, expected_north);
+  EXPECT_EQ(service.stats().on_demand_summaries, 1u);
+}
+
+TEST_F(SummaryServiceTest, FallbackWhenOnDemandDisabled) {
+  BuildEngine(RunningExampleConfig({"season"}));
+  ServiceOptions options;
+  options.on_demand_summaries = false;
+  SummaryService service(engine_.get(), options);
+  ServeResponse response = service.AnswerNow("delays in the North");
+  EXPECT_TRUE(response.answered);
+  EXPECT_EQ(response.source, AnswerSource::kStoreFallback);
+  EXPECT_EQ(service.stats().store_fallback_hits, 1u);
+  EXPECT_EQ(service.stats().on_demand_summaries, 0u);
+}
+
+TEST_F(SummaryServiceTest, ConcurrentIdenticalMissesSummarizeExactlyOnce) {
+  BuildEngine(RunningExampleConfig({"season"}));
+  ServiceOptions options;
+  options.num_threads = 4;
+  SummaryService service(engine_.get(), options);
+
+  const int kRequests = 32;
+  std::vector<std::future<ServeResponse>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(service.Submit("delays in the North"));
+  }
+  std::string text;
+  for (auto& future : futures) {
+    ServeResponse response = future.get();
+    EXPECT_TRUE(response.answered);
+    if (text.empty()) text = response.text;
+    EXPECT_EQ(response.text, text);
+  }
+  ServiceStats stats = service.stats();
+  // The coalescing invariant: one optimization run for the unique query, and
+  // every other request either hit the cache or waited on the leader.
+  EXPECT_EQ(stats.on_demand_summaries, 1u);
+  EXPECT_EQ(stats.cache_hits + stats.coalesced_waits,
+            static_cast<uint64_t>(kRequests - 1));
+  EXPECT_EQ(service.coalescer().leaders(), 1u);
+  EXPECT_EQ(service.coalescer().InFlight(), 0u);
+}
+
+TEST_F(SummaryServiceTest, MultiThreadedMixedWorkloadMatchesEngineAnswers) {
+  BuildEngine(RunningExampleConfig());
+  ServiceOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 64;
+  SummaryService service(engine_.get(), options);
+
+  const std::vector<std::string> regions = {"North", "South", "East", "West"};
+  const std::vector<std::string> seasons = {"Winter", "Spring", "Summer", "Fall"};
+  std::vector<std::string> requests;
+  for (const auto& region : regions) {
+    for (const auto& season : seasons) {
+      requests.push_back("delays in " + region + " " + season);
+    }
+    requests.push_back("delays in " + region);
+  }
+  for (const auto& season : seasons) requests.push_back("delays in " + season);
+
+  // Expected texts from the (single-threaded) engine.
+  std::vector<std::string> expected;
+  VoiceQueryEngine::Session session;
+  for (const auto& request : requests) {
+    expected.push_back(engine_->Answer(request, &session).text);
+  }
+
+  const int kRounds = 5;
+  std::vector<std::future<ServeResponse>> futures;
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& request : requests) {
+      futures.push_back(service.Submit(request));
+    }
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ServeResponse response = futures[i].get();
+    EXPECT_TRUE(response.answered);
+    EXPECT_EQ(response.text, expected[i % requests.size()]) << requests[i % requests.size()];
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, requests.size() * kRounds);
+  // Every query is materialized, so nothing needed the optimizer...
+  EXPECT_EQ(stats.on_demand_summaries, 0u);
+  // ...and after round one the cache answers (modulo coalesced waits).
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+TEST_F(SummaryServiceTest, FingerprintSeparatesConfigurations) {
+  Configuration a = RunningExampleConfig();
+  Configuration b = RunningExampleConfig({"season"});
+  EXPECT_NE(ConfigFingerprint(a), ConfigFingerprint(b));
+  EXPECT_EQ(ConfigFingerprint(a), ConfigFingerprint(RunningExampleConfig()));
+  VoiceQuery query;
+  query.target_index = 0;
+  EXPECT_NE(CanonicalQueryKey(ConfigFingerprint(a), query),
+            CanonicalQueryKey(ConfigFingerprint(b), query));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vq

@@ -4,6 +4,10 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace vq {
 namespace {
@@ -52,6 +56,69 @@ TEST(ThreadPoolTest, ParallelForSmallerThanThreads) {
   std::atomic<int> counter{0};
   ParallelFor(&pool, 3, [&counter](size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitTaskReturnsResultThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> sum = pool.SubmitTask([] { return 19 + 23; });
+  EXPECT_EQ(sum.get(), 42);
+  std::future<std::string> text =
+      pool.SubmitTask([] { return std::string("speech"); });
+  EXPECT_EQ(text.get(), "speech");
+}
+
+TEST(ThreadPoolTest, SubmitTaskPropagatesExceptions) {
+  ThreadPool pool(1);
+  std::future<int> result =
+      pool.SubmitTask([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(result.get(), std::runtime_error);
+  // The worker must survive the throwing task.
+  EXPECT_EQ(pool.SubmitTask([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PendingTasksDrainsToZero) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  EXPECT_EQ(pool.PendingTasks(), 0u);
+}
+
+// Stress: many producers hammer a small pool with a mix of plain and
+// future-returning tasks while another thread polls Wait().
+TEST(ThreadPoolTest, StressManyProducersAndMixedSubmission) {
+  ThreadPool pool(4);
+  const int kProducers = 8;
+  const int kTasksPerProducer = 500;
+  std::atomic<int> plain_done{0};
+  std::atomic<long> future_sum{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &plain_done, &future_sum, p] {
+      std::vector<std::future<int>> futures;
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        if (i % 2 == 0) {
+          pool.Submit([&plain_done] { plain_done.fetch_add(1); });
+        } else {
+          futures.push_back(pool.SubmitTask([p, i] { return p * i; }));
+        }
+      }
+      for (auto& future : futures) future_sum.fetch_add(future.get());
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pool.Wait();
+
+  EXPECT_EQ(plain_done.load(), kProducers * kTasksPerProducer / 2);
+  long expected_sum = 0;
+  for (int p = 0; p < kProducers; ++p) {
+    for (int i = 1; i < kTasksPerProducer; i += 2) expected_sum += p * i;
+  }
+  EXPECT_EQ(future_sum.load(), expected_sum);
+  EXPECT_EQ(pool.PendingTasks(), 0u);
 }
 
 }  // namespace

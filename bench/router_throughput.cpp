@@ -1,0 +1,346 @@
+// Multi-dataset routing throughput: queries/sec and latency percentiles of
+// RoutingService at 1/4/16 worker threads over THREE registered datasets
+// (flights, ACS, primaries), with per-request routing decided purely from
+// NLU vocabulary coverage -- no request names its dataset. Also measures the
+// batched on-demand path: concurrent cache misses sharing a target column
+// must be solved in fewer shared table passes than the one-pass-per-query
+// unbatched baseline (counter-verified), and the single-dataset wrapper
+// (SummaryService) is re-measured on the BENCH_serve workload shape so the
+// refactor can be compared against BENCH_serve.json for regressions.
+//
+// Emits a machine-readable JSON report (default BENCH_router.json, override
+// with VQ_BENCH_OUT).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/registry.h"
+#include "serve/router.h"
+#include "serve/service.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+// Renders a voice-request string the NLU front end grounds back into
+// `query`: the target column name followed by the predicate value names.
+// Underscores become spaces ("vote_share" -> "vote share"): spoken requests
+// contain the multi-word phrase the vocabulary indexes, not the identifier.
+std::string RequestText(const vq::Table& table, const vq::VoiceQuery& query) {
+  std::string text = table.TargetName(static_cast<size_t>(query.target_index));
+  for (const auto& predicate : query.predicates) {
+    text += " ";
+    text += table.dict(static_cast<size_t>(predicate.dim)).Lookup(predicate.value);
+  }
+  for (char& c : text) {
+    if (c == '_') c = ' ';
+  }
+  return text;
+}
+
+struct DatasetSpec {
+  std::string name;
+  vq::Configuration config;
+};
+
+std::vector<DatasetSpec> BenchDatasets() {
+  std::vector<DatasetSpec> specs(3);
+  specs[0].name = "flights";
+  specs[0].config.table = "flights";
+  specs[0].config.dimensions = {"airline", "season", "dest_region"};
+  specs[0].config.targets = {"cancelled"};
+  specs[0].config.max_query_predicates = 2;
+  specs[1].name = "acs";
+  specs[1].config.table = "acs";
+  specs[1].config.dimensions = {"borough", "age_group"};
+  specs[1].config.targets = {"visual"};
+  specs[1].config.max_query_predicates = 2;
+  specs[2].name = "primaries";
+  specs[2].config.table = "primaries";
+  specs[2].config.dimensions = {"candidate", "state_region"};
+  specs[2].config.targets = {"vote_share"};
+  specs[2].config.max_query_predicates = 2;
+  return specs;
+}
+
+struct RunResult {
+  size_t threads = 0;
+  size_t requests = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double cache_hit_rate = 0.0;
+  size_t misrouted = 0;
+};
+
+/// One timed run over a fresh RoutingService: interleaved requests from all
+/// datasets, cache warmed first, routing accuracy verified per response.
+RunResult TimedRun(const vq::serve::DatasetRegistry& registry, size_t threads,
+                   const std::vector<std::pair<std::string, std::string>>& workload,
+                   size_t total_requests, double vocalize_seconds) {
+  vq::serve::RouterOptions options;
+  options.num_threads = threads;
+  options.host.simulated_vocalize_seconds = vocalize_seconds;
+  vq::serve::RoutingService router(&registry, options);
+
+  for (const auto& [request, dataset] : workload) (void)router.AnswerNow(request);
+
+  std::vector<std::future<vq::serve::RoutedResponse>> futures;
+  futures.reserve(total_requests);
+  vq::Stopwatch watch;
+  for (size_t i = 0; i < total_requests; ++i) {
+    futures.push_back(router.Submit(workload[i % workload.size()].first));
+  }
+  std::vector<double> latency_ms;
+  latency_ms.reserve(total_requests);
+  size_t misrouted = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    vq::serve::RoutedResponse routed = futures[i].get();
+    latency_ms.push_back(routed.response.seconds * 1e3);
+    if (routed.dataset != workload[i % workload.size()].second) ++misrouted;
+  }
+  double wall = watch.ElapsedSeconds();
+
+  RunResult result;
+  result.threads = threads;
+  result.requests = total_requests;
+  result.wall_seconds = wall;
+  result.qps = static_cast<double>(total_requests) / wall;
+  result.p50_ms = vq::Quantile(latency_ms, 0.50);
+  result.p99_ms = vq::Quantile(latency_ms, 0.99);
+  result.cache_hit_rate = router.cache().TotalStats().HitRate();
+  result.misrouted = misrouted;
+  return result;
+}
+
+/// Fires `requests` (all distinct, all on-demand for the flights host) at a
+/// fresh RoutingService and reports the host's shared-pass counters.
+vq::serve::HostStats ColdOnDemandRun(const vq::serve::DatasetRegistry& registry,
+                                     const std::vector<std::string>& requests,
+                                     bool batch_on_demand, size_t threads) {
+  vq::serve::RouterOptions options;
+  options.num_threads = threads;
+  options.host.batch_on_demand = batch_on_demand;
+  vq::serve::RoutingService router(&registry, options);
+  std::vector<std::future<vq::serve::RoutedResponse>> futures;
+  futures.reserve(requests.size());
+  for (const auto& request : requests) futures.push_back(router.Submit(request));
+  size_t answered = 0;
+  for (auto& future : futures) {
+    if (future.get().response.answered) ++answered;
+  }
+  vq::serve::HostStats stats = router.host("flights")->stats();
+  if (answered != requests.size()) {
+    std::fprintf(stderr, "WARNING: only %zu/%zu cold queries answered\n", answered,
+                 requests.size());
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kSeed = 20210318;
+  const double kVocalizeSeconds = 1e-3;  // 1 ms simulated TTS/transport
+  const size_t kQueriesPerDataset = 24;
+  const size_t kTotalRequests = 2000;
+  vq::bench::PrintHeader("Multi-dataset routing throughput", "serving layer",
+                         kSeed);
+
+  // ---- Registry: three datasets, tables built at bench scale.
+  vq::serve::DatasetRegistry registry;
+  std::vector<DatasetSpec> specs = BenchDatasets();
+  for (const auto& spec : specs) {
+    vq::Stopwatch watch;
+    vq::Status st = registry.RegisterGenerated(
+        spec.name, spec.config, vq::bench::BenchRows(spec.config.table), kSeed);
+    if (!st.ok()) {
+      std::fprintf(stderr, "register '%s' failed: %s\n", spec.name.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("Registered %-10s %6zu rows, %4zu speeches, %.2f s\n",
+                spec.name.c_str(), registry.table(spec.name)->NumRows(),
+                registry.engine(spec.name)->store().size(),
+                watch.ElapsedSeconds());
+  }
+
+  // ---- Interleaved routed workload: per-dataset stratified query samples
+  // rendered to text, tagged with the dataset that must serve them.
+  std::vector<std::pair<std::string, std::string>> workload;
+  for (const auto& spec : specs) {
+    const vq::Table* table = registry.table(spec.name);
+    auto generator = vq::ProblemGenerator::Create(table, spec.config).value();
+    auto queries =
+        vq::bench::StratifiedSampleQueries(generator, kQueriesPerDataset, kSeed);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      workload.emplace_back(RequestText(*table, queries[i]), spec.name);
+    }
+  }
+  // Round-robin across datasets so consecutive requests hit different hosts.
+  std::vector<std::pair<std::string, std::string>> interleaved;
+  interleaved.reserve(workload.size());
+  for (size_t i = 0; i < kQueriesPerDataset; ++i) {
+    for (size_t d = 0; d < specs.size(); ++d) {
+      size_t index = d * kQueriesPerDataset + i;
+      if (index < workload.size()) interleaved.push_back(workload[index]);
+    }
+  }
+
+  vq::TablePrinter printer({"Threads", "Requests", "Wall (s)", "QPS", "p50 (ms)",
+                            "p99 (ms)", "Hit rate", "Misrouted"});
+  std::vector<RunResult> runs;
+  for (size_t threads : {1, 4, 16}) {
+    RunResult run = TimedRun(registry, threads, interleaved, kTotalRequests,
+                             kVocalizeSeconds);
+    runs.push_back(run);
+    char qps[32], p50[32], p99[32], wall[32], rate[32];
+    std::snprintf(qps, sizeof(qps), "%.0f", run.qps);
+    std::snprintf(p50, sizeof(p50), "%.3f", run.p50_ms);
+    std::snprintf(p99, sizeof(p99), "%.3f", run.p99_ms);
+    std::snprintf(wall, sizeof(wall), "%.3f", run.wall_seconds);
+    std::snprintf(rate, sizeof(rate), "%.3f", run.cache_hit_rate);
+    printer.AddRow({std::to_string(run.threads), std::to_string(run.requests),
+                    wall, qps, p50, p99, rate, std::to_string(run.misrouted)});
+  }
+  printer.Print();
+  double speedup_4v1 = runs[1].qps / runs[0].qps;
+  double speedup_16v1 = runs[2].qps / runs[0].qps;
+  size_t total_misrouted = runs[0].misrouted + runs[1].misrouted + runs[2].misrouted;
+  std::printf("Speedup: %.2fx at 4 threads, %.2fx at 16 threads (vs 1); "
+              "misrouted: %zu\n",
+              speedup_4v1, speedup_16v1, total_misrouted);
+
+  // ---- Batched vs unbatched on-demand: 16 distinct month/time-of-day
+  // queries are outside the flights configuration, so each needs the
+  // optimizer. Unbatched, that is one table pass per query; batched,
+  // concurrent misses sharing the "cancelled" target group into shared
+  // passes.
+  const vq::Table* flights = registry.table("flights");
+  std::vector<std::string> cold_requests;
+  const vq::Dictionary& months =
+      flights->dict(static_cast<size_t>(flights->DimIndex("month")));
+  for (size_t v = 0; v < months.size(); ++v) {
+    cold_requests.push_back("cancelled " +
+                            months.Lookup(static_cast<vq::ValueId>(v)));
+  }
+  const vq::Dictionary& times =
+      flights->dict(static_cast<size_t>(flights->DimIndex("time_of_day")));
+  for (size_t v = 0; v < times.size(); ++v) {
+    cold_requests.push_back("cancelled " +
+                            times.Lookup(static_cast<vq::ValueId>(v)));
+  }
+  const size_t kBatchThreads = 8;
+  vq::serve::HostStats unbatched =
+      ColdOnDemandRun(registry, cold_requests, /*batch_on_demand=*/false,
+                      kBatchThreads);
+  vq::serve::HostStats batched =
+      ColdOnDemandRun(registry, cold_requests, /*batch_on_demand=*/true,
+                      kBatchThreads);
+  bool batching_ok = batched.on_demand_passes < unbatched.on_demand_passes &&
+                     batched.on_demand_summaries == cold_requests.size() &&
+                     unbatched.on_demand_summaries == cold_requests.size();
+  std::printf(
+      "On-demand passes for %zu distinct misses at %zu threads: unbatched %llu, "
+      "batched %llu (largest batch %llu) [%s]\n",
+      cold_requests.size(), kBatchThreads,
+      static_cast<unsigned long long>(unbatched.on_demand_passes),
+      static_cast<unsigned long long>(batched.on_demand_passes),
+      static_cast<unsigned long long>(batched.max_batch),
+      batching_ok ? "OK" : "FAIL");
+
+  // ---- Single-dataset path: the BENCH_serve workload shape through the
+  // (post-refactor) SummaryService wrapper, for regression comparison
+  // against BENCH_serve.json.
+  auto generator =
+      vq::ProblemGenerator::Create(flights, specs[0].config).value();
+  auto single_queries = vq::bench::StratifiedSampleQueries(generator, 64, kSeed);
+  std::vector<std::string> single_requests;
+  for (const auto& query : single_queries) {
+    single_requests.push_back(RequestText(*flights, query));
+  }
+  vq::serve::ServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.cache_capacity = 1 << 14;
+  service_options.host.simulated_vocalize_seconds = kVocalizeSeconds;
+  vq::serve::SummaryService service(registry.engine("flights"), service_options);
+  for (const auto& request : single_requests) (void)service.AnswerNow(request);
+  std::vector<std::future<vq::serve::ServeResponse>> single_futures;
+  single_futures.reserve(kTotalRequests);
+  vq::Stopwatch single_watch;
+  for (size_t i = 0; i < kTotalRequests; ++i) {
+    single_futures.push_back(
+        service.Submit(single_requests[i % single_requests.size()]));
+  }
+  for (auto& future : single_futures) (void)future.get();
+  double single_wall = single_watch.ElapsedSeconds();
+  double single_qps = static_cast<double>(kTotalRequests) / single_wall;
+  std::printf("Single-dataset wrapper: %.0f qps at 4 threads "
+              "(compare cache_warm[threads=4].qps in BENCH_serve.json)\n",
+              single_qps);
+
+  // ---- Machine-readable report.
+  vq::Json report = vq::Json::Object();
+  report.Set("bench", vq::Json::Str("router_throughput"));
+  report.Set("seed", vq::Json::Int(static_cast<int64_t>(kSeed)));
+  report.Set("vocalize_ms", vq::Json::Number(kVocalizeSeconds * 1e3));
+  vq::Json datasets = vq::Json::Array();
+  for (const auto& spec : specs) {
+    vq::Json entry = vq::Json::Object();
+    entry.Set("name", vq::Json::Str(spec.name));
+    entry.Set("rows", vq::Json::Int(static_cast<int64_t>(
+                          registry.table(spec.name)->NumRows())));
+    entry.Set("speeches", vq::Json::Int(static_cast<int64_t>(
+                              registry.engine(spec.name)->store().size())));
+    datasets.Append(std::move(entry));
+  }
+  report.Set("datasets", std::move(datasets));
+  vq::Json warm = vq::Json::Array();
+  for (const RunResult& run : runs) {
+    vq::Json entry = vq::Json::Object();
+    entry.Set("threads", vq::Json::Int(static_cast<int64_t>(run.threads)));
+    entry.Set("requests", vq::Json::Int(static_cast<int64_t>(run.requests)));
+    entry.Set("wall_seconds", vq::Json::Number(run.wall_seconds));
+    entry.Set("qps", vq::Json::Number(run.qps));
+    entry.Set("p50_ms", vq::Json::Number(run.p50_ms));
+    entry.Set("p99_ms", vq::Json::Number(run.p99_ms));
+    entry.Set("cache_hit_rate", vq::Json::Number(run.cache_hit_rate));
+    entry.Set("misrouted", vq::Json::Int(static_cast<int64_t>(run.misrouted)));
+    warm.Append(std::move(entry));
+  }
+  report.Set("routed_warm", std::move(warm));
+  report.Set("speedup_4v1", vq::Json::Number(speedup_4v1));
+  report.Set("speedup_16v1", vq::Json::Number(speedup_16v1));
+  vq::Json batch = vq::Json::Object();
+  batch.Set("distinct_queries",
+            vq::Json::Int(static_cast<int64_t>(cold_requests.size())));
+  batch.Set("threads", vq::Json::Int(static_cast<int64_t>(kBatchThreads)));
+  batch.Set("unbatched_passes",
+            vq::Json::Int(static_cast<int64_t>(unbatched.on_demand_passes)));
+  batch.Set("batched_passes",
+            vq::Json::Int(static_cast<int64_t>(batched.on_demand_passes)));
+  batch.Set("max_batch", vq::Json::Int(static_cast<int64_t>(batched.max_batch)));
+  batch.Set("batching_ok", vq::Json::Bool(batching_ok));
+  report.Set("on_demand_batching", std::move(batch));
+  vq::Json single = vq::Json::Object();
+  single.Set("threads", vq::Json::Int(4));
+  single.Set("requests", vq::Json::Int(static_cast<int64_t>(kTotalRequests)));
+  single.Set("wall_seconds", vq::Json::Number(single_wall));
+  single.Set("qps", vq::Json::Number(single_qps));
+  report.Set("single_dataset", std::move(single));
+
+  const char* out_env = std::getenv("VQ_BENCH_OUT");
+  std::string out_path = out_env != nullptr ? out_env : "BENCH_router.json";
+  std::ofstream out(out_path);
+  out << report.Dump(2) << "\n";
+  out.close();
+  std::printf("Report written to %s\n", out_path.c_str());
+
+  bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0;
+  return ok ? 0 : 1;
+}

@@ -52,7 +52,7 @@ RunResult TimedRun(const vq::VoiceQueryEngine& engine, size_t threads,
   vq::serve::ServiceOptions options;
   options.num_threads = threads;
   options.cache_capacity = 1 << 14;
-  options.simulated_vocalize_seconds = vocalize_seconds;
+  options.host.simulated_vocalize_seconds = vocalize_seconds;
   vq::serve::SummaryService service(&engine, options);
 
   // Warm the cache: every unique request answered once.

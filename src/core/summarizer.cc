@@ -16,10 +16,15 @@ Result<PreparedProblem> PreparedProblem::Prepare(const Table& table,
                                                  const PredicateSet& query_predicates,
                                                  int target_index,
                                                  const SummarizerOptions& options) {
-  PreparedProblem problem;
   VQ_ASSIGN_OR_RETURN(
       SummaryInstance instance,
       BuildInstance(table, query_predicates, target_index, options.instance));
+  return FromInstance(std::move(instance), options);
+}
+
+Result<PreparedProblem> PreparedProblem::FromInstance(SummaryInstance instance,
+                                                      const SummarizerOptions& options) {
+  PreparedProblem problem;
   problem.instance_ = std::make_unique<SummaryInstance>(std::move(instance));
   VQ_ASSIGN_OR_RETURN(FactCatalog catalog,
                       FactCatalog::Build(*problem.instance_, options.max_fact_dims));

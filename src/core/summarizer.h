@@ -43,6 +43,11 @@ class PreparedProblem {
                                          int target_index,
                                          const SummarizerOptions& options);
 
+  /// Wraps an already-built instance (e.g. from BuildInstanceFromRows on the
+  /// serving layer's batched path) with its fact catalog and evaluator.
+  static Result<PreparedProblem> FromInstance(SummaryInstance instance,
+                                              const SummarizerOptions& options);
+
   const SummaryInstance& instance() const { return *instance_; }
   const FactCatalog& catalog() const { return *catalog_; }
   const Evaluator& evaluator() const { return *evaluator_; }

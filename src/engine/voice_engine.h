@@ -5,6 +5,7 @@
 #define VQ_ENGINE_VOICE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "engine/preprocessor.h"
@@ -17,18 +18,21 @@ namespace vq {
 /// \brief Answers voice requests from the pre-computed store.
 ///
 /// Thread-safety contract: after Build() (and any AddTargetSynonym /
-/// AddValueSynonym calls via mutable_extractor()) have completed, the engine
-/// is immutable and `Answer(request, session) const` may be called from any
-/// number of threads concurrently -- classification, extraction and store
-/// lookup only read the vocabulary and the speech index. The caveats:
+/// AddValueSynonym calls via mutable_extractor(), or store mutations via
+/// mutable_store()) have completed, the engine is immutable and
+/// `Answer(request, session) const` may be called from any number of threads
+/// concurrently -- classification, extraction and store lookup only read the
+/// vocabulary and the speech index. The caveats:
 ///   * each thread (or each user session) must pass its own Session object;
 ///     sessions are not internally synchronized,
-///   * the stateful convenience overload `Answer(request)` uses one shared
-///     internal Session and is therefore NOT safe for concurrent callers,
-///   * mutable_extractor() must not be used once concurrent answering has
-///     started.
-/// SummaryService (src/serve/) relies on this contract to share one engine
-/// across all of its workers.
+///   * the stateful convenience overload `Answer(request)` serializes its
+///     callers on an internal mutex protecting the shared session -- safe,
+///     but a concurrency bottleneck; concurrent servers should pass
+///     per-caller Sessions instead,
+///   * mutable_extractor() / mutable_store() must not be used once
+///     concurrent answering has started.
+/// The serving layer (src/serve/) relies on this contract to share one
+/// engine across all of its workers.
 class VoiceQueryEngine {
  public:
   /// Runs pre-processing for `config` over `table` and wires up the NLU
@@ -60,7 +64,9 @@ class VoiceQueryEngine {
   /// concurrent calls with distinct sessions (see class comment).
   Response Answer(const std::string& request, Session* session) const;
 
-  /// Single-threaded convenience overload backed by one internal session.
+  /// Convenience overload backed by one internal session. Callers are
+  /// serialized on an internal mutex, so concurrent use is safe (though the
+  /// shared "repeat that" memory is then interleaved across callers).
   Response Answer(const std::string& request);
 
   /// Grounds a classified request into a store-keyed query, applying the
@@ -83,8 +89,12 @@ class VoiceQueryEngine {
 
   const SpeechStore& store() const { return store_; }
   const RequestClassifier& classifier() const { return *classifier_; }
+  const QueryExtractor& extractor() const { return *extractor_; }
   const Configuration& config() const { return config_; }
   QueryExtractor* mutable_extractor() { return extractor_.get(); }
+  /// Pre-serving store mutation (e.g. DatasetRegistry reloading persisted
+  /// on-demand speeches); see the thread-safety contract above.
+  SpeechStore* mutable_store() { return &store_; }
   const Table& table() const { return *table_; }
 
  private:
@@ -96,6 +106,10 @@ class VoiceQueryEngine {
   std::unique_ptr<QueryExtractor> extractor_;
   std::unique_ptr<RequestClassifier> classifier_;
   Session default_session_;
+  /// Guards default_session_ for the stateful Answer(request) overload.
+  /// Held by pointer so the engine stays movable.
+  std::unique_ptr<std::mutex> default_session_mutex_ =
+      std::make_unique<std::mutex>();
 };
 
 }  // namespace vq

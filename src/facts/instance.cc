@@ -7,6 +7,14 @@
 
 namespace vq {
 
+double GlobalAverage(const Table& table, int target_index) {
+  const std::vector<double>& column =
+      table.TargetColumn(static_cast<size_t>(target_index));
+  double sum = 0.0;
+  for (double v : column) sum += v;
+  return column.empty() ? 0.0 : sum / static_cast<double>(column.size());
+}
+
 double SummaryInstance::BaseError() const {
   double error = 0.0;
   for (size_t r = 0; r < num_rows; ++r) {
@@ -43,6 +51,20 @@ Result<SummaryInstance> BuildInstance(const Table& table,
                                       const PredicateSet& query_predicates,
                                       int target_index,
                                       const InstanceOptions& options) {
+  // Validate before the O(rows) filter scan so bad arguments fail cheaply.
+  if (target_index < 0 || static_cast<size_t>(target_index) >= table.NumTargets()) {
+    return Status::InvalidArgument("target index " + std::to_string(target_index) +
+                                   " out of range");
+  }
+  return BuildInstanceFromRows(table, query_predicates, target_index,
+                               FilterRows(table, query_predicates), options);
+}
+
+Result<SummaryInstance> BuildInstanceFromRows(const Table& table,
+                                              const PredicateSet& query_predicates,
+                                              int target_index,
+                                              const std::vector<uint32_t>& rows,
+                                              const InstanceOptions& options) {
   if (target_index < 0 || static_cast<size_t>(target_index) >= table.NumTargets()) {
     return Status::InvalidArgument("target index " + std::to_string(target_index) +
                                    " out of range");
@@ -71,7 +93,6 @@ Result<SummaryInstance> BuildInstance(const Table& table,
     }
   }
 
-  std::vector<uint32_t> rows = FilterRows(table, query_predicates);
   if (rows.empty()) {
     return Status::NotFound("query predicates select no rows");
   }
@@ -81,12 +102,9 @@ Result<SummaryInstance> BuildInstance(const Table& table,
 
   // Prior.
   switch (options.prior_kind) {
-    case PriorKind::kGlobalAverage: {
-      double sum = 0.0;
-      for (double v : target_column) sum += v;
-      inst.prior = sum / static_cast<double>(table.NumRows());
+    case PriorKind::kGlobalAverage:
+      inst.prior = GlobalAverage(table, target_index);
       break;
-    }
     case PriorKind::kSubsetAverage: {
       double sum = 0.0;
       for (uint32_t r : rows) sum += target_column[r];

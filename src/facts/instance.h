@@ -70,6 +70,23 @@ Result<SummaryInstance> BuildInstance(const Table& table,
                                       int target_index,
                                       const InstanceOptions& options = {});
 
+/// The PriorKind::kGlobalAverage value: mean of the target column over the
+/// whole table. Exposed so the serving layer's batch solver can compute it
+/// once per target and substitute a kConstant prior WITHOUT duplicating
+/// this formula (batched answers must reproduce unbatched ones exactly).
+double GlobalAverage(const Table& table, int target_index);
+
+/// Like BuildInstance, but over an already-filtered row list (`rows` must be
+/// exactly the rows matching `query_predicates`). The serving layer's batch
+/// solver filters many queries in one shared table pass (FilterRowsMulti)
+/// and builds each instance from its precomputed subset; results are
+/// identical to BuildInstance.
+Result<SummaryInstance> BuildInstanceFromRows(const Table& table,
+                                              const PredicateSet& query_predicates,
+                                              int target_index,
+                                              const std::vector<uint32_t>& rows,
+                                              const InstanceOptions& options = {});
+
 }  // namespace vq
 
 #endif  // VQ_FACTS_INSTANCE_H_

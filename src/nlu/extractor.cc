@@ -104,8 +104,17 @@ Status QueryExtractor::AddValueSynonym(const std::string& phrase,
   return Status::OK();
 }
 
-ExtractedQuery QueryExtractor::Extract(const std::string& text) const {
-  ExtractedQuery out;
+double VocabularyCoverage::Score() const {
+  if (grounded_tokens == 0 || content_tokens == 0) return 0.0;
+  double coverage =
+      static_cast<double>(grounded_tokens) / static_cast<double>(content_tokens);
+  double bonus = (matched_target ? 0.5 : 0.0) +
+                 0.25 * static_cast<double>(std::min<size_t>(matched_values, 4));
+  return coverage + bonus;
+}
+
+QueryExtractor::WalkResult QueryExtractor::Walk(const std::string& text) const {
+  WalkResult out;
   std::vector<std::string> tokens = Tokenize(text);
   size_t i = 0;
   while (i < tokens.size()) {
@@ -119,29 +128,46 @@ ExtractedQuery QueryExtractor::Extract(const std::string& text) const {
       if (it == vocabulary_.end()) continue;
       const Grounding& g = it->second;
       if (g.kind == Grounding::Kind::kTarget) {
-        if (out.target_index < 0) out.target_index = g.target_index;
+        if (out.query.target_index < 0) out.query.target_index = g.target_index;
+        out.coverage.matched_target = true;
       } else {
+        ++out.coverage.matched_values;
         bool duplicate_dim = false;
-        for (const auto& p : out.predicates) {
+        for (const auto& p : out.query.predicates) {
           if (p.dim == g.dim) {
             duplicate_dim = true;
             break;
           }
         }
-        if (!duplicate_dim) out.predicates.push_back(EqPredicate{g.dim, g.value});
+        if (!duplicate_dim) {
+          out.query.predicates.push_back(EqPredicate{g.dim, g.value});
+        }
       }
+      out.coverage.grounded_tokens += len;
+      out.coverage.content_tokens += len;
       i += len;
       matched = true;
       break;
     }
     if (!matched) {
-      if (!IsStopWord(tokens[i])) out.unmatched_tokens.push_back(tokens[i]);
+      if (!IsStopWord(tokens[i])) {
+        out.query.unmatched_tokens.push_back(tokens[i]);
+        ++out.coverage.content_tokens;
+      }
       ++i;
     }
   }
-  Status st = NormalizePredicates(&out.predicates);
+  Status st = NormalizePredicates(&out.query.predicates);
   (void)st;  // duplicates filtered above
   return out;
+}
+
+ExtractedQuery QueryExtractor::Extract(const std::string& text) const {
+  return Walk(text).query;
+}
+
+VocabularyCoverage QueryExtractor::Coverage(const std::string& text) const {
+  return Walk(text).coverage;
 }
 
 }  // namespace vq

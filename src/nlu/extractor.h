@@ -27,6 +27,23 @@ struct ExtractedQuery {
   bool HasTarget() const { return target_index >= 0; }
 };
 
+/// How much of a request this extractor's vocabulary explains. The routing
+/// layer scores a request against every registered dataset's extractor and
+/// dispatches to the best-covered one, so multi-dataset deployments need no
+/// explicit dataset hint in the utterance.
+struct VocabularyCoverage {
+  size_t content_tokens = 0;   ///< non-stop-word tokens in the request
+  size_t grounded_tokens = 0;  ///< tokens consumed by vocabulary matches
+  size_t matched_values = 0;   ///< dimension-value matches (incl. duplicates)
+  bool matched_target = false; ///< a target column (or synonym) grounded
+
+  /// Routing score: the fraction of content tokens the vocabulary grounds,
+  /// plus bonuses for grounding a target column (+0.5) and concrete
+  /// dimension values (+0.25 each, capped at 4). Exactly 0 when nothing
+  /// grounds, so callers can treat 0 as "this dataset cannot serve this".
+  double Score() const;
+};
+
 /// \brief Grounds free text in a table's schema.
 ///
 /// The vocabulary is built from dimension values and column names; synonyms
@@ -48,6 +65,12 @@ class QueryExtractor {
   /// first mention wins). Stop words are ignored.
   ExtractedQuery Extract(const std::string& text) const;
 
+  /// Scores how well this extractor's vocabulary covers `text`. Runs the
+  /// same token walk as Extract (a few microseconds on voice-sized
+  /// requests), so routing over N datasets costs N walks plus the winning
+  /// host's own extraction.
+  VocabularyCoverage Coverage(const std::string& text) const;
+
   const Table& table() const { return *table_; }
 
  private:
@@ -57,6 +80,13 @@ class QueryExtractor {
     int dim = -1;
     ValueId value = kNoValue;
   };
+
+  /// Shared walker behind Extract and Coverage.
+  struct WalkResult {
+    ExtractedQuery query;
+    VocabularyCoverage coverage;
+  };
+  WalkResult Walk(const std::string& text) const;
 
   /// Adds a phrase (lower-cased, whitespace-normalized) to the vocabulary.
   void AddPhrase(const std::string& phrase, Grounding grounding);

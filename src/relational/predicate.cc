@@ -48,6 +48,20 @@ std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predica
   return out;
 }
 
+std::vector<std::vector<uint32_t>> FilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets) {
+  std::vector<std::vector<uint32_t>> out(predicate_sets.size());
+  size_t n = table.NumRows();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t q = 0; q < predicate_sets.size(); ++q) {
+      if (RowMatches(table, r, *predicate_sets[q])) {
+        out[q].push_back(static_cast<uint32_t>(r));
+      }
+    }
+  }
+  return out;
+}
+
 bool IsSubsetOf(const PredicateSet& subset, const PredicateSet& superset) {
   for (const auto& p : subset) {
     bool found = false;

@@ -39,6 +39,14 @@ bool RowMatches(const Table& table, size_t row, const PredicateSet& predicates);
 /// Row ids of all rows satisfying the conjunction (the sigma operator).
 std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predicates);
 
+/// Filters many predicate sets in ONE shared pass over the table: out[i]
+/// holds the row ids matching `predicate_sets[i]`. Equivalent to calling
+/// FilterRows once per set, but the table is scanned a single time -- the
+/// serving layer's batched on-demand path groups concurrent misses on the
+/// same target and resolves their subsets here.
+std::vector<std::vector<uint32_t>> FilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets);
+
 /// True if `subset` is contained in `superset` (predicate-set inclusion,
 /// used by the runtime's most-specific-summary lookup: S is a subset of Q).
 bool IsSubsetOf(const PredicateSet& subset, const PredicateSet& superset);

@@ -1,6 +1,7 @@
 #include "serve/cache.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 namespace vq {
@@ -14,9 +15,17 @@ size_t RoundUpToPowerOfTwo(size_t n) {
   return result;
 }
 
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
-ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards) {
+ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards,
+                                         Clock clock)
+    : clock_(clock ? std::move(clock) : Clock(&SteadySeconds)) {
   capacity_ = std::max<size_t>(1, capacity);
   num_shards = RoundUpToPowerOfTwo(std::max<size_t>(1, num_shards));
   // More shards than entries would leave shards with zero budget.
@@ -45,27 +54,37 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
     ++shard.stats.misses;
     return nullptr;
   }
+  if (it->second->expires_at > 0.0 && Now() >= it->second->expires_at) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.expirations;
+    ++shard.stats.misses;
+    return nullptr;
+  }
   ++shard.stats.hits;
   // Move the entry to the front of the recency list.
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->second;
+  return it->second->answer;
 }
 
-void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer) {
+void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
+                              double ttl_seconds) {
+  double expires_at = ttl_seconds > 0.0 ? Now() + ttl_seconds : 0.0;
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    it->second->second = std::move(answer);
+    it->second->answer = std::move(answer);
+    it->second->expires_at = expires_at;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
   }
   if (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(shard.lru.back().first);
+    shard.index.erase(shard.lru.back().key);
     shard.lru.pop_back();
     ++shard.stats.evictions;
   }
-  shard.lru.emplace_front(key, std::move(answer));
+  shard.lru.emplace_front(Entry{key, std::move(answer), expires_at});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.insertions;
 }
@@ -73,7 +92,9 @@ void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer) {
 bool ShardedSummaryCache::Contains(const std::string& key) const {
   const Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.index.find(key) != shard.index.end();
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  return it->second->expires_at <= 0.0 || Now() < it->second->expires_at;
 }
 
 void ShardedSummaryCache::Clear() {
@@ -92,6 +113,7 @@ CacheStats ShardedSummaryCache::TotalStats() const {
     total.misses += shard->stats.misses;
     total.insertions += shard->stats.insertions;
     total.evictions += shard->stats.evictions;
+    total.expirations += shard->stats.expirations;
   }
   return total;
 }

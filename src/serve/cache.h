@@ -10,6 +10,7 @@
 #define VQ_SERVE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,9 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  /// Entries dropped because their TTL had elapsed at lookup time (each such
+  /// lookup also counts as a miss).
+  uint64_t expirations = 0;
 
   double HitRate() const {
     uint64_t lookups = hits + misses;
@@ -45,23 +49,34 @@ struct CacheStats {
 /// may outlive the entry's eviction without copying.
 class ShardedSummaryCache {
  public:
+  /// Monotonic clock in seconds; injectable so tests can control expiry.
+  using Clock = std::function<double()>;
+
   /// `capacity` is the total entry budget; shard capacities sum to exactly
   /// this value (each shard holds at least one entry). Shard count is
   /// rounded up to a power of two for mask-based routing, then halved while
-  /// it exceeds the capacity.
-  explicit ShardedSummaryCache(size_t capacity, size_t num_shards = 16);
+  /// it exceeds the capacity. A default-constructed `clock` reads the steady
+  /// clock.
+  explicit ShardedSummaryCache(size_t capacity, size_t num_shards = 16,
+                               Clock clock = {});
 
   ShardedSummaryCache(const ShardedSummaryCache&) = delete;
   ShardedSummaryCache& operator=(const ShardedSummaryCache&) = delete;
 
-  /// Returns the cached answer and refreshes its recency, or nullptr.
+  /// Returns the cached answer and refreshes its recency, or nullptr. An
+  /// entry whose TTL has elapsed is dropped and reported as a miss (plus an
+  /// expiration), so negative results age out and can be recomputed.
   ServedAnswerPtr Get(const std::string& key);
 
   /// Inserts (or replaces) the answer for `key`, evicting the shard's least
-  /// recently used entry if the shard is full.
-  void Put(const std::string& key, ServedAnswerPtr answer);
+  /// recently used entry if the shard is full. `ttl_seconds` <= 0 means the
+  /// entry never expires (LRU eviction only); a positive TTL bounds how long
+  /// the entry may be served -- the serving layer uses this for unanswerable
+  /// (negative) results, so a store or registry that later learns an answer
+  /// is not shadowed by a stale apology forever.
+  void Put(const std::string& key, ServedAnswerPtr answer, double ttl_seconds = 0.0);
 
-  /// True if present, without touching recency or counters.
+  /// True if present and not expired, without touching recency or counters.
   bool Contains(const std::string& key) const;
 
   void Clear();
@@ -80,17 +95,26 @@ class ShardedSummaryCache {
   size_t ShardIndex(const std::string& key) const;
 
  private:
+  struct Entry {
+    std::string key;
+    ServedAnswerPtr answer;
+    /// Absolute expiry on the cache clock; 0 = never expires.
+    double expires_at = 0.0;
+  };
   struct Shard {
     mutable std::mutex mutex;
     /// Front = most recently used. Stores the key alongside the value so
     /// eviction can erase the map entry.
-    std::list<std::pair<std::string, ServedAnswerPtr>> lru;
+    std::list<Entry> lru;
     std::unordered_map<std::string, decltype(lru)::iterator> index;
     CacheStats stats;
     size_t capacity = 0;
   };
 
+  double Now() const { return clock_(); }
+
   size_t capacity_;
+  Clock clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

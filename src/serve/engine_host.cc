@@ -1,0 +1,366 @@
+#include "serve/engine_host.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "speech/speech.h"
+#include "util/stopwatch.h"
+
+namespace vq {
+namespace serve {
+
+namespace {
+
+ServedAnswerPtr AnswerFromStored(const StoredSpeech& stored, AnswerSource source,
+                                 double compute_seconds) {
+  auto answer = std::make_shared<ServedAnswer>();
+  answer->text = stored.speech.text;
+  answer->source = source;
+  answer->answered = true;
+  answer->scaled_utility = stored.speech.scaled_utility;
+  answer->compute_seconds = compute_seconds;
+  return answer;
+}
+
+void BumpMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  uint64_t seen = slot->load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot->compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
+                       ShardedSummaryCache* cache, InflightCoalescer* coalescer,
+                       HostOptions options)
+    : name_(std::move(name)),
+      engine_(engine),
+      options_(options),
+      // The host name joins the config fingerprint in every cache/coalescer
+      // key: two datasets registered under identical configurations (same
+      // table name, dims, targets, limits, prior -- but possibly different
+      // rows) must never serve each other's cached answers.
+      fingerprint_(name_ + ":" + ConfigFingerprint(engine->config())),
+      cache_(cache),
+      coalescer_(coalescer) {
+  // On-demand problems must be solved exactly like the pre-processor's, so
+  // an on-demand answer for a materialized query reproduces the stored text.
+  const Configuration& config = engine_->config();
+  summarizer_options_.max_facts = config.max_facts;
+  summarizer_options_.max_fact_dims = config.max_fact_dims;
+  summarizer_options_.algorithm = Algorithm::kGreedyOptimized;
+  summarizer_options_.instance.prior_kind = config.prior;
+  summarizer_options_.instance.prior_value = config.prior_value;
+}
+
+ServeResponse EngineHost::Handle(const std::string& request) {
+  Stopwatch watch;
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ServeResponse response;
+  ClassifiedRequest classified = engine_->classifier().Classify(request);
+  response.type = classified.type;
+
+  switch (classified.type) {
+    case RequestType::kHelp:
+      response.text = engine_->HelpText();
+      break;
+    case RequestType::kRepeat:
+      // Hosts are sessionless; per-user repeat memory lives in the
+      // connection layer (VoiceQueryEngine::Session).
+      response.text = VoiceQueryEngine::NothingToRepeatText();
+      break;
+    case RequestType::kOther:
+      response.text = VoiceQueryEngine::NotUnderstoodText();
+      break;
+    case RequestType::kSupportedQuery:
+    case RequestType::kUnsupportedQuery: {
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      VoiceQuery query = engine_->GroundQuery(classified);
+      std::string key = CanonicalQueryKey(fingerprint_, query);
+
+      ServedAnswerPtr answer = cache_->Get(key);
+      if (answer != nullptr) {
+        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        response.cache_hit = true;
+      } else {
+        stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
+        InflightCoalescer::Ticket ticket = coalescer_->Join(key);
+        if (ticket.leader) {
+          // Double-checked miss: between our Get and winning leadership, a
+          // previous leader may have computed, cached and retired this key.
+          // Without the re-check we would run a second summarization and
+          // break the exactly-once-per-unique-query guarantee.
+          answer = cache_->Get(key);
+          if (answer == nullptr) {
+            try {
+              answer = ComputeAnswer(query);
+            } catch (...) {
+              // Followers block until Fulfill (coalescer contract); never
+              // leave them hanging, whatever ComputeAnswer threw.
+              auto failed = std::make_shared<ServedAnswer>();
+              failed->text = VoiceQueryEngine::NoSummaryText();
+              failed->source = AnswerSource::kUnanswerable;
+              coalescer_->Fulfill(key, failed);
+              throw;
+            }
+            if (answer->answered) {
+              cache_->Put(key, answer);
+            } else if (options_.cache_unanswerable) {
+              cache_->Put(key, answer, options_.unanswerable_ttl_seconds);
+            }
+          }
+          coalescer_->Fulfill(key, answer);
+        } else {
+          stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
+          response.coalesced = true;
+          answer = ticket.result.get();
+        }
+      }
+      response.text = answer->text;
+      response.source = answer->source;
+      response.answered = answer->answered;
+      break;
+    }
+  }
+
+  if (options_.simulated_vocalize_seconds > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.simulated_vocalize_seconds));
+  }
+  response.seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query) {
+  Stopwatch watch;
+  const SpeechStore& store = engine_->store();
+
+  const StoredSpeech* exact = store.FindExact(query);
+  if (exact != nullptr) {
+    stats_.store_exact_hits.fetch_add(1, std::memory_order_relaxed);
+    return AnswerFromStored(*exact, AnswerSource::kStoreExact,
+                            watch.ElapsedSeconds());
+  }
+
+  if (options_.on_demand_summaries && query.target_index >= 0) {
+    ServedAnswerPtr solved = SolveOnDemand(query);
+    if (solved != nullptr) return solved;
+    // Empty subset or unsolvable instance: fall through to the engine's
+    // most-specific-containing-speech behavior.
+  }
+
+  const StoredSpeech* best = store.FindBest(query);
+  if (best != nullptr) {
+    stats_.store_fallback_hits.fetch_add(1, std::memory_order_relaxed);
+    return AnswerFromStored(*best, AnswerSource::kStoreFallback,
+                            watch.ElapsedSeconds());
+  }
+
+  stats_.unanswerable.fetch_add(1, std::memory_order_relaxed);
+  auto answer = std::make_shared<ServedAnswer>();
+  answer->text = VoiceQueryEngine::NoSummaryText();
+  answer->source = AnswerSource::kUnanswerable;
+  answer->answered = false;
+  answer->compute_seconds = watch.ElapsedSeconds();
+  return answer;
+}
+
+std::shared_ptr<EngineHost::TargetBatchQueue> EngineHost::BatchQueueFor(
+    int target_index) {
+  std::lock_guard<std::mutex> lock(batch_mutex_);
+  auto& slot = batch_queues_[target_index];
+  if (slot == nullptr) slot = std::make_shared<TargetBatchQueue>();
+  return slot;
+}
+
+ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query) {
+  auto pending = std::make_shared<PendingOnDemand>();
+  pending->query = query;
+  std::future<ServedAnswerPtr> future = pending->promise.get_future();
+
+  if (!options_.batch_on_demand) {
+    SolveBatch({std::move(pending)});
+    return future.get();
+  }
+
+  // Protocol: enqueue, then loop until our promise resolves. Whoever finds
+  // no active runner solves exactly ONE batch (everything queued right then,
+  // always including its own unsolved entry) and hands runnership back via
+  // notify, so a request never drains a whole miss burst on behalf of later
+  // arrivals. No wakeup can be missed: promises resolve outside the lock,
+  // but the runner reacquires it before notifying, and a waiter holds it
+  // from its readiness check until cv.wait releases it atomically.
+  std::shared_ptr<TargetBatchQueue> queue = BatchQueueFor(query.target_index);
+  std::unique_lock<std::mutex> lock(queue->mutex);
+  queue->waiting.push_back(std::move(pending));
+  for (;;) {
+    if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      return future.get();
+    }
+    if (queue->running) {
+      queue->cv.wait(lock);
+      continue;
+    }
+    queue->running = true;
+    std::vector<std::shared_ptr<PendingOnDemand>> batch;
+    batch.swap(queue->waiting);
+    lock.unlock();
+    try {
+      SolveBatch(std::move(batch));
+    } catch (...) {
+      // SolveBatch fulfills its promises even on failure; whatever still
+      // escaped must not leave `running` latched, or later misses would
+      // wait forever for a runner that never comes.
+      lock.lock();
+      queue->running = false;
+      queue->cv.notify_all();
+      throw;
+    }
+    lock.lock();
+    queue->running = false;
+    queue->cv.notify_all();
+  }
+}
+
+void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch) {
+  const Table& table = engine_->table();
+  stats_.on_demand_passes.fetch_add(1, std::memory_order_relaxed);
+  BumpMax(&stats_.max_batch, batch.size());
+
+  // Every promise MUST resolve, whatever the solver does -- followers block
+  // on them (nullptr means "fall back to the most specific stored speech").
+  SummarizerOptions options = summarizer_options_;
+  std::vector<std::vector<uint32_t>> rows;
+  bool shared_ok = true;
+  try {
+    // One shared scan resolves every query's row subset.
+    std::vector<const PredicateSet*> predicate_sets;
+    predicate_sets.reserve(batch.size());
+    for (const auto& pending : batch) {
+      predicate_sets.push_back(&pending->query.predicates);
+    }
+    rows = FilterRowsMulti(table, predicate_sets);
+
+    // The prior is shared too: under the default global-average prior every
+    // query in the batch uses the same constant, computed once per target
+    // ever (the table is immutable).
+    if (options.instance.prior_kind == PriorKind::kGlobalAverage) {
+      options.instance.prior_kind = PriorKind::kConstant;
+      options.instance.prior_value =
+          GlobalAveragePrior(batch[0]->query.target_index);
+    }
+  } catch (...) {
+    shared_ok = false;
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingOnDemand& pending = *batch[i];
+    ServedAnswerPtr answer;
+    if (shared_ok) {
+      try {
+        answer = SolveOne(pending.query, rows[i], options);
+      } catch (...) {
+        answer = nullptr;
+      }
+    }
+    pending.promise.set_value(std::move(answer));
+  }
+}
+
+ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
+                                     const std::vector<uint32_t>& rows,
+                                     const SummarizerOptions& options) {
+  Stopwatch watch;
+  auto instance = BuildInstanceFromRows(engine_->table(), query.predicates,
+                                        query.target_index, rows,
+                                        options.instance);
+  if (!instance.ok()) return nullptr;
+  auto prepared =
+      PreparedProblem::FromInstance(std::move(instance).value(), options);
+  if (!prepared.ok()) return nullptr;
+  SummaryResult result = prepared.value().Run(options);
+  Speech speech =
+      RenderSpeech(engine_->table(), prepared.value().instance(),
+                   prepared.value().catalog(), result, query.predicates);
+  stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.record_learned) {
+    std::lock_guard<std::mutex> lock(learned_mutex_);
+    if (learned_keys_.insert(query.Key()).second) {
+      learned_.push_back(StoredSpeech{query, speech});
+    }
+  }
+
+  auto answer = std::make_shared<ServedAnswer>();
+  answer->text = speech.text;
+  answer->source = AnswerSource::kOnDemand;
+  answer->answered = true;
+  answer->scaled_utility = speech.scaled_utility;
+  answer->compute_seconds = watch.ElapsedSeconds();
+  return answer;
+}
+
+double EngineHost::GlobalAveragePrior(int target_index) {
+  std::lock_guard<std::mutex> lock(prior_mutex_);
+  auto it = global_priors_.find(target_index);
+  if (it != global_priors_.end()) return it->second;
+  double prior = GlobalAverage(engine_->table(), target_index);
+  global_priors_.emplace(target_index, prior);
+  return prior;
+}
+
+std::vector<StoredSpeech> EngineHost::TakeLearned() {
+  std::lock_guard<std::mutex> lock(learned_mutex_);
+  std::vector<StoredSpeech> out;
+  out.swap(learned_);
+  // Keys stay recorded: a speech handed to the registry for persistence
+  // should not be re-learned (and re-flushed) if its cache entry is evicted
+  // and the query recomputed.
+  return out;
+}
+
+void EngineHost::RestoreLearned(std::vector<StoredSpeech> learned) {
+  std::lock_guard<std::mutex> lock(learned_mutex_);
+  for (auto& stored : learned) {
+    // Keys are already in learned_keys_ (TakeLearned kept them), so a plain
+    // re-append would duplicate entries a concurrent re-learn might have
+    // added; the key set guards persistence-level dedup, not this list.
+    bool already_pending = false;
+    for (const auto& pending : learned_) {
+      if (pending.query.Key() == stored.query.Key()) {
+        already_pending = true;
+        break;
+      }
+    }
+    if (!already_pending) learned_.push_back(std::move(stored));
+  }
+}
+
+size_t EngineHost::pending_learned() const {
+  std::lock_guard<std::mutex> lock(learned_mutex_);
+  return learned_.size();
+}
+
+HostStats EngineHost::stats() const {
+  HostStats out;
+  out.requests = stats_.requests.load(std::memory_order_relaxed);
+  out.queries = stats_.queries.load(std::memory_order_relaxed);
+  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
+  out.coalesced_waits = stats_.coalesced_waits.load(std::memory_order_relaxed);
+  out.store_exact_hits = stats_.store_exact_hits.load(std::memory_order_relaxed);
+  out.store_fallback_hits =
+      stats_.store_fallback_hits.load(std::memory_order_relaxed);
+  out.on_demand_summaries =
+      stats_.on_demand_summaries.load(std::memory_order_relaxed);
+  out.on_demand_passes = stats_.on_demand_passes.load(std::memory_order_relaxed);
+  out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  out.unanswerable = stats_.unanswerable.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace vq

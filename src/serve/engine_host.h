@@ -1,0 +1,209 @@
+// Per-engine answer path of the serving layer.
+//
+// An EngineHost owns everything needed to answer requests against ONE
+// pre-built (Table, Configuration, VoiceQueryEngine) triple: classification,
+// cache lookup keyed by the engine's configuration fingerprint, in-flight
+// coalescing, store lookup, batched on-demand summarization and the
+// most-specific-speech fallback. It deliberately owns no threads and no
+// cache: the worker pool, the sharded answer cache and the coalescer are
+// injected, so a RoutingService can run many hosts over one shared set of
+// resources while SummaryService wraps a single host with private ones.
+#ifndef VQ_SERVE_ENGINE_HOST_H_
+#define VQ_SERVE_ENGINE_HOST_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/summarizer.h"
+#include "engine/voice_engine.h"
+#include "serve/answer.h"
+#include "serve/cache.h"
+#include "serve/coalescer.h"
+
+namespace vq {
+namespace serve {
+
+/// Per-host behavior knobs (the per-request subset of ServiceOptions).
+struct HostOptions {
+  /// Run greedy summarization at request time for queries with no exact
+  /// pre-computed speech (instead of only falling back to the most specific
+  /// containing speech, as the bare engine does).
+  bool on_demand_summaries = true;
+  /// Group concurrent on-demand misses that share a target column and solve
+  /// them in one shared pass over the table (one row scan + one prior
+  /// computation per batch instead of per query).
+  bool batch_on_demand = true;
+  /// Cache "I have no summary..." outcomes too, shielding the optimizer
+  /// from repeated unanswerable queries.
+  bool cache_unanswerable = true;
+  /// TTL for cached unanswerable (negative) results; <= 0 keeps them until
+  /// LRU eviction. A bounded TTL lets answers learned later (store reloads,
+  /// new datasets) replace stale apologies.
+  double unanswerable_ttl_seconds = 0.0;
+  /// Record on-demand results for TakeLearned()/persistence. Off by default:
+  /// a host whose owner never drains the learned list must not grow it
+  /// without bound (RoutingService turns this on when its registry
+  /// persists).
+  bool record_learned = false;
+  /// Artificial per-request vocalization/transport latency, applied after
+  /// the answer is published. Stands in for the TTS + network time of a real
+  /// deployment; benches use it to measure how well workers overlap waiting.
+  double simulated_vocalize_seconds = 0.0;
+};
+
+/// One served response (a ServedAnswer plus per-request serving metadata).
+struct ServeResponse {
+  RequestType type = RequestType::kOther;
+  std::string text;
+  AnswerSource source = AnswerSource::kUnanswerable;
+  bool answered = false;    ///< a speech (not an apology) was produced
+  bool cache_hit = false;   ///< answered from the rendered-answer cache
+  bool coalesced = false;   ///< waited on another request's computation
+  double seconds = 0.0;     ///< total in-service time for this request
+};
+
+/// Monotonic per-host counters. `on_demand_summaries` increments exactly
+/// once per unique query that reached the optimizer (coalescing guarantees
+/// concurrent identical misses share one run); `on_demand_passes` counts
+/// shared table scans (one per solved batch), so batching makes it grow
+/// slower than `on_demand_summaries`.
+struct HostStats {
+  uint64_t requests = 0;
+  uint64_t queries = 0;  ///< requests classified as data-access queries
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t coalesced_waits = 0;
+  uint64_t store_exact_hits = 0;
+  uint64_t store_fallback_hits = 0;
+  uint64_t on_demand_summaries = 0;
+  uint64_t on_demand_passes = 0;  ///< shared table scans (batch solves)
+  uint64_t max_batch = 0;         ///< largest batch solved so far
+  uint64_t unanswerable = 0;
+};
+
+/// \brief The per-engine serving path over injected shared resources.
+///
+/// The engine, cache and coalescer must outlive the host; the engine must
+/// not be mutated while the host is answering (VoiceQueryEngine contract).
+/// All public methods are thread-safe. The host is sessionless (see
+/// SummaryService for the rationale).
+class EngineHost {
+ public:
+  EngineHost(std::string name, const VoiceQueryEngine* engine,
+             ShardedSummaryCache* cache, InflightCoalescer* coalescer,
+             HostOptions options = {});
+
+  EngineHost(const EngineHost&) = delete;
+  EngineHost& operator=(const EngineHost&) = delete;
+
+  /// Answers one request on the caller's thread (workers call this).
+  ServeResponse Handle(const std::string& request);
+
+  /// Moves out the speeches learned through on-demand summarization since
+  /// the last call (deduplicated by query; empty unless
+  /// HostOptions::record_learned). DatasetRegistry persists them so a
+  /// restarted service keeps its incrementally learned answers.
+  std::vector<StoredSpeech> TakeLearned();
+
+  /// Returns speeches from a failed TakeLearned() consumer (e.g. a
+  /// persistence error) so the next flush can retry them.
+  void RestoreLearned(std::vector<StoredSpeech> learned);
+
+  /// Learned speeches currently pending a TakeLearned() flush.
+  size_t pending_learned() const;
+
+  const std::string& name() const { return name_; }
+  const VoiceQueryEngine& engine() const { return *engine_; }
+  /// Cache-key prefix: "<host name>:<config fingerprint>", so a shared
+  /// cache stays partitioned per host even across identical configurations.
+  const std::string& fingerprint() const { return fingerprint_; }
+  const HostOptions& options() const { return options_; }
+  HostStats stats() const;
+
+ private:
+  /// One on-demand miss waiting for (or running) a batch solve.
+  struct PendingOnDemand {
+    VoiceQuery query;
+    std::promise<ServedAnswerPtr> promise;
+  };
+  /// Per-target batch queue: misses enqueue; one of them is elected runner
+  /// for ONE batch at a time, then hands runnership to a woken waiter, so no
+  /// single request's latency grows with the length of a miss burst.
+  struct TargetBatchQueue {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool running = false;
+    std::vector<std::shared_ptr<PendingOnDemand>> waiting;
+  };
+
+  /// Computes the answer for a grounded query (store lookup, then on-demand
+  /// summarization, then most-specific fallback).
+  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query);
+
+  /// Entry point of the batched on-demand path. Returns nullptr when the
+  /// query could not be summarized (empty subset etc.) so the caller can
+  /// fall back to the most specific stored speech.
+  ServedAnswerPtr SolveOnDemand(const VoiceQuery& query);
+
+  /// Solves one batch of distinct same-target queries in a single shared
+  /// table pass and fulfills every promise (with nullptr on failure); never
+  /// leaves a promise unresolved.
+  void SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch);
+
+  /// Solves one query of a batch from its pre-filtered rows.
+  ServedAnswerPtr SolveOne(const VoiceQuery& query,
+                           const std::vector<uint32_t>& rows,
+                           const SummarizerOptions& options);
+
+  /// The global-average prior only depends on the (immutable) table and
+  /// target, so it is computed once per target and reused by every batch.
+  double GlobalAveragePrior(int target_index);
+
+  std::shared_ptr<TargetBatchQueue> BatchQueueFor(int target_index);
+
+  std::string name_;
+  const VoiceQueryEngine* engine_;
+  HostOptions options_;
+  SummarizerOptions summarizer_options_;
+  std::string fingerprint_;
+  ShardedSummaryCache* cache_;
+  InflightCoalescer* coalescer_;
+
+  std::mutex batch_mutex_;  ///< guards batch_queues_
+  std::unordered_map<int, std::shared_ptr<TargetBatchQueue>> batch_queues_;
+
+  std::mutex prior_mutex_;  ///< guards global_priors_
+  std::unordered_map<int, double> global_priors_;
+
+  mutable std::mutex learned_mutex_;  ///< guards learned_ + learned_keys_
+  std::vector<StoredSpeech> learned_;
+  std::unordered_set<std::string> learned_keys_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> coalesced_waits{0};
+    std::atomic<uint64_t> store_exact_hits{0};
+    std::atomic<uint64_t> store_fallback_hits{0};
+    std::atomic<uint64_t> on_demand_summaries{0};
+    std::atomic<uint64_t> on_demand_passes{0};
+    std::atomic<uint64_t> max_batch{0};
+    std::atomic<uint64_t> unanswerable{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_ENGINE_HOST_H_

@@ -1,0 +1,190 @@
+#include "serve/registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "serve/answer.h"
+
+namespace vq {
+namespace serve {
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Atomic replace: stream into a sibling temp file, then rename over the
+/// target, so a crash mid-write can never leave truncated JSON behind.
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp);
+    if (!out) return Status::IOError("cannot open '" + temp + "' for writing");
+    out << contents;
+    out.close();
+    if (!out) return Status::IOError("write to '" + temp + "' failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return Status::IOError("cannot replace '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(RegistryOptions options)
+    : options_(std::move(options)) {}
+
+Status DatasetRegistry::RegisterGenerated(const std::string& name,
+                                          Configuration config, size_t rows,
+                                          uint64_t seed,
+                                          const PreprocessOptions& options) {
+  VQ_ASSIGN_OR_RETURN(Table table, MakeDataset(config.table, rows, seed));
+  return RegisterTable(name, std::move(table), std::move(config), options);
+}
+
+Status DatasetRegistry::RegisterTable(const std::string& name, Table table,
+                                      Configuration config,
+                                      const PreprocessOptions& options) {
+  if (name.empty()) return Status::InvalidArgument("dataset name must not be empty");
+  if (index_.count(name) > 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->table = std::make_unique<Table>(std::move(table));
+  auto built =
+      VoiceQueryEngine::Build(entry->table.get(), std::move(config), options);
+  if (!built.ok()) return built.status();
+  entry->engine = std::make_unique<VoiceQueryEngine>(std::move(built).value());
+  VQ_RETURN_IF_ERROR(ReloadLearned(entry.get()));
+  index_.emplace(name, entries_.size());
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<std::string> DatasetRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry->name);
+  return out;
+}
+
+const DatasetRegistry::Entry* DatasetRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second].get();
+}
+
+const VoiceQueryEngine* DatasetRegistry::engine(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr ? entry->engine.get() : nullptr;
+}
+
+const Table* DatasetRegistry::table(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr ? entry->table.get() : nullptr;
+}
+
+VoiceQueryEngine* DatasetRegistry::mutable_engine(const std::string& name) {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return entries_[it->second]->engine.get();
+}
+
+size_t DatasetRegistry::learned_loaded(const std::string& name) const {
+  const Entry* entry = Find(name);
+  return entry != nullptr ? entry->learned_loaded : 0;
+}
+
+std::string DatasetRegistry::LearnedPath(const std::string& name) const {
+  return (std::filesystem::path(options_.learned_dir) / (name + ".learned.json"))
+      .string();
+}
+
+Status DatasetRegistry::ReloadLearned(Entry* entry) const {
+  if (options_.learned_dir.empty()) return Status::OK();
+  std::string path = LearnedPath(entry->name);
+  if (!std::filesystem::exists(path)) return Status::OK();
+  auto contents = ReadFile(path);
+  if (!contents.ok()) return contents.status();
+  auto json = Json::Parse(contents.value());
+  if (!json.ok()) {
+    // Learned speeches are an incremental optimization, never required for
+    // correctness: a corrupt file (e.g. written by a pre-atomic-write
+    // version) must not brick registration. Leave it for inspection; the
+    // next SaveLearned fails loudly on the parse error instead.
+    return Status::OK();
+  }
+  // Speeches learned under a DIFFERENT configuration (changed max_facts,
+  // prior, ...) are stale: the current config could never produce them.
+  // Files without a stamp (foreign/hand-edited) are treated the same way.
+  if (json.value().GetString("config_fingerprint", "") !=
+      ConfigFingerprint(entry->engine->config())) {
+    return Status::OK();
+  }
+  auto parsed = SpeechStore::FromJson(json.value(), *entry->table);
+  if (!parsed.ok()) return Status::OK();  // same rationale: skip, don't brick
+  const SpeechStore& learned = parsed.value();
+  SpeechStore* store = entry->engine->mutable_store();
+  for (const StoredSpeech& stored : learned.speeches()) {
+    // Pre-processed speeches win: a learned answer for a query the current
+    // configuration materializes is redundant (and possibly stale).
+    if (store->FindExact(stored.query) == nullptr) {
+      store->Put(stored);
+      ++entry->learned_loaded;
+    }
+  }
+  return Status::OK();
+}
+
+Status DatasetRegistry::SaveLearned(const std::string& name,
+                                    const std::vector<StoredSpeech>& learned) const {
+  if (options_.learned_dir.empty()) {
+    return Status::FailedPrecondition("registry has no learned_dir configured");
+  }
+  const Entry* entry = Find(name);
+  if (entry == nullptr) return Status::NotFound("dataset '" + name + "' unknown");
+  if (learned.empty()) return Status::OK();
+
+  // One read-merge-write at a time, or concurrent flushes would each merge
+  // into the same stale disk state and the last rename would win.
+  std::lock_guard<std::mutex> lock(save_mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(options_.learned_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create learned_dir '" + options_.learned_dir +
+                           "': " + ec.message());
+  }
+
+  // Merge with what is already on disk so repeated flushes accumulate --
+  // but only when the file was written under the SAME configuration; stale
+  // speeches from a previous config are dropped, not carried forward.
+  std::string fingerprint = ConfigFingerprint(entry->engine->config());
+  SpeechStore merged;
+  std::string path = LearnedPath(name);
+  if (std::filesystem::exists(path)) {
+    VQ_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
+    VQ_ASSIGN_OR_RETURN(Json json, Json::Parse(contents));
+    if (json.GetString("config_fingerprint", "") == fingerprint) {
+      VQ_ASSIGN_OR_RETURN(merged, SpeechStore::FromJson(json, *entry->table));
+    }
+  }
+  for (const StoredSpeech& stored : learned) merged.Put(stored);
+  Json out = merged.ToJson(*entry->table);
+  out.Set("config_fingerprint", Json::Str(fingerprint));
+  return WriteFileAtomic(path, out.Dump(2) + "\n");
+}
+
+}  // namespace serve
+}  // namespace vq

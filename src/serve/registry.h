@@ -1,0 +1,108 @@
+// Named (Table, Configuration, VoiceQueryEngine) triples for multi-dataset
+// serving.
+//
+// The paper pre-computes speeches for one table under one configuration; a
+// production voice assistant fronts many datasets at once. The registry owns
+// the per-dataset state the routing layer serves from: it builds tables from
+// the storage/datasets generators (or adopts caller-built ones), runs
+// pre-processing to fill each engine's speech store, and -- when a learned
+// directory is configured -- persists speeches learned through on-demand
+// summarization in the SpeechStore JSON form, reloading them at registration
+// time so a restarted service keeps its incrementally learned answers.
+#ifndef VQ_SERVE_REGISTRY_H_
+#define VQ_SERVE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/voice_engine.h"
+#include "storage/datasets.h"
+
+namespace vq {
+namespace serve {
+
+struct RegistryOptions {
+  /// Directory for persisted on-demand speeches ("<dir>/<name>.learned.json",
+  /// SpeechStore JSON form). Empty disables persistence. Created on first
+  /// save if missing.
+  std::string learned_dir;
+};
+
+/// \brief Owns the datasets a routing service answers from.
+///
+/// Registration (Register*/synonym setup) must finish before serving starts;
+/// afterwards the registry and its engines are immutable and may be shared
+/// by any number of threads (VoiceQueryEngine contract). Lookup is by the
+/// registration name, which must be unique and need not match the generator
+/// name -- the same generator may back several entries under different
+/// configurations.
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(RegistryOptions options = {});
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Builds `config.table` via storage/datasets' MakeDataset and registers
+  /// the engine pre-processed from it.
+  Status RegisterGenerated(const std::string& name, Configuration config,
+                           size_t rows, uint64_t seed,
+                           const PreprocessOptions& options = {});
+
+  /// Registers a caller-built table (adopted) under `name`.
+  Status RegisterTable(const std::string& name, Table table, Configuration config,
+                       const PreprocessOptions& options = {});
+
+  size_t size() const { return entries_.size(); }
+  /// True when a learned_dir is configured (SaveLearned can succeed).
+  bool persists_learned() const { return !options_.learned_dir.empty(); }
+  /// Registration names in registration order.
+  std::vector<std::string> Names() const;
+
+  /// nullptr when `name` is not registered.
+  const VoiceQueryEngine* engine(const std::string& name) const;
+  const Table* table(const std::string& name) const;
+  /// Pre-serving mutation access (synonym registration etc.).
+  VoiceQueryEngine* mutable_engine(const std::string& name);
+
+  /// Speeches reloaded from the learned file when `name` was registered.
+  size_t learned_loaded(const std::string& name) const;
+
+  /// Merges `learned` into the dataset's learned file (creating directory
+  /// and file as needed). Fails when persistence is disabled or the name is
+  /// unknown. Speeches for queries already in the file are replaced.
+  /// Thread-safe: the read-merge-write cycle is serialized registry-wide, so
+  /// concurrent flushes (even from several RoutingServices sharing this
+  /// registry) cannot overwrite each other's batches.
+  Status SaveLearned(const std::string& name,
+                     const std::vector<StoredSpeech>& learned) const;
+
+  /// Path of the learned file for `name` (valid even before it exists).
+  std::string LearnedPath(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Table> table;
+    std::unique_ptr<VoiceQueryEngine> engine;
+    size_t learned_loaded = 0;
+  };
+
+  const Entry* Find(const std::string& name) const;
+  /// Loads the persisted learned speeches (if any) into the entry's store.
+  Status ReloadLearned(Entry* entry) const;
+
+  RegistryOptions options_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string, size_t> index_;
+  /// Serializes SaveLearned's read-merge-write on the learned files.
+  mutable std::mutex save_mutex_;
+};
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_REGISTRY_H_

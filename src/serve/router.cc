@@ -1,0 +1,162 @@
+#include "serve/router.h"
+
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace vq {
+namespace serve {
+
+RoutingService::RoutingService(const DatasetRegistry* registry,
+                               RouterOptions options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.num_threads) {
+  HostOptions host_options = options_.host;
+  // Learned speeches are only recorded when someone can drain them --
+  // either the registry persists (FlushLearned) or the caller opted in.
+  host_options.record_learned =
+      host_options.record_learned || registry_->persists_learned();
+  for (const std::string& name : registry_->Names()) {
+    hosts_.push_back(std::make_unique<EngineHost>(
+        name, registry_->engine(name), &cache_, &coalescer_, host_options));
+    per_host_requests_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+RoutingService::~RoutingService() { Drain(); }
+
+std::future<RoutedResponse> RoutingService::Submit(std::string request) {
+  return pool_.SubmitTask(
+      [this, request = std::move(request)] { return Process(request); });
+}
+
+RoutedResponse RoutingService::AnswerNow(const std::string& request) {
+  return Process(request);
+}
+
+void RoutingService::Drain() { pool_.Wait(); }
+
+RoutingService::RouteDecision RoutingService::Route(
+    const std::string& request) const {
+  RouteDecision decision;
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    double score = hosts_[i]->engine().extractor().Coverage(request).Score();
+    // Strictly greater keeps ties on the first-registered dataset, so
+    // routing is deterministic under any registration order.
+    if (score > decision.score) {
+      decision.host_index = static_cast<int>(i);
+      decision.score = score;
+    }
+  }
+  if (decision.score <= options_.min_route_score) {
+    decision.host_index = -1;
+  }
+  return decision;
+}
+
+RoutedResponse RoutingService::Process(const std::string& request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RoutedResponse out;
+  RouteDecision decision = Route(request);
+  if (decision.host_index >= 0) {
+    routed_.fetch_add(1, std::memory_order_relaxed);
+    per_host_requests_[static_cast<size_t>(decision.host_index)]->fetch_add(
+        1, std::memory_order_relaxed);
+    EngineHost& host = *hosts_[static_cast<size_t>(decision.host_index)];
+    out.response = host.Handle(request);
+    out.dataset = host.name();
+    out.routed = true;
+    out.route_score = decision.score;
+    return out;
+  }
+
+  // No dataset's vocabulary covers the request. Help/repeat/other are still
+  // classified (keyword rules need no vocabulary) so the caller gets the
+  // canned responses instead of a crash or a silent drop; query-shaped text
+  // that grounds nowhere falls out as not-understood/unanswerable.
+  unrouted_.fetch_add(1, std::memory_order_relaxed);
+  Stopwatch watch;
+  if (!hosts_.empty()) {
+    ClassifiedRequest classified =
+        hosts_[0]->engine().classifier().Classify(request);
+    out.response.type = classified.type;
+  }
+  switch (out.response.type) {
+    case RequestType::kHelp:
+      out.response.text = HelpText();
+      break;
+    case RequestType::kRepeat:
+      out.response.text = VoiceQueryEngine::NothingToRepeatText();
+      break;
+    case RequestType::kSupportedQuery:
+    case RequestType::kUnsupportedQuery:
+      out.response.text = VoiceQueryEngine::NoSummaryText();
+      break;
+    case RequestType::kOther:
+      out.response.text = VoiceQueryEngine::NotUnderstoodText();
+      break;
+  }
+  out.response.source = AnswerSource::kUnanswerable;
+  out.response.answered = false;
+  out.response.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Status RoutingService::FlushLearned() {
+  // One flush at a time: concurrent read-merge-write cycles on the learned
+  // files would lose whichever batch reads the stale disk state.
+  std::lock_guard<std::mutex> lock(flush_mutex_);
+  Status first_error;
+  for (auto& host : hosts_) {
+    std::vector<StoredSpeech> learned = host->TakeLearned();
+    if (learned.empty()) continue;
+    Status st = registry_->SaveLearned(host->name(), learned);
+    if (!st.ok()) {
+      // The speeches are not on disk; hand them back so a later flush can
+      // retry instead of silently dropping them.
+      host->RestoreLearned(std::move(learned));
+      if (first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+EngineHost* RoutingService::host(const std::string& name) {
+  for (auto& host : hosts_) {
+    if (host->name() == name) return host.get();
+  }
+  return nullptr;
+}
+
+RouterStats RoutingService::stats() const {
+  RouterStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.routed = routed_.load(std::memory_order_relaxed);
+  out.unrouted = unrouted_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < hosts_.size(); ++i) {
+    out.per_dataset.emplace_back(
+        hosts_[i]->name(), per_host_requests_[i]->load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::string RoutingService::HelpText() const {
+  std::string text;
+  if (hosts_.size() == 1) {
+    text = "You can ask about the " + hosts_[0]->name() + " data set.";
+  } else {
+    text = "You can ask about " + std::to_string(hosts_.size()) + " data sets:";
+    for (size_t i = 0; i < hosts_.size(); ++i) {
+      text += (i == 0 ? " " : i + 1 == hosts_.size() ? " and " : ", ");
+      text += hosts_[i]->name();
+    }
+    text += ".";
+  }
+  text += " Ask for an average value, optionally narrowed down by filters.";
+  return text;
+}
+
+}  // namespace serve
+}  // namespace vq

@@ -1,0 +1,125 @@
+// Multi-dataset request routing over a fleet of EngineHosts.
+//
+// Each request is scored against every registered dataset's NLU vocabulary
+// (QueryExtractor::Coverage) and dispatched to the best-covered host, so the
+// caller never names a dataset: "cancelled flights in February" finds the
+// flights engine, "visual impairment in Manhattan" the ACS one. All hosts
+// share one worker pool, one sharded answer cache (configuration
+// fingerprints keep keys disjoint) and one in-flight coalescer.
+#ifndef VQ_SERVE_ROUTER_H_
+#define VQ_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/engine_host.h"
+#include "serve/registry.h"
+#include "util/thread_pool.h"
+
+namespace vq {
+namespace serve {
+
+struct RouterOptions {
+  /// Worker threads shared by all hosts. 0 picks hardware concurrency.
+  size_t num_threads = 4;
+  /// Total rendered-answer cache entries across all shards (shared).
+  size_t cache_capacity = 1 << 14;
+  size_t cache_shards = 16;
+  /// Per-host behavior; applied to every host. The default enables a
+  /// bounded TTL on negative results so stale apologies age out of the
+  /// shared cache (a later store reload or registry change can then answer).
+  HostOptions host = {.unanswerable_ttl_seconds = 60.0};
+  /// A request routes only when the best coverage score exceeds this (and
+  /// at least one token grounded). 0 accepts any grounding.
+  double min_route_score = 0.0;
+};
+
+/// One routed response: the host's answer plus the routing decision.
+struct RoutedResponse {
+  ServeResponse response;
+  std::string dataset;       ///< registration name; empty when unrouted
+  bool routed = false;
+  double route_score = 0.0;  ///< winning VocabularyCoverage score
+};
+
+/// Aggregated router counters.
+struct RouterStats {
+  uint64_t requests = 0;
+  uint64_t routed = 0;
+  uint64_t unrouted = 0;
+  /// Requests dispatched per dataset, in registration order.
+  std::vector<std::pair<std::string, uint64_t>> per_dataset;
+};
+
+/// \brief Routes requests from a shared worker pool to per-dataset hosts.
+///
+/// The registry must outlive the service and must not change while the
+/// service is running (hosts hold engine pointers). All public methods are
+/// thread-safe. Destruction drains in-flight requests.
+class RoutingService {
+ public:
+  explicit RoutingService(const DatasetRegistry* registry,
+                          RouterOptions options = {});
+  ~RoutingService();
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Enqueues one request on the shared worker pool.
+  std::future<RoutedResponse> Submit(std::string request);
+
+  /// Routes and answers inline on the caller's thread.
+  RoutedResponse AnswerNow(const std::string& request);
+
+  /// Blocks until every submitted request has been answered.
+  void Drain();
+
+  /// The routing decision alone (exposed for tests and benches).
+  struct RouteDecision {
+    int host_index = -1;  ///< -1: no dataset covers the request
+    double score = 0.0;
+  };
+  RouteDecision Route(const std::string& request) const;
+
+  /// Flushes every host's learned on-demand speeches through the registry's
+  /// persistence (no-op entries are skipped). Returns the first error.
+  Status FlushLearned();
+
+  /// Host lookup by registration name; nullptr when unknown.
+  EngineHost* host(const std::string& name);
+
+  size_t num_hosts() const { return hosts_.size(); }
+  size_t num_threads() const { return pool_.NumThreads(); }
+  const ShardedSummaryCache& cache() const { return cache_; }
+  const InflightCoalescer& coalescer() const { return coalescer_; }
+  RouterStats stats() const;
+
+  /// Spoken help text enumerating the registered datasets.
+  std::string HelpText() const;
+
+ private:
+  RoutedResponse Process(const std::string& request);
+
+  const DatasetRegistry* registry_;
+  RouterOptions options_;
+  ShardedSummaryCache cache_;
+  InflightCoalescer coalescer_;
+  std::vector<std::unique_ptr<EngineHost>> hosts_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> per_host_requests_;
+  /// Serializes FlushLearned: the registry's file merge is read-modify-write.
+  std::mutex flush_mutex_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> routed_{0};
+  std::atomic<uint64_t> unrouted_{0};
+  ThreadPool pool_;
+};
+
+}  // namespace serve
+}  // namespace vq
+
+#endif  // VQ_SERVE_ROUTER_H_

@@ -1,198 +1,42 @@
 #include "serve/service.h"
 
-#include <chrono>
-#include <thread>
 #include <utility>
-
-#include "speech/speech.h"
-#include "util/stopwatch.h"
 
 namespace vq {
 namespace serve {
 
-namespace {
-
-ServedAnswerPtr AnswerFromStored(const StoredSpeech& stored, AnswerSource source,
-                                 double compute_seconds) {
-  auto answer = std::make_shared<ServedAnswer>();
-  answer->text = stored.speech.text;
-  answer->source = source;
-  answer->answered = true;
-  answer->scaled_utility = stored.speech.scaled_utility;
-  answer->compute_seconds = compute_seconds;
-  return answer;
-}
-
-}  // namespace
-
 SummaryService::SummaryService(const VoiceQueryEngine* engine,
                                ServiceOptions options)
-    : engine_(engine),
-      options_(options),
-      fingerprint_(ConfigFingerprint(engine->config())),
-      cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads) {
-  // On-demand problems must be solved exactly like the pre-processor's, so
-  // an on-demand answer for a materialized query reproduces the stored text.
-  const Configuration& config = engine_->config();
-  summarizer_options_.max_facts = config.max_facts;
-  summarizer_options_.max_fact_dims = config.max_fact_dims;
-  summarizer_options_.algorithm = Algorithm::kGreedyOptimized;
-  summarizer_options_.instance.prior_kind = config.prior;
-  summarizer_options_.instance.prior_value = config.prior_value;
-}
+    : cache_(options.cache_capacity, options.cache_shards),
+      host_(engine->config().table, engine, &cache_, &coalescer_, options.host),
+      pool_(options.num_threads) {}
 
 SummaryService::~SummaryService() { Drain(); }
 
 std::future<ServeResponse> SummaryService::Submit(std::string request) {
   return pool_.SubmitTask(
-      [this, request = std::move(request)] { return Process(request); });
+      [this, request = std::move(request)] { return host_.Handle(request); });
 }
 
 ServeResponse SummaryService::AnswerNow(const std::string& request) {
-  return Process(request);
+  return host_.Handle(request);
 }
 
 void SummaryService::Drain() { pool_.Wait(); }
 
-ServeResponse SummaryService::Process(const std::string& request) {
-  Stopwatch watch;
-  stats_.requests.fetch_add(1, std::memory_order_relaxed);
-  ServeResponse response;
-  ClassifiedRequest classified = engine_->classifier().Classify(request);
-  response.type = classified.type;
-
-  switch (classified.type) {
-    case RequestType::kHelp:
-      response.text = engine_->HelpText();
-      break;
-    case RequestType::kRepeat:
-      // The service is sessionless; per-user repeat memory lives in the
-      // connection layer (VoiceQueryEngine::Session).
-      response.text = VoiceQueryEngine::NothingToRepeatText();
-      break;
-    case RequestType::kOther:
-      response.text = VoiceQueryEngine::NotUnderstoodText();
-      break;
-    case RequestType::kSupportedQuery:
-    case RequestType::kUnsupportedQuery: {
-      stats_.queries.fetch_add(1, std::memory_order_relaxed);
-      VoiceQuery query = engine_->GroundQuery(classified);
-      std::string key = CanonicalQueryKey(fingerprint_, query);
-
-      ServedAnswerPtr answer = cache_.Get(key);
-      if (answer != nullptr) {
-        stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-        response.cache_hit = true;
-      } else {
-        stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
-        InflightCoalescer::Ticket ticket = coalescer_.Join(key);
-        if (ticket.leader) {
-          // Double-checked miss: between our Get and winning leadership, a
-          // previous leader may have computed, cached and retired this key.
-          // Without the re-check we would run a second summarization and
-          // break the exactly-once-per-unique-query guarantee.
-          answer = cache_.Get(key);
-          if (answer == nullptr) {
-            try {
-              answer = ComputeAnswer(query);
-            } catch (...) {
-              // Followers block until Fulfill (coalescer contract); never
-              // leave them hanging, whatever ComputeAnswer threw.
-              auto failed = std::make_shared<ServedAnswer>();
-              failed->text = VoiceQueryEngine::NoSummaryText();
-              failed->source = AnswerSource::kUnanswerable;
-              coalescer_.Fulfill(key, failed);
-              throw;
-            }
-            if (answer->answered || options_.cache_unanswerable) {
-              cache_.Put(key, answer);
-            }
-          }
-          coalescer_.Fulfill(key, answer);
-        } else {
-          stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
-          response.coalesced = true;
-          answer = ticket.result.get();
-        }
-      }
-      response.text = answer->text;
-      response.source = answer->source;
-      response.answered = answer->answered;
-      break;
-    }
-  }
-
-  if (options_.simulated_vocalize_seconds > 0.0) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(options_.simulated_vocalize_seconds));
-  }
-  response.seconds = watch.ElapsedSeconds();
-  return response;
-}
-
-ServedAnswerPtr SummaryService::ComputeAnswer(const VoiceQuery& query) {
-  Stopwatch watch;
-  const SpeechStore& store = engine_->store();
-
-  const StoredSpeech* exact = store.FindExact(query);
-  if (exact != nullptr) {
-    stats_.store_exact_hits.fetch_add(1, std::memory_order_relaxed);
-    return AnswerFromStored(*exact, AnswerSource::kStoreExact,
-                            watch.ElapsedSeconds());
-  }
-
-  if (options_.on_demand_summaries && query.target_index >= 0) {
-    auto prepared = PreparedProblem::Prepare(engine_->table(), query.predicates,
-                                             query.target_index,
-                                             summarizer_options_);
-    if (prepared.ok()) {
-      SummaryResult result = prepared.value().Run(summarizer_options_);
-      Speech speech =
-          RenderSpeech(engine_->table(), prepared.value().instance(),
-                       prepared.value().catalog(), result, query.predicates);
-      stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
-      auto answer = std::make_shared<ServedAnswer>();
-      answer->text = speech.text;
-      answer->source = AnswerSource::kOnDemand;
-      answer->answered = true;
-      answer->scaled_utility = speech.scaled_utility;
-      answer->compute_seconds = watch.ElapsedSeconds();
-      return answer;
-    }
-    // Empty subset or unsolvable instance: fall through to the engine's
-    // most-specific-containing-speech behavior.
-  }
-
-  const StoredSpeech* best = store.FindBest(query);
-  if (best != nullptr) {
-    stats_.store_fallback_hits.fetch_add(1, std::memory_order_relaxed);
-    return AnswerFromStored(*best, AnswerSource::kStoreFallback,
-                            watch.ElapsedSeconds());
-  }
-
-  stats_.unanswerable.fetch_add(1, std::memory_order_relaxed);
-  auto answer = std::make_shared<ServedAnswer>();
-  answer->text = VoiceQueryEngine::NoSummaryText();
-  answer->source = AnswerSource::kUnanswerable;
-  answer->answered = false;
-  answer->compute_seconds = watch.ElapsedSeconds();
-  return answer;
-}
-
 ServiceStats SummaryService::stats() const {
+  HostStats host = host_.stats();
   ServiceStats out;
-  out.requests = stats_.requests.load(std::memory_order_relaxed);
-  out.queries = stats_.queries.load(std::memory_order_relaxed);
-  out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
-  out.cache_misses = stats_.cache_misses.load(std::memory_order_relaxed);
-  out.coalesced_waits = stats_.coalesced_waits.load(std::memory_order_relaxed);
-  out.store_exact_hits = stats_.store_exact_hits.load(std::memory_order_relaxed);
-  out.store_fallback_hits =
-      stats_.store_fallback_hits.load(std::memory_order_relaxed);
-  out.on_demand_summaries =
-      stats_.on_demand_summaries.load(std::memory_order_relaxed);
-  out.unanswerable = stats_.unanswerable.load(std::memory_order_relaxed);
+  out.requests = host.requests;
+  out.queries = host.queries;
+  out.cache_hits = host.cache_hits;
+  out.cache_misses = host.cache_misses;
+  out.coalesced_waits = host.coalesced_waits;
+  out.store_exact_hits = host.store_exact_hits;
+  out.store_fallback_hits = host.store_fallback_hits;
+  out.on_demand_summaries = host.on_demand_summaries;
+  out.on_demand_passes = host.on_demand_passes;
+  out.unanswerable = host.unanswerable;
   return out;
 }
 

@@ -1,4 +1,4 @@
-// Multi-threaded summary-serving front end.
+// Multi-threaded summary-serving front end over one pre-built engine.
 //
 // Turns the single-shot VoiceQueryEngine into a concurrent service: requests
 // fan out over a worker pool, answers are memoized in a sharded LRU cache,
@@ -7,59 +7,45 @@
 // configuration's dimensions, for example) are answered by running the
 // greedy summarizer on demand -- a scenario the bare engine can only
 // approximate with a less specific stored speech.
+//
+// The actual answer path lives in EngineHost (serve/engine_host.h);
+// SummaryService is the single-dataset wrapper that pairs one host with a
+// private pool, cache and coalescer. Multi-dataset deployments use
+// DatasetRegistry + RoutingService (serve/registry.h, serve/router.h), which
+// run many hosts over shared resources.
 #ifndef VQ_SERVE_SERVICE_H_
 #define VQ_SERVE_SERVICE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <future>
-#include <memory>
 #include <string>
 
-#include "core/summarizer.h"
 #include "engine/voice_engine.h"
 #include "serve/answer.h"
 #include "serve/cache.h"
 #include "serve/coalescer.h"
+#include "serve/engine_host.h"
 #include "util/thread_pool.h"
 
 namespace vq {
 namespace serve {
 
-/// Service construction knobs.
+/// Service construction knobs: the pool/cache sizing plus the wrapped
+/// host's per-request behavior (on-demand summarization, batching, negative
+/// caching/TTL, simulated vocalization -- see HostOptions).
 struct ServiceOptions {
   /// Worker threads answering requests. 0 picks hardware concurrency.
   size_t num_threads = 4;
   /// Total rendered-answer cache entries across all shards.
   size_t cache_capacity = 4096;
   size_t cache_shards = 16;
-  /// Run greedy summarization at request time for queries with no exact
-  /// pre-computed speech (instead of only falling back to the most specific
-  /// containing speech, as the bare engine does).
-  bool on_demand_summaries = true;
-  /// Cache "I have no summary..." outcomes too, shielding the optimizer
-  /// from repeated unanswerable queries.
-  bool cache_unanswerable = true;
-  /// Artificial per-request vocalization/transport latency, applied after
-  /// the answer is published. Stands in for the TTS + network time of a real
-  /// deployment; benches use it to measure how well workers overlap waiting.
-  double simulated_vocalize_seconds = 0.0;
+  /// Per-request behavior, passed to the wrapped EngineHost verbatim. If
+  /// you enable host.record_learned, drain via mutable_host()->TakeLearned()
+  /// periodically -- the learned list grows until taken.
+  HostOptions host;
 };
 
-/// One served response (a ServedAnswer plus per-request serving metadata).
-struct ServeResponse {
-  RequestType type = RequestType::kOther;
-  std::string text;
-  AnswerSource source = AnswerSource::kUnanswerable;
-  bool answered = false;    ///< a speech (not an apology) was produced
-  bool cache_hit = false;   ///< answered from the rendered-answer cache
-  bool coalesced = false;   ///< waited on another request's computation
-  double seconds = 0.0;     ///< total in-service time for this request
-};
-
-/// Monotonic service counters. `on_demand_summaries` increments exactly once
-/// per unique query that reached the optimizer (coalescing guarantees
-/// concurrent identical misses share one run).
+/// Monotonic service counters (the wrapped host's stats; see HostStats).
 struct ServiceStats {
   uint64_t requests = 0;
   uint64_t queries = 0;  ///< requests classified as data-access queries
@@ -69,14 +55,15 @@ struct ServiceStats {
   uint64_t store_exact_hits = 0;
   uint64_t store_fallback_hits = 0;
   uint64_t on_demand_summaries = 0;
+  uint64_t on_demand_passes = 0;
   uint64_t unanswerable = 0;
 };
 
 /// \brief Concurrent serving loop over one pre-built engine.
 ///
 /// The engine must outlive the service and must not be mutated (no
-/// mutable_extractor() calls) while the service is running; see the
-/// VoiceQueryEngine thread-safety contract. All public methods are
+/// mutable_extractor()/mutable_store() calls) while the service is running;
+/// see the VoiceQueryEngine thread-safety contract. All public methods are
 /// thread-safe. The service is sessionless: "repeat that" requests are
 /// answered with the no-history response (per-user repeat state belongs to
 /// the connection layer above, which can keep a VoiceQueryEngine::Session).
@@ -101,37 +88,20 @@ class SummaryService {
   void Drain();
 
   ServiceStats stats() const;
+  const EngineHost& host() const { return host_; }
+  /// For draining learned speeches (TakeLearned) when record_learned is on;
+  /// persistence itself belongs to DatasetRegistry + RoutingService.
+  EngineHost* mutable_host() { return &host_; }
   const ShardedSummaryCache& cache() const { return cache_; }
   const InflightCoalescer& coalescer() const { return coalescer_; }
   size_t num_threads() const { return pool_.NumThreads(); }
-  const std::string& config_fingerprint() const { return fingerprint_; }
+  const std::string& config_fingerprint() const { return host_.fingerprint(); }
 
  private:
-  ServeResponse Process(const std::string& request);
-  /// Computes the answer for a grounded query (store lookup, then on-demand
-  /// summarization, then most-specific fallback).
-  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query);
-
-  const VoiceQueryEngine* engine_;
-  ServiceOptions options_;
-  SummarizerOptions summarizer_options_;
-  std::string fingerprint_;
   ShardedSummaryCache cache_;
   InflightCoalescer coalescer_;
+  EngineHost host_;
   ThreadPool pool_;
-
-  struct AtomicStats {
-    std::atomic<uint64_t> requests{0};
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> cache_misses{0};
-    std::atomic<uint64_t> coalesced_waits{0};
-    std::atomic<uint64_t> store_exact_hits{0};
-    std::atomic<uint64_t> store_fallback_hits{0};
-    std::atomic<uint64_t> on_demand_summaries{0};
-    std::atomic<uint64_t> unanswerable{0};
-  };
-  AtomicStats stats_;
 };
 
 }  // namespace serve

@@ -174,5 +174,31 @@ TEST_F(VoiceEngineTest, OtherRequests) {
   EXPECT_NE(response.text.find("did not understand"), std::string::npos);
 }
 
+TEST_F(VoiceEngineTest, StatefulOverloadIsSafeForConcurrentCallers) {
+  // The convenience overload shares one internal session; its callers are
+  // serialized on an internal mutex, so hammering it from several threads
+  // must neither crash nor produce torn speeches (run under the tsan preset
+  // to make this a real data-race check).
+  VoiceQueryEngine& engine = *engine_;
+  VoiceQueryEngine::Session warm;
+  const std::string expected = engine.Answer("delays in Winter", &warm).text;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&engine, &expected, &failures] {
+      for (int i = 0; i < 50; ++i) {
+        std::string text = engine.Answer("delays in Winter").text;
+        if (text != expected) failures.fetch_add(1);
+        // "repeat that" may observe any caller's last speech, but it must be
+        // a whole speech -- with a single query in flight, exactly this one.
+        std::string repeated = engine.Answer("repeat that").text;
+        if (repeated != expected) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 }  // namespace
 }  // namespace vq

@@ -83,5 +83,36 @@ TEST_F(ExtractorTest, PredicatesComeOutNormalized) {
   EXPECT_LT(q.predicates[0].dim, q.predicates[1].dim);
 }
 
+TEST_F(ExtractorTest, CoverageScoresGroundedRequestsAboveForeignOnes) {
+  // Fully grounded: target + one value, only a stop word besides.
+  VocabularyCoverage grounded = extractor_->Coverage("delays in Winter");
+  EXPECT_EQ(grounded.content_tokens, 2u);
+  EXPECT_EQ(grounded.grounded_tokens, 2u);
+  EXPECT_TRUE(grounded.matched_target);
+  EXPECT_EQ(grounded.matched_values, 1u);
+
+  // Partially grounded: "flights" is foreign to the running example schema.
+  VocabularyCoverage partial = extractor_->Coverage("how late are flights");
+  EXPECT_TRUE(partial.matched_target);
+  EXPECT_GT(partial.Score(), 0.0);
+  EXPECT_LT(partial.Score(), grounded.Score());
+
+  // Nothing grounds: the score must be exactly zero so routers can reject.
+  VocabularyCoverage foreign = extractor_->Coverage("quarterly revenue trends");
+  EXPECT_EQ(foreign.grounded_tokens, 0u);
+  EXPECT_EQ(foreign.Score(), 0.0);
+  // ...including the empty request.
+  EXPECT_EQ(extractor_->Coverage("").Score(), 0.0);
+  EXPECT_EQ(extractor_->Coverage("the of and").Score(), 0.0);
+}
+
+TEST_F(ExtractorTest, CoverageCountsMultiTokenPhrasesWhole) {
+  // "how late" is a registered two-token target synonym.
+  VocabularyCoverage coverage = extractor_->Coverage("how late in Winter");
+  EXPECT_EQ(coverage.grounded_tokens, 3u);  // "how late" + "winter"
+  EXPECT_EQ(coverage.content_tokens, 3u);   // "in" is a stop word
+  EXPECT_TRUE(coverage.matched_target);
+}
+
 }  // namespace
 }  // namespace vq

@@ -146,6 +146,46 @@ TEST(ShardedSummaryCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
             static_cast<uint64_t>(kThreads) * gets_per_thread);
 }
 
+TEST(ShardedSummaryCacheTest, TtlExpiresEntriesOnTheInjectedClock) {
+  double now = 100.0;
+  ShardedSummaryCache cache(/*capacity=*/8, /*num_shards=*/1,
+                            [&now] { return now; });
+  cache.Put("negative", MakeAnswer("no summary"), /*ttl_seconds=*/5.0);
+  cache.Put("positive", MakeAnswer("speech"));  // no TTL: never expires
+
+  ASSERT_NE(cache.Get("negative"), nullptr);
+  EXPECT_TRUE(cache.Contains("negative"));
+
+  now += 4.9;  // still inside the TTL
+  ASSERT_NE(cache.Get("negative"), nullptr);
+
+  now += 0.2;  // past Put-time + 5s
+  EXPECT_FALSE(cache.Contains("negative"));
+  EXPECT_EQ(cache.Get("negative"), nullptr);
+  // The expired entry is gone for good, and the drop was counted as both an
+  // expiration and a miss.
+  CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  now += 1e6;  // TTL-less entries survive any amount of time
+  ASSERT_NE(cache.Get("positive"), nullptr);
+}
+
+TEST(ShardedSummaryCacheTest, PutRefreshesTtl) {
+  double now = 0.0;
+  ShardedSummaryCache cache(4, 1, [&now] { return now; });
+  cache.Put("k", MakeAnswer("first"), 5.0);
+  now = 4.0;
+  cache.Put("k", MakeAnswer("second"), 5.0);  // new deadline: t=9
+  now = 8.0;
+  ASSERT_NE(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.Get("k")->text, "second");
+  now = 9.0;
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace vq

@@ -125,7 +125,7 @@ TEST_F(SummaryServiceTest, OnDemandSummarizesNonMaterializedQuery) {
 TEST_F(SummaryServiceTest, FallbackWhenOnDemandDisabled) {
   BuildEngine(RunningExampleConfig({"season"}));
   ServiceOptions options;
-  options.on_demand_summaries = false;
+  options.host.on_demand_summaries = false;
   SummaryService service(engine_.get(), options);
   ServeResponse response = service.AnswerNow("delays in the North");
   EXPECT_TRUE(response.answered);

@@ -1,5 +1,7 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -18,9 +20,64 @@ void PerfCounters::Add(const PerfCounters& other) {
 Evaluator::Evaluator(const SummaryInstance* instance, const FactCatalog* catalog)
     : instance_(instance), catalog_(catalog) {
   base_error_ = instance_->BaseError();
+  const SummaryInstance& inst = *instance_;
+  prior_dev_.resize(inst.num_rows);
+  prior_dev_weighted_.resize(inst.num_rows);
+  prior_block_weighted_.assign((inst.num_rows + 63) / 64, 0.0);
+  for (size_t r = 0; r < inst.num_rows; ++r) {
+    prior_dev_[r] = std::fabs(inst.prior - inst.target[r]);
+    prior_dev_weighted_[r] = prior_dev_[r] * inst.weight[r];
+    prior_block_weighted_[r >> 6] += prior_dev_weighted_[r];
+  }
 }
 
 double Evaluator::Error(std::span<const FactId> speech, ConflictModel model) const {
+  const SummaryInstance& inst = *instance_;
+  if (speech.empty()) return base_error_;
+  if (!catalog_->HasScopeBits()) return ErrorReference(speech, model);
+
+  // Word-at-a-time over the speech facts' scope bitsets: uncovered 64-row
+  // blocks reduce to one precomputed sum, covered rows resolve conflicts
+  // through the same ExpectedValue as the reference path.
+  size_t words = catalog_->ScopeWords();
+  std::vector<const uint64_t*> bits(speech.size());
+  std::vector<double> all_values(speech.size());
+  for (size_t f = 0; f < speech.size(); ++f) {
+    bits[f] = catalog_->ScopeBits(speech[f]).data();
+    all_values[f] = catalog_->fact(speech[f]).value;
+  }
+  std::vector<double> relevant;
+  relevant.reserve(speech.size());
+  double error = 0.0;
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t covered = 0;
+    for (const uint64_t* fact_bits : bits) covered |= fact_bits[w];
+    if (covered == 0) {
+      error += prior_block_weighted_[w];
+      continue;
+    }
+    size_t base = w << 6;
+    size_t end = std::min(base + 64, inst.num_rows);
+    for (size_t r = base; r < end; ++r) {
+      uint64_t bit = uint64_t{1} << (r - base);
+      if ((covered & bit) == 0) {
+        error += prior_dev_weighted_[r];
+        continue;
+      }
+      relevant.clear();
+      for (size_t f = 0; f < speech.size(); ++f) {
+        if (bits[f][w] & bit) relevant.push_back(all_values[f]);
+      }
+      double expected =
+          ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+      error += std::fabs(expected - inst.target[r]) * inst.weight[r];
+    }
+  }
+  return error;
+}
+
+double Evaluator::ErrorReference(std::span<const FactId> speech,
+                                 ConflictModel model) const {
   const SummaryInstance& inst = *instance_;
   double error = 0.0;
   std::vector<double> relevant;
@@ -43,8 +100,8 @@ double Evaluator::Utility(std::span<const FactId> speech, ConflictModel model) c
   return base_error_ - Error(speech, model);
 }
 
-std::vector<double> Evaluator::RowExpectations(std::span<const FactId> speech,
-                                               ConflictModel model) const {
+std::vector<double> Evaluator::RowExpectationsReference(
+    std::span<const FactId> speech, ConflictModel model) const {
   const SummaryInstance& inst = *instance_;
   std::vector<double> out(inst.num_rows, inst.prior);
   std::vector<double> relevant;
@@ -60,7 +117,66 @@ std::vector<double> Evaluator::RowExpectations(std::span<const FactId> speech,
   return out;
 }
 
+std::vector<double> Evaluator::RowExpectations(std::span<const FactId> speech,
+                                               ConflictModel model) const {
+  const SummaryInstance& inst = *instance_;
+  std::vector<double> out(inst.num_rows, inst.prior);
+  if (speech.empty()) return out;
+  if (!catalog_->HasScopeBits()) return RowExpectationsReference(speech, model);
+  size_t words = catalog_->ScopeWords();
+  std::vector<const uint64_t*> bits(speech.size());
+  std::vector<double> all_values(speech.size());
+  for (size_t f = 0; f < speech.size(); ++f) {
+    bits[f] = catalog_->ScopeBits(speech[f]).data();
+    all_values[f] = catalog_->fact(speech[f]).value;
+  }
+  std::vector<double> relevant;
+  relevant.reserve(speech.size());
+  for (size_t w = 0; w < words; ++w) {
+    uint64_t covered = 0;
+    for (const uint64_t* fact_bits : bits) covered |= fact_bits[w];
+    // Uncovered rows keep the prior they were initialized with.
+    size_t base = w << 6;
+    while (covered != 0) {
+      size_t r = base + static_cast<size_t>(std::countr_zero(covered));
+      covered &= covered - 1;
+      uint64_t bit = uint64_t{1} << (r - base);
+      relevant.clear();
+      for (size_t f = 0; f < speech.size(); ++f) {
+        if (bits[f][w] & bit) relevant.push_back(all_values[f]);
+      }
+      out[r] = ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+    }
+  }
+  return out;
+}
+
 std::vector<double> Evaluator::SingleFactUtilities(PerfCounters* counters) const {
+  const SummaryInstance& inst = *instance_;
+  std::vector<double> utilities(catalog_->NumFacts(), 0.0);
+  for (uint32_t g = 0; g < catalog_->NumGroups(); ++g) {
+    const FactGroup& group = catalog_->group(g);
+    for (uint32_t i = 0; i < group.num_facts; ++i) {
+      FactId id = group.first_fact + i;
+      double value = catalog_->fact(id).value;
+      double utility = 0.0;
+      std::span<const uint32_t> scope = catalog_->ScopeRows(id);
+      for (uint32_t r : scope) {
+        double gain = prior_dev_[r] - std::fabs(value - inst.target[r]);
+        if (gain > 0.0) utility += gain * inst.weight[r];
+      }
+      utilities[id] = utility;
+      // Scope popcounts within a group sum to the block size, so this
+      // charges exactly what the seed's one-pass-per-group join charged.
+      if (counters != nullptr) counters->join_rows += scope.size();
+    }
+    if (counters != nullptr) ++counters->groups_joined;
+  }
+  return utilities;
+}
+
+std::vector<double> Evaluator::SingleFactUtilitiesReference(
+    PerfCounters* counters) const {
   const SummaryInstance& inst = *instance_;
   std::vector<double> utilities(catalog_->NumFacts(), 0.0);
   for (uint32_t g = 0; g < catalog_->NumGroups(); ++g) {
@@ -81,13 +197,11 @@ std::vector<double> Evaluator::SingleFactUtilities(PerfCounters* counters) const
 }
 
 GreedyState::GreedyState(const Evaluator& evaluator) : evaluator_(&evaluator) {
-  const SummaryInstance& inst = evaluator.instance();
-  row_deviation_.resize(inst.num_rows);
-  current_error_ = 0.0;
-  for (size_t r = 0; r < inst.num_rows; ++r) {
-    row_deviation_[r] = std::fabs(inst.prior - inst.target[r]);
-    current_error_ += row_deviation_[r] * inst.weight[r];
-  }
+  // The evaluator already computed both the per-row prior deviations and
+  // their weighted sum (same terms, same order -- bit-identical).
+  std::span<const double> prior_dev = evaluator.PriorDeviations();
+  row_deviation_.assign(prior_dev.begin(), prior_dev.end());
+  current_error_ = evaluator.BaseError();
 }
 
 std::pair<double, FactId> GreedyState::AccumulateGroupGains(
@@ -139,9 +253,9 @@ void GreedyState::ApplyFact(FactId id) {
   const SummaryInstance& inst = evaluator_->instance();
   const FactCatalog& catalog = evaluator_->catalog();
   const Fact& fact = catalog.fact(id);
-  const FactGroup& group = catalog.group(fact.group);
-  for (size_t r = 0; r < inst.num_rows; ++r) {
-    if (group.row_fact[r] != id) continue;
+  // Only rows within the fact's scope can change; the catalog's CSR scope
+  // rows visit exactly those (ascending, like the seed's full scan did).
+  for (uint32_t r : catalog.ScopeRows(id)) {
     double fact_dev = std::fabs(fact.value - inst.target[r]);
     if (fact_dev < row_deviation_[r]) {
       current_error_ -= (row_deviation_[r] - fact_dev) * inst.weight[r];

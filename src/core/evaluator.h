@@ -23,6 +23,10 @@ struct PerfCounters {
   uint64_t nodes_expanded = 0; ///< search-tree expansions (exact algorithm)
   uint64_t pruned_by_bound = 0;  ///< subtrees cut by the utility bound
 
+  /// Plain (non-atomic) accumulate. NOT safe for concurrent use: callers
+  /// merging counters produced on multiple threads must serialize the merge
+  /// (EngineHost does so under its perf mutex) or keep per-thread counters
+  /// and combine after joining.
   void Add(const PerfCounters& other);
 };
 
@@ -30,6 +34,14 @@ struct PerfCounters {
 ///
 /// All computations are weighted by the instance's row multiplicities, which
 /// is exactly equivalent to iterating the original rows.
+///
+/// Since the indexed-scan refactor the speech paths are bitset-vectorized:
+/// the catalog's per-fact scope bitsets are ORed into a per-word cover mask,
+/// whole 64-row blocks no speech fact touches reduce to one precomputed
+/// weighted prior-deviation sum, and only covered rows resolve conflicting
+/// facts. The initialization join iterates each fact's CSR scope rows.
+/// PerfCounters are charged from the scope popcounts, which sum to exactly
+/// the per-group row totals the seed implementation charged.
 class Evaluator {
  public:
   Evaluator(const SummaryInstance* instance, const FactCatalog* catalog);
@@ -56,10 +68,31 @@ class Evaluator {
   /// Algorithm 1, Line 6). Counters are charged to `counters` if non-null.
   std::vector<double> SingleFactUtilities(PerfCounters* counters = nullptr) const;
 
+  /// Row-at-a-time reference implementations (the seed code paths), kept so
+  /// the golden equivalence tests and bench/scan_throughput.cpp can compare
+  /// the vectorized paths against them -- and used as the execution path
+  /// when the catalog capped its scope bitsets (FactCatalog::HasScopeBits).
+  double ErrorReference(std::span<const FactId> speech,
+                        ConflictModel model = ConflictModel::kClosest) const;
+  std::vector<double> RowExpectationsReference(std::span<const FactId> speech,
+                                               ConflictModel model) const;
+  std::vector<double> SingleFactUtilitiesReference(
+      PerfCounters* counters = nullptr) const;
+
+  /// |prior - target[r]| per merged row, precomputed once (GreedyState
+  /// seeds its per-row deviation column from this instead of re-deriving).
+  std::span<const double> PriorDeviations() const { return prior_dev_; }
+
  private:
   const SummaryInstance* instance_;
   const FactCatalog* catalog_;
   double base_error_ = 0.0;
+  /// |prior - target[r]| and its weighted form, precomputed once.
+  std::vector<double> prior_dev_;
+  std::vector<double> prior_dev_weighted_;
+  /// Weighted prior deviation summed per 64-row block: the O(1) reduction
+  /// for blocks no speech fact covers.
+  std::vector<double> prior_block_weighted_;
 };
 
 /// \brief Mutable greedy state: per-row current deviation given the facts

@@ -41,6 +41,11 @@ Result<SpeechStore> Preprocess(const Table& table, const Configuration& config,
     results[i] = std::move(stored);
   };
 
+  // Every worker's scope materialization routes through the scan planner,
+  // which reads the table's inverted index; building it once up front keeps
+  // the first wave of parallel solves from serializing on the lazy build.
+  if (!queries.empty()) (void)table.index();
+
   if (options.pool != nullptr) {
     ParallelFor(options.pool, queries.size(), solve_one);
   } else {

@@ -69,6 +69,43 @@ Result<FactCatalog> FactCatalog::Build(const SummaryInstance& instance,
     catalog.mask_to_group_.emplace(mask, static_cast<uint32_t>(catalog.groups_.size()));
     catalog.groups_.push_back(std::move(group));
   }
+
+  // Materialize per-fact row membership from the scope joins: one flat
+  // bitset (bit r set iff the row is in scope) plus CSR row lists. Every
+  // group partitions the rows, so the CSR arrays hold exactly num_groups *
+  // num_rows entries and per-fact popcounts sum to num_rows within a group.
+  size_t num_facts = catalog.facts_.size();
+  size_t words = (instance.num_rows + 63) / 64;
+  catalog.scope_words_ = words;
+  // The flat bitset is num_facts * num_rows BITS -- quadratic when facts
+  // approach the row count -- so it is capped; the Evaluator falls back to
+  // its reference paths when HasScopeBits() is false.
+  catalog.has_scope_bits_ = num_facts * words <= kMaxScopeBitsWords;
+  if (catalog.has_scope_bits_) catalog.scope_bits_.assign(num_facts * words, 0);
+  catalog.scope_row_offsets_.assign(num_facts + 2, 0);
+  for (const FactGroup& group : catalog.groups_) {
+    for (size_t r = 0; r < instance.num_rows; ++r) {
+      ++catalog.scope_row_offsets_[group.row_fact[r] + 2];
+    }
+  }
+  for (size_t i = 2; i < catalog.scope_row_offsets_.size(); ++i) {
+    catalog.scope_row_offsets_[i] += catalog.scope_row_offsets_[i - 1];
+  }
+  catalog.scope_rows_.resize(catalog.groups_.size() * instance.num_rows);
+  // scope_row_offsets_[id + 1] doubles as the fill cursor of fact id during
+  // this pass; afterwards it has advanced to the fact's end offset, which is
+  // exactly what ScopeRows(id) expects.
+  for (const FactGroup& group : catalog.groups_) {
+    for (size_t r = 0; r < instance.num_rows; ++r) {
+      FactId id = group.row_fact[r];
+      catalog.scope_rows_[catalog.scope_row_offsets_[id + 1]++] =
+          static_cast<uint32_t>(r);
+      if (catalog.has_scope_bits_) {
+        catalog.scope_bits_[id * words + (r >> 6)] |= uint64_t{1} << (r & 63);
+      }
+    }
+  }
+  catalog.scope_row_offsets_.pop_back();
   return catalog;
 }
 

@@ -9,6 +9,7 @@
 #define VQ_FACTS_CATALOG_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -68,6 +69,39 @@ class FactCatalog {
   /// True if `row` of the instance is within the scope of `id`.
   bool RowInScope(size_t row, FactId id) const;
 
+  /// Words per fact in the row-membership bitsets (ceil(num_rows / 64)).
+  size_t ScopeWords() const { return scope_words_; }
+
+  /// True when per-fact scope bitsets were materialized. They cost
+  /// num_facts * num_rows bits -- quadratic when distinct value
+  /// combinations approach the row count -- so Build skips them past
+  /// kMaxScopeBitsWords and the Evaluator falls back to its row-at-a-time
+  /// reference paths (the CSR ScopeRows, whose size is bounded by the
+  /// scope joins themselves, are always available).
+  bool HasScopeBits() const { return has_scope_bits_; }
+
+  /// Cap on the bitset allocation: 1<<23 64-bit words = 64 MiB per catalog.
+  /// Instances in this problem merge far below it; the cap only disarms
+  /// adversarial cardinality/row combinations on the on-demand path.
+  static constexpr size_t kMaxScopeBitsWords = size_t{1} << 23;
+
+  /// Row-membership bitset of `id` over the merged instance block: bit r of
+  /// word r/64 is set iff instance row r is within the fact's scope. The
+  /// Evaluator ORs these per speech to split rows into covered/uncovered
+  /// word-at-a-time instead of re-checking scopes row by row.
+  /// Precondition: HasScopeBits().
+  std::span<const uint64_t> ScopeBits(FactId id) const {
+    return {scope_bits_.data() + id * scope_words_, scope_words_};
+  }
+
+  /// Ascending instance rows within the scope of `id` (the bitset's set
+  /// bits, CSR-packed). Scope-local loops (ApplyFact, the initialization
+  /// join) iterate these instead of scanning the whole block.
+  std::span<const uint32_t> ScopeRows(FactId id) const {
+    return {scope_rows_.data() + scope_row_offsets_[id],
+            scope_rows_.data() + scope_row_offsets_[id + 1]};
+  }
+
   /// Decodes a fact's scope as (dimension name, value string) pairs, using
   /// the source table's dictionaries.
   std::vector<std::pair<std::string, std::string>> DescribeScope(
@@ -77,6 +111,14 @@ class FactCatalog {
   std::vector<FactGroup> groups_;
   std::vector<Fact> facts_;
   std::unordered_map<uint32_t, uint32_t> mask_to_group_;
+  /// Per-fact row membership, precomputed once from the scope joins: flat
+  /// num_facts x scope_words_ bitset plus the same sets as CSR row lists
+  /// (exactly num_groups * num_rows entries -- each group partitions rows).
+  size_t scope_words_ = 0;
+  bool has_scope_bits_ = false;
+  std::vector<uint64_t> scope_bits_;
+  std::vector<uint32_t> scope_row_offsets_;
+  std::vector<uint32_t> scope_rows_;
 };
 
 }  // namespace vq

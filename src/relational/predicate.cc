@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "relational/scan_planner.h"
+
 namespace vq {
 
 Result<EqPredicate> MakePredicate(const Table& table, const std::string& dim_name,
@@ -40,26 +42,15 @@ bool RowMatches(const Table& table, size_t row, const PredicateSet& predicates) 
 }
 
 std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predicates) {
-  std::vector<uint32_t> out;
-  size_t n = table.NumRows();
-  for (size_t r = 0; r < n; ++r) {
-    if (RowMatches(table, r, predicates)) out.push_back(static_cast<uint32_t>(r));
-  }
-  return out;
+  // Planner-routed since the indexed-scan refactor: posting-list
+  // intersection when selective, vectorized column scan otherwise. Both
+  // paths return exactly what the seed row-at-a-time loop returned.
+  return PlannedFilterRows(table, predicates);
 }
 
 std::vector<std::vector<uint32_t>> FilterRowsMulti(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets) {
-  std::vector<std::vector<uint32_t>> out(predicate_sets.size());
-  size_t n = table.NumRows();
-  for (size_t r = 0; r < n; ++r) {
-    for (size_t q = 0; q < predicate_sets.size(); ++q) {
-      if (RowMatches(table, r, *predicate_sets[q])) {
-        out[q].push_back(static_cast<uint32_t>(r));
-      }
-    }
-  }
-  return out;
+  return PlannedFilterRowsMulti(table, predicate_sets);
 }
 
 bool IsSubsetOf(const PredicateSet& subset, const PredicateSet& superset) {

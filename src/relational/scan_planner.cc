@@ -1,0 +1,202 @@
+#include "relational/scan_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "storage/index.h"
+
+namespace vq {
+
+namespace {
+
+/// Galloping (exponential-probe) lower bound: first position in [lo, size)
+/// with list[pos] >= row. Doubles the step from the cursor before the binary
+/// search, so intersecting a short driver against a long list costs
+/// O(short * log(long / short)) instead of O(short * log(long)).
+size_t GallopLowerBound(std::span<const uint32_t> list, size_t lo, uint32_t row) {
+  size_t size = list.size();
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < size && list[hi] < row) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > size) hi = size;
+  const uint32_t* first = list.data() + lo;
+  const uint32_t* bound = std::lower_bound(first, list.data() + hi, row);
+  return static_cast<size_t>(bound - list.data());
+}
+
+/// In-place intersection of sorted `result` with sorted `list` by galloping.
+void GallopIntersect(std::vector<uint32_t>* result, std::span<const uint32_t> list) {
+  size_t kept = 0;
+  size_t cursor = 0;
+  for (uint32_t row : *result) {
+    cursor = GallopLowerBound(list, cursor, row);
+    if (cursor == list.size()) break;
+    if (list[cursor] == row) {
+      (*result)[kept++] = row;
+      ++cursor;
+    }
+  }
+  result->resize(kept);
+}
+
+}  // namespace
+
+const char* ScanStrategyName(ScanStrategy strategy) {
+  switch (strategy) {
+    case ScanStrategy::kAllRows: return "all-rows";
+    case ScanStrategy::kEmptyResult: return "empty";
+    case ScanStrategy::kPostings: return "postings";
+    case ScanStrategy::kColumnScan: return "column-scan";
+  }
+  return "unknown";
+}
+
+ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
+                  const ScanPlannerOptions& options) {
+  ScanPlan plan;
+  if (predicates.empty()) {
+    plan.strategy = ScanStrategy::kAllRows;
+    plan.estimated_rows = table.NumRows();
+    return plan;
+  }
+  const TableIndex& index = table.index();
+  size_t min_count = table.NumRows();
+  int driver = 0;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    const EqPredicate& p = predicates[i];
+    size_t count = index.Count(static_cast<size_t>(p.dim), p.value);
+    if (count == 0) {
+      plan.strategy = ScanStrategy::kEmptyResult;
+      plan.estimated_rows = 0;
+      return plan;
+    }
+    if (count < min_count) {
+      min_count = count;
+      driver = static_cast<int>(i);
+    }
+  }
+  plan.estimated_rows = min_count;
+  plan.driver = driver;
+  if (options.force_scan) {
+    plan.strategy = ScanStrategy::kColumnScan;
+    return plan;
+  }
+  // A single predicate is a posting-list copy -- never scan. Conjunctions
+  // use postings while the driver list is selective enough that galloping
+  // probes beat one comparison per table row.
+  bool selective = static_cast<double>(min_count) * options.cost_factor <=
+                   static_cast<double>(table.NumRows());
+  plan.strategy = (predicates.size() == 1 || selective) ? ScanStrategy::kPostings
+                                                        : ScanStrategy::kColumnScan;
+  return plan;
+}
+
+std::vector<uint32_t> FilterRowsPostings(const Table& table,
+                                         const PredicateSet& predicates) {
+  const TableIndex& index = table.index();
+  // Intersect in ascending posting-list length: the driver bounds the work
+  // of every later gallop.
+  std::vector<size_t> order(predicates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return index.Count(static_cast<size_t>(predicates[a].dim), predicates[a].value) <
+           index.Count(static_cast<size_t>(predicates[b].dim), predicates[b].value);
+  });
+  std::span<const uint32_t> driver = index.Postings(
+      static_cast<size_t>(predicates[order[0]].dim), predicates[order[0]].value);
+  std::vector<uint32_t> result(driver.begin(), driver.end());
+  for (size_t i = 1; i < order.size() && !result.empty(); ++i) {
+    const EqPredicate& p = predicates[order[i]];
+    GallopIntersect(&result, index.Postings(static_cast<size_t>(p.dim), p.value));
+  }
+  return result;
+}
+
+std::vector<uint32_t> FilterRowsColumnScan(const Table& table,
+                                           const PredicateSet& predicates) {
+  std::vector<uint32_t> result;
+  if (predicates.empty()) {
+    result.resize(table.NumRows());
+    std::iota(result.begin(), result.end(), 0);
+    return result;
+  }
+  // First predicate: tight scan over one contiguous code column.
+  {
+    const std::vector<ValueId>& column =
+        table.DimColumn(static_cast<size_t>(predicates[0].dim));
+    ValueId want = predicates[0].value;
+    for (size_t r = 0; r < column.size(); ++r) {
+      if (column[r] == want) result.push_back(static_cast<uint32_t>(r));
+    }
+  }
+  // Each further predicate refines the survivors against its column.
+  for (size_t i = 1; i < predicates.size() && !result.empty(); ++i) {
+    const std::vector<ValueId>& column =
+        table.DimColumn(static_cast<size_t>(predicates[i].dim));
+    ValueId want = predicates[i].value;
+    size_t kept = 0;
+    for (uint32_t row : result) {
+      if (column[row] == want) result[kept++] = row;
+    }
+    result.resize(kept);
+  }
+  return result;
+}
+
+std::vector<uint32_t> ExecuteScanPlan(const Table& table,
+                                      const PredicateSet& predicates,
+                                      const ScanPlan& plan) {
+  switch (plan.strategy) {
+    case ScanStrategy::kAllRows: {
+      std::vector<uint32_t> all(table.NumRows());
+      std::iota(all.begin(), all.end(), 0);
+      return all;
+    }
+    case ScanStrategy::kEmptyResult:
+      return {};
+    case ScanStrategy::kPostings:
+      return FilterRowsPostings(table, predicates);
+    case ScanStrategy::kColumnScan:
+      return FilterRowsColumnScan(table, predicates);
+  }
+  return FilterRowsColumnScan(table, predicates);
+}
+
+std::vector<uint32_t> PlannedFilterRows(const Table& table,
+                                        const PredicateSet& predicates,
+                                        const ScanPlannerOptions& options) {
+  return ExecuteScanPlan(table, predicates, PlanScan(table, predicates, options));
+}
+
+std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
+    const ScanPlannerOptions& options) {
+  std::vector<std::vector<uint32_t>> out(predicate_sets.size());
+  // Selective sets are answered from posting lists; the rest share one pass.
+  std::vector<size_t> scan_sets;
+  for (size_t q = 0; q < predicate_sets.size(); ++q) {
+    ScanPlan plan = PlanScan(table, *predicate_sets[q], options);
+    if (plan.strategy == ScanStrategy::kColumnScan) {
+      scan_sets.push_back(q);
+    } else {
+      out[q] = ExecuteScanPlan(table, *predicate_sets[q], plan);
+    }
+  }
+  if (!scan_sets.empty()) {
+    size_t n = table.NumRows();
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t q : scan_sets) {
+        if (RowMatches(table, r, *predicate_sets[q])) {
+          out[q].push_back(static_cast<uint32_t>(r));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace vq

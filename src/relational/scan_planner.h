@@ -1,0 +1,90 @@
+// Index-aware planning for conjunctive equality filters.
+//
+// Every subset the system materializes -- preprocessor query scopes, the
+// serving layer's on-demand misses, instance construction -- funnels through
+// FilterRows/FilterRowsMulti (relational/predicate.h). The planner answers
+// those through the table's inverted index (storage/index.h) when posting
+// lists are selective, by galloping intersection of the sorted lists; when
+// the per-(dim,value) counts say a pass over the columns is cheaper (barely
+// selective predicates), it falls back to a vectorized column scan. Both
+// paths emit row ids in ascending order, so results are bit-identical to the
+// seed row-at-a-time loop (tests/relational/scan_planner_test.cc proves this
+// by property testing all three).
+#ifndef VQ_RELATIONAL_SCAN_PLANNER_H_
+#define VQ_RELATIONAL_SCAN_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "storage/table.h"
+
+namespace vq {
+
+/// How a conjunctive filter will be executed.
+enum class ScanStrategy {
+  kAllRows,      ///< no predicates: emit every row id
+  kEmptyResult,  ///< some predicate's value occurs in no row (O(1) answer)
+  kPostings,     ///< galloping intersection of sorted posting lists
+  kColumnScan,   ///< vectorized column scan (the fallback path)
+};
+
+const char* ScanStrategyName(ScanStrategy strategy);
+
+/// One planned filter: the chosen strategy plus the index statistics that
+/// drove the decision (exposed for tests and the scan bench).
+struct ScanPlan {
+  ScanStrategy strategy = ScanStrategy::kColumnScan;
+  /// Length of the shortest posting list among the predicates; an upper
+  /// bound on (and estimate of) the result size.
+  size_t estimated_rows = 0;
+  /// Index into the predicate set of the shortest posting list (the
+  /// intersection driver); -1 for kAllRows/kEmptyResult.
+  int driver = -1;
+};
+
+/// Planner knobs (defaults tuned by bench/scan_throughput.cpp).
+struct ScanPlannerOptions {
+  /// Posting intersection is chosen when `shortest posting list *
+  /// cost_factor <= table rows` (each driver row costs ~one galloping probe
+  /// per extra predicate versus ~one comparison per table row for the scan).
+  /// A single predicate always uses its posting list: the answer is a copy.
+  double cost_factor = 4.0;
+  /// Forces kColumnScan (tests/benches measuring the fallback path).
+  bool force_scan = false;
+};
+
+/// Plans one conjunction against `table` (builds the table index on first
+/// use; the build is one pass per dimension, amortized over all queries).
+ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
+                  const ScanPlannerOptions& options = {});
+
+/// Executes `plan` for the predicates it was planned from.
+std::vector<uint32_t> ExecuteScanPlan(const Table& table,
+                                      const PredicateSet& predicates,
+                                      const ScanPlan& plan);
+
+/// Plan + execute in one call (what FilterRows routes through).
+std::vector<uint32_t> PlannedFilterRows(const Table& table,
+                                        const PredicateSet& predicates,
+                                        const ScanPlannerOptions& options = {});
+
+/// Batched variant behind FilterRowsMulti: predicate sets whose plan says
+/// kColumnScan share ONE pass over the table (the serving layer's batched
+/// on-demand contract), while selective sets are answered individually from
+/// posting lists.
+std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
+    const ScanPlannerOptions& options = {});
+
+/// The two execution paths, exposed for equivalence tests and benches.
+/// Postings: galloping intersection, shortest list first. Scan: one column
+/// at a time, first predicate's matches refined by each further column.
+std::vector<uint32_t> FilterRowsPostings(const Table& table,
+                                         const PredicateSet& predicates);
+std::vector<uint32_t> FilterRowsColumnScan(const Table& table,
+                                           const PredicateSet& predicates);
+
+}  // namespace vq
+
+#endif  // VQ_RELATIONAL_SCAN_PLANNER_H_

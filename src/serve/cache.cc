@@ -24,8 +24,9 @@ double SteadySeconds() {
 }  // namespace
 
 ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards,
-                                         Clock clock)
-    : clock_(clock ? std::move(clock) : Clock(&SteadySeconds)) {
+                                         Clock clock, size_t byte_budget)
+    : byte_budget_(byte_budget),
+      clock_(clock ? std::move(clock) : Clock(&SteadySeconds)) {
   capacity_ = std::max<size_t>(1, capacity);
   num_shards = RoundUpToPowerOfTwo(std::max<size_t>(1, num_shards));
   // More shards than entries would leave shards with zero budget.
@@ -34,12 +35,25 @@ ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards,
   // first (capacity_ % num_shards) shards take one extra entry.
   size_t base = capacity_ / num_shards;
   size_t remainder = capacity_ % num_shards;
+  // Keys hash uniformly onto shards, so an equal byte slice per shard keeps
+  // the global budget within one entry's size of exact.
+  size_t byte_slice = byte_budget > 0 ? std::max<size_t>(1, byte_budget / num_shards)
+                                      : 0;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (i < remainder ? 1 : 0);
+    shard->byte_budget = byte_slice;
     shards_.push_back(std::move(shard));
   }
+}
+
+size_t ShardedSummaryCache::EstimateEntryBytes(const std::string& key,
+                                               const ServedAnswerPtr& answer) {
+  // Key is stored twice (recency list + map), plus list/map node overhead.
+  size_t bytes = 2 * key.capacity() + sizeof(Entry) + 4 * sizeof(void*);
+  if (answer != nullptr) bytes += sizeof(ServedAnswer) + answer->text.capacity();
+  return bytes;
 }
 
 size_t ShardedSummaryCache::ShardIndex(const std::string& key) const {
@@ -55,6 +69,7 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
     return nullptr;
   }
   if (it->second->expires_at > 0.0 && Now() >= it->second->expires_at) {
+    shard.bytes -= it->second->bytes;
     shard.lru.erase(it->second);
     shard.index.erase(it);
     ++shard.stats.expirations;
@@ -70,23 +85,41 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
 void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
                               double ttl_seconds) {
   double expires_at = ttl_seconds > 0.0 ? Now() + ttl_seconds : 0.0;
+  size_t bytes = EstimateEntryBytes(key, answer);
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.bytes += bytes;
     it->second->answer = std::move(answer);
     it->second->expires_at = expires_at;
+    it->second->bytes = bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    return;
+  } else {
+    if (shard.lru.size() >= shard.capacity) {
+      shard.bytes -= shard.lru.back().bytes;
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.stats.evictions;
+    }
+    shard.lru.emplace_front(Entry{key, std::move(answer), expires_at, bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.stats.insertions;
   }
-  if (shard.lru.size() >= shard.capacity) {
-    shard.index.erase(shard.lru.back().key);
-    shard.lru.pop_back();
-    ++shard.stats.evictions;
+  // Size-aware eviction: drop LRU entries until back under the byte slice.
+  // The just-touched entry (front) always survives its own Put, so one
+  // oversized answer occupies the shard alone rather than wedging the loop.
+  if (shard.byte_budget > 0) {
+    while (shard.bytes > shard.byte_budget && shard.lru.size() > 1) {
+      shard.bytes -= shard.lru.back().bytes;
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++shard.stats.evictions;
+      ++shard.stats.byte_evictions;
+    }
   }
-  shard.lru.emplace_front(Entry{key, std::move(answer), expires_at});
-  shard.index.emplace(key, shard.lru.begin());
-  ++shard.stats.insertions;
 }
 
 bool ShardedSummaryCache::Contains(const std::string& key) const {
@@ -102,7 +135,17 @@ void ShardedSummaryCache::Clear() {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
+    shard->bytes = 0;
   }
+}
+
+size_t ShardedSummaryCache::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->bytes;
+  }
+  return total;
 }
 
 CacheStats ShardedSummaryCache::TotalStats() const {
@@ -114,6 +157,7 @@ CacheStats ShardedSummaryCache::TotalStats() const {
     total.insertions += shard->stats.insertions;
     total.evictions += shard->stats.evictions;
     total.expirations += shard->stats.expirations;
+    total.byte_evictions += shard->stats.byte_evictions;
   }
   return total;
 }

@@ -33,6 +33,9 @@ struct CacheStats {
   /// Entries dropped because their TTL had elapsed at lookup time (each such
   /// lookup also counts as a miss).
   uint64_t expirations = 0;
+  /// Subset of `evictions` forced by the byte budget rather than the entry
+  /// capacity (size-aware eviction).
+  uint64_t byte_evictions = 0;
 
   double HitRate() const {
     uint64_t lookups = hits + misses;
@@ -56,9 +59,15 @@ class ShardedSummaryCache {
   /// this value (each shard holds at least one entry). Shard count is
   /// rounded up to a power of two for mask-based routing, then halved while
   /// it exceeds the capacity. A default-constructed `clock` reads the steady
-  /// clock.
+  /// clock. `byte_budget` (0 = unlimited) bounds the total approximate heap
+  /// bytes across all shards: each shard gets an equal slice and evicts LRU
+  /// entries until back under it, so a few huge rendered answers cannot
+  /// monopolize memory that thousands of typical ones would share. The
+  /// newest entry of a shard is never evicted on its own insert -- an entry
+  /// larger than the whole slice occupies it alone until the next insert
+  /// (admission control is a separate, still-open policy).
   explicit ShardedSummaryCache(size_t capacity, size_t num_shards = 16,
-                               Clock clock = {});
+                               Clock clock = {}, size_t byte_budget = 0);
 
   ShardedSummaryCache(const ShardedSummaryCache&) = delete;
   ShardedSummaryCache& operator=(const ShardedSummaryCache&) = delete;
@@ -90,6 +99,15 @@ class ShardedSummaryCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
+  size_t byte_budget() const { return byte_budget_; }
+
+  /// Approximate bytes currently held across all shards.
+  size_t TotalBytes() const;
+
+  /// Approximate heap footprint charged for one entry (key + rendered text
+  /// + node bookkeeping); exposed so tests can reason about the budget.
+  static size_t EstimateEntryBytes(const std::string& key,
+                                   const ServedAnswerPtr& answer);
 
   /// Shard a key routes to (exposed so tests can pin keys to shards).
   size_t ShardIndex(const std::string& key) const;
@@ -100,6 +118,8 @@ class ShardedSummaryCache {
     ServedAnswerPtr answer;
     /// Absolute expiry on the cache clock; 0 = never expires.
     double expires_at = 0.0;
+    /// EstimateEntryBytes at insert time (the answer is immutable).
+    size_t bytes = 0;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -109,11 +129,14 @@ class ShardedSummaryCache {
     std::unordered_map<std::string, decltype(lru)::iterator> index;
     CacheStats stats;
     size_t capacity = 0;
+    size_t byte_budget = 0;  ///< 0 = unlimited
+    size_t bytes = 0;        ///< sum of Entry::bytes
   };
 
   double Now() const { return clock_(); }
 
   size_t capacity_;
+  size_t byte_budget_;
   Clock clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -236,7 +236,9 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch)
   std::vector<std::vector<uint32_t>> rows;
   bool shared_ok = true;
   try {
-    // One shared scan resolves every query's row subset.
+    // One planner-routed pass resolves every query's row subset: selective
+    // queries are answered from the table's posting lists, the rest share a
+    // single column scan (relational/scan_planner.h).
     std::vector<const PredicateSet*> predicate_sets;
     predicate_sets.reserve(batch.size());
     for (const auto& pending : batch) {
@@ -286,6 +288,12 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
       RenderSpeech(engine_->table(), prepared.value().instance(),
                    prepared.value().catalog(), result, query.predicates);
   stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Batches run concurrently on pool workers; PerfCounters::Add is a
+    // plain accumulate, so the merge must hold the host's perf mutex.
+    std::lock_guard<std::mutex> lock(perf_mutex_);
+    perf_.Add(result.counters);
+  }
 
   if (options_.record_learned) {
     std::lock_guard<std::mutex> lock(learned_mutex_);
@@ -310,6 +318,11 @@ double EngineHost::GlobalAveragePrior(int target_index) {
   double prior = GlobalAverage(engine_->table(), target_index);
   global_priors_.emplace(target_index, prior);
   return prior;
+}
+
+PerfCounters EngineHost::perf() const {
+  std::lock_guard<std::mutex> lock(perf_mutex_);
+  return perf_;
 }
 
 std::vector<StoredSpeech> EngineHost::TakeLearned() {

@@ -107,6 +107,14 @@ class EngineHost {
   /// Answers one request on the caller's thread (workers call this).
   ServeResponse Handle(const std::string& request);
 
+  /// Aggregated optimizer work counters (join/bound row visits, pruning
+  /// decisions) over every on-demand solve this host ran. Batches run
+  /// concurrently on pool worker threads, and PerfCounters::Add is a plain
+  /// non-atomic accumulate, so per-solve counters are merged under a host
+  /// mutex here -- never Add() into a shared PerfCounters from runner
+  /// threads directly (the serve-tsan preset guards this path).
+  PerfCounters perf() const;
+
   /// Moves out the speeches learned through on-demand summarization since
   /// the last call (deduplicated by query; empty unless
   /// HostOptions::record_learned). DatasetRegistry persists them so a
@@ -186,6 +194,9 @@ class EngineHost {
   mutable std::mutex learned_mutex_;  ///< guards learned_ + learned_keys_
   std::vector<StoredSpeech> learned_;
   std::unordered_set<std::string> learned_keys_;
+
+  mutable std::mutex perf_mutex_;  ///< guards perf_ (see perf())
+  PerfCounters perf_;
 
   struct AtomicStats {
     std::atomic<uint64_t> requests{0};

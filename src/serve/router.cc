@@ -11,7 +11,8 @@ RoutingService::RoutingService(const DatasetRegistry* registry,
                                RouterOptions options)
     : registry_(registry),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_(options.cache_capacity, options.cache_shards, {},
+             options.cache_byte_budget),
       pool_(options.num_threads) {
   HostOptions host_options = options_.host;
   // Learned speeches are only recorded when someone can drain them --

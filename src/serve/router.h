@@ -30,6 +30,9 @@ struct RouterOptions {
   /// Total rendered-answer cache entries across all shards (shared).
   size_t cache_capacity = 1 << 14;
   size_t cache_shards = 16;
+  /// Approximate byte budget for the shared cache (size-aware LRU
+  /// eviction); 0 = entry-count eviction only.
+  size_t cache_byte_budget = 0;
   /// Per-host behavior; applied to every host. The default enables a
   /// bounded TTL on negative results so stale apologies age out of the
   /// shared cache (a later store reload or registry change can then answer).

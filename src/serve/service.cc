@@ -7,7 +7,8 @@ namespace serve {
 
 SummaryService::SummaryService(const VoiceQueryEngine* engine,
                                ServiceOptions options)
-    : cache_(options.cache_capacity, options.cache_shards),
+    : cache_(options.cache_capacity, options.cache_shards, {},
+             options.cache_byte_budget),
       host_(engine->config().table, engine, &cache_, &coalescer_, options.host),
       pool_(options.num_threads) {}
 

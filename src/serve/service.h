@@ -39,6 +39,9 @@ struct ServiceOptions {
   /// Total rendered-answer cache entries across all shards.
   size_t cache_capacity = 4096;
   size_t cache_shards = 16;
+  /// Approximate byte budget for the cache across all shards (size-aware
+  /// LRU eviction); 0 = entry-count eviction only.
+  size_t cache_byte_budget = 0;
   /// Per-request behavior, passed to the wrapped EngineHost verbatim. If
   /// you enable host.record_learned, drain via mutable_host()->TakeLearned()
   /// periodically -- the learned list grows until taken.

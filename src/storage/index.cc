@@ -1,0 +1,52 @@
+#include "storage/index.h"
+
+#include "storage/table.h"
+
+namespace vq {
+
+TableIndex TableIndex::Build(const Table& table) {
+  TableIndex index;
+  index.num_rows_ = table.NumRows();
+  index.num_targets_ = table.NumTargets();
+  size_t num_dims = table.NumDims();
+  index.offsets_.resize(num_dims);
+  index.rows_.resize(num_dims);
+  index.target_sums_.resize(num_dims);
+
+  for (size_t d = 0; d < num_dims; ++d) {
+    const std::vector<ValueId>& column = table.DimColumn(d);
+    size_t cardinality = table.dict(d).size();
+
+    // Counting pass -> exclusive prefix sums.
+    std::vector<uint32_t>& offsets = index.offsets_[d];
+    offsets.assign(cardinality + 1, 0);
+    for (ValueId code : column) ++offsets[code + 1];
+    for (size_t v = 1; v <= cardinality; ++v) offsets[v] += offsets[v - 1];
+
+    // Fill pass: ascending row order makes every posting list sorted.
+    std::vector<uint32_t>& rows = index.rows_[d];
+    rows.resize(column.size());
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<double>& sums = index.target_sums_[d];
+    sums.assign(cardinality * index.num_targets_, 0.0);
+    for (size_t r = 0; r < column.size(); ++r) {
+      ValueId code = column[r];
+      rows[cursor[code]++] = static_cast<uint32_t>(r);
+      double* value_sums = sums.data() + code * index.num_targets_;
+      for (size_t t = 0; t < index.num_targets_; ++t) {
+        value_sums[t] += table.TargetValue(r, t);
+      }
+    }
+  }
+  return index;
+}
+
+size_t TableIndex::EstimateBytes() const {
+  size_t bytes = 0;
+  for (const auto& offsets : offsets_) bytes += offsets.capacity() * sizeof(uint32_t);
+  for (const auto& rows : rows_) bytes += rows.capacity() * sizeof(uint32_t);
+  for (const auto& sums : target_sums_) bytes += sums.capacity() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace vq

@@ -1,0 +1,89 @@
+// Per-dimension inverted indexes over a Table's dictionary-encoded columns.
+//
+// For every (dimension, value) pair the index holds the sorted posting list
+// of matching row ids plus precomputed aggregates (row count and per-target
+// sums), so single-predicate counts/averages are O(1) and conjunctive
+// filters can intersect posting lists instead of scanning every row (the
+// ScanPlanner in relational/scan_planner.h makes that choice). The index is
+// built once per table in one pass per dimension and is immutable after
+// construction; Table owns one lazily (see Table::index()).
+#ifndef VQ_STORAGE_INDEX_H_
+#define VQ_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vq {
+
+class Table;
+using ValueId = uint32_t;
+
+/// \brief Immutable inverted index over all dimension columns of one Table.
+///
+/// Posting lists are CSR-packed per dimension: rows_[dim] holds the row ids
+/// of value 0, then value 1, ... with offsets_[dim][value] marking the
+/// starts. Row ids within one posting list are strictly increasing (build
+/// order), which posting-list intersection relies on.
+class TableIndex {
+ public:
+  /// Builds the index for `table` (one counting pass + one fill pass per
+  /// dimension). Values interned after the build are simply absent; Table
+  /// invalidates its cached index on append, so this cannot be observed
+  /// through Table::index().
+  static TableIndex Build(const Table& table);
+
+  size_t num_dims() const { return offsets_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Sorted row ids with `value` in dimension `dim`. Values beyond the
+  /// dictionary size at build time (including the kNoValue sentinel, which
+  /// would wrap a `value + 1` comparison) yield an empty span.
+  std::span<const uint32_t> Postings(size_t dim, ValueId value) const {
+    const auto& offsets = offsets_[dim];
+    if (value >= offsets.size() - 1) return {};
+    const uint32_t* base = rows_[dim].data();
+    return {base + offsets[value], base + offsets[value + 1]};
+  }
+
+  /// Number of rows with `value` in dimension `dim` (O(1)).
+  size_t Count(size_t dim, ValueId value) const {
+    const auto& offsets = offsets_[dim];
+    if (value >= offsets.size() - 1) return 0;
+    return offsets[value + 1] - offsets[value];
+  }
+
+  /// Sum of target column `target` over rows with `value` in dimension `dim`
+  /// (O(1)); with Count this answers single-predicate averages without
+  /// touching a single row.
+  double TargetSum(size_t dim, ValueId value, size_t target) const {
+    const auto& sums = target_sums_[dim];
+    size_t cardinality = offsets_[dim].size() - 1;
+    if (value >= cardinality) return 0.0;
+    return sums[value * num_targets_ + target];
+  }
+
+  /// Average of `target` over rows with `value` in `dim`; 0 on empty scope.
+  double TargetAverage(size_t dim, ValueId value, size_t target) const {
+    size_t count = Count(dim, value);
+    return count > 0 ? TargetSum(dim, value, target) / static_cast<double>(count)
+                     : 0.0;
+  }
+
+  /// Approximate heap footprint (counted by Table::EstimateBytes).
+  size_t EstimateBytes() const;
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_targets_ = 0;
+  /// Per dim: value -> start offset into rows_[dim]; length cardinality + 1.
+  std::vector<std::vector<uint32_t>> offsets_;
+  /// Per dim: posting lists back to back, ascending row ids per value.
+  std::vector<std::vector<uint32_t>> rows_;
+  /// Per dim: cardinality x num_targets sums, row-major by value.
+  std::vector<std::vector<double>> target_sums_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_STORAGE_INDEX_H_

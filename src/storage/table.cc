@@ -7,6 +7,91 @@
 
 namespace vq {
 
+Table::Table(const Table& other)
+    : name_(other.name_),
+      num_rows_(other.num_rows_),
+      dim_names_(other.dim_names_),
+      dictionaries_(other.dictionaries_),
+      dim_codes_(other.dim_codes_),
+      target_names_(other.target_names_),
+      target_units_(other.target_units_),
+      target_values_(other.target_values_) {}
+
+Table& Table::operator=(const Table& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  num_rows_ = other.num_rows_;
+  dim_names_ = other.dim_names_;
+  dictionaries_ = other.dictionaries_;
+  dim_codes_ = other.dim_codes_;
+  target_names_ = other.target_names_;
+  target_units_ = other.target_units_;
+  target_values_ = other.target_values_;
+  InvalidateIndex();
+  return *this;
+}
+
+// Moves leave the source with a null cell rather than allocating a fresh
+// one: these operations are noexcept, and make_unique throwing bad_alloc
+// inside them would terminate. The accessors below tolerate the null cell,
+// so a moved-from table can still be destroyed, reassigned or (single-
+// threadedly) refilled.
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      num_rows_(other.num_rows_),
+      dim_names_(std::move(other.dim_names_)),
+      dictionaries_(std::move(other.dictionaries_)),
+      dim_codes_(std::move(other.dim_codes_)),
+      target_names_(std::move(other.target_names_)),
+      target_units_(std::move(other.target_units_)),
+      target_values_(std::move(other.target_values_)),
+      index_cell_(std::move(other.index_cell_)) {
+  other.num_rows_ = 0;
+}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  num_rows_ = other.num_rows_;
+  dim_names_ = std::move(other.dim_names_);
+  dictionaries_ = std::move(other.dictionaries_);
+  dim_codes_ = std::move(other.dim_codes_);
+  target_names_ = std::move(other.target_names_);
+  target_units_ = std::move(other.target_units_);
+  target_values_ = std::move(other.target_values_);
+  index_cell_ = std::move(other.index_cell_);
+  other.num_rows_ = 0;
+  return *this;
+}
+
+const TableIndex& Table::index() const {
+  // Null only after being moved from; reviving such a table is inherently
+  // single-threaded (its columns were stolen too), so plain re-creation is
+  // safe here. Live tables allocate the cell at construction.
+  if (index_cell_ == nullptr) index_cell_ = std::make_unique<IndexCell>();
+  IndexCell& cell = *index_cell_;
+  const TableIndex* built = cell.ptr.load(std::memory_order_acquire);
+  if (built != nullptr) return *built;
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  if (cell.index == nullptr) {
+    cell.index = std::make_unique<const TableIndex>(TableIndex::Build(*this));
+    cell.ptr.store(cell.index.get(), std::memory_order_release);
+  }
+  return *cell.index;
+}
+
+void Table::InvalidateIndex() {
+  if (index_cell_ == nullptr) return;  // moved-from: nothing cached
+  IndexCell& cell = *index_cell_;
+  // Appends are not allowed concurrently with reads (the builder itself
+  // would race on the columns), so an unbuilt index needs no locking here --
+  // this keeps the per-AppendRow cost at one relaxed load during bulk loads.
+  if (cell.ptr.load(std::memory_order_relaxed) == nullptr) return;
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.ptr.store(nullptr, std::memory_order_release);
+  cell.index.reset();
+}
+
 int Table::AddDimColumn(std::string column_name) {
   assert(num_rows_ == 0 && "columns must be declared before rows are appended");
   dim_names_.push_back(std::move(column_name));
@@ -42,6 +127,7 @@ Status Table::AppendRow(const std::vector<std::string>& dim_values,
     target_values_[t].push_back(target_values[t]);
   }
   ++num_rows_;
+  InvalidateIndex();
   return Status::OK();
 }
 
@@ -57,6 +143,7 @@ void Table::AppendEncodedRow(const std::vector<ValueId>& dim_codes,
     target_values_[t].push_back(target_values[t]);
   }
   ++num_rows_;
+  InvalidateIndex();
 }
 
 int Table::DimIndex(const std::string& column_name) const {
@@ -78,6 +165,10 @@ size_t Table::EstimateBytes() const {
   for (const auto& column : dim_codes_) bytes += column.capacity() * sizeof(ValueId);
   for (const auto& column : target_values_) bytes += column.capacity() * sizeof(double);
   for (const auto& dict : dictionaries_) bytes += dict.EstimateBytes();
+  const TableIndex* built =
+      index_cell_ != nullptr ? index_cell_->ptr.load(std::memory_order_acquire)
+                             : nullptr;
+  if (built != nullptr) bytes += built->EstimateBytes();
   return bytes;
 }
 

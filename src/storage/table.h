@@ -5,10 +5,14 @@
 #ifndef VQ_STORAGE_TABLE_H_
 #define VQ_STORAGE_TABLE_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/dictionary.h"
+#include "storage/index.h"
 #include "util/csv.h"
 #include "util/status.h"
 
@@ -21,6 +25,13 @@ namespace vq {
 class Table {
  public:
   explicit Table(std::string name) : name_(std::move(name)) {}
+
+  // The lazily built index cell is per-object state, never shared: copies
+  // start without an index (each rebuilds on first use), moves transfer it.
+  Table(const Table& other);
+  Table& operator=(const Table& other);
+  Table(Table&& other) noexcept;
+  Table& operator=(Table&& other) noexcept;
 
   const std::string& name() const { return name_; }
 
@@ -70,7 +81,22 @@ class Table {
     return dictionaries_[dim].Lookup(dim_codes_[dim][row]);
   }
 
-  /// Approximate in-memory size in bytes (Table I's "Size" column analogue).
+  /// The table's inverted index (storage/index.h), built on first use and
+  /// cached; appending rows invalidates the cache. Thread-safe: concurrent
+  /// first calls build once, later calls are a single atomic load -- the
+  /// scan planner and the serving layer's batch solves hit this from many
+  /// worker threads.
+  const TableIndex& index() const;
+
+  /// True if the index has been built (and not invalidated since); lets
+  /// EstimateBytes callers distinguish raw column size from indexed size.
+  bool has_index() const {
+    return index_cell_ != nullptr &&
+           index_cell_->ptr.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Approximate in-memory size in bytes (Table I's "Size" column analogue);
+  /// includes the inverted index when built.
   size_t EstimateBytes() const;
 
   /// Serializes all rows (decoded) to CSV.
@@ -83,6 +109,16 @@ class Table {
                                const std::vector<std::string>& target_columns);
 
  private:
+  /// Heap-boxed lazy-index state so Table itself stays movable (mutex
+  /// members are not). `ptr` is the double-checked fast path; `index` owns.
+  struct IndexCell {
+    std::mutex mutex;
+    std::unique_ptr<const TableIndex> index;     // guarded by mutex
+    std::atomic<const TableIndex*> ptr{nullptr}; // published after build
+  };
+
+  void InvalidateIndex();
+
   std::string name_;
   size_t num_rows_ = 0;
   std::vector<std::string> dim_names_;
@@ -91,6 +127,9 @@ class Table {
   std::vector<std::string> target_names_;
   std::vector<std::string> target_units_;
   std::vector<std::vector<double>> target_values_;
+  /// Always non-null on a live table (constructors allocate it), so index()
+  /// needs no creation handshake.
+  mutable std::unique_ptr<IndexCell> index_cell_ = std::make_unique<IndexCell>();
 };
 
 }  // namespace vq

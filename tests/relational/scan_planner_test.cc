@@ -1,0 +1,135 @@
+#include "relational/scan_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "relational/predicate.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace vq {
+namespace {
+
+/// The seed implementation: one RowMatches check per row. The planner's two
+/// execution paths must reproduce this bit for bit.
+std::vector<uint32_t> NaiveFilterRows(const Table& table,
+                                      const PredicateSet& predicates) {
+  std::vector<uint32_t> out;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    if (RowMatches(table, r, predicates)) out.push_back(static_cast<uint32_t>(r));
+  }
+  return out;
+}
+
+Table RandomTable(Rng* rng, size_t num_rows, size_t num_dims, size_t max_card) {
+  Table table("random");
+  std::vector<size_t> cards;
+  for (size_t d = 0; d < num_dims; ++d) {
+    table.AddDimColumn("d" + std::to_string(d));
+    cards.push_back(2 + rng->NextBelow(max_card - 1));
+  }
+  table.AddTargetColumn("y");
+  std::vector<std::string> dims(num_dims);
+  for (size_t r = 0; r < num_rows; ++r) {
+    for (size_t d = 0; d < num_dims; ++d) {
+      // Zipf skew plants both hot (unselective) and rare (selective) values.
+      dims[d] = "v" + std::to_string(rng->NextZipf(cards[d], 1.0));
+    }
+    (void)table.AppendRow(dims, {static_cast<double>(rng->NextInt(0, 50))});
+  }
+  return table;
+}
+
+PredicateSet RandomPredicates(Rng* rng, const Table& table, size_t max_preds) {
+  PredicateSet predicates;
+  size_t num_preds = rng->NextBelow(max_preds + 1);
+  std::vector<size_t> dims(table.NumDims());
+  for (size_t d = 0; d < dims.size(); ++d) dims[d] = d;
+  rng->Shuffle(&dims);
+  for (size_t i = 0; i < num_preds && i < dims.size(); ++i) {
+    size_t dim = dims[i];
+    // Occasionally pick a value id no row carries (tests kEmptyResult).
+    ValueId value = rng->NextBool(0.1)
+                        ? static_cast<ValueId>(table.dict(dim).size() + 1)
+                        : static_cast<ValueId>(rng->NextBelow(table.dict(dim).size()));
+    predicates.push_back(EqPredicate{static_cast<int>(dim), value});
+  }
+  EXPECT_TRUE(NormalizePredicates(&predicates).ok());
+  return predicates;
+}
+
+/// Property: for random tables and predicate sets, the posting-list path,
+/// the vectorized fallback scan, the planner-routed FilterRows and the
+/// naive RowMatches loop all return identical row ids.
+TEST(ScanPlannerPropertyTest, AllFilterPathsAgree) {
+  Rng rng(20210318);
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t num_rows = 1 + rng.NextBelow(400);
+    size_t num_dims = 1 + rng.NextBelow(4);
+    Table table = RandomTable(&rng, num_rows, num_dims, 12);
+    for (int q = 0; q < 12; ++q) {
+      PredicateSet predicates = RandomPredicates(&rng, table, num_dims);
+      std::vector<uint32_t> naive = NaiveFilterRows(table, predicates);
+      EXPECT_EQ(FilterRowsColumnScan(table, predicates), naive);
+      if (!predicates.empty()) {
+        EXPECT_EQ(FilterRowsPostings(table, predicates), naive);
+      }
+      EXPECT_EQ(FilterRows(table, predicates), naive);
+      ScanPlan plan = PlanScan(table, predicates);
+      EXPECT_EQ(ExecuteScanPlan(table, predicates, plan), naive);
+      EXPECT_LE(naive.size(), std::max<size_t>(plan.estimated_rows, 0));
+    }
+  }
+}
+
+/// Property: the batched multi-filter (mixed postings/scan execution)
+/// matches per-set naive filtering.
+TEST(ScanPlannerPropertyTest, MultiFilterMatchesPerSetNaive) {
+  Rng rng(987654321);
+  for (int trial = 0; trial < 25; ++trial) {
+    size_t num_dims = 1 + rng.NextBelow(4);
+    Table table = RandomTable(&rng, 1 + rng.NextBelow(300), num_dims, 10);
+    std::vector<PredicateSet> sets;
+    for (int q = 0; q < 8; ++q) sets.push_back(RandomPredicates(&rng, table, num_dims));
+    std::vector<const PredicateSet*> pointers;
+    for (const auto& set : sets) pointers.push_back(&set);
+    std::vector<std::vector<uint32_t>> batched = FilterRowsMulti(table, pointers);
+    ASSERT_EQ(batched.size(), sets.size());
+    for (size_t q = 0; q < sets.size(); ++q) {
+      EXPECT_EQ(batched[q], NaiveFilterRows(table, sets[q])) << "set " << q;
+    }
+  }
+}
+
+TEST(ScanPlannerTest, PlanStrategies) {
+  Rng rng(7);
+  Table table = RandomTable(&rng, 200, 3, 6);
+
+  EXPECT_EQ(PlanScan(table, {}).strategy, ScanStrategy::kAllRows);
+
+  PredicateSet missing{EqPredicate{0, static_cast<ValueId>(table.dict(0).size())}};
+  EXPECT_EQ(PlanScan(table, missing).strategy, ScanStrategy::kEmptyResult);
+
+  // A single predicate always answers from its posting list.
+  PredicateSet single{EqPredicate{0, 0}};
+  ScanPlan plan = PlanScan(table, single);
+  EXPECT_EQ(plan.strategy, ScanStrategy::kPostings);
+  EXPECT_EQ(plan.estimated_rows, table.index().Count(0, 0));
+
+  // force_scan pins the fallback path.
+  ScanPlannerOptions options;
+  options.force_scan = true;
+  EXPECT_EQ(PlanScan(table, single, options).strategy, ScanStrategy::kColumnScan);
+
+  // An unselective conjunction (hot Zipf head values on every dimension)
+  // with a tiny cost factor falls back to the scan.
+  PredicateSet hot{EqPredicate{0, 0}, EqPredicate{1, 0}};
+  ScanPlannerOptions strict;
+  strict.cost_factor = 1e9;
+  EXPECT_EQ(PlanScan(table, hot, strict).strategy, ScanStrategy::kColumnScan);
+}
+
+}  // namespace
+}  // namespace vq

@@ -173,6 +173,75 @@ TEST(ShardedSummaryCacheTest, TtlExpiresEntriesOnTheInjectedClock) {
   ASSERT_NE(cache.Get("positive"), nullptr);
 }
 
+TEST(ShardedSummaryCacheTest, ByteBudgetEvictsLruUntilUnderBudget) {
+  // Single shard so LRU order is deterministic. Budget fits roughly three
+  // small entries but not four.
+  ServedAnswerPtr small = MakeAnswer(std::string(50, 's'));
+  size_t entry_bytes = ShardedSummaryCache::EstimateEntryBytes("a", small);
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/1, {},
+                            /*byte_budget=*/3 * entry_bytes + entry_bytes / 2);
+  cache.Put("a", MakeAnswer(std::string(50, 's')));
+  cache.Put("b", MakeAnswer(std::string(50, 's')));
+  cache.Put("c", MakeAnswer(std::string(50, 's')));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.TotalStats().byte_evictions, 0u);
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh "a": "b" is now LRU
+  cache.Put("d", MakeAnswer(std::string(50, 's')));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));  // evicted by bytes, not entry count
+  EXPECT_TRUE(cache.Contains("c"));
+  EXPECT_TRUE(cache.Contains("d"));
+  CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.byte_evictions, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(cache.TotalBytes(), cache.byte_budget());
+}
+
+TEST(ShardedSummaryCacheTest, OversizedEntryDisplacesEverythingButSurvives) {
+  ServedAnswerPtr small = MakeAnswer("s");
+  size_t small_bytes = ShardedSummaryCache::EstimateEntryBytes("a", small);
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/1, {},
+                            /*byte_budget=*/4 * small_bytes);
+  cache.Put("a", MakeAnswer("s"));
+  cache.Put("b", MakeAnswer("s"));
+  EXPECT_EQ(cache.size(), 2u);
+  // One rendered answer bigger than the whole budget: everything else is
+  // evicted; the newest entry itself is never evicted on its own Put.
+  cache.Put("huge", MakeAnswer(std::string(64 * small_bytes, 'h')));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Contains("huge"));
+  EXPECT_FALSE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_GT(cache.TotalBytes(), cache.byte_budget());
+  EXPECT_EQ(cache.TotalStats().byte_evictions, 2u);
+  // The next insert pushes the oversized entry out again.
+  cache.Put("after", MakeAnswer("s"));
+  EXPECT_FALSE(cache.Contains("huge"));
+  EXPECT_TRUE(cache.Contains("after"));
+  EXPECT_LE(cache.TotalBytes(), cache.byte_budget());
+}
+
+TEST(ShardedSummaryCacheTest, ReplacingAValueRetracksItsBytes) {
+  ShardedSummaryCache cache(/*capacity=*/8, /*num_shards=*/1, {},
+                            /*byte_budget=*/1 << 20);
+  cache.Put("k", MakeAnswer(std::string(1000, 'x')));
+  size_t big = cache.TotalBytes();
+  cache.Put("k", MakeAnswer("tiny"));
+  EXPECT_LT(cache.TotalBytes(), big);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ShardedSummaryCacheTest, ZeroByteBudgetMeansUnlimited) {
+  ShardedSummaryCache cache(/*capacity=*/64, /*num_shards=*/1);
+  EXPECT_EQ(cache.byte_budget(), 0u);
+  for (int i = 0; i < 32; ++i) {
+    cache.Put(std::to_string(i), MakeAnswer(std::string(4096, 'x')));
+  }
+  EXPECT_EQ(cache.size(), 32u);
+  EXPECT_EQ(cache.TotalStats().byte_evictions, 0u);
+  EXPECT_GT(cache.TotalBytes(), 32u * 4096u);
+}
+
 TEST(ShardedSummaryCacheTest, PutRefreshesTtl) {
   double now = 0.0;
   ShardedSummaryCache cache(4, 1, [&now] { return now; });

@@ -1,0 +1,75 @@
+// Concurrent aggregation of optimizer work counters in EngineHost.
+//
+// Batched on-demand solves run on many pool threads; each solve merges its
+// SummaryResult counters into the host under the perf mutex. This test
+// hammers that path from concurrent submitters -- the serve-tsan preset
+// runs it under ThreadSanitizer, which is what actually proves the merge is
+// race-free (PerfCounters::Add is a plain non-atomic accumulate).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "engine/voice_engine.h"
+#include "serve/service.h"
+#include "storage/datasets.h"
+
+namespace vq {
+namespace serve {
+namespace {
+
+TEST(EngineHostPerfCountersTest, ConcurrentOnDemandSolvesMergeUnderMutex) {
+  Table table = MakeFlightsTable(/*rows=*/600, /*seed=*/7);
+  Configuration config;
+  config.table = "flights";
+  config.dimensions = {"airline"};
+  config.targets = {"cancelled"};
+  config.max_query_predicates = 1;
+  auto engine = VoiceQueryEngine::Build(&table, config, {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Months are outside the configuration, so every request below misses the
+  // store and reaches the batched on-demand optimizer.
+  std::vector<std::string> requests;
+  const Dictionary& months =
+      table.dict(static_cast<size_t>(table.DimIndex("month")));
+  for (size_t v = 0; v < months.size(); ++v) {
+    requests.push_back("cancelled " + months.Lookup(static_cast<ValueId>(v)));
+  }
+  ASSERT_GE(requests.size(), 4u);
+
+  ServiceOptions options;
+  options.num_threads = 8;
+  SummaryService service(&engine.value(), options);
+  EXPECT_EQ(service.host().perf().join_rows, 0u);
+
+  std::vector<std::future<ServeResponse>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& request : requests) futures.push_back(service.Submit(request));
+  }
+  size_t answered = 0;
+  for (auto& future : futures) {
+    if (future.get().answered) ++answered;
+  }
+  EXPECT_EQ(answered, futures.size());
+
+  // Every unique query was optimized exactly once (coalescing + cache), and
+  // each solve charged its join work to the host aggregate.
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.on_demand_summaries, requests.size());
+  PerfCounters perf = service.host().perf();
+  EXPECT_GT(perf.join_rows, 0u);
+  EXPECT_GE(perf.groups_joined, requests.size());
+
+  // A warm replay adds no optimizer work: the aggregate is monotone and
+  // only grows on actual solves.
+  for (const auto& request : requests) (void)service.AnswerNow(request);
+  PerfCounters after = service.host().perf();
+  EXPECT_EQ(after.join_rows, perf.join_rows);
+  EXPECT_EQ(after.groups_joined, perf.groups_joined);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace vq

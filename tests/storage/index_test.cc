@@ -1,0 +1,115 @@
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace vq {
+namespace {
+
+Table MakeSeasonsTable() {
+  Table table("seasons");
+  table.AddDimColumn("season");
+  table.AddDimColumn("region");
+  table.AddTargetColumn("delay");
+  table.AddTargetColumn("cancelled");
+  const char* seasons[] = {"Winter", "Spring", "Summer", "Fall"};
+  const char* regions[] = {"North", "South"};
+  for (int r = 0; r < 24; ++r) {
+    (void)table.AppendRow({seasons[r % 4], regions[r % 2]},
+                          {static_cast<double>(r), static_cast<double>(r % 3)});
+  }
+  return table;
+}
+
+TEST(TableIndexTest, PostingsAreSortedAndComplete) {
+  Table table = MakeSeasonsTable();
+  const TableIndex& index = table.index();
+  ASSERT_EQ(index.num_dims(), 2u);
+  EXPECT_EQ(index.num_rows(), 24u);
+  size_t total = 0;
+  for (size_t d = 0; d < table.NumDims(); ++d) {
+    for (ValueId v = 0; v < table.dict(d).size(); ++v) {
+      auto postings = index.Postings(d, v);
+      EXPECT_EQ(postings.size(), index.Count(d, v));
+      EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
+      for (uint32_t row : postings) EXPECT_EQ(table.DimCode(row, d), v);
+      if (d == 0) total += postings.size();
+    }
+  }
+  EXPECT_EQ(total, table.NumRows());
+}
+
+TEST(TableIndexTest, SinglePredicateAggregatesMatchScan) {
+  Table table = MakeSeasonsTable();
+  const TableIndex& index = table.index();
+  for (size_t d = 0; d < table.NumDims(); ++d) {
+    for (ValueId v = 0; v < table.dict(d).size(); ++v) {
+      for (size_t t = 0; t < table.NumTargets(); ++t) {
+        double sum = 0.0;
+        size_t count = 0;
+        for (size_t r = 0; r < table.NumRows(); ++r) {
+          if (table.DimCode(r, d) == v) {
+            sum += table.TargetValue(r, t);
+            ++count;
+          }
+        }
+        EXPECT_EQ(index.Count(d, v), count);
+        EXPECT_DOUBLE_EQ(index.TargetSum(d, v, t), sum);
+        if (count > 0) {
+          EXPECT_DOUBLE_EQ(index.TargetAverage(d, v, t),
+                           sum / static_cast<double>(count));
+        }
+      }
+    }
+  }
+}
+
+TEST(TableIndexTest, UnknownValueIsEmpty) {
+  Table table = MakeSeasonsTable();
+  const TableIndex& index = table.index();
+  ValueId beyond = static_cast<ValueId>(table.dict(0).size()) + 3;
+  EXPECT_EQ(index.Count(0, beyond), 0u);
+  EXPECT_TRUE(index.Postings(0, beyond).empty());
+  EXPECT_DOUBLE_EQ(index.TargetSum(0, beyond, 0), 0.0);
+  // The kNoValue sentinel must not wrap the bounds check.
+  EXPECT_EQ(index.Count(0, kNoValue), 0u);
+  EXPECT_TRUE(index.Postings(0, kNoValue).empty());
+}
+
+TEST(TableIndexTest, LazyBuildIsCachedAndCountedInEstimateBytes) {
+  Table table = MakeSeasonsTable();
+  EXPECT_FALSE(table.has_index());
+  size_t raw = table.EstimateBytes();
+  const TableIndex& first = table.index();
+  EXPECT_TRUE(table.has_index());
+  EXPECT_EQ(&first, &table.index());  // cached, not rebuilt
+  EXPECT_GT(table.EstimateBytes(), raw);
+  EXPECT_GT(first.EstimateBytes(), 0u);
+}
+
+TEST(TableIndexTest, AppendInvalidatesCachedIndex) {
+  Table table = MakeSeasonsTable();
+  EXPECT_EQ(table.index().num_rows(), 24u);
+  (void)table.AppendRow({"Winter", "North"}, {99.0, 1.0});
+  EXPECT_FALSE(table.has_index());
+  const TableIndex& rebuilt = table.index();
+  EXPECT_EQ(rebuilt.num_rows(), 25u);
+  EXPECT_EQ(rebuilt.Postings(0, 0).back(), 24u);
+}
+
+TEST(TableIndexTest, CopiedTableRebuildsItsOwnIndex) {
+  Table table = MakeSeasonsTable();
+  (void)table.index();
+  Table copy = table;
+  EXPECT_FALSE(copy.has_index());
+  EXPECT_TRUE(table.has_index());
+  EXPECT_NE(&copy.index(), &table.index());
+  EXPECT_EQ(copy.index().num_rows(), table.index().num_rows());
+}
+
+}  // namespace
+}  // namespace vq

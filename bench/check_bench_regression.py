@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff bench-report metrics against a checked-in baseline.
+
+Fails (exit 1) when any metric regresses by more than the threshold:
+
+    check_bench_regression.py BASELINE.json CANDIDATE.json \
+        --metric end_to_end.greedy_dispatched_us:lower \
+        --metric end_to_end.routed_qps:higher \
+        --threshold 0.10
+
+A metric is a dotted JSON path plus a direction: ":lower" means smaller is
+better (a regression is candidate > baseline * (1 + threshold)), ":higher"
+means larger is better (candidate < baseline * (1 - threshold)). Metrics
+missing from the baseline are reported and skipped -- a freshly added metric
+must not fail the first comparison against an older baseline; metrics
+missing from the candidate always fail. The cmake target
+`check_simd_regression` wires this against BENCH_simd.json.
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(report, dotted_path):
+    node = report
+    for key in dotted_path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in baseline JSON report")
+    parser.add_argument("candidate", help="freshly generated JSON report")
+    parser.add_argument(
+        "--metric",
+        action="append",
+        required=True,
+        metavar="PATH:DIRECTION",
+        help="dotted JSON path plus :lower or :higher (repeatable)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression (default 0.10 = 10%%)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+
+    failures = []
+    for spec in args.metric:
+        try:
+            path, direction = spec.rsplit(":", 1)
+        except ValueError:
+            sys.exit(f"bad --metric {spec!r}: expected PATH:lower or PATH:higher")
+        if direction not in ("lower", "higher"):
+            sys.exit(f"bad --metric {spec!r}: direction must be lower|higher")
+        base_value = lookup(baseline, path)
+        cand_value = lookup(candidate, path)
+        if base_value is None:
+            print(f"  SKIP {path}: not in baseline (new metric?)")
+            continue
+        if cand_value is None:
+            failures.append(f"{path}: missing from candidate report")
+            continue
+        base_value = float(base_value)
+        cand_value = float(cand_value)
+        if base_value <= 0.0:
+            print(f"  SKIP {path}: non-positive baseline {base_value}")
+            continue
+        change = (cand_value - base_value) / base_value
+        if direction == "lower":
+            regressed = change > args.threshold
+            arrow = "regressed (slower)" if regressed else "ok"
+        else:
+            regressed = change < -args.threshold
+            arrow = "regressed (lower)" if regressed else "ok"
+        print(
+            f"  {path}: baseline {base_value:.3f} -> candidate {cand_value:.3f} "
+            f"({change:+.1%}, want {direction}) [{arrow}]"
+        )
+        if regressed:
+            failures.append(
+                f"{path}: {change:+.1%} beyond the {args.threshold:.0%} "
+                f"{direction}-is-better threshold"
+            )
+
+    if failures:
+        print("REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("No regressions beyond threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

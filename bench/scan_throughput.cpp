@@ -137,6 +137,28 @@ int main() {
               table.NumRows());
   filter_printer.Print();
 
+  // The FilterRows calls above trained the postings side of the process-wide
+  // planner statistics; these cases all plan postings, so observe the scan
+  // side explicitly (a few forced-scan executions of the selective
+  // conjunction) -- with both EWMAs populated the reported factor is the
+  // learned ratio, not the fallback.
+  {
+    vq::ScanPlannerOptions train;
+    train.force_scan = true;
+    train.stats = &vq::GlobalScanStats();
+    for (int i = 0; i < 32; ++i) {
+      (void)vq::PlannedFilterRows(table, cases[1].predicates, train);
+    }
+  }
+  const vq::ScanStats& scan_stats = vq::GlobalScanStats();
+  std::printf(
+      "Planner stats: cost_factor %.2f (default 4.0), postings %.1f ns/row "
+      "(%llu samples), scan %.1f ns/row (%llu samples)\n",
+      scan_stats.CostFactor(4.0), scan_stats.postings_ns_per_row(),
+      static_cast<unsigned long long>(scan_stats.postings_samples()),
+      scan_stats.scan_ns_per_row(),
+      static_cast<unsigned long long>(scan_stats.scan_samples()));
+
   // ---- Evaluator: bitset-vectorized speech evaluation vs the reference.
   vq::SummarizerOptions options;
   options.max_fact_dims = 2;
@@ -244,6 +266,17 @@ int main() {
   report.Set("seed", vq::Json::Int(static_cast<int64_t>(kSeed)));
   report.Set("table_rows", vq::Json::Int(static_cast<int64_t>(table.NumRows())));
   report.Set("filters", std::move(filter_json));
+  vq::Json planner_json = vq::Json::Object();
+  planner_json.Set("learned_cost_factor", vq::Json::Number(scan_stats.CostFactor(4.0)));
+  planner_json.Set("default_cost_factor", vq::Json::Number(4.0));
+  planner_json.Set("postings_ns_per_row",
+                   vq::Json::Number(scan_stats.postings_ns_per_row()));
+  planner_json.Set("scan_ns_per_row", vq::Json::Number(scan_stats.scan_ns_per_row()));
+  planner_json.Set("postings_samples",
+                   vq::Json::Int(static_cast<int64_t>(scan_stats.postings_samples())));
+  planner_json.Set("scan_samples",
+                   vq::Json::Int(static_cast<int64_t>(scan_stats.scan_samples())));
+  report.Set("planner_stats", std::move(planner_json));
   vq::Json eval = vq::Json::Object();
   eval.Set("instance_rows",
            vq::Json::Int(static_cast<int64_t>(evaluator.instance().num_rows)));

@@ -5,25 +5,53 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/simd.h"
+#include "util/small_vector.h"
+
 namespace vq {
 
+namespace {
+/// Inline scratch capacity for speech-sized buffers: speeches are capped at
+/// m = 3 facts in every paper configuration, so 8 keeps the exact search's
+/// per-leaf Error() calls allocation-free with room to spare.
+constexpr size_t kInlineSpeech = 8;
+/// Inline capacity for the per-word cover mask (64-row blocks): 256 words =
+/// 16384 rows on the stack (2 KiB), past which the scratch spills once.
+constexpr size_t kInlineWords = 256;
+}  // namespace
+
+const std::array<uint64_t PerfCounters::*, PerfCounters::kNumFields>
+    PerfCounters::kFields = {
+        &PerfCounters::join_rows,      &PerfCounters::bound_rows,
+        &PerfCounters::groups_joined,  &PerfCounters::groups_pruned,
+        &PerfCounters::leaf_evals,     &PerfCounters::nodes_expanded,
+        &PerfCounters::pruned_by_bound};
+
+const std::array<const char*, PerfCounters::kNumFields>
+    PerfCounters::kFieldNames = {"join_rows",     "bound_rows",
+                                 "groups_joined", "groups_pruned",
+                                 "leaf_evals",    "nodes_expanded",
+                                 "pruned_by_bound"};
+
 void PerfCounters::Add(const PerfCounters& other) {
-  join_rows += other.join_rows;
-  bound_rows += other.bound_rows;
-  groups_joined += other.groups_joined;
-  groups_pruned += other.groups_pruned;
-  leaf_evals += other.leaf_evals;
-  nodes_expanded += other.nodes_expanded;
-  pruned_by_bound += other.pruned_by_bound;
+  for (auto field : kFields) this->*field += other.*field;
+}
+
+PerfCounters PerfCounters::Merged(const PerfCounters& other) const {
+  PerfCounters out = *this;
+  out.Add(other);
+  return out;
 }
 
 Evaluator::Evaluator(const SummaryInstance* instance, const FactCatalog* catalog)
     : instance_(instance), catalog_(catalog) {
   base_error_ = instance_->BaseError();
   const SummaryInstance& inst = *instance_;
+  size_t words = (inst.num_rows + 63) / 64;
   prior_dev_.resize(inst.num_rows);
-  prior_dev_weighted_.resize(inst.num_rows);
-  prior_block_weighted_.assign((inst.num_rows + 63) / 64, 0.0);
+  // Zero-padded to whole blocks for the masked block-sum kernel (see header).
+  prior_dev_weighted_.assign(words * 64, 0.0);
+  prior_block_weighted_.assign(words, 0.0);
   for (size_t r = 0; r < inst.num_rows; ++r) {
     prior_dev_[r] = std::fabs(inst.prior - inst.target[r]);
     prior_dev_weighted_[r] = prior_dev_[r] * inst.weight[r];
@@ -36,40 +64,53 @@ double Evaluator::Error(std::span<const FactId> speech, ConflictModel model) con
   if (speech.empty()) return base_error_;
   if (!catalog_->HasScopeBits()) return ErrorReference(speech, model);
 
-  // Word-at-a-time over the speech facts' scope bitsets: uncovered 64-row
-  // blocks reduce to one precomputed sum, covered rows resolve conflicts
-  // through the same ExpectedValue as the reference path.
+  // Word-at-a-time over the speech facts' scope bitsets: one fused
+  // OR+popcount kernel pass builds the cover mask, uncovered 64-row blocks
+  // reduce to one precomputed sum, uncovered rows inside covered blocks
+  // reduce with the masked block-sum kernel, and only covered rows resolve
+  // conflicts through the same ExpectedValue as the reference path. All
+  // scratch lives in stack-inline buffers: this runs once per exact-search
+  // leaf and once per served speech, so it must not allocate.
+  const simd::Kernels& kernels = simd::Active();
   size_t words = catalog_->ScopeWords();
-  std::vector<const uint64_t*> bits(speech.size());
-  std::vector<double> all_values(speech.size());
-  for (size_t f = 0; f < speech.size(); ++f) {
-    bits[f] = catalog_->ScopeBits(speech[f]).data();
-    all_values[f] = catalog_->fact(speech[f]).value;
+  SmallVector<const uint64_t*, kInlineSpeech> bits;
+  SmallVector<double, kInlineSpeech> all_values;
+  for (FactId id : speech) {
+    bits.push_back(catalog_->ScopeBits(id).data());
+    all_values.push_back(catalog_->fact(id).value);
   }
-  std::vector<double> relevant;
-  relevant.reserve(speech.size());
+  SmallVector<uint64_t, kInlineWords> covered(words);
+  uint64_t covered_rows =
+      kernels.or_popcount(bits.data(), bits.size(), words, covered.data());
+  // A speech whose facts cover no row leaves every expectation at the
+  // prior: the fused popcount answers that without touching a block.
+  if (covered_rows == 0) return base_error_;
+
+  SmallVector<double, kInlineSpeech> relevant;
+  std::span<const double> all_span(all_values.data(), all_values.size());
   double error = 0.0;
   for (size_t w = 0; w < words; ++w) {
-    uint64_t covered = 0;
-    for (const uint64_t* fact_bits : bits) covered |= fact_bits[w];
-    if (covered == 0) {
+    uint64_t cover = covered[w];
+    if (cover == 0) {
       error += prior_block_weighted_[w];
       continue;
     }
     size_t base = w << 6;
-    size_t end = std::min(base + 64, inst.num_rows);
-    for (size_t r = base; r < end; ++r) {
+    // Uncovered rows of a partially covered block: one masked kernel sum.
+    // Bits past num_rows select only the array's zero padding.
+    error += kernels.masked_sum64(prior_dev_weighted_.data() + base, ~cover);
+    // Covered rows resolve conflicting facts row by row (semantic core).
+    while (cover != 0) {
+      size_t r = base + static_cast<size_t>(std::countr_zero(cover));
+      cover &= cover - 1;
       uint64_t bit = uint64_t{1} << (r - base);
-      if ((covered & bit) == 0) {
-        error += prior_dev_weighted_[r];
-        continue;
-      }
       relevant.clear();
-      for (size_t f = 0; f < speech.size(); ++f) {
+      for (size_t f = 0; f < bits.size(); ++f) {
         if (bits[f][w] & bit) relevant.push_back(all_values[f]);
       }
       double expected =
-          ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+          ExpectedValue(model, {relevant.data(), relevant.size()}, all_span,
+                        inst.prior, inst.target[r]);
       error += std::fabs(expected - inst.target[r]) * inst.weight[r];
     }
   }
@@ -123,49 +164,54 @@ std::vector<double> Evaluator::RowExpectations(std::span<const FactId> speech,
   std::vector<double> out(inst.num_rows, inst.prior);
   if (speech.empty()) return out;
   if (!catalog_->HasScopeBits()) return RowExpectationsReference(speech, model);
+  const simd::Kernels& kernels = simd::Active();
   size_t words = catalog_->ScopeWords();
-  std::vector<const uint64_t*> bits(speech.size());
-  std::vector<double> all_values(speech.size());
-  for (size_t f = 0; f < speech.size(); ++f) {
-    bits[f] = catalog_->ScopeBits(speech[f]).data();
-    all_values[f] = catalog_->fact(speech[f]).value;
+  SmallVector<const uint64_t*, kInlineSpeech> bits;
+  SmallVector<double, kInlineSpeech> all_values;
+  for (FactId id : speech) {
+    bits.push_back(catalog_->ScopeBits(id).data());
+    all_values.push_back(catalog_->fact(id).value);
   }
-  std::vector<double> relevant;
-  relevant.reserve(speech.size());
+  SmallVector<uint64_t, kInlineWords> covered(words);
+  uint64_t covered_rows =
+      kernels.or_popcount(bits.data(), bits.size(), words, covered.data());
+  if (covered_rows == 0) return out;  // nothing in scope: all rows keep the prior
+  SmallVector<double, kInlineSpeech> relevant;
+  std::span<const double> all_span(all_values.data(), all_values.size());
   for (size_t w = 0; w < words; ++w) {
-    uint64_t covered = 0;
-    for (const uint64_t* fact_bits : bits) covered |= fact_bits[w];
+    uint64_t cover = covered[w];
     // Uncovered rows keep the prior they were initialized with.
     size_t base = w << 6;
-    while (covered != 0) {
-      size_t r = base + static_cast<size_t>(std::countr_zero(covered));
-      covered &= covered - 1;
+    while (cover != 0) {
+      size_t r = base + static_cast<size_t>(std::countr_zero(cover));
+      cover &= cover - 1;
       uint64_t bit = uint64_t{1} << (r - base);
       relevant.clear();
-      for (size_t f = 0; f < speech.size(); ++f) {
+      for (size_t f = 0; f < bits.size(); ++f) {
         if (bits[f][w] & bit) relevant.push_back(all_values[f]);
       }
-      out[r] = ExpectedValue(model, relevant, all_values, inst.prior, inst.target[r]);
+      out[r] = ExpectedValue(model, {relevant.data(), relevant.size()}, all_span,
+                             inst.prior, inst.target[r]);
     }
   }
   return out;
 }
 
 std::vector<double> Evaluator::SingleFactUtilities(PerfCounters* counters) const {
-  const SummaryInstance& inst = *instance_;
+  // The initialization join of Algorithm 1, Line 6, as pure kernel work: per
+  // fact, stream the catalog's SoA block-delta tables -- |value - target|,
+  // row weight AND the pre-gathered prior deviation, all in CSR order -- so
+  // the reduction is dense with no gather at all.
+  const simd::Kernels& kernels = simd::Active();
   std::vector<double> utilities(catalog_->NumFacts(), 0.0);
   for (uint32_t g = 0; g < catalog_->NumGroups(); ++g) {
     const FactGroup& group = catalog_->group(g);
     for (uint32_t i = 0; i < group.num_facts; ++i) {
       FactId id = group.first_fact + i;
-      double value = catalog_->fact(id).value;
-      double utility = 0.0;
       std::span<const uint32_t> scope = catalog_->ScopeRows(id);
-      for (uint32_t r : scope) {
-        double gain = prior_dev_[r] - std::fabs(value - inst.target[r]);
-        if (gain > 0.0) utility += gain * inst.weight[r];
-      }
-      utilities[id] = utility;
+      utilities[id] = kernels.positive_gain(
+          catalog_->ScopePriorDevs(id).data(), catalog_->ScopeDevs(id).data(),
+          catalog_->ScopeWeights(id).data(), scope.size());
       // Scope popcounts within a group sum to the block size, so this
       // charges exactly what the seed's one-pass-per-group join charged.
       if (counters != nullptr) counters->join_rows += scope.size();
@@ -209,26 +255,29 @@ std::pair<double, FactId> GreedyState::AccumulateGroupGains(
   const SummaryInstance& inst = evaluator_->instance();
   const FactCatalog& catalog = evaluator_->catalog();
   const FactGroup& group = catalog.group(group_index);
-  for (size_t r = 0; r < inst.num_rows; ++r) {
-    FactId id = group.row_fact[r];
-    double fact_dev = std::fabs(catalog.fact(id).value - inst.target[r]);
-    double gain = row_deviation_[r] - fact_dev;
-    if (gain > 0.0) (*gains)[id] += gain * inst.weight[r];
+  const simd::Kernels& kernels = simd::Active();
+  // Per fact, the same positive-gain kernel as the initialization join, with
+  // the CURRENT deviation column gathered instead of the prior one. The
+  // group's scopes partition the rows, so total work (and the counter
+  // charge) is one pass over the instance block, like the seed join.
+  for (uint32_t i = 0; i < group.num_facts; ++i) {
+    FactId id = group.first_fact + i;
+    std::span<const uint32_t> scope = catalog.ScopeRows(id);
+    (*gains)[id] += kernels.gather_positive_gain(
+        row_deviation_.data(), scope.data(), catalog.ScopeDevs(id).data(),
+        catalog.ScopeWeights(id).data(), scope.size());
   }
   if (counters != nullptr) {
     counters->join_rows += inst.num_rows;
     ++counters->groups_joined;
   }
-  double best_gain = -1.0;
-  FactId best_fact = kNoFact;
-  for (uint32_t i = 0; i < group.num_facts; ++i) {
-    FactId id = group.first_fact + i;
-    if ((*gains)[id] > best_gain) {
-      best_gain = (*gains)[id];
-      best_fact = id;
-    }
-  }
-  return {best_gain, best_fact};
+  if (group.num_facts == 0) return {-1.0, kNoFact};
+  // Argmax with lowest-index tie-break over the group's contiguous gain
+  // slice -- the same fact the seed's strict `>` scan selected.
+  size_t best =
+      kernels.argmax(gains->data() + group.first_fact, group.num_facts);
+  FactId best_fact = group.first_fact + static_cast<FactId>(best);
+  return {(*gains)[best_fact], best_fact};
 }
 
 double GreedyState::GroupUtilityBound(uint32_t group_index,
@@ -236,32 +285,33 @@ double GreedyState::GroupUtilityBound(uint32_t group_index,
   const SummaryInstance& inst = evaluator_->instance();
   const FactCatalog& catalog = evaluator_->catalog();
   const FactGroup& group = catalog.group(group_index);
+  const simd::Kernels& kernels = simd::Active();
   // Adding a fact can at most zero out the current deviation within its
-  // scope, so sum(current deviation within scope) bounds the gain.
-  std::vector<double> scope_error(group.num_facts, 0.0);
-  for (size_t r = 0; r < inst.num_rows; ++r) {
-    FactId id = group.row_fact[r];
-    scope_error[id - group.first_fact] += row_deviation_[r] * inst.weight[r];
+  // scope, so sum(current deviation within scope) bounds the gain: one
+  // gathered weighted-sum kernel call per fact (Algorithm 3, Line 15 -- a
+  // group-by without a join), max over the group's facts.
+  double bound = 0.0;
+  for (uint32_t i = 0; i < group.num_facts; ++i) {
+    FactId id = group.first_fact + i;
+    std::span<const uint32_t> scope = catalog.ScopeRows(id);
+    double scope_error =
+        kernels.gather_weighted_sum(row_deviation_.data(), scope.data(),
+                                    catalog.ScopeWeights(id).data(), scope.size());
+    bound = std::max(bound, scope_error);
   }
   if (counters != nullptr) counters->bound_rows += inst.num_rows;
-  double bound = 0.0;
-  for (double e : scope_error) bound = std::max(bound, e);
   return bound;
 }
 
 void GreedyState::ApplyFact(FactId id) {
-  const SummaryInstance& inst = evaluator_->instance();
   const FactCatalog& catalog = evaluator_->catalog();
-  const Fact& fact = catalog.fact(id);
-  // Only rows within the fact's scope can change; the catalog's CSR scope
-  // rows visit exactly those (ascending, like the seed's full scan did).
-  for (uint32_t r : catalog.ScopeRows(id)) {
-    double fact_dev = std::fabs(fact.value - inst.target[r]);
-    if (fact_dev < row_deviation_[r]) {
-      current_error_ -= (row_deviation_[r] - fact_dev) * inst.weight[r];
-      row_deviation_[r] = fact_dev;
-    }
-  }
+  // Only rows within the fact's scope can change; the min-update kernel
+  // visits exactly those (ascending, like the seed's full scan did) and
+  // returns the weighted error reduction in one pass.
+  std::span<const uint32_t> scope = catalog.ScopeRows(id);
+  current_error_ -= simd::Active().min_update(
+      row_deviation_.data(), scope.data(), catalog.ScopeDevs(id).data(),
+      catalog.ScopeWeights(id).data(), scope.size());
 }
 
 }  // namespace vq

@@ -2,6 +2,7 @@
 #ifndef VQ_CORE_EVALUATOR_H_
 #define VQ_CORE_EVALUATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -23,11 +24,32 @@ struct PerfCounters {
   uint64_t nodes_expanded = 0; ///< search-tree expansions (exact algorithm)
   uint64_t pruned_by_bound = 0;  ///< subtrees cut by the utility bound
 
+  /// THE field list: the one place that enumerates every counter, in
+  /// serialization order. Add()/Merged() and the bench JSON/table writers
+  /// all iterate it (via ForEachField), so a new counter added here is
+  /// merged and serialized everywhere without touching another call site.
+  static constexpr size_t kNumFields = 7;
+  static const std::array<uint64_t PerfCounters::*, kNumFields> kFields;
+  static const std::array<const char*, kNumFields> kFieldNames;
+
+  /// Invokes fn(name, value) for every counter, in kFields order.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+    for (size_t i = 0; i < kNumFields; ++i) fn(kFieldNames[i], this->*kFields[i]);
+  }
+
   /// Plain (non-atomic) accumulate. NOT safe for concurrent use: callers
   /// merging counters produced on multiple threads must serialize the merge
   /// (EngineHost does so under its perf mutex) or keep per-thread counters
   /// and combine after joining.
   void Add(const PerfCounters& other);
+
+  /// Value-returning merge: `*this` plus `other`, leaving both operands
+  /// untouched. The footgun-free spelling for cross-thread aggregation
+  /// sites (`shared = shared.Merged(per_thread)` under the owner's mutex
+  /// reads as the copy-merge-publish it is, where a bare Add() invites
+  /// calling it on a shared object from runner threads).
+  PerfCounters Merged(const PerfCounters& other) const;
 };
 
 /// \brief Evaluates deviation/utility of fact sets for one instance.
@@ -42,6 +64,16 @@ struct PerfCounters {
 /// facts. The initialization join iterates each fact's CSR scope rows.
 /// PerfCounters are charged from the scope popcounts, which sum to exactly
 /// the per-group row totals the seed implementation charged.
+///
+/// Since the SIMD-kernel refactor those block loops run through the
+/// runtime-dispatched kernel table (util/simd.h): the cover mask comes from
+/// one fused OR+popcount pass, uncovered rows inside partially covered
+/// blocks reduce with the masked block-sum kernel over the padded
+/// prior-deviation array, and the initialization join streams the catalog's
+/// SoA block-delta tables (ScopeDevs/ScopeWeights) through the positive-gain
+/// gather kernel. Results match the *Reference paths to relative 1e-12 (the
+/// kernels reassociate sums; the forced-scalar table is bit-identical), and
+/// counter totals are unchanged.
 class Evaluator {
  public:
   Evaluator(const SummaryInstance* instance, const FactCatalog* catalog);
@@ -88,6 +120,10 @@ class Evaluator {
   const FactCatalog* catalog_;
   double base_error_ = 0.0;
   /// |prior - target[r]| and its weighted form, precomputed once.
+  /// prior_dev_weighted_ is zero-padded to a whole number of 64-row blocks:
+  /// the masked block-sum kernel loads full vector lanes, so every block it
+  /// touches must be readable end to end (padding lanes carry 0.0 and the
+  /// cover masks never select them).
   std::vector<double> prior_dev_;
   std::vector<double> prior_dev_weighted_;
   /// Weighted prior deviation summed per 64-row block: the O(1) reduction

@@ -14,8 +14,8 @@ const char* ConflictModelName(ConflictModel model) {
   return "Unknown";
 }
 
-double ExpectedValue(ConflictModel model, const std::vector<double>& relevant_values,
-                     const std::vector<double>& all_values, double prior,
+double ExpectedValue(ConflictModel model, std::span<const double> relevant_values,
+                     std::span<const double> all_values, double prior,
                      double actual) {
   if (relevant_values.empty()) return prior;
   switch (model) {

@@ -2,8 +2,8 @@
 #ifndef VQ_CORE_EXPECTATION_H_
 #define VQ_CORE_EXPECTATION_H_
 
+#include <span>
 #include <string>
-#include <vector>
 
 namespace vq {
 
@@ -32,8 +32,12 @@ const char* ConflictModelName(ConflictModel model);
 /// select relative to it). When no fact is relevant, every model returns the
 /// prior. For kClosest the prior participates in the argmin as Definition 4
 /// specifies; for the other (purely descriptive) models it does not.
-double ExpectedValue(ConflictModel model, const std::vector<double>& relevant_values,
-                     const std::vector<double>& all_values, double prior,
+///
+/// Spans, not vectors: the evaluator's speech hot path keeps its scratch in
+/// stack-inline buffers (util/small_vector.h), so this must not force a
+/// container type on callers.
+double ExpectedValue(ConflictModel model, std::span<const double> relevant_values,
+                     std::span<const double> all_values, double prior,
                      double actual);
 
 }  // namespace vq

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cmath>
 
 #include "relational/group_by.h"
 
@@ -92,14 +93,22 @@ Result<FactCatalog> FactCatalog::Build(const SummaryInstance& instance,
     catalog.scope_row_offsets_[i] += catalog.scope_row_offsets_[i - 1];
   }
   catalog.scope_rows_.resize(catalog.groups_.size() * instance.num_rows);
+  catalog.scope_devs_.resize(catalog.scope_rows_.size());
+  catalog.scope_weights_.resize(catalog.scope_rows_.size());
+  catalog.scope_prior_devs_.resize(catalog.scope_rows_.size());
   // scope_row_offsets_[id + 1] doubles as the fill cursor of fact id during
   // this pass; afterwards it has advanced to the fact's end offset, which is
-  // exactly what ScopeRows(id) expects.
+  // exactly what ScopeRows(id) expects. The SoA block-delta tables are
+  // filled in the same pass (typical values are final by this point).
   for (const FactGroup& group : catalog.groups_) {
     for (size_t r = 0; r < instance.num_rows; ++r) {
       FactId id = group.row_fact[r];
-      catalog.scope_rows_[catalog.scope_row_offsets_[id + 1]++] =
-          static_cast<uint32_t>(r);
+      uint32_t pos = catalog.scope_row_offsets_[id + 1]++;
+      catalog.scope_rows_[pos] = static_cast<uint32_t>(r);
+      catalog.scope_devs_[pos] =
+          std::fabs(catalog.facts_[id].value - instance.target[r]);
+      catalog.scope_weights_[pos] = instance.weight[r];
+      catalog.scope_prior_devs_[pos] = std::fabs(instance.prior - instance.target[r]);
       if (catalog.has_scope_bits_) {
         catalog.scope_bits_[id * words + (r >> 6)] |= uint64_t{1} << (r & 63);
       }

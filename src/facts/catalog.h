@@ -102,6 +102,33 @@ class FactCatalog {
             scope_rows_.data() + scope_row_offsets_[id + 1]};
   }
 
+  /// SoA block-delta tables aligned entry-for-entry with ScopeRows(id): the
+  /// fact's absolute deviation |value - target[row]| and the row's weight,
+  /// precomputed once per catalog. The SIMD gain kernels
+  /// (simd::Kernels::gather_positive_gain and friends) stream these two
+  /// contiguous arrays and only gather the one per-row column that actually
+  /// changes between calls (prior/current deviation), instead of re-deriving
+  /// |value - target| row by row inside every join. The three SoA tables
+  /// (devs, weights, prior devs) cost three doubles per (group, row) entry
+  /// -- the same shape as the CSR lists, never quadratic.
+  std::span<const double> ScopeDevs(FactId id) const {
+    return {scope_devs_.data() + scope_row_offsets_[id],
+            scope_devs_.data() + scope_row_offsets_[id + 1]};
+  }
+  std::span<const double> ScopeWeights(FactId id) const {
+    return {scope_weights_.data() + scope_row_offsets_[id],
+            scope_weights_.data() + scope_row_offsets_[id + 1]};
+  }
+  /// |prior - target[row]| per scope entry: the gathered column of the
+  /// initialization join, pre-gathered into CSR order so the single-fact
+  /// utility reduction is a pure dense stream (simd::Kernels::positive_gain,
+  /// no gather at all). Only the greedy iterations, whose deviation column
+  /// changes between calls, still gather.
+  std::span<const double> ScopePriorDevs(FactId id) const {
+    return {scope_prior_devs_.data() + scope_row_offsets_[id],
+            scope_prior_devs_.data() + scope_row_offsets_[id + 1]};
+  }
+
   /// Decodes a fact's scope as (dimension name, value string) pairs, using
   /// the source table's dictionaries.
   std::vector<std::pair<std::string, std::string>> DescribeScope(
@@ -119,6 +146,11 @@ class FactCatalog {
   std::vector<uint64_t> scope_bits_;
   std::vector<uint32_t> scope_row_offsets_;
   std::vector<uint32_t> scope_rows_;
+  /// CSR-aligned SoA companions of scope_rows_ (see ScopeDevs/ScopeWeights/
+  /// ScopePriorDevs).
+  std::vector<double> scope_devs_;
+  std::vector<double> scope_weights_;
+  std::vector<double> scope_prior_devs_;
 };
 
 }  // namespace vq

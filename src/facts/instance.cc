@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "relational/group_by.h"
+#include "util/simd.h"
 
 namespace vq {
 
@@ -16,11 +17,11 @@ double GlobalAverage(const Table& table, int target_index) {
 }
 
 double SummaryInstance::BaseError() const {
-  double error = 0.0;
-  for (size_t r = 0; r < num_rows; ++r) {
-    error += std::fabs(prior - target[r]) * weight[r];
-  }
-  return error;
+  // D(empty) is a pure weighted absolute-deviation reduction; it runs once
+  // per instance on the serving layer's on-demand path, so it goes through
+  // the dispatched kernel rather than a scalar loop.
+  return simd::Active().weighted_abs_dev(prior, target.data(), weight.data(),
+                                         num_rows);
 }
 
 namespace {

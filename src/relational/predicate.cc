@@ -44,13 +44,20 @@ bool RowMatches(const Table& table, size_t row, const PredicateSet& predicates) 
 std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predicates) {
   // Planner-routed since the indexed-scan refactor: posting-list
   // intersection when selective, vectorized column scan otherwise. Both
-  // paths return exactly what the seed row-at-a-time loop returned.
-  return PlannedFilterRows(table, predicates);
+  // paths return exactly what the seed row-at-a-time loop returned. The
+  // funnel feeds the process-wide planner statistics, so the
+  // postings-vs-scan threshold adapts to observed costs (plan changes never
+  // change results, only which identical-output path runs).
+  ScanPlannerOptions options;
+  options.stats = &GlobalScanStats();
+  return PlannedFilterRows(table, predicates, options);
 }
 
 std::vector<std::vector<uint32_t>> FilterRowsMulti(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets) {
-  return PlannedFilterRowsMulti(table, predicate_sets);
+  ScanPlannerOptions options;
+  options.stats = &GlobalScanStats();
+  return PlannedFilterRowsMulti(table, predicate_sets, options);
 }
 
 bool IsSubsetOf(const PredicateSet& subset, const PredicateSet& superset) {

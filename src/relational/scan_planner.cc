@@ -4,8 +4,62 @@
 #include <numeric>
 
 #include "storage/index.h"
+#include "util/stopwatch.h"
 
 namespace vq {
+
+void ScanStats::RecordInto(std::atomic<double>* ewma,
+                           std::atomic<uint64_t>* samples, size_t rows,
+                           double seconds) {
+  if (rows == 0 || seconds <= 0.0) return;
+  double per_row = seconds / static_cast<double>(rows);
+  // Lock-free EWMA: CAS loop over the (0.0 == unset) running value. A lost
+  // race re-blends from the winner's value -- every observation still lands
+  // with weight ~kAlpha, which is all a smoothing heuristic needs.
+  double current = ewma->load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = current == 0.0 ? per_row : (1.0 - kAlpha) * current + kAlpha * per_row;
+  } while (!ewma->compare_exchange_weak(current, next, std::memory_order_relaxed));
+  samples->fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScanStats::RecordPostings(size_t driver_rows, double seconds) {
+  RecordInto(&ewma_postings_seconds_per_row_, &postings_samples_, driver_rows,
+             seconds);
+}
+
+void ScanStats::RecordScan(size_t table_rows, double seconds) {
+  RecordInto(&ewma_scan_seconds_per_row_, &scan_samples_, table_rows, seconds);
+}
+
+double ScanStats::CostFactor(double fallback) const {
+  double postings = ewma_postings_seconds_per_row_.load(std::memory_order_relaxed);
+  double scan = ewma_scan_seconds_per_row_.load(std::memory_order_relaxed);
+  if (postings <= 0.0 || scan <= 0.0) return fallback;  // a path is unsampled
+  return std::clamp(postings / scan, kMinFactor, kMaxFactor);
+}
+
+uint64_t ScanStats::postings_samples() const {
+  return postings_samples_.load(std::memory_order_relaxed);
+}
+
+uint64_t ScanStats::scan_samples() const {
+  return scan_samples_.load(std::memory_order_relaxed);
+}
+
+double ScanStats::postings_ns_per_row() const {
+  return ewma_postings_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
+}
+
+double ScanStats::scan_ns_per_row() const {
+  return ewma_scan_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
+}
+
+ScanStats& GlobalScanStats() {
+  static ScanStats* stats = new ScanStats();  // never destroyed: outlives workers
+  return *stats;
+}
 
 namespace {
 
@@ -87,8 +141,12 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
   }
   // A single predicate is a posting-list copy -- never scan. Conjunctions
   // use postings while the driver list is selective enough that galloping
-  // probes beat one comparison per table row.
-  bool selective = static_cast<double>(min_count) * options.cost_factor <=
+  // probes beat one comparison per table row. With statistics feedback the
+  // ratio comes from the observed EWMA costs instead of the fixed default.
+  double cost_factor = options.stats != nullptr
+                           ? options.stats->CostFactor(options.cost_factor)
+                           : options.cost_factor;
+  bool selective = static_cast<double>(min_count) * cost_factor <=
                    static_cast<double>(table.NumRows());
   plan.strategy = (predicates.size() == 1 || selective) ? ScanStrategy::kPostings
                                                         : ScanStrategy::kColumnScan;
@@ -169,7 +227,28 @@ std::vector<uint32_t> ExecuteScanPlan(const Table& table,
 std::vector<uint32_t> PlannedFilterRows(const Table& table,
                                         const PredicateSet& predicates,
                                         const ScanPlannerOptions& options) {
-  return ExecuteScanPlan(table, predicates, PlanScan(table, predicates, options));
+  ScanPlan plan = PlanScan(table, predicates, options);
+  // Statistics feedback: time the execution and charge it to the path the
+  // planner chose, normalized by that path's cost driver. Only executions
+  // that actually train the model pay for the clock: single-predicate
+  // postings are unconditional copies (they say nothing about intersection
+  // cost), and kAllRows/kEmptyResult are O(1) answers -- none of them may
+  // tax the nanoseconds-scale fast path with stopwatch calls.
+  bool trains_postings = plan.strategy == ScanStrategy::kPostings &&
+                         predicates.size() > 1;
+  bool trains_scan = plan.strategy == ScanStrategy::kColumnScan;
+  if (options.stats == nullptr || (!trains_postings && !trains_scan)) {
+    return ExecuteScanPlan(table, predicates, plan);
+  }
+  Stopwatch watch;
+  std::vector<uint32_t> result = ExecuteScanPlan(table, predicates, plan);
+  double seconds = watch.ElapsedSeconds();
+  if (trains_postings) {
+    options.stats->RecordPostings(plan.estimated_rows, seconds);
+  } else {
+    options.stats->RecordScan(table.NumRows(), seconds);
+  }
+  return result;
 }
 
 std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
@@ -182,18 +261,33 @@ std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
     ScanPlan plan = PlanScan(table, *predicate_sets[q], options);
     if (plan.strategy == ScanStrategy::kColumnScan) {
       scan_sets.push_back(q);
+    } else if (options.stats != nullptr &&
+               plan.strategy == ScanStrategy::kPostings &&
+               predicate_sets[q]->size() > 1) {
+      // Same single-path rule as PlannedFilterRows: only executions that
+      // train the model pay for the clock.
+      Stopwatch watch;
+      out[q] = ExecuteScanPlan(table, *predicate_sets[q], plan);
+      options.stats->RecordPostings(plan.estimated_rows, watch.ElapsedSeconds());
     } else {
       out[q] = ExecuteScanPlan(table, *predicate_sets[q], plan);
     }
   }
   if (!scan_sets.empty()) {
     size_t n = table.NumRows();
+    Stopwatch watch;
     for (size_t r = 0; r < n; ++r) {
       for (size_t q : scan_sets) {
         if (RowMatches(table, r, *predicate_sets[q])) {
           out[q].push_back(static_cast<uint32_t>(r));
         }
       }
+    }
+    if (options.stats != nullptr) {
+      // The batch shares ONE pass: charge its per-row cost once, normalized
+      // by the rows scanned (the planner compares per-set costs, and each
+      // set's marginal share of a shared pass is at most one full scan).
+      options.stats->RecordScan(n * scan_sets.size(), watch.ElapsedSeconds());
     }
   }
   return out;

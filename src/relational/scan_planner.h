@@ -13,6 +13,7 @@
 #ifndef VQ_RELATIONAL_SCAN_PLANNER_H_
 #define VQ_RELATIONAL_SCAN_PLANNER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,63 @@
 #include "storage/table.h"
 
 namespace vq {
+
+/// \brief Online planner statistics: EWMA of the observed per-row costs of
+/// the two execution paths, fed back into the postings-vs-scan decision.
+///
+/// The fixed cost_factor of 4 encodes "one galloping probe costs about four
+/// row comparisons" -- true on the machine it was tuned on, wrong elsewhere
+/// (cache sizes, gather latency and branch predictors move the ratio).
+/// PlannedFilterRows times every execution it runs and records
+/// seconds-per-driver-row (postings) or seconds-per-table-row (scan); the
+/// learned cost factor is the ratio of the two EWMAs, so the planner adapts
+/// to the hardware it is actually running on. All methods are thread-safe
+/// and lock-free (relaxed atomics + CAS on the EWMAs): the filter funnel is
+/// on every serving worker's path, so the shared statistics must never
+/// serialize it. A torn read across the two EWMAs only skews one heuristic
+/// decision, never correctness -- both execution paths return identical
+/// rows.
+class ScanStats {
+ public:
+  /// EWMA smoothing weight per sample; small enough that one descheduled
+  /// outlier execution cannot flip the planner.
+  static constexpr double kAlpha = 0.05;
+  /// Learned-factor clamp: keeps a cold or pathological EWMA pair from
+  /// planning postings for unselective predicates (or never using them).
+  static constexpr double kMinFactor = 1.0;
+  static constexpr double kMaxFactor = 64.0;
+
+  void RecordPostings(size_t driver_rows, double seconds);
+  void RecordScan(size_t table_rows, double seconds);
+
+  /// The adapted cost factor, clamped to [kMinFactor, kMaxFactor]; returns
+  /// `fallback` until BOTH paths have at least one sample (a lone EWMA says
+  /// nothing about the ratio).
+  double CostFactor(double fallback) const;
+
+  uint64_t postings_samples() const;
+  uint64_t scan_samples() const;
+  /// Current EWMAs in nanoseconds per (driver|table) row; 0 before samples.
+  double postings_ns_per_row() const;
+  double scan_ns_per_row() const;
+
+ private:
+  /// 0.0 doubles as "no sample yet" (a real observation is never exactly 0:
+  /// Record* rejects non-positive seconds).
+  static void RecordInto(std::atomic<double>* ewma, std::atomic<uint64_t>* samples,
+                         size_t rows, double seconds);
+
+  std::atomic<double> ewma_postings_seconds_per_row_{0.0};
+  std::atomic<double> ewma_scan_seconds_per_row_{0.0};
+  std::atomic<uint64_t> postings_samples_{0};
+  std::atomic<uint64_t> scan_samples_{0};
+};
+
+/// Process-wide statistics instance: FilterRows/FilterRowsMulti (the funnel
+/// every subsystem materializes subsets through) record into and plan from
+/// it, so the whole serving fleet shares one learned cost model.
+/// bench/scan_throughput.cpp reports its state into BENCH_scan.json.
+ScanStats& GlobalScanStats();
 
 /// How a conjunctive filter will be executed.
 enum class ScanStrategy {
@@ -49,9 +107,16 @@ struct ScanPlannerOptions {
   /// cost_factor <= table rows` (each driver row costs ~one galloping probe
   /// per extra predicate versus ~one comparison per table row for the scan).
   /// A single predicate always uses its posting list: the answer is a copy.
+  /// When `stats` is set, this value only seeds the decision until both
+  /// paths have been observed; afterwards stats->CostFactor() replaces it.
   double cost_factor = 4.0;
   /// Forces kColumnScan (tests/benches measuring the fallback path).
   bool force_scan = false;
+  /// Statistics feedback: PlanScan draws its cost factor from here and
+  /// PlannedFilterRows/PlannedFilterRowsMulti record observed execution
+  /// costs back. nullptr keeps the fixed-cost_factor behavior (tests that
+  /// assert specific plans stay deterministic).
+  ScanStats* stats = nullptr;
 };
 
 /// Plans one conjunction against `table` (builds the table index on first

@@ -289,10 +289,10 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
                    prepared.value().catalog(), result, query.predicates);
   stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
   {
-    // Batches run concurrently on pool workers; PerfCounters::Add is a
-    // plain accumulate, so the merge must hold the host's perf mutex.
+    // Batches run concurrently on pool workers; counters are plain
+    // non-atomic fields, so the merge must hold the host's perf mutex.
     std::lock_guard<std::mutex> lock(perf_mutex_);
-    perf_.Add(result.counters);
+    perf_ = perf_.Merged(result.counters);
   }
 
   if (options_.record_learned) {

@@ -1,0 +1,569 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+// The AVX2 section relies on GCC/Clang-only constructs (per-function
+// target attributes, __builtin_cpu_supports), so MSVC x64 (_M_X64 without
+// __GNUC__) deliberately falls back to scalar-only.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VQ_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#define VQ_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace vq {
+namespace simd {
+
+namespace {
+
+// --------------------------------------------------------------- scalar
+// Straight loops, written to visit elements in exactly the order the seed
+// implementations did: the forced-scalar configuration is bit-identical to
+// the retained *Reference paths, which makes it the oracle for the others.
+
+uint64_t OrPopcountScalar(const uint64_t* const* sets, size_t num_sets,
+                          size_t num_words, uint64_t* covered) {
+  uint64_t total = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t acc = 0;
+    for (size_t s = 0; s < num_sets; ++s) acc |= sets[s][w];
+    covered[w] = acc;
+    total += static_cast<uint64_t>(std::popcount(acc));
+  }
+  return total;
+}
+
+double MaskedSum64Scalar(const double* block, uint64_t mask) {
+  double sum = 0.0;
+  while (mask != 0) {
+    sum += block[std::countr_zero(mask)];
+    mask &= mask - 1;
+  }
+  return sum;
+}
+
+double WeightedSumScalar(const double* values, const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += values[i] * weights[i];
+  return sum;
+}
+
+double WeightedAbsDevScalar(double center, const double* values,
+                            const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::fabs(center - values[i]) * weights[i];
+  return sum;
+}
+
+double PositiveGainScalar(const double* current, const double* devs,
+                          const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double gain = current[k] - devs[k];
+    if (gain > 0.0) sum += gain * weights[k];
+  }
+  return sum;
+}
+
+double GatherWeightedSumScalar(const double* dense, const uint32_t* rows,
+                               const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) sum += dense[rows[k]] * weights[k];
+  return sum;
+}
+
+double GatherPositiveGainScalar(const double* dense, const uint32_t* rows,
+                                const double* devs, const double* weights,
+                                size_t n) {
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double gain = dense[rows[k]] - devs[k];
+    if (gain > 0.0) sum += gain * weights[k];
+  }
+  return sum;
+}
+
+double MinUpdateScalar(double* dense, const uint32_t* rows, const double* devs,
+                       const double* weights, size_t n) {
+  double reduction = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    double current = dense[rows[k]];
+    if (devs[k] < current) {
+      reduction += (current - devs[k]) * weights[k];
+      dense[rows[k]] = devs[k];
+    }
+  }
+  return reduction;
+}
+
+size_t ArgMaxScalar(const double* values, size_t n) {
+  size_t best = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (values[i] > values[best]) best = i;
+  }
+  return best;
+}
+
+const Kernels kScalarKernels = {
+    "scalar",           OrPopcountScalar,     MaskedSum64Scalar,
+    WeightedSumScalar,  WeightedAbsDevScalar, PositiveGainScalar,
+    GatherWeightedSumScalar, GatherPositiveGainScalar,
+    MinUpdateScalar,    ArgMaxScalar,
+};
+
+// ----------------------------------------------------------------- AVX2
+// Compiled with per-function target attributes so the translation unit (and
+// the rest of the library) keeps the generic x86-64 baseline; the dispatcher
+// only hands these out after __builtin_cpu_supports("avx2") says yes.
+#if VQ_SIMD_X86
+
+#define VQ_AVX2 __attribute__((target("avx2,fma,popcnt")))
+
+VQ_AVX2 inline double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, _mm_unpackhi_pd(lo, lo)));
+}
+
+VQ_AVX2 inline __m256d Abs(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+/// Gather of 4 doubles via the masked form with an explicit zero source:
+/// the plain _mm256_i32gather_pd leaves its pass-through operand undefined,
+/// which GCC's -Wmaybe-uninitialized flags from inside avx2intrin.h. Same
+/// vgatherdpd instruction, warning-free.
+VQ_AVX2 inline __m256d Gather4(const double* base, __m128i idx) {
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), base, idx, all, 8);
+}
+
+VQ_AVX2 uint64_t OrPopcountAvx2(const uint64_t* const* sets, size_t num_sets,
+                                size_t num_words, uint64_t* covered) {
+  uint64_t total = 0;
+  size_t w = 0;
+  if (num_sets > 0) {
+    for (; w + 4 <= num_words; w += 4) {
+      __m256i acc = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(sets[0] + w));
+      for (size_t s = 1; s < num_sets; ++s) {
+        acc = _mm256_or_si256(
+            acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sets[s] + w)));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(covered + w), acc);
+      total += static_cast<uint64_t>(_mm_popcnt_u64(covered[w]));
+      total += static_cast<uint64_t>(_mm_popcnt_u64(covered[w + 1]));
+      total += static_cast<uint64_t>(_mm_popcnt_u64(covered[w + 2]));
+      total += static_cast<uint64_t>(_mm_popcnt_u64(covered[w + 3]));
+    }
+  }
+  for (; w < num_words; ++w) {
+    uint64_t acc = 0;
+    for (size_t s = 0; s < num_sets; ++s) acc |= sets[s][w];
+    covered[w] = acc;
+    total += static_cast<uint64_t>(_mm_popcnt_u64(acc));
+  }
+  return total;
+}
+
+VQ_AVX2 double MaskedSum64Avx2(const double* block, uint64_t mask) {
+  if (mask == 0) return 0.0;
+  // Expand each nibble of the mask into four qword lane masks and sum the
+  // selected lanes; the whole 64-double block must be readable (the loads
+  // touch cleared lanes), which Evaluator guarantees by padding.
+  const __m256i kBitSelect = _mm256_set_epi64x(8, 4, 2, 1);
+  __m256d acc = _mm256_setzero_pd();
+  for (int i = 0; i < 64; i += 4) {
+    uint64_t nibble = (mask >> i) & 0xF;
+    if (nibble == 0) continue;
+    __m256i sel = _mm256_and_si256(
+        _mm256_set1_epi64x(static_cast<long long>(nibble)), kBitSelect);
+    __m256d lane_mask = _mm256_castsi256_pd(_mm256_cmpeq_epi64(sel, kBitSelect));
+    acc = _mm256_add_pd(acc,
+                        _mm256_and_pd(lane_mask, _mm256_loadu_pd(block + i)));
+  }
+  return HorizontalSum(acc);
+}
+
+VQ_AVX2 double WeightedSumAvx2(const double* values, const double* weights,
+                               size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + i),
+                           _mm256_loadu_pd(weights + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(values + i + 4),
+                           _mm256_loadu_pd(weights + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(values + i),
+                           _mm256_loadu_pd(weights + i), acc0);
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += values[i] * weights[i];
+  return sum;
+}
+
+VQ_AVX2 double WeightedAbsDevAvx2(double center, const double* values,
+                                  const double* weights, size_t n) {
+  const __m256d vcenter = _mm256_set1_pd(center);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d d0 = Abs(_mm256_sub_pd(vcenter, _mm256_loadu_pd(values + i)));
+    __m256d d1 = Abs(_mm256_sub_pd(vcenter, _mm256_loadu_pd(values + i + 4)));
+    acc0 = _mm256_fmadd_pd(d0, _mm256_loadu_pd(weights + i), acc0);
+    acc1 = _mm256_fmadd_pd(d1, _mm256_loadu_pd(weights + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    __m256d d = Abs(_mm256_sub_pd(vcenter, _mm256_loadu_pd(values + i)));
+    acc0 = _mm256_fmadd_pd(d, _mm256_loadu_pd(weights + i), acc0);
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) sum += std::fabs(center - values[i]) * weights[i];
+  return sum;
+}
+
+VQ_AVX2 double PositiveGainAvx2(const double* current, const double* devs,
+                                const double* weights, size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    __m256d g0 = _mm256_max_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(current + k), _mm256_loadu_pd(devs + k)),
+        zero);
+    __m256d g1 = _mm256_max_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(current + k + 4),
+                      _mm256_loadu_pd(devs + k + 4)),
+        zero);
+    acc0 = _mm256_fmadd_pd(g0, _mm256_loadu_pd(weights + k), acc0);
+    acc1 = _mm256_fmadd_pd(g1, _mm256_loadu_pd(weights + k + 4), acc1);
+  }
+  for (; k + 4 <= n; k += 4) {
+    __m256d gain = _mm256_max_pd(
+        _mm256_sub_pd(_mm256_loadu_pd(current + k), _mm256_loadu_pd(devs + k)),
+        zero);
+    acc0 = _mm256_fmadd_pd(gain, _mm256_loadu_pd(weights + k), acc0);
+  }
+  double sum = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; k < n; ++k) {
+    double gain = current[k] - devs[k];
+    if (gain > 0.0) sum += gain * weights[k];
+  }
+  return sum;
+}
+
+VQ_AVX2 double GatherWeightedSumAvx2(const double* dense, const uint32_t* rows,
+                                     const double* weights, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + k));
+    __m256d gathered = Gather4(dense, idx);
+    acc = _mm256_fmadd_pd(gathered, _mm256_loadu_pd(weights + k), acc);
+  }
+  double sum = HorizontalSum(acc);
+  for (; k < n; ++k) sum += dense[rows[k]] * weights[k];
+  return sum;
+}
+
+VQ_AVX2 double GatherPositiveGainAvx2(const double* dense, const uint32_t* rows,
+                                      const double* devs, const double* weights,
+                                      size_t n) {
+  const __m256d zero = _mm256_setzero_pd();
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + k));
+    __m256d gathered = Gather4(dense, idx);
+    __m256d gain = _mm256_sub_pd(gathered, _mm256_loadu_pd(devs + k));
+    gain = _mm256_max_pd(gain, zero);  // branchless max(0, gain)
+    acc = _mm256_fmadd_pd(gain, _mm256_loadu_pd(weights + k), acc);
+  }
+  double sum = HorizontalSum(acc);
+  for (; k < n; ++k) {
+    double gain = dense[rows[k]] - devs[k];
+    if (gain > 0.0) sum += gain * weights[k];
+  }
+  return sum;
+}
+
+VQ_AVX2 double MinUpdateAvx2(double* dense, const uint32_t* rows,
+                             const double* devs, const double* weights,
+                             size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m128i idx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + k));
+    __m256d current = Gather4(dense, idx);
+    __m256d dv = _mm256_loadu_pd(devs + k);
+    __m256d lowered = _mm256_cmp_pd(dv, current, _CMP_LT_OQ);
+    __m256d delta = _mm256_and_pd(
+        lowered, _mm256_mul_pd(_mm256_sub_pd(current, dv),
+                               _mm256_loadu_pd(weights + k)));
+    acc = _mm256_add_pd(acc, delta);
+    // AVX2 has no scatter: store the blended minima lane by lane. The CSR
+    // row lists hold distinct indices, so the gather above never observes a
+    // row this batch also writes.
+    alignas(32) double updated[4];
+    _mm256_store_pd(updated, _mm256_blendv_pd(current, dv, lowered));
+    dense[rows[k]] = updated[0];
+    dense[rows[k + 1]] = updated[1];
+    dense[rows[k + 2]] = updated[2];
+    dense[rows[k + 3]] = updated[3];
+  }
+  double reduction = HorizontalSum(acc);
+  for (; k < n; ++k) {
+    double current = dense[rows[k]];
+    if (devs[k] < current) {
+      reduction += (current - devs[k]) * weights[k];
+      dense[rows[k]] = devs[k];
+    }
+  }
+  return reduction;
+}
+
+VQ_AVX2 size_t ArgMaxAvx2(const double* values, size_t n) {
+  if (n < 8) return ArgMaxScalar(values, n);
+  __m256d best = _mm256_loadu_pd(values);
+  __m256i best_idx = _mm256_set_epi64x(3, 2, 1, 0);
+  size_t k = 4;
+  for (; k + 4 <= n; k += 4) {
+    __m256d v = _mm256_loadu_pd(values + k);
+    __m256i idx = _mm256_add_epi64(_mm256_set1_epi64x(static_cast<long long>(k)),
+                                   _mm256_set_epi64x(3, 2, 1, 0));
+    // Strictly-greater keeps the earliest occurrence within each lane.
+    __m256d gt = _mm256_cmp_pd(v, best, _CMP_GT_OQ);
+    best = _mm256_blendv_pd(best, v, gt);
+    best_idx = _mm256_blendv_epi8(best_idx, idx, _mm256_castpd_si256(gt));
+  }
+  alignas(32) double lane_val[4];
+  alignas(32) int64_t lane_idx[4];
+  _mm256_store_pd(lane_val, best);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), best_idx);
+  // Cross-lane reduction: greatest value wins, the smaller index on ties, so
+  // the overall result is the lowest index attaining the maximum.
+  double best_value = lane_val[0];
+  size_t best_index = static_cast<size_t>(lane_idx[0]);
+  for (int lane = 1; lane < 4; ++lane) {
+    size_t index = static_cast<size_t>(lane_idx[lane]);
+    if (lane_val[lane] > best_value ||
+        (lane_val[lane] == best_value && index < best_index)) {
+      best_value = lane_val[lane];
+      best_index = index;
+    }
+  }
+  for (; k < n; ++k) {
+    if (values[k] > best_value) {
+      best_value = values[k];
+      best_index = k;
+    }
+  }
+  return best_index;
+}
+
+const Kernels kAvx2Kernels = {
+    "avx2",            OrPopcountAvx2,     MaskedSum64Avx2,
+    WeightedSumAvx2,   WeightedAbsDevAvx2, PositiveGainAvx2,
+    GatherWeightedSumAvx2, GatherPositiveGainAvx2,
+    MinUpdateAvx2,     ArgMaxAvx2,
+};
+
+#endif  // VQ_SIMD_X86
+
+// ----------------------------------------------------------------- NEON
+// aarch64 ships NEON in the baseline, so no target attributes or CPU probe
+// are needed. Two-lane f64 kernels cover the dense reductions; the
+// gather-shaped kernels keep the scalar loops (NEON has no gather, and the
+// indexed loads dominate those kernels' cost).
+#if VQ_SIMD_NEON
+
+inline uint64x2_t LaneMask2(uint64_t two_bits) {
+  const uint64x2_t kBitSelect = {1, 2};
+  uint64x2_t sel = vandq_u64(vdupq_n_u64(two_bits), kBitSelect);
+  return vceqq_u64(sel, kBitSelect);
+}
+
+uint64_t OrPopcountNeon(const uint64_t* const* sets, size_t num_sets,
+                        size_t num_words, uint64_t* covered) {
+  uint64_t total = 0;
+  size_t w = 0;
+  if (num_sets > 0) {
+    for (; w + 2 <= num_words; w += 2) {
+      uint64x2_t acc = vld1q_u64(sets[0] + w);
+      for (size_t s = 1; s < num_sets; ++s) {
+        acc = vorrq_u64(acc, vld1q_u64(sets[s] + w));
+      }
+      vst1q_u64(covered + w, acc);
+      total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(acc)));
+    }
+  }
+  for (; w < num_words; ++w) {
+    uint64_t acc = 0;
+    for (size_t s = 0; s < num_sets; ++s) acc |= sets[s][w];
+    covered[w] = acc;
+    total += static_cast<uint64_t>(std::popcount(acc));
+  }
+  return total;
+}
+
+double MaskedSum64Neon(const double* block, uint64_t mask) {
+  if (mask == 0) return 0.0;
+  float64x2_t acc = vdupq_n_f64(0.0);
+  for (int i = 0; i < 64; i += 2) {
+    uint64_t pair = (mask >> i) & 0x3;
+    if (pair == 0) continue;
+    float64x2_t lane = vreinterpretq_f64_u64(
+        vandq_u64(LaneMask2(pair), vreinterpretq_u64_f64(vld1q_f64(block + i))));
+    acc = vaddq_f64(acc, lane);
+  }
+  return vaddvq_f64(acc);
+}
+
+double WeightedSumNeon(const double* values, const double* weights, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(values + i), vld1q_f64(weights + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(values + i + 2), vld1q_f64(weights + i + 2));
+  }
+  double sum = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) sum += values[i] * weights[i];
+  return sum;
+}
+
+double PositiveGainNeon(const double* current, const double* devs,
+                        const double* weights, size_t n) {
+  const float64x2_t zero = vdupq_n_f64(0.0);
+  float64x2_t acc = vdupq_n_f64(0.0);
+  size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    float64x2_t gain =
+        vmaxq_f64(vsubq_f64(vld1q_f64(current + k), vld1q_f64(devs + k)), zero);
+    acc = vfmaq_f64(acc, gain, vld1q_f64(weights + k));
+  }
+  double sum = vaddvq_f64(acc);
+  for (; k < n; ++k) {
+    double gain = current[k] - devs[k];
+    if (gain > 0.0) sum += gain * weights[k];
+  }
+  return sum;
+}
+
+double WeightedAbsDevNeon(double center, const double* values,
+                          const double* weights, size_t n) {
+  const float64x2_t vcenter = vdupq_n_f64(center);
+  float64x2_t acc = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    float64x2_t dev = vabsq_f64(vsubq_f64(vcenter, vld1q_f64(values + i)));
+    acc = vfmaq_f64(acc, dev, vld1q_f64(weights + i));
+  }
+  double sum = vaddvq_f64(acc);
+  for (; i < n; ++i) sum += std::fabs(center - values[i]) * weights[i];
+  return sum;
+}
+
+const Kernels kNeonKernels = {
+    "neon",            OrPopcountNeon,     MaskedSum64Neon,
+    WeightedSumNeon,   WeightedAbsDevNeon, PositiveGainNeon,
+    GatherWeightedSumScalar, GatherPositiveGainScalar,
+    MinUpdateScalar,   ArgMaxScalar,
+};
+
+#endif  // VQ_SIMD_NEON
+
+// -------------------------------------------------------------- dispatch
+
+bool EnvForceScalar() {
+  const char* env = std::getenv("VQ_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/// The best table this build + CPU can run (ignoring overrides).
+const Kernels* BestSupported() {
+#if VQ_SIMD_X86
+  // Probe EVERY feature the kernels' target attribute names: a CPU model
+  // (or emulation mask) can expose avx2 while hiding fma/popcnt, and
+  // handing out the table anyway would SIGILL on the first kernel call.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma") &&
+      __builtin_cpu_supports("popcnt")) {
+    return &kAvx2Kernels;
+  }
+#elif VQ_SIMD_NEON
+  return &kNeonKernels;
+#endif
+  return &kScalarKernels;
+}
+
+/// One-shot selection: compile-time pin, then environment, then CPU probe.
+const Kernels* Dispatch() {
+#if defined(VQ_FORCE_SCALAR_BUILD)
+  return &kScalarKernels;
+#else
+  if (EnvForceScalar()) return &kScalarKernels;
+  return BestSupported();
+#endif
+}
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+}  // namespace
+
+const Kernels& Active() {
+  // Latched on first use; the atomic override only serves benches/tests.
+  static const Kernels* const selected = Dispatch();
+  const Kernels* override_table = g_override.load(std::memory_order_acquire);
+  return override_table != nullptr ? *override_table : *selected;
+}
+
+const Kernels& Scalar() { return kScalarKernels; }
+
+const std::vector<const Kernels*>& AllImplementations() {
+  static const std::vector<const Kernels*> all = [] {
+    std::vector<const Kernels*> tables;
+    tables.push_back(&kScalarKernels);
+    // The vector table is listed even in a VQ_FORCE_SCALAR build (it is
+    // compiled either way) so equivalence tests always exercise it when the
+    // CPU can run it; only Active()'s selection is pinned.
+    const Kernels* best = BestSupported();
+    if (best != &kScalarKernels) tables.push_back(best);
+    return tables;
+  }();
+  return all;
+}
+
+const Kernels* ByName(const char* name) {
+  for (const Kernels* table : AllImplementations()) {
+    if (std::strcmp(table->name, name) == 0) return table;
+  }
+  return nullptr;
+}
+
+bool ForcedScalar() {
+#if defined(VQ_FORCE_SCALAR_BUILD)
+  return true;
+#else
+  return EnvForceScalar();
+#endif
+}
+
+void SetActiveForTesting(const Kernels* kernels) {
+  g_override.store(kernels, std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace vq

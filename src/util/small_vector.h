@@ -1,0 +1,86 @@
+// Small-buffer vector for per-call scratch on allocation-sensitive paths.
+#ifndef VQ_UTIL_SMALL_VECTOR_H_
+#define VQ_UTIL_SMALL_VECTOR_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace vq {
+
+/// \brief A push_back-only vector with N elements of inline storage.
+///
+/// Evaluator::Error runs once per leaf of the exact search and once per
+/// served speech; its scratch (speech bitset pointers, fact values,
+/// per-row relevant values) is tiny -- bounded by the speech length, which
+/// the paper caps at 3 facts -- so a heap-allocating std::vector per call is
+/// pure overhead. This buffer lives on the stack up to N elements and only
+/// touches the heap beyond that. Restricted to trivial element types: no
+/// destructor calls, growth is a memcpy.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "SmallVector is for trivial scratch element types");
+
+ public:
+  SmallVector() = default;
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  /// Grows to `n` default-initialized (uninitialized for scalars) elements.
+  explicit SmallVector(size_t n) { resize(n); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  void clear() { size_ = 0; }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) {
+      // Copy first: `value` may alias an element of this vector, and Grow()
+      // frees the buffer it would point into.
+      T copied = value;
+      Grow(capacity_ * 2);
+      data_[size_++] = copied;
+      return;
+    }
+    data_[size_++] = value;
+  }
+
+  /// Sets the size; new elements are uninitialized (trivial T).
+  void resize(size_t n) {
+    if (n > capacity_) Grow(n);
+    size_ = n;
+  }
+
+ private:
+  void Grow(size_t min_capacity) {
+    size_t capacity = capacity_;
+    while (capacity < min_capacity) capacity *= 2;
+    auto grown = std::make_unique<T[]>(capacity);
+    std::memcpy(grown.get(), data_, size_ * sizeof(T));
+    heap_ = std::move(grown);
+    data_ = heap_.get();
+    capacity_ = capacity;
+  }
+
+  T inline_[N];
+  std::unique_ptr<T[]> heap_;
+  T* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_SMALL_VECTOR_H_

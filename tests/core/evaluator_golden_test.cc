@@ -109,8 +109,11 @@ TEST(EvaluatorGoldenTest, SingleFactUtilitiesMatchReferenceExactly) {
       evaluator.SingleFactUtilitiesReference(&reference_counters);
   ASSERT_EQ(fast.size(), reference.size());
   for (size_t i = 0; i < fast.size(); ++i) {
-    // Per-fact accumulation visits the same rows in the same order.
-    EXPECT_DOUBLE_EQ(fast[i], reference[i]) << "fact " << i;
+    // Per-fact accumulation visits the same rows in the same order, but the
+    // dispatched SIMD gain kernel sums in parallel lanes: equal to relative
+    // 1e-12, bit-equal only under the forced-scalar table.
+    double scale = std::max(1.0, std::fabs(reference[i]));
+    EXPECT_NEAR(fast[i], reference[i], 1e-12 * scale) << "fact " << i;
   }
   // Scope popcounts per group sum to the seed's per-group row charge.
   EXPECT_EQ(fast_counters.join_rows, reference_counters.join_rows);

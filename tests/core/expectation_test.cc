@@ -3,40 +3,45 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 namespace vq {
 namespace {
+
+// ExpectedValue takes spans since the SIMD/scratch refactor; braced lists
+// need a materialized container to bind to.
+using Vals = std::vector<double>;
 
 TEST(ExpectationTest, NoRelevantFactsReturnsPrior) {
   for (ConflictModel model :
        {ConflictModel::kClosest, ConflictModel::kFarthest,
         ConflictModel::kAverageScope, ConflictModel::kAverageAll}) {
-    EXPECT_DOUBLE_EQ(ExpectedValue(model, {}, {1.0, 2.0}, 5.0, 3.0), 5.0);
+    EXPECT_DOUBLE_EQ(ExpectedValue(model, Vals{}, Vals{1.0, 2.0}, 5.0, 3.0), 5.0);
   }
 }
 
 TEST(ExpectationTest, ClosestPicksNearestIncludingPrior) {
   // Definition 4: the prior participates in the argmin.
-  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, {10.0, 2.0}, {}, 0.0, 3.0),
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, Vals{10.0, 2.0}, Vals{}, 0.0, 3.0),
                    2.0);
   // Prior closest: actual 0.5, prior 0, facts {10, 2}.
-  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, {10.0, 2.0}, {}, 0.0, 0.5),
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kClosest, Vals{10.0, 2.0}, Vals{}, 0.0, 0.5),
                    0.0);
 }
 
 TEST(ExpectationTest, FarthestPicksWorstRelevantValue) {
-  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kFarthest, {10.0, 2.0}, {}, 0.0, 3.0),
+  EXPECT_DOUBLE_EQ(ExpectedValue(ConflictModel::kFarthest, Vals{10.0, 2.0}, Vals{}, 0.0, 3.0),
                    10.0);
 }
 
 TEST(ExpectationTest, AverageScopeAveragesRelevant) {
   EXPECT_DOUBLE_EQ(
-      ExpectedValue(ConflictModel::kAverageScope, {10.0, 2.0}, {}, 0.0, 3.0), 6.0);
+      ExpectedValue(ConflictModel::kAverageScope, Vals{10.0, 2.0}, Vals{}, 0.0, 3.0), 6.0);
 }
 
 TEST(ExpectationTest, AverageAllUsesEveryFact) {
   EXPECT_DOUBLE_EQ(
-      ExpectedValue(ConflictModel::kAverageAll, {10.0}, {10.0, 2.0, 6.0}, 0.0, 3.0),
+      ExpectedValue(ConflictModel::kAverageAll, Vals{10.0}, Vals{10.0, 2.0, 6.0}, 0.0, 3.0),
       6.0);
 }
 

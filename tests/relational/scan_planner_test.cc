@@ -131,5 +131,76 @@ TEST(ScanPlannerTest, PlanStrategies) {
   EXPECT_EQ(PlanScan(table, hot, strict).strategy, ScanStrategy::kColumnScan);
 }
 
+TEST(ScanStatsTest, LearnsCostFactorFromObservedCosts) {
+  ScanStats stats;
+  // Cold: no samples on either path -> the caller's fallback rules.
+  EXPECT_DOUBLE_EQ(stats.CostFactor(4.0), 4.0);
+  stats.RecordPostings(100, 100 * 20e-9);  // 20 ns per driver row
+  // Still one-sided: a lone EWMA says nothing about the ratio.
+  EXPECT_DOUBLE_EQ(stats.CostFactor(4.0), 4.0);
+  stats.RecordScan(1000, 1000 * 2e-9);  // 2 ns per scanned row
+  // Both paths observed: factor = 20ns / 2ns = 10.
+  EXPECT_NEAR(stats.CostFactor(4.0), 10.0, 1e-9);
+  EXPECT_EQ(stats.postings_samples(), 1u);
+  EXPECT_EQ(stats.scan_samples(), 1u);
+  EXPECT_NEAR(stats.postings_ns_per_row(), 20.0, 1e-6);
+  EXPECT_NEAR(stats.scan_ns_per_row(), 2.0, 1e-6);
+
+  // The EWMA moves toward new observations but one outlier cannot flip it.
+  stats.RecordPostings(100, 100 * 2000e-9);  // descheduled outlier
+  double factor = stats.CostFactor(4.0);
+  EXPECT_GT(factor, 10.0);
+  EXPECT_LT(factor, ScanStats::kMaxFactor + 1e-9);
+
+  // Degenerate observations are ignored, not divided by.
+  stats.RecordPostings(0, 1.0);
+  stats.RecordScan(100, 0.0);
+  EXPECT_EQ(stats.postings_samples(), 2u);
+  EXPECT_EQ(stats.scan_samples(), 1u);
+}
+
+TEST(ScanStatsTest, LearnedFactorDrivesThePlanner) {
+  Rng rng(7);
+  Table table = RandomTable(&rng, 200, 3, 6);
+  // Zipf head values on both dimensions: barely selective conjunction.
+  PredicateSet hot{EqPredicate{0, 0}, EqPredicate{1, 0}};
+  size_t driver = std::min(table.index().Count(0, 0), table.index().Count(1, 0));
+  ASSERT_GT(driver, 0u);
+
+  ScanStats stats;
+  ScanPlannerOptions options;
+  options.stats = &stats;
+  options.cost_factor = 4.0;  // seeds the decision until both paths sampled
+
+  // Teach the stats that intersections are effectively free: the planner
+  // must now prefer postings even when the fixed factor would not.
+  stats.RecordPostings(1000, 1000 * 1e-9);
+  stats.RecordScan(1000, 1000 * 1e-9);  // factor -> clamp at kMinFactor = 1
+  bool cheap_selective = static_cast<double>(driver) * ScanStats::kMinFactor <=
+                         static_cast<double>(table.NumRows());
+  ScanPlan cheap_plan = PlanScan(table, hot, options);
+  EXPECT_EQ(cheap_plan.strategy, cheap_selective ? ScanStrategy::kPostings
+                                                 : ScanStrategy::kColumnScan);
+
+  // Teach the opposite: probes vastly more expensive than scan rows.
+  ScanStats slow;
+  for (int i = 0; i < 200; ++i) {
+    slow.RecordPostings(10, 10 * 10000e-9);
+    slow.RecordScan(1000, 1000 * 1e-9);
+  }
+  options.stats = &slow;
+  EXPECT_EQ(PlanScan(table, hot, options).strategy, ScanStrategy::kColumnScan);
+
+  // Executions through the stats-carrying entry point keep training it, and
+  // results stay identical to the naive filter either way.
+  std::vector<uint32_t> filtered = PlannedFilterRows(table, hot, options);
+  EXPECT_EQ(filtered, NaiveFilterRows(table, hot));
+  // The single-predicate copy path must NOT train the intersection EWMA.
+  PredicateSet single{EqPredicate{0, 0}};
+  uint64_t before = slow.postings_samples();
+  (void)PlannedFilterRows(table, single, options);
+  EXPECT_EQ(slow.postings_samples(), before);
+}
+
 }  // namespace
 }  // namespace vq

@@ -19,6 +19,59 @@ namespace vq {
 namespace serve {
 namespace {
 
+TEST(PerfCountersTest, FieldListCoversEveryCounterOnce) {
+  // The kFields/kFieldNames tables are THE serialization contract: Add,
+  // Merged and the bench writers all iterate them. This pins the contract:
+  // every field participates, and sizeof() catches a counter added to the
+  // struct but not to the tables.
+  static_assert(sizeof(PerfCounters) ==
+                    PerfCounters::kNumFields * sizeof(uint64_t),
+                "a PerfCounters field is missing from kFields/kFieldNames");
+  PerfCounters counters;
+  counters.join_rows = 1;
+  counters.bound_rows = 2;
+  counters.groups_joined = 3;
+  counters.groups_pruned = 4;
+  counters.leaf_evals = 5;
+  counters.nodes_expanded = 6;
+  counters.pruned_by_bound = 7;
+  uint64_t sum = 0;
+  size_t fields = 0;
+  counters.ForEachField([&](const char* name, uint64_t value) {
+    EXPECT_NE(name, nullptr);
+    sum += value;
+    ++fields;
+  });
+  EXPECT_EQ(fields, PerfCounters::kNumFields);
+  EXPECT_EQ(sum, 1u + 2 + 3 + 4 + 5 + 6 + 7);
+}
+
+TEST(PerfCountersTest, MergedSumsWithoutMutatingOperands) {
+  PerfCounters a;
+  a.join_rows = 10;
+  a.leaf_evals = 3;
+  PerfCounters b;
+  b.join_rows = 5;
+  b.nodes_expanded = 8;
+  PerfCounters merged = a.Merged(b);
+  EXPECT_EQ(merged.join_rows, 15u);
+  EXPECT_EQ(merged.leaf_evals, 3u);
+  EXPECT_EQ(merged.nodes_expanded, 8u);
+  // Operands untouched: the point of the value-returning spelling.
+  EXPECT_EQ(a.join_rows, 10u);
+  EXPECT_EQ(b.join_rows, 5u);
+  // Merged() and Add() agree field for field (both iterate kFields).
+  PerfCounters added = a;
+  added.Add(b);
+  added.ForEachField([&](const char* name, uint64_t value) {
+    merged.ForEachField([&](const char* other_name, uint64_t other_value) {
+      if (std::string(name) == other_name) {
+        EXPECT_EQ(value, other_value) << name;
+      }
+    });
+  });
+}
+
 TEST(EngineHostPerfCountersTest, ConcurrentOnDemandSolvesMergeUnderMutex) {
   Table table = MakeFlightsTable(/*rows=*/600, /*seed=*/7);
   Configuration config;

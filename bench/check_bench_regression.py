@@ -10,11 +10,15 @@ Fails (exit 1) when any metric regresses by more than the threshold:
 
 A metric is a dotted JSON path plus a direction: ":lower" means smaller is
 better (a regression is candidate > baseline * (1 + threshold)), ":higher"
-means larger is better (candidate < baseline * (1 - threshold)). Metrics
-missing from the baseline are reported and skipped -- a freshly added metric
-must not fail the first comparison against an older baseline; metrics
-missing from the candidate always fail. The cmake target
-`check_simd_regression` wires this against BENCH_simd.json.
+means larger is better (candidate < baseline * (1 - threshold)). Path
+components that are non-negative integers index into JSON arrays (e.g.
+"routed_warm.1.qps" is the 4-thread row of BENCH_router.json's per-thread
+table). Metrics missing from the baseline are reported and skipped -- a
+freshly added metric must not fail the first comparison against an older
+baseline; metrics missing from the candidate always fail. The cmake targets
+`check_simd_regression` and `check_router_regression` wire this against
+BENCH_simd.json and BENCH_router.json (routed qps plus the
+add/remove-under-load scenario's steady qps).
 """
 
 import argparse
@@ -25,9 +29,14 @@ import sys
 def lookup(report, dotted_path):
     node = report
     for key in dotted_path.split("."):
-        if not isinstance(node, dict) or key not in node:
+        if isinstance(node, list):
+            if not key.isdigit() or int(key) >= len(node):
+                return None
+            node = node[int(key)]
+        elif isinstance(node, dict) and key in node:
+            node = node[key]
+        else:
             return None
-        node = node[key]
     return node
 
 

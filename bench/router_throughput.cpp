@@ -8,12 +8,20 @@
 // (SummaryService) is re-measured on the BENCH_serve workload shape so the
 // refactor can be compared against BENCH_serve.json for regressions.
 //
+// Since the dynamic-registry work, the bench also measures add/remove under
+// load: a fourth dataset is registered and retired in a loop while steady
+// three-dataset traffic keeps flowing, reporting the steady-state routed qps
+// during churn, per-cycle onboard/retire latency, and that no request routed
+// to a removed dataset after RemoveDataset returned.
+//
 // Emits a machine-readable JSON report (default BENCH_router.json, override
 // with VQ_BENCH_OUT).
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -142,6 +150,116 @@ vq::serve::HostStats ColdOnDemandRun(const vq::serve::DatasetRegistry& registry,
   return stats;
 }
 
+struct ChurnResult {
+  size_t cycles = 0;
+  double wall_seconds = 0.0;
+  size_t steady_requests = 0;
+  double steady_qps = 0.0;
+  double add_seconds_avg = 0.0;
+  double remove_seconds_avg = 0.0;
+  size_t dynamic_answered = 0;       ///< requests served by the churned dataset
+  size_t misroutes_after_remove = 0; ///< must stay 0
+};
+
+/// Add/remove-under-load: cycles a fourth dataset (the running example) in
+/// and out of the registry CONTINUOUSLY while a background thread drives
+/// `steady_requests` of the steady three-dataset workload through the SAME
+/// router. The steady traffic's qps is measured over its full fixed-size
+/// window -- every request of which races registry mutations -- and the
+/// removal guarantee is verified after every cycle.
+ChurnResult ChurnRun(vq::serve::DatasetRegistry* registry,
+                     const std::vector<std::pair<std::string, std::string>>& workload,
+                     size_t steady_requests, uint64_t seed) {
+  vq::serve::RouterOptions options;
+  options.num_threads = 4;
+  vq::serve::RoutingService router(registry, options);
+  for (const auto& [request, dataset] : workload) (void)router.AnswerNow(request);
+
+  vq::Configuration dynamic_config;
+  dynamic_config.table = "running_example";
+  dynamic_config.dimensions = {"region", "season"};
+  dynamic_config.targets = {"delay"};
+  dynamic_config.prior = vq::PriorKind::kZero;
+  const std::string dynamic_name = "re_dynamic";
+  // Fully covered by the running example's vocabulary, only grounded
+  // elsewhere in fragments -- routes to the dynamic dataset iff present.
+  const std::string dynamic_request = "delay in the East";
+
+  ChurnResult result;
+  std::atomic<bool> steady_finished{false};
+  // The steady window is timed INSIDE the steady thread: the gated
+  // steady_qps metric must not absorb the churn loop's post-steady tail
+  // (its in-progress add/remove cycle, joins, drain), which scales with
+  // dataset build cost rather than routing throughput.
+  double steady_wall = 0.0;
+  std::thread steady([&] {
+    vq::Stopwatch steady_watch;
+    size_t i = 0;
+    size_t done = 0;
+    std::vector<std::future<vq::serve::RoutedResponse>> inflight;
+    while (done < steady_requests) {
+      inflight.clear();
+      size_t burst = std::min<size_t>(64, steady_requests - done);
+      for (size_t b = 0; b < burst; ++b) {
+        inflight.push_back(router.Submit(workload[i++ % workload.size()].first));
+      }
+      for (auto& future : inflight) (void)future.get();
+      done += burst;
+    }
+    steady_wall = steady_watch.ElapsedSeconds();
+    steady_finished.store(true, std::memory_order_relaxed);
+  });
+
+  // Churn for the WHOLE steady window: every steady request races a
+  // registry mutation or a host-set rebuild.
+  double add_seconds = 0.0;
+  double remove_seconds = 0.0;
+  while (!steady_finished.load(std::memory_order_relaxed)) {
+    vq::Stopwatch add_watch;
+    vq::Status added =
+        registry->AddGenerated(dynamic_name, dynamic_config, 16, seed);
+    add_seconds += add_watch.ElapsedSeconds();
+    if (!added.ok()) {
+      std::fprintf(stderr, "cycle %zu: add failed: %s\n", result.cycles,
+                   added.ToString().c_str());
+      break;
+    }
+    // The dataset serves the moment AddGenerated returns.
+    vq::serve::RoutedResponse routed = router.AnswerNow(dynamic_request);
+    if (routed.routed && routed.dataset == dynamic_name &&
+        routed.response.answered) {
+      ++result.dynamic_answered;
+    }
+    vq::Stopwatch remove_watch;
+    vq::Status removed = registry->RemoveDataset(dynamic_name);
+    router.SyncRegistry();  // host teardown + cache purge in the timed cost
+    remove_seconds += remove_watch.ElapsedSeconds();
+    if (!removed.ok()) {
+      std::fprintf(stderr, "cycle %zu: remove failed: %s\n", result.cycles,
+                   removed.ToString().c_str());
+      break;
+    }
+    // The removal guarantee: no request routes to the dataset anymore.
+    vq::serve::RoutedResponse after = router.AnswerNow(dynamic_request);
+    if (after.routed && after.dataset == dynamic_name) {
+      ++result.misroutes_after_remove;
+    }
+    ++result.cycles;
+  }
+  steady.join();
+  router.Drain();
+
+  result.wall_seconds = steady_wall;
+  result.steady_requests = steady_requests;
+  result.steady_qps = static_cast<double>(steady_requests) / steady_wall;
+  result.add_seconds_avg =
+      result.cycles > 0 ? add_seconds / static_cast<double>(result.cycles) : 0.0;
+  result.remove_seconds_avg =
+      result.cycles > 0 ? remove_seconds / static_cast<double>(result.cycles)
+                        : 0.0;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -254,6 +372,22 @@ int main() {
       static_cast<unsigned long long>(batched.max_batch),
       batching_ok ? "OK" : "FAIL");
 
+  // ---- Add/remove under load: the dynamic-registry scenario. Steady
+  // three-dataset traffic keeps flowing while a fourth dataset cycles in
+  // and out of the live registry.
+  const size_t kChurnSteadyRequests = 200000;
+  ChurnResult churn = ChurnRun(&registry, interleaved, kChurnSteadyRequests, kSeed);
+  bool churn_ok = churn.misroutes_after_remove == 0 && churn.cycles > 0 &&
+                  churn.dynamic_answered == churn.cycles;
+  std::printf(
+      "Add/remove under load: %zu cycles across %zu steady requests in %.3f s "
+      "(add %.2f ms, remove+sync %.2f ms avg), steady traffic %.0f qps, "
+      "dynamic answered %zu/%zu, misroutes after remove %zu [%s]\n",
+      churn.cycles, churn.steady_requests, churn.wall_seconds,
+      churn.add_seconds_avg * 1e3, churn.remove_seconds_avg * 1e3,
+      churn.steady_qps, churn.dynamic_answered, churn.cycles,
+      churn.misroutes_after_remove, churn_ok ? "OK" : "FAIL");
+
   // ---- Single-dataset path: the BENCH_serve workload shape through the
   // (post-refactor) SummaryService wrapper, for regression comparison
   // against BENCH_serve.json.
@@ -327,6 +461,20 @@ int main() {
   batch.Set("max_batch", vq::Json::Int(static_cast<int64_t>(batched.max_batch)));
   batch.Set("batching_ok", vq::Json::Bool(batching_ok));
   report.Set("on_demand_batching", std::move(batch));
+  vq::Json dynamic = vq::Json::Object();
+  dynamic.Set("cycles", vq::Json::Int(static_cast<int64_t>(churn.cycles)));
+  dynamic.Set("wall_seconds", vq::Json::Number(churn.wall_seconds));
+  dynamic.Set("steady_requests",
+              vq::Json::Int(static_cast<int64_t>(churn.steady_requests)));
+  dynamic.Set("steady_qps", vq::Json::Number(churn.steady_qps));
+  dynamic.Set("add_ms_avg", vq::Json::Number(churn.add_seconds_avg * 1e3));
+  dynamic.Set("remove_ms_avg",
+              vq::Json::Number(churn.remove_seconds_avg * 1e3));
+  dynamic.Set("dynamic_answered",
+              vq::Json::Int(static_cast<int64_t>(churn.dynamic_answered)));
+  dynamic.Set("misroutes_after_remove",
+              vq::Json::Int(static_cast<int64_t>(churn.misroutes_after_remove)));
+  report.Set("dynamic_registry", std::move(dynamic));
   vq::Json single = vq::Json::Object();
   single.Set("threads", vq::Json::Int(4));
   single.Set("requests", vq::Json::Int(static_cast<int64_t>(kTotalRequests)));
@@ -341,6 +489,6 @@ int main() {
   out.close();
   std::printf("Report written to %s\n", out_path.c_str());
 
-  bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0;
+  bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0 && churn_ok;
   return ok ? 0 : 1;
 }

@@ -45,14 +45,15 @@ Result<SpeechStore> Preprocess(const Table& table, const Configuration& config,
   // Every worker's scope materialization routes through the scan planner,
   // which reads the table's inverted index; building it once up front keeps
   // the first wave of parallel solves from serializing on the lazy build.
-  // Touching the SIMD kernel table latches the runtime CPU dispatch (one
-  // probe, see util/simd.h) before the workers fan out, so every solve --
-  // and the per-fact block-delta tables FactCatalog::Build warms for each
-  // problem -- runs on the selected kernels from the first query on.
-  if (!queries.empty()) {
-    (void)table.index();
-    (void)simd::Active();
-  }
+  // Warmed even with zero generated queries: pre-processing is the dynamic
+  // registry's last step before a dataset becomes routable, and the serving
+  // layer's first on-demand miss hits the index immediately. Touching the
+  // SIMD kernel table latches the runtime CPU dispatch (one probe, see
+  // util/simd.h) before the workers fan out, so every solve -- and the
+  // per-fact block-delta tables FactCatalog::Build warms for each problem
+  // -- runs on the selected kernels from the first query on.
+  (void)table.index();
+  (void)simd::Active();
 
   if (options.pool != nullptr) {
     ParallelFor(options.pool, queries.size(), solve_one);

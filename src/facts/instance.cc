@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "relational/group_by.h"
+#include "util/fnv.h"
 #include "util/simd.h"
 
 namespace vq {
@@ -143,12 +144,12 @@ Result<SummaryInstance> BuildInstanceFromRows(const Table& table,
   merged.reserve(rows.size());
   std::vector<ValueId> row_codes(num_dims);
   for (uint32_t r : rows) {
-    uint64_t h = 1469598103934665603ULL;  // FNV-1a over codes
+    Fnv64 fnv;  // FNV-1a over codes (util/fnv.h)
     for (size_t d = 0; d < num_dims; ++d) {
       row_codes[d] = table.DimCode(r, static_cast<size_t>(inst.dims[d]));
-      h ^= static_cast<uint64_t>(row_codes[d]) + 1;
-      h *= 1099511628211ULL;
+      fnv.MixWord(static_cast<uint64_t>(row_codes[d]) + 1);
     }
+    uint64_t h = fnv.state;
     double v = target_column[r];
     RowKey key{h, v};
     auto [it, inserted] = merged.emplace(key, static_cast<uint32_t>(inst.num_rows));

@@ -45,11 +45,14 @@ std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predica
   // Planner-routed since the indexed-scan refactor: posting-list
   // intersection when selective, vectorized column scan otherwise. Both
   // paths return exactly what the seed row-at-a-time loop returned. The
-  // funnel feeds the process-wide planner statistics, so the
-  // postings-vs-scan threshold adapts to observed costs (plan changes never
-  // change results, only which identical-output path runs).
+  // funnel feeds the planner statistics -- the table's own model once warm,
+  // the process-wide one as the cold-start fallback -- so the
+  // postings-vs-scan threshold adapts to observed costs without tables of
+  // very different row counts skewing each other (plan changes never change
+  // results, only which identical-output path runs).
   ScanPlannerOptions options;
   options.stats = &GlobalScanStats();
+  options.per_table_stats = true;
   return PlannedFilterRows(table, predicates, options);
 }
 
@@ -57,6 +60,7 @@ std::vector<std::vector<uint32_t>> FilterRowsMulti(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets) {
   ScanPlannerOptions options;
   options.stats = &GlobalScanStats();
+  options.per_table_stats = true;
   return PlannedFilterRowsMulti(table, predicate_sets, options);
 }
 

@@ -8,60 +8,87 @@
 
 namespace vq {
 
-void ScanStats::RecordInto(std::atomic<double>* ewma,
-                           std::atomic<uint64_t>* samples, size_t rows,
-                           double seconds) {
-  if (rows == 0 || seconds <= 0.0) return;
-  double per_row = seconds / static_cast<double>(rows);
-  // Lock-free EWMA: CAS loop over the (0.0 == unset) running value. A lost
-  // race re-blends from the winner's value -- every observation still lands
-  // with weight ~kAlpha, which is all a smoothing heuristic needs.
-  double current = ewma->load(std::memory_order_relaxed);
-  double next;
-  do {
-    next = current == 0.0 ? per_row : (1.0 - kAlpha) * current + kAlpha * per_row;
-  } while (!ewma->compare_exchange_weak(current, next, std::memory_order_relaxed));
-  samples->fetch_add(1, std::memory_order_relaxed);
-}
-
-void ScanStats::RecordPostings(size_t driver_rows, double seconds) {
-  RecordInto(&ewma_postings_seconds_per_row_, &postings_samples_, driver_rows,
-             seconds);
-}
-
-void ScanStats::RecordScan(size_t table_rows, double seconds) {
-  RecordInto(&ewma_scan_seconds_per_row_, &scan_samples_, table_rows, seconds);
-}
-
-double ScanStats::CostFactor(double fallback) const {
-  double postings = ewma_postings_seconds_per_row_.load(std::memory_order_relaxed);
-  double scan = ewma_scan_seconds_per_row_.load(std::memory_order_relaxed);
-  if (postings <= 0.0 || scan <= 0.0) return fallback;  // a path is unsampled
-  return std::clamp(postings / scan, kMinFactor, kMaxFactor);
-}
-
-uint64_t ScanStats::postings_samples() const {
-  return postings_samples_.load(std::memory_order_relaxed);
-}
-
-uint64_t ScanStats::scan_samples() const {
-  return scan_samples_.load(std::memory_order_relaxed);
-}
-
-double ScanStats::postings_ns_per_row() const {
-  return ewma_postings_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
-}
-
-double ScanStats::scan_ns_per_row() const {
-  return ewma_scan_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
-}
-
 ScanStats& GlobalScanStats() {
   static ScanStats* stats = new ScanStats();  // never destroyed: outlives workers
   return *stats;
 }
 
 namespace {
+
+/// The statistics instance that STEERS this plan: the table's own once it is
+/// warm on both paths (per_table_stats), else the caller-injected (usually
+/// process-wide) instance, else nullptr (fixed cost factor).
+ScanStats* PlanningStats(const Table& table, const ScanPlannerOptions& options) {
+  if (options.per_table_stats) {
+    ScanStats& local = table.index().scan_stats();
+    if (local.postings_samples() >= options.table_stats_min_samples &&
+        local.scan_samples() >= options.table_stats_min_samples) {
+      return &local;
+    }
+  }
+  return options.stats;
+}
+
+/// Recording trains the per-table model (when enabled) AND the injected
+/// shared one, so a cold table converges to its own statistics while the
+/// process-wide fallback keeps learning from every table.
+void RecordPostingsSample(const Table& table, const ScanPlannerOptions& options,
+                          size_t driver_rows, double seconds) {
+  if (options.stats != nullptr) options.stats->RecordPostings(driver_rows, seconds);
+  if (options.per_table_stats) {
+    table.index().scan_stats().RecordPostings(driver_rows, seconds);
+  }
+}
+
+void RecordScanSample(const Table& table, const ScanPlannerOptions& options,
+                      size_t table_rows, double seconds) {
+  if (options.stats != nullptr) options.stats->RecordScan(table_rows, seconds);
+  if (options.per_table_stats) {
+    table.index().scan_stats().RecordScan(table_rows, seconds);
+  }
+}
+
+/// True when statistics feedback is active for this call at all (either a
+/// shared instance was injected or per-table statistics are on).
+bool RecordsStats(const ScanPlannerOptions& options) {
+  return options.stats != nullptr || options.per_table_stats;
+}
+
+/// Forced-alternate-path exploration, shared by the single and batched
+/// funnels: every kProbePeriod-th eligible decision (multi-predicate, both
+/// paths runnable, statistics active) flips `plan` to the path the planner
+/// did NOT pick. Only executed paths are timed, so without this an outlier
+/// streak that clamps the factor starves the disfavored path of samples
+/// forever; the probe guarantees both EWMAs keep training. Both paths
+/// return identical rows, so a probe can never change a result. Returns
+/// true when the plan was flipped.
+bool MaybeProbeAlternate(const Table& table, const ScanPlannerOptions& options,
+                         const PredicateSet& predicates, ScanPlan* plan) {
+  if (options.force_scan || predicates.size() <= 1) return false;
+  if (plan->strategy != ScanStrategy::kPostings &&
+      plan->strategy != ScanStrategy::kColumnScan) {
+    return false;
+  }
+  // Probe cost must stay comparable to the favored path's. Flipping a scan
+  // plan to postings is always cheap (the intersection visits at most the
+  // driver rows, a subset of what the scan visits). Flipping a POSTINGS
+  // plan to a full column scan costs NumRows/driver_rows times the favored
+  // path -- unbounded for selective conjunctions on big tables -- so it is
+  // only probed while that ratio is within the factor clamp: beyond
+  // kMaxFactor the learned factor saturates and the extra sample could not
+  // change any decision anyway, making an expensive probe pure waste.
+  if (plan->strategy == ScanStrategy::kPostings &&
+      static_cast<double>(table.NumRows()) >
+          static_cast<double>(plan->estimated_rows) * ScanStats::kMaxFactor) {
+    return false;
+  }
+  ScanStats* steering = PlanningStats(table, options);
+  if (steering == nullptr || !steering->TakeProbe()) return false;
+  plan->strategy = plan->strategy == ScanStrategy::kPostings
+                       ? ScanStrategy::kColumnScan
+                       : ScanStrategy::kPostings;
+  return true;
+}
 
 /// Galloping (exponential-probe) lower bound: first position in [lo, size)
 /// with list[pos] >= row. Doubles the step from the cursor before the binary
@@ -142,10 +169,11 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
   // A single predicate is a posting-list copy -- never scan. Conjunctions
   // use postings while the driver list is selective enough that galloping
   // probes beat one comparison per table row. With statistics feedback the
-  // ratio comes from the observed EWMA costs instead of the fixed default.
-  double cost_factor = options.stats != nullptr
-                           ? options.stats->CostFactor(options.cost_factor)
-                           : options.cost_factor;
+  // ratio comes from the observed EWMA costs instead of the fixed default
+  // (the table's own statistics once warm, the shared instance until then).
+  ScanStats* stats = PlanningStats(table, options);
+  double cost_factor = stats != nullptr ? stats->CostFactor(options.cost_factor)
+                                        : options.cost_factor;
   bool selective = static_cast<double>(min_count) * cost_factor <=
                    static_cast<double>(table.NumRows());
   plan.strategy = (predicates.size() == 1 || selective) ? ScanStrategy::kPostings
@@ -228,8 +256,9 @@ std::vector<uint32_t> PlannedFilterRows(const Table& table,
                                         const PredicateSet& predicates,
                                         const ScanPlannerOptions& options) {
   ScanPlan plan = PlanScan(table, predicates, options);
-  // Statistics feedback: time the execution and charge it to the path the
-  // planner chose, normalized by that path's cost driver. Only executions
+  (void)MaybeProbeAlternate(table, options, predicates, &plan);
+  // Statistics feedback: time the execution and charge it to the path that
+  // actually ran, normalized by that path's cost driver. Only executions
   // that actually train the model pay for the clock: single-predicate
   // postings are unconditional copies (they say nothing about intersection
   // cost), and kAllRows/kEmptyResult are O(1) answers -- none of them may
@@ -237,16 +266,16 @@ std::vector<uint32_t> PlannedFilterRows(const Table& table,
   bool trains_postings = plan.strategy == ScanStrategy::kPostings &&
                          predicates.size() > 1;
   bool trains_scan = plan.strategy == ScanStrategy::kColumnScan;
-  if (options.stats == nullptr || (!trains_postings && !trains_scan)) {
+  if (!RecordsStats(options) || (!trains_postings && !trains_scan)) {
     return ExecuteScanPlan(table, predicates, plan);
   }
   Stopwatch watch;
   std::vector<uint32_t> result = ExecuteScanPlan(table, predicates, plan);
   double seconds = watch.ElapsedSeconds();
   if (trains_postings) {
-    options.stats->RecordPostings(plan.estimated_rows, seconds);
+    RecordPostingsSample(table, options, plan.estimated_rows, seconds);
   } else {
-    options.stats->RecordScan(table.NumRows(), seconds);
+    RecordScanSample(table, options, table.NumRows(), seconds);
   }
   return result;
 }
@@ -258,19 +287,29 @@ std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
   // Selective sets are answered from posting lists; the rest share one pass.
   std::vector<size_t> scan_sets;
   for (size_t q = 0; q < predicate_sets.size(); ++q) {
-    ScanPlan plan = PlanScan(table, *predicate_sets[q], options);
-    if (plan.strategy == ScanStrategy::kColumnScan) {
+    const PredicateSet& predicates = *predicate_sets[q];
+    ScanPlan plan = PlanScan(table, predicates, options);
+    // A probed postings-planned set runs its own timed column scan instead
+    // of joining the shared pass, so the probe's sample is attributable; a
+    // probed scan-planned set executes postings individually as usual.
+    bool probed = MaybeProbeAlternate(table, options, predicates, &plan);
+    if (plan.strategy == ScanStrategy::kColumnScan && probed) {
+      Stopwatch watch;
+      out[q] = ExecuteScanPlan(table, predicates, plan);
+      RecordScanSample(table, options, table.NumRows(), watch.ElapsedSeconds());
+    } else if (plan.strategy == ScanStrategy::kColumnScan) {
       scan_sets.push_back(q);
-    } else if (options.stats != nullptr &&
+    } else if (RecordsStats(options) &&
                plan.strategy == ScanStrategy::kPostings &&
-               predicate_sets[q]->size() > 1) {
+               predicates.size() > 1) {
       // Same single-path rule as PlannedFilterRows: only executions that
       // train the model pay for the clock.
       Stopwatch watch;
-      out[q] = ExecuteScanPlan(table, *predicate_sets[q], plan);
-      options.stats->RecordPostings(plan.estimated_rows, watch.ElapsedSeconds());
+      out[q] = ExecuteScanPlan(table, predicates, plan);
+      RecordPostingsSample(table, options, plan.estimated_rows,
+                           watch.ElapsedSeconds());
     } else {
-      out[q] = ExecuteScanPlan(table, *predicate_sets[q], plan);
+      out[q] = ExecuteScanPlan(table, predicates, plan);
     }
   }
   if (!scan_sets.empty()) {
@@ -283,12 +322,10 @@ std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
         }
       }
     }
-    if (options.stats != nullptr) {
-      // The batch shares ONE pass: charge its per-row cost once, normalized
-      // by the rows scanned (the planner compares per-set costs, and each
-      // set's marginal share of a shared pass is at most one full scan).
-      options.stats->RecordScan(n * scan_sets.size(), watch.ElapsedSeconds());
-    }
+    // The batch shares ONE pass: charge its per-row cost once, normalized
+    // by the rows scanned (the planner compares per-set costs, and each
+    // set's marginal share of a shared pass is at most one full scan).
+    RecordScanSample(table, options, n * scan_sets.size(), watch.ElapsedSeconds());
   }
   return out;
 }

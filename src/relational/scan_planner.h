@@ -13,70 +13,22 @@
 #ifndef VQ_RELATIONAL_SCAN_PLANNER_H_
 #define VQ_RELATIONAL_SCAN_PLANNER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "relational/predicate.h"
 #include "storage/table.h"
+#include "util/scan_stats.h"
 
 namespace vq {
 
-/// \brief Online planner statistics: EWMA of the observed per-row costs of
-/// the two execution paths, fed back into the postings-vs-scan decision.
-///
-/// The fixed cost_factor of 4 encodes "one galloping probe costs about four
-/// row comparisons" -- true on the machine it was tuned on, wrong elsewhere
-/// (cache sizes, gather latency and branch predictors move the ratio).
-/// PlannedFilterRows times every execution it runs and records
-/// seconds-per-driver-row (postings) or seconds-per-table-row (scan); the
-/// learned cost factor is the ratio of the two EWMAs, so the planner adapts
-/// to the hardware it is actually running on. All methods are thread-safe
-/// and lock-free (relaxed atomics + CAS on the EWMAs): the filter funnel is
-/// on every serving worker's path, so the shared statistics must never
-/// serialize it. A torn read across the two EWMAs only skews one heuristic
-/// decision, never correctness -- both execution paths return identical
-/// rows.
-class ScanStats {
- public:
-  /// EWMA smoothing weight per sample; small enough that one descheduled
-  /// outlier execution cannot flip the planner.
-  static constexpr double kAlpha = 0.05;
-  /// Learned-factor clamp: keeps a cold or pathological EWMA pair from
-  /// planning postings for unselective predicates (or never using them).
-  static constexpr double kMinFactor = 1.0;
-  static constexpr double kMaxFactor = 64.0;
-
-  void RecordPostings(size_t driver_rows, double seconds);
-  void RecordScan(size_t table_rows, double seconds);
-
-  /// The adapted cost factor, clamped to [kMinFactor, kMaxFactor]; returns
-  /// `fallback` until BOTH paths have at least one sample (a lone EWMA says
-  /// nothing about the ratio).
-  double CostFactor(double fallback) const;
-
-  uint64_t postings_samples() const;
-  uint64_t scan_samples() const;
-  /// Current EWMAs in nanoseconds per (driver|table) row; 0 before samples.
-  double postings_ns_per_row() const;
-  double scan_ns_per_row() const;
-
- private:
-  /// 0.0 doubles as "no sample yet" (a real observation is never exactly 0:
-  /// Record* rejects non-positive seconds).
-  static void RecordInto(std::atomic<double>* ewma, std::atomic<uint64_t>* samples,
-                         size_t rows, double seconds);
-
-  std::atomic<double> ewma_postings_seconds_per_row_{0.0};
-  std::atomic<double> ewma_scan_seconds_per_row_{0.0};
-  std::atomic<uint64_t> postings_samples_{0};
-  std::atomic<uint64_t> scan_samples_{0};
-};
-
 /// Process-wide statistics instance: FilterRows/FilterRowsMulti (the funnel
 /// every subsystem materializes subsets through) record into and plan from
-/// it, so the whole serving fleet shares one learned cost model.
-/// bench/scan_throughput.cpp reports its state into BENCH_scan.json.
+/// it, so the whole serving fleet shares one learned cost model -- and new
+/// tables plan from it until their own per-table statistics (hung off the
+/// lazily built TableIndex, see ScanPlannerOptions::per_table_stats) have
+/// enough samples. bench/scan_throughput.cpp reports its state into
+/// BENCH_scan.json.
 ScanStats& GlobalScanStats();
 
 /// How a conjunctive filter will be executed.
@@ -115,8 +67,22 @@ struct ScanPlannerOptions {
   /// Statistics feedback: PlanScan draws its cost factor from here and
   /// PlannedFilterRows/PlannedFilterRowsMulti record observed execution
   /// costs back. nullptr keeps the fixed-cost_factor behavior (tests that
-  /// assert specific plans stay deterministic).
+  /// assert specific plans stay deterministic). When statistics are active,
+  /// every ScanStats::kProbePeriod-th eligible multi-predicate filter
+  /// executes the path the planner disfavored (identical results, see
+  /// ScanStats::TakeProbe), so a clamped factor can always recover.
   ScanStats* stats = nullptr;
+  /// Prefer the table's own statistics (TableIndex::scan_stats()) over
+  /// `stats` once that table has at least `table_stats_min_samples` on BOTH
+  /// paths. A process-wide EWMA blends tables of very different row counts
+  /// -- a tiny table's cheap scans would lower the learned factor a huge
+  /// table then plans with -- so the funnel (FilterRows/FilterRowsMulti)
+  /// turns this on: recording always trains the per-table AND the shared
+  /// statistics, planning uses the per-table model as soon as it is warm and
+  /// the shared one as the cold-start fallback. Off by default so tests that
+  /// inject a specific ScanStats stay deterministic.
+  bool per_table_stats = false;
+  uint64_t table_stats_min_samples = 16;
 };
 
 /// Plans one conjunction against `table` (builds the table index on first

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <functional>
 
+#include "storage/table.h"
+#include "util/fnv.h"
+
 namespace vq {
 namespace serve {
 
@@ -28,6 +31,29 @@ std::string ConfigFingerprint(const Configuration& config) {
   size_t hash = std::hash<std::string>{}(canonical);
   char buffer[2 * sizeof(size_t) + 1];
   std::snprintf(buffer, sizeof(buffer), "%zx", hash);
+  return buffer;
+}
+
+std::string TableFingerprint(const Table& table) {
+  Fnv64 hash;
+  hash.MixU64(table.NumRows());
+  hash.MixU64(table.NumDims());
+  hash.MixU64(table.NumTargets());
+  // Decoded dimension values (not raw codes): two tables with identical
+  // content must fingerprint equal regardless of dictionary intern order.
+  for (size_t d = 0; d < table.NumDims(); ++d) {
+    hash.MixString(table.DimName(d));
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      hash.MixString(table.DimValue(r, d));
+    }
+  }
+  for (size_t t = 0; t < table.NumTargets(); ++t) {
+    hash.MixString(table.TargetName(t));
+    for (double value : table.TargetColumn(t)) hash.MixDouble(value);
+  }
+  char buffer[2 * sizeof(uint64_t) + 1];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash.state));
   return buffer;
 }
 

@@ -44,6 +44,14 @@ using ServedAnswerPtr = std::shared_ptr<const ServedAnswer>;
 /// configurations with equal fingerprints may share cached answers.
 std::string ConfigFingerprint(const Configuration& config);
 
+/// A stable fingerprint of a table's CONTENT: row count, dictionary-decoded
+/// dimension values and target bits, in row order. Learned-speech files are
+/// stamped with it so speeches rendered from one incarnation's rows are
+/// never reloaded into a same-named, same-configured dataset backed by
+/// DIFFERENT data (a restarted service with the same data still reloads).
+/// One pass over every cell; meant for registration time, not per request.
+std::string TableFingerprint(const Table& table);
+
 /// Canonical cache key for a grounded query under a configuration
 /// fingerprint: "<fingerprint>|t=<target>|<dim>:<value>|...". Predicates are
 /// assumed normalized (sorted by dimension), which VoiceQuery::Key()

@@ -24,7 +24,8 @@ double SteadySeconds() {
 }  // namespace
 
 ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards,
-                                         Clock clock, size_t byte_budget)
+                                         Clock clock, size_t byte_budget,
+                                         double max_entry_fraction)
     : byte_budget_(byte_budget),
       clock_(clock ? std::move(clock) : Clock(&SteadySeconds)) {
   capacity_ = std::max<size_t>(1, capacity);
@@ -39,25 +40,53 @@ ShardedSummaryCache::ShardedSummaryCache(size_t capacity, size_t num_shards,
   // the global budget within one entry's size of exact.
   size_t byte_slice = byte_budget > 0 ? std::max<size_t>(1, byte_budget / num_shards)
                                       : 0;
+  // Admission ceiling: an entry bigger than this fraction of the slice is
+  // refused instead of admitted-then-evicting-the-shard.
+  size_t max_entry_bytes =
+      (byte_slice > 0 && max_entry_fraction > 0.0)
+          ? static_cast<size_t>(static_cast<double>(byte_slice) * max_entry_fraction)
+          : 0;
   shards_.reserve(num_shards);
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (i < remainder ? 1 : 0);
     shard->byte_budget = byte_slice;
+    shard->max_entry_bytes = max_entry_bytes;
     shards_.push_back(std::move(shard));
   }
 }
 
 size_t ShardedSummaryCache::EstimateEntryBytes(const std::string& key,
-                                               const ServedAnswerPtr& answer) {
+                                               const ServedAnswerPtr& answer,
+                                               const std::string& owner) {
   // Key is stored twice (recency list + map), plus list/map node overhead.
   size_t bytes = 2 * key.capacity() + sizeof(Entry) + 4 * sizeof(void*);
   if (answer != nullptr) bytes += sizeof(ServedAnswer) + answer->text.capacity();
+  // The owner tag is copied into the entry (every tagged entry of a host
+  // carries the same fingerprint string).
+  bytes += owner.capacity();
   return bytes;
 }
 
 size_t ShardedSummaryCache::ShardIndex(const std::string& key) const {
   return std::hash<std::string>{}(key) & (shards_.size() - 1);
+}
+
+void ShardedSummaryCache::DebitOwner(Shard* shard, const std::string& owner,
+                                     size_t bytes) {
+  if (owner.empty()) return;
+  auto owned = shard->owner_bytes.find(owner);
+  if (owned == shard->owner_bytes.end()) return;
+  owned->second -= std::min(owned->second, bytes);
+  if (owned->second == 0) shard->owner_bytes.erase(owned);
+}
+
+void ShardedSummaryCache::EraseEntry(Shard* shard,
+                                     std::list<Entry>::iterator it) {
+  shard->bytes -= it->bytes;
+  DebitOwner(shard, it->owner, it->bytes);
+  shard->index.erase(it->key);
+  shard->lru.erase(it);
 }
 
 ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
@@ -69,9 +98,7 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
     return nullptr;
   }
   if (it->second->expires_at > 0.0 && Now() >= it->second->expires_at) {
-    shard.bytes -= it->second->bytes;
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+    EraseEntry(&shard, it->second);
     ++shard.stats.expirations;
     ++shard.stats.misses;
     return nullptr;
@@ -82,30 +109,44 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
   return it->second->answer;
 }
 
-void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
-                              double ttl_seconds) {
+bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
+                              double ttl_seconds, const std::string& owner,
+                              size_t owner_byte_quota) {
   double expires_at = ttl_seconds > 0.0 ? Now() + ttl_seconds : 0.0;
-  size_t bytes = EstimateEntryBytes(key, answer);
+  size_t bytes = EstimateEntryBytes(key, answer, owner);
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
+  // Admission control: refuse an entry that would claim more than its
+  // configured share of the slice. Rejecting (rather than admitting and
+  // letting the byte loop run) keeps one oversized rendered answer from
+  // flushing the shard's whole working set; a pre-existing entry under the
+  // same key stays as it was.
+  if (shard.max_entry_bytes > 0 && bytes > shard.max_entry_bytes) {
+    ++shard.stats.admission_rejects;
+    return false;
+  }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes;
+    Entry& entry = *it->second;
+    // Re-point the byte accounting (total and per-owner) at the new value.
+    shard.bytes -= entry.bytes;
     shard.bytes += bytes;
-    it->second->answer = std::move(answer);
-    it->second->expires_at = expires_at;
-    it->second->bytes = bytes;
+    DebitOwner(&shard, entry.owner, entry.bytes);
+    if (!owner.empty()) shard.owner_bytes[owner] += bytes;
+    entry.answer = std::move(answer);
+    entry.expires_at = expires_at;
+    entry.bytes = bytes;
+    entry.owner = owner;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
     if (shard.lru.size() >= shard.capacity) {
-      shard.bytes -= shard.lru.back().bytes;
-      shard.index.erase(shard.lru.back().key);
-      shard.lru.pop_back();
+      EraseEntry(&shard, std::prev(shard.lru.end()));
       ++shard.stats.evictions;
     }
-    shard.lru.emplace_front(Entry{key, std::move(answer), expires_at, bytes});
+    shard.lru.emplace_front(Entry{key, std::move(answer), expires_at, bytes, owner});
     shard.index.emplace(key, shard.lru.begin());
     shard.bytes += bytes;
+    if (!owner.empty()) shard.owner_bytes[owner] += bytes;
     ++shard.stats.insertions;
   }
   // Size-aware eviction: drop LRU entries until back under the byte slice.
@@ -113,13 +154,37 @@ void ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
   // oversized answer occupies the shard alone rather than wedging the loop.
   if (shard.byte_budget > 0) {
     while (shard.bytes > shard.byte_budget && shard.lru.size() > 1) {
-      shard.bytes -= shard.lru.back().bytes;
-      shard.index.erase(shard.lru.back().key);
-      shard.lru.pop_back();
+      EraseEntry(&shard, std::prev(shard.lru.end()));
       ++shard.stats.evictions;
       ++shard.stats.byte_evictions;
     }
   }
+  // Per-owner quota: the owner's LRU entries (and only those) are dropped
+  // until the owner fits its slice, so a chatty dataset reclaims from its
+  // own answers, never its neighbors'. ONE tail-to-front walk evicts every
+  // needed victim (erasing a list node leaves the other iterators valid),
+  // so an over-quota Put costs at most one pass over the shard, not one
+  // per victim. The walk stops before the just-touched front entry for the
+  // same never-self-evict reason as above.
+  if (!owner.empty() && owner_byte_quota > 0) {
+    size_t owner_slice =
+        std::max<size_t>(1, owner_byte_quota / shards_.size());
+    auto over_quota = [&shard, &owner, owner_slice] {
+      auto owned = shard.owner_bytes.find(owner);
+      return owned != shard.owner_bytes.end() && owned->second > owner_slice;
+    };
+    for (auto entry = std::prev(shard.lru.end());
+         entry != shard.lru.begin() && over_quota();) {
+      auto next_newer = std::prev(entry);
+      if (entry->owner == owner) {
+        EraseEntry(&shard, entry);
+        ++shard.stats.evictions;
+        ++shard.stats.quota_evictions;
+      }
+      entry = next_newer;
+    }
+  }
+  return true;
 }
 
 bool ShardedSummaryCache::Contains(const std::string& key) const {
@@ -130,11 +195,49 @@ bool ShardedSummaryCache::Contains(const std::string& key) const {
   return it->second->expires_at <= 0.0 || Now() < it->second->expires_at;
 }
 
+size_t ShardedSummaryCache::PurgePrefix(const std::string& prefix) {
+  size_t purged = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      auto next = std::next(it);
+      if (it->key.starts_with(prefix)) {
+        EraseEntry(shard.get(), it);
+        ++purged;
+      }
+      it = next;
+    }
+  }
+  return purged;
+}
+
+size_t ShardedSummaryCache::CountPrefix(const std::string& prefix) const {
+  size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      if (entry.key.starts_with(prefix)) ++count;
+    }
+  }
+  return count;
+}
+
+size_t ShardedSummaryCache::OwnerBytes(const std::string& owner) const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto it = shard->owner_bytes.find(owner);
+    if (it != shard->owner_bytes.end()) total += it->second;
+  }
+  return total;
+}
+
 void ShardedSummaryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
+    shard->owner_bytes.clear();
     shard->bytes = 0;
   }
 }
@@ -158,6 +261,8 @@ CacheStats ShardedSummaryCache::TotalStats() const {
     total.evictions += shard->stats.evictions;
     total.expirations += shard->stats.expirations;
     total.byte_evictions += shard->stats.byte_evictions;
+    total.admission_rejects += shard->stats.admission_rejects;
+    total.quota_evictions += shard->stats.quota_evictions;
   }
   return total;
 }

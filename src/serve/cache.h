@@ -36,6 +36,13 @@ struct CacheStats {
   /// Subset of `evictions` forced by the byte budget rather than the entry
   /// capacity (size-aware eviction).
   uint64_t byte_evictions = 0;
+  /// Puts refused by admission control: the encoded entry exceeded
+  /// `max_entry_fraction` of its shard's byte slice, so admitting it would
+  /// have evicted a disproportionate share of the shard.
+  uint64_t admission_rejects = 0;
+  /// Subset of `evictions` forced by a per-owner byte quota rather than the
+  /// shared budget (per-dataset cache quotas in the serving layer).
+  uint64_t quota_evictions = 0;
 
   double HitRate() const {
     uint64_t lookups = hits + misses;
@@ -63,11 +70,17 @@ class ShardedSummaryCache {
   /// bytes across all shards: each shard gets an equal slice and evicts LRU
   /// entries until back under it, so a few huge rendered answers cannot
   /// monopolize memory that thousands of typical ones would share. The
-  /// newest entry of a shard is never evicted on its own insert -- an entry
-  /// larger than the whole slice occupies it alone until the next insert
-  /// (admission control is a separate, still-open policy).
+  /// newest entry of a shard is never evicted on its own insert, so without
+  /// admission control an entry larger than the whole slice occupies it
+  /// alone until the next insert. `max_entry_fraction` (0 = admit
+  /// everything) is that admission control: when both it and `byte_budget`
+  /// are positive, a Put whose estimated entry size exceeds
+  /// `max_entry_fraction * (byte_budget / num_shards)` is rejected outright
+  /// -- the shard keeps what it has instead of evicting half its working set
+  /// for one oversized rendered answer (`admission_rejects` counts these).
   explicit ShardedSummaryCache(size_t capacity, size_t num_shards = 16,
-                               Clock clock = {}, size_t byte_budget = 0);
+                               Clock clock = {}, size_t byte_budget = 0,
+                               double max_entry_fraction = 0.0);
 
   ShardedSummaryCache(const ShardedSummaryCache&) = delete;
   ShardedSummaryCache& operator=(const ShardedSummaryCache&) = delete;
@@ -83,10 +96,33 @@ class ShardedSummaryCache {
   /// the entry may be served -- the serving layer uses this for unanswerable
   /// (negative) results, so a store or registry that later learns an answer
   /// is not shadowed by a stale apology forever.
-  void Put(const std::string& key, ServedAnswerPtr answer, double ttl_seconds = 0.0);
+  ///
+  /// `owner` tags the entry with the dataset (host fingerprint) it belongs
+  /// to; with a positive `owner_byte_quota` the shard evicts that owner's
+  /// own LRU entries until its bytes fit `owner_byte_quota / num_shards`
+  /// (`quota_evictions`), so one dataset's answers cannot crowd every other
+  /// dataset out of the shared cache. An empty owner is untracked.
+  ///
+  /// Returns false when admission control rejected the entry (see the
+  /// constructor); an existing entry under `key` is left untouched then.
+  bool Put(const std::string& key, ServedAnswerPtr answer, double ttl_seconds = 0.0,
+           const std::string& owner = std::string(), size_t owner_byte_quota = 0);
 
   /// True if present and not expired, without touching recency or counters.
   bool Contains(const std::string& key) const;
+
+  /// Drops every entry whose key starts with `prefix` and returns how many
+  /// were dropped. The serving layer purges a removed dataset's shard keys
+  /// by its fingerprint prefix ("<fingerprint>|"), so a retired engine's
+  /// rendered answers stop occupying budget the remaining datasets share.
+  size_t PurgePrefix(const std::string& prefix);
+
+  /// Entries currently cached under `prefix` (counters untouched; exposed so
+  /// tests can assert purge completeness).
+  size_t CountPrefix(const std::string& prefix) const;
+
+  /// Approximate bytes currently held for `owner` across all shards.
+  size_t OwnerBytes(const std::string& owner) const;
 
   void Clear();
 
@@ -105,9 +141,11 @@ class ShardedSummaryCache {
   size_t TotalBytes() const;
 
   /// Approximate heap footprint charged for one entry (key + rendered text
-  /// + node bookkeeping); exposed so tests can reason about the budget.
+  /// + owner tag + node bookkeeping); exposed so tests can reason about the
+  /// budget.
   static size_t EstimateEntryBytes(const std::string& key,
-                                   const ServedAnswerPtr& answer);
+                                   const ServedAnswerPtr& answer,
+                                   const std::string& owner = std::string());
 
   /// Shard a key routes to (exposed so tests can pin keys to shards).
   size_t ShardIndex(const std::string& key) const;
@@ -120,6 +158,8 @@ class ShardedSummaryCache {
     double expires_at = 0.0;
     /// EstimateEntryBytes at insert time (the answer is immutable).
     size_t bytes = 0;
+    /// Dataset tag for per-owner quotas; empty = untracked.
+    std::string owner;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -129,9 +169,19 @@ class ShardedSummaryCache {
     std::unordered_map<std::string, decltype(lru)::iterator> index;
     CacheStats stats;
     size_t capacity = 0;
-    size_t byte_budget = 0;  ///< 0 = unlimited
-    size_t bytes = 0;        ///< sum of Entry::bytes
+    size_t byte_budget = 0;     ///< 0 = unlimited
+    size_t max_entry_bytes = 0; ///< admission ceiling; 0 = admit everything
+    size_t bytes = 0;           ///< sum of Entry::bytes
+    /// Bytes per owner tag (only non-empty owners are tracked).
+    std::unordered_map<std::string, size_t> owner_bytes;
   };
+
+  /// Removes `bytes` from `owner`'s tracked total, dropping the owner's
+  /// accounting entry at zero (saturating; empty owners are untracked).
+  static void DebitOwner(Shard* shard, const std::string& owner, size_t bytes);
+  /// Unlinks one entry from the shard's list/map/byte accounting (counters
+  /// are the caller's job: eviction vs expiration vs purge).
+  static void EraseEntry(Shard* shard, std::list<Entry>::iterator it);
 
   double Now() const { return clock_(); }
 

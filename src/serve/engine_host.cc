@@ -35,15 +35,19 @@ void BumpMax(std::atomic<uint64_t>* slot, uint64_t value) {
 
 EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
                        ShardedSummaryCache* cache, InflightCoalescer* coalescer,
-                       HostOptions options)
+                       HostOptions options, uint64_t generation)
     : name_(std::move(name)),
       engine_(engine),
       options_(options),
       // The host name joins the config fingerprint in every cache/coalescer
       // key: two datasets registered under identical configurations (same
       // table name, dims, targets, limits, prior -- but possibly different
-      // rows) must never serve each other's cached answers.
-      fingerprint_(name_ + ":" + ConfigFingerprint(engine->config())),
+      // rows) must never serve each other's cached answers. The registry
+      // generation (when present) additionally separates successive
+      // incarnations of the SAME name across dynamic remove/re-add cycles.
+      fingerprint_(name_ +
+                   (generation > 0 ? "#" + std::to_string(generation) : "") +
+                   ":" + ConfigFingerprint(engine->config())),
       cache_(cache),
       coalescer_(coalescer) {
   // On-demand problems must be solved exactly like the pre-processor's, so
@@ -107,9 +111,11 @@ ServeResponse EngineHost::Handle(const std::string& request) {
               throw;
             }
             if (answer->answered) {
-              cache_->Put(key, answer);
+              cache_->Put(key, answer, /*ttl_seconds=*/0.0, fingerprint_,
+                          options_.cache_byte_quota);
             } else if (options_.cache_unanswerable) {
-              cache_->Put(key, answer, options_.unanswerable_ttl_seconds);
+              cache_->Put(key, answer, options_.unanswerable_ttl_seconds,
+                          fingerprint_, options_.cache_byte_quota);
             }
           }
           coalescer_->Fulfill(key, answer);
@@ -225,7 +231,30 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query) {
   }
 }
 
+EngineHost::SolveSlot::SolveSlot(EngineHost* host) : host_(host) {
+  std::unique_lock<std::mutex> lock(host_->gate_mutex_);
+  if (host_->options_.max_concurrent_solves > 0) {
+    host_->gate_cv_.wait(lock, [this] {
+      return host_->gate_active_ < host_->options_.max_concurrent_solves;
+    });
+  }
+  ++host_->gate_active_;
+  BumpMax(&host_->stats_.max_active_solves, host_->gate_active_);
+}
+
+EngineHost::SolveSlot::~SolveSlot() {
+  {
+    std::lock_guard<std::mutex> lock(host_->gate_mutex_);
+    --host_->gate_active_;
+  }
+  host_->gate_cv_.notify_one();
+}
+
 void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch) {
+  // The thread-share slot is taken before any work: a host over its
+  // on-demand quota parks its runner here, off-CPU (the worker thread
+  // itself stays occupied -- see HostOptions::max_concurrent_solves).
+  SolveSlot slot(this);
   const Table& table = engine_->table();
   stats_.on_demand_passes.fetch_add(1, std::memory_order_relaxed);
   BumpMax(&stats_.max_batch, batch.size());
@@ -371,6 +400,8 @@ HostStats EngineHost::stats() const {
       stats_.on_demand_summaries.load(std::memory_order_relaxed);
   out.on_demand_passes = stats_.on_demand_passes.load(std::memory_order_relaxed);
   out.max_batch = stats_.max_batch.load(std::memory_order_relaxed);
+  out.max_active_solves =
+      stats_.max_active_solves.load(std::memory_order_relaxed);
   out.unanswerable = stats_.unanswerable.load(std::memory_order_relaxed);
   return out;
 }

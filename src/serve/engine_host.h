@@ -53,6 +53,23 @@ struct HostOptions {
   /// without bound (RoutingService turns this on when its registry
   /// persists).
   bool record_learned = false;
+  /// Thread share for on-demand solving: at most this many batch solves run
+  /// concurrently on this host (0 = unlimited). This caps the CPU a cold or
+  /// miss-heavy dataset's optimizer runs consume -- greedy solves are the
+  /// compute-heavy path -- so neighbors' cheap requests keep getting cores.
+  /// It is NOT a worker-count cap: a request waiting for a solve slot still
+  /// occupies its pool worker (parked on a condition variable, off-CPU)
+  /// until a running solve of this host finishes.
+  size_t max_concurrent_solves = 0;
+  /// Per-dataset byte quota inside the shared answer cache (0 = none): the
+  /// cache evicts this host's own LRU entries once its tagged bytes exceed
+  /// the quota, so per-dataset policies bound cache occupancy independently
+  /// of the global byte budget. Enforced per cache shard as equal slices of
+  /// quota/num_shards (exactly like the global byte budget), so size it
+  /// well above num_shards x a typical rendered answer -- a slice smaller
+  /// than one entry degenerates into every insert evicting the dataset's
+  /// other entries in that shard (see ShardedSummaryCache::Put).
+  size_t cache_byte_quota = 0;
   /// Artificial per-request vocalization/transport latency, applied after
   /// the answer is published. Stands in for the TTS + network time of a real
   /// deployment; benches use it to measure how well workers overlap waiting.
@@ -86,6 +103,7 @@ struct HostStats {
   uint64_t on_demand_summaries = 0;
   uint64_t on_demand_passes = 0;  ///< shared table scans (batch solves)
   uint64_t max_batch = 0;         ///< largest batch solved so far
+  uint64_t max_active_solves = 0; ///< peak concurrent batch solves observed
   uint64_t unanswerable = 0;
 };
 
@@ -97,9 +115,15 @@ struct HostStats {
 /// SummaryService for the rationale).
 class EngineHost {
  public:
+  /// `generation` (when non-zero) is folded into the cache-key fingerprint:
+  /// the dynamic registry stamps every registration with a fresh generation,
+  /// so a dataset removed and re-added under the same name -- possibly with
+  /// different rows but an identical configuration -- can never be served
+  /// the retired incarnation's cached answers, even before the purge of the
+  /// old fingerprint's keys completes.
   EngineHost(std::string name, const VoiceQueryEngine* engine,
              ShardedSummaryCache* cache, InflightCoalescer* coalescer,
-             HostOptions options = {});
+             HostOptions options = {}, uint64_t generation = 0);
 
   EngineHost(const EngineHost&) = delete;
   EngineHost& operator=(const EngineHost&) = delete;
@@ -130,8 +154,12 @@ class EngineHost {
 
   const std::string& name() const { return name_; }
   const VoiceQueryEngine& engine() const { return *engine_; }
-  /// Cache-key prefix: "<host name>:<config fingerprint>", so a shared
-  /// cache stays partitioned per host even across identical configurations.
+  /// Cache-key prefix: "<host name>:<config fingerprint>", or
+  /// "<host name>#<generation>:<config fingerprint>" for registry-built
+  /// hosts (generation != 0), so a shared cache stays partitioned per host
+  /// even across identical configurations AND across remove/re-add cycles
+  /// of the same name. Always read it from here rather than reconstructing
+  /// it from name + config.
   const std::string& fingerprint() const { return fingerprint_; }
   const HostOptions& options() const { return options_; }
   HostStats stats() const;
@@ -163,8 +191,23 @@ class EngineHost {
 
   /// Solves one batch of distinct same-target queries in a single shared
   /// table pass and fulfills every promise (with nullptr on failure); never
-  /// leaves a promise unresolved.
+  /// leaves a promise unresolved. Honors the host's on-demand thread share
+  /// (HostOptions::max_concurrent_solves) by gating entry.
   void SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch);
+
+  /// RAII thread-share slot around one batch solve: blocks while the host
+  /// already runs its maximum of concurrent solves, tracks the active count
+  /// and the max_active_solves gauge.
+  class SolveSlot {
+   public:
+    explicit SolveSlot(EngineHost* host);
+    ~SolveSlot();
+    SolveSlot(const SolveSlot&) = delete;
+    SolveSlot& operator=(const SolveSlot&) = delete;
+
+   private:
+    EngineHost* host_;
+  };
 
   /// Solves one query of a batch from its pre-filtered rows.
   ServedAnswerPtr SolveOne(const VoiceQuery& query,
@@ -188,6 +231,10 @@ class EngineHost {
   std::mutex batch_mutex_;  ///< guards batch_queues_
   std::unordered_map<int, std::shared_ptr<TargetBatchQueue>> batch_queues_;
 
+  std::mutex gate_mutex_;  ///< guards gate_active_ (the solve thread share)
+  std::condition_variable gate_cv_;
+  size_t gate_active_ = 0;
+
   std::mutex prior_mutex_;  ///< guards global_priors_
   std::unordered_map<int, double> global_priors_;
 
@@ -209,6 +256,7 @@ class EngineHost {
     std::atomic<uint64_t> on_demand_summaries{0};
     std::atomic<uint64_t> on_demand_passes{0};
     std::atomic<uint64_t> max_batch{0};
+    std::atomic<uint64_t> max_active_solves{0};
     std::atomic<uint64_t> unanswerable{0};
   };
   AtomicStats stats_;

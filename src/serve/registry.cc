@@ -42,68 +42,140 @@ Status WriteFileAtomic(const std::string& path, const std::string& contents) {
 
 }  // namespace
 
-DatasetRegistry::DatasetRegistry(RegistryOptions options)
-    : options_(std::move(options)) {}
-
-Status DatasetRegistry::RegisterGenerated(const std::string& name,
-                                          Configuration config, size_t rows,
-                                          uint64_t seed,
-                                          const PreprocessOptions& options) {
-  VQ_ASSIGN_OR_RETURN(Table table, MakeDataset(config.table, rows, seed));
-  return RegisterTable(name, std::move(table), std::move(config), options);
+const DatasetEntry* RegistrySnapshot::Find(const std::string& name) const {
+  auto it = index.find(name);
+  if (it == index.end()) return nullptr;
+  return entries[it->second].get();
 }
 
-Status DatasetRegistry::RegisterTable(const std::string& name, Table table,
-                                      Configuration config,
-                                      const PreprocessOptions& options) {
+std::shared_ptr<const DatasetEntry> RegistrySnapshot::FindShared(
+    const std::string& name) const {
+  auto it = index.find(name);
+  if (it == index.end()) return nullptr;
+  return entries[it->second];
+}
+
+DatasetRegistry::DatasetRegistry(RegistryOptions options)
+    : options_(std::move(options)) {
+  snapshot_.store(std::make_shared<const RegistrySnapshot>());
+}
+
+RegistrySnapshotPtr DatasetRegistry::snapshot() const {
+  return snapshot_.load();
+}
+
+void DatasetRegistry::Publish(std::shared_ptr<RegistrySnapshot> next) {
+  next->index.clear();
+  for (size_t i = 0; i < next->entries.size(); ++i) {
+    next->index.emplace(next->entries[i]->name, i);
+  }
+  uint64_t version = next->version;
+  // Snapshot first, counter second: observing the new version (acquire)
+  // therefore implies the new snapshot is visible.
+  snapshot_.store(std::move(next));
+  version_.store(version, std::memory_order_release);
+}
+
+Status DatasetRegistry::AddGenerated(const std::string& name,
+                                     Configuration config, size_t rows,
+                                     uint64_t seed,
+                                     const PreprocessOptions& options,
+                                     std::optional<HostOptions> policy,
+                                     const EngineSetup& configure) {
+  VQ_ASSIGN_OR_RETURN(Table table, MakeDataset(config.table, rows, seed));
+  return AddDataset(name, std::move(table), std::move(config), options,
+                    std::move(policy), configure);
+}
+
+Status DatasetRegistry::AddDataset(const std::string& name, Table table,
+                                   Configuration config,
+                                   const PreprocessOptions& options,
+                                   std::optional<HostOptions> policy,
+                                   const EngineSetup& configure) {
   if (name.empty()) return Status::InvalidArgument("dataset name must not be empty");
-  if (index_.count(name) > 0) {
+  // Fast duplicate fail before the expensive build; the authoritative check
+  // re-runs under the write mutex right before publish.
+  if (snapshot()->Find(name) != nullptr) {
     return Status::AlreadyExists("dataset '" + name + "' already registered");
   }
-  auto entry = std::make_unique<Entry>();
+  auto entry = std::make_shared<DatasetEntry>();
   entry->name = name;
   entry->table = std::make_unique<Table>(std::move(table));
+  entry->policy = std::move(policy);
   auto built =
       VoiceQueryEngine::Build(entry->table.get(), std::move(config), options);
   if (!built.ok()) return built.status();
   entry->engine = std::make_unique<VoiceQueryEngine>(std::move(built).value());
+  // Pre-publication setup (synonyms etc.): the entry is not yet visible to
+  // any snapshot, so this is the one mutation window that is race-free
+  // even under live traffic.
+  if (configure) configure(entry->engine.get());
+  // Only the learned persistence consumes the content fingerprint; without
+  // a learned_dir there is no reason to hash every cell at registration.
+  if (persists_learned()) {
+    entry->table_fingerprint = TableFingerprint(*entry->table);
+  }
+  // Build's pre-processing pass has already warmed the table's inverted
+  // index (engine/preprocessor.cc warms unconditionally), so the dataset
+  // publishes with a ready index: the serving layer's first on-demand miss
+  // never pays -- or serializes workers on -- the lazy build.
   VQ_RETURN_IF_ERROR(ReloadLearned(entry.get()));
-  index_.emplace(name, entries_.size());
-  entries_.push_back(std::move(entry));
+
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  RegistrySnapshotPtr current = snapshot();
+  if (current->Find(name) != nullptr) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+  entry->generation = next_generation_++;
+  auto next = std::make_shared<RegistrySnapshot>();
+  next->version = current->version + 1;
+  next->entries = current->entries;
+  next->entries.push_back(std::move(entry));
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status DatasetRegistry::RemoveDataset(const std::string& name) {
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  RegistrySnapshotPtr current = snapshot();
+  if (current->Find(name) == nullptr) {
+    return Status::NotFound("dataset '" + name + "' unknown");
+  }
+  auto next = std::make_shared<RegistrySnapshot>();
+  next->version = current->version + 1;
+  next->entries.reserve(current->entries.size() - 1);
+  for (const auto& entry : current->entries) {
+    if (entry->name != name) next->entries.push_back(entry);
+  }
+  Publish(std::move(next));
   return Status::OK();
 }
 
 std::vector<std::string> DatasetRegistry::Names() const {
+  RegistrySnapshotPtr current = snapshot();
   std::vector<std::string> out;
-  out.reserve(entries_.size());
-  for (const auto& entry : entries_) out.push_back(entry->name);
+  out.reserve(current->entries.size());
+  for (const auto& entry : current->entries) out.push_back(entry->name);
   return out;
 }
 
-const DatasetRegistry::Entry* DatasetRegistry::Find(const std::string& name) const {
-  auto it = index_.find(name);
-  if (it == index_.end()) return nullptr;
-  return entries_[it->second].get();
-}
-
 const VoiceQueryEngine* DatasetRegistry::engine(const std::string& name) const {
-  const Entry* entry = Find(name);
+  const DatasetEntry* entry = snapshot()->Find(name);
   return entry != nullptr ? entry->engine.get() : nullptr;
 }
 
 const Table* DatasetRegistry::table(const std::string& name) const {
-  const Entry* entry = Find(name);
+  const DatasetEntry* entry = snapshot()->Find(name);
   return entry != nullptr ? entry->table.get() : nullptr;
 }
 
 VoiceQueryEngine* DatasetRegistry::mutable_engine(const std::string& name) {
-  auto it = index_.find(name);
-  if (it == index_.end()) return nullptr;
-  return entries_[it->second]->engine.get();
+  const DatasetEntry* entry = snapshot()->Find(name);
+  return entry != nullptr ? entry->engine.get() : nullptr;
 }
 
 size_t DatasetRegistry::learned_loaded(const std::string& name) const {
-  const Entry* entry = Find(name);
+  const DatasetEntry* entry = snapshot()->Find(name);
   return entry != nullptr ? entry->learned_loaded : 0;
 }
 
@@ -112,7 +184,7 @@ std::string DatasetRegistry::LearnedPath(const std::string& name) const {
       .string();
 }
 
-Status DatasetRegistry::ReloadLearned(Entry* entry) const {
+Status DatasetRegistry::ReloadLearned(DatasetEntry* entry) const {
   if (options_.learned_dir.empty()) return Status::OK();
   std::string path = LearnedPath(entry->name);
   if (!std::filesystem::exists(path)) return Status::OK();
@@ -133,6 +205,17 @@ Status DatasetRegistry::ReloadLearned(Entry* entry) const {
       ConfigFingerprint(entry->engine->config())) {
     return Status::OK();
   }
+  // Same for speeches rendered from DIFFERENT rows: an identically
+  // configured re-add of the name with new data (the dynamic-registry case
+  // the generation-stamped cache keys already guard) must not resurrect
+  // the old incarnation's numbers through the learned file. A restarted
+  // service over the same data still matches and reloads, and a file from
+  // before table stamping (no field) is grandfathered rather than silently
+  // invalidated on upgrade.
+  std::string table_stamp = json.value().GetString("table_fingerprint", "");
+  if (!table_stamp.empty() && table_stamp != entry->table_fingerprint) {
+    return Status::OK();
+  }
   auto parsed = SpeechStore::FromJson(json.value(), *entry->table);
   if (!parsed.ok()) return Status::OK();  // same rationale: skip, don't brick
   const SpeechStore& learned = parsed.value();
@@ -150,16 +233,47 @@ Status DatasetRegistry::ReloadLearned(Entry* entry) const {
 
 Status DatasetRegistry::SaveLearned(const std::string& name,
                                     const std::vector<StoredSpeech>& learned) const {
+  // Holding the shared entry keeps table/engine alive through the merge
+  // even if the dataset is removed concurrently.
+  std::shared_ptr<const DatasetEntry> entry = snapshot()->FindShared(name);
+  if (entry == nullptr) return Status::NotFound("dataset '" + name + "' unknown");
+  return SaveLearnedFor(*entry, learned);
+}
+
+Status DatasetRegistry::SaveLearnedFor(
+    const DatasetEntry& entry, const std::vector<StoredSpeech>& learned) const {
   if (options_.learned_dir.empty()) {
     return Status::FailedPrecondition("registry has no learned_dir configured");
   }
-  const Entry* entry = Find(name);
-  if (entry == nullptr) return Status::NotFound("dataset '" + name + "' unknown");
   if (learned.empty()) return Status::OK();
 
   // One read-merge-write at a time, or concurrent flushes would each merge
   // into the same stale disk state and the last rename would win.
   std::lock_guard<std::mutex> lock(save_mutex_);
+  // A RETIRED writer must not clobber a successor: when the name has been
+  // re-registered (different generation) since `entry` was current, the
+  // learned file belongs to the newer incarnation -- whose fingerprint the
+  // merge below would discard wholesale. Dropping the retired batch is the
+  // documented best-effort behavior; overwriting would silently destroy
+  // every speech the successor persisted. The snapshot is held in a local
+  // so the successor entry cannot be freed under the generation read; the
+  // writer_is_live bit additionally gates the foreign-fingerprint replace
+  // below, because a successor that was ALSO removed leaves no live entry
+  // to compare against -- only its file.
+  RegistrySnapshotPtr current = snapshot();
+  const DatasetEntry* live = current->Find(entry.name);
+  bool writer_is_live = live != nullptr && live->generation == entry.generation;
+  if (live != nullptr && !writer_is_live) {
+    // Exception: a successor over the SAME configuration and SAME data is
+    // semantically the same dataset (the restart case done live), so the
+    // retired batch merges safely -- that is the "speeches survive a
+    // re-registration" contract. Any other successor owns the file.
+    bool same_dataset =
+        live->table_fingerprint == entry.table_fingerprint &&
+        ConfigFingerprint(live->engine->config()) ==
+            ConfigFingerprint(entry.engine->config());
+    if (!same_dataset) return Status::OK();
+  }
   std::error_code ec;
   std::filesystem::create_directories(options_.learned_dir, ec);
   if (ec) {
@@ -169,20 +283,31 @@ Status DatasetRegistry::SaveLearned(const std::string& name,
 
   // Merge with what is already on disk so repeated flushes accumulate --
   // but only when the file was written under the SAME configuration; stale
-  // speeches from a previous config are dropped, not carried forward.
-  std::string fingerprint = ConfigFingerprint(entry->engine->config());
+  // speeches from a previous config are dropped, not carried forward. That
+  // replacement is a privilege of the LIVE incarnation: a retired writer
+  // facing a foreign fingerprint is looking at a (possibly also removed)
+  // successor's file and must leave it intact.
+  std::string fingerprint = ConfigFingerprint(entry.engine->config());
+  const std::string& table_fingerprint = entry.table_fingerprint;
   SpeechStore merged;
-  std::string path = LearnedPath(name);
+  std::string path = LearnedPath(entry.name);
   if (std::filesystem::exists(path)) {
     VQ_ASSIGN_OR_RETURN(std::string contents, ReadFile(path));
     VQ_ASSIGN_OR_RETURN(Json json, Json::Parse(contents));
-    if (json.GetString("config_fingerprint", "") == fingerprint) {
-      VQ_ASSIGN_OR_RETURN(merged, SpeechStore::FromJson(json, *entry->table));
+    // An empty table stamp is a pre-table-stamping file: grandfathered on
+    // the same grace as ReloadLearned (the next write re-stamps it).
+    std::string file_table_stamp = json.GetString("table_fingerprint", "");
+    if (json.GetString("config_fingerprint", "") == fingerprint &&
+        (file_table_stamp.empty() || file_table_stamp == table_fingerprint)) {
+      VQ_ASSIGN_OR_RETURN(merged, SpeechStore::FromJson(json, *entry.table));
+    } else if (!writer_is_live) {
+      return Status::OK();
     }
   }
   for (const StoredSpeech& stored : learned) merged.Put(stored);
-  Json out = merged.ToJson(*entry->table);
+  Json out = merged.ToJson(*entry.table);
   out.Set("config_fingerprint", Json::Str(fingerprint));
+  out.Set("table_fingerprint", Json::Str(table_fingerprint));
   return WriteFileAtomic(path, out.Dump(2) + "\n");
 }
 

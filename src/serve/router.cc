@@ -1,5 +1,6 @@
 #include "serve/router.h"
 
+#include <unordered_map>
 #include <utility>
 
 #include "util/stopwatch.h"
@@ -12,21 +13,185 @@ RoutingService::RoutingService(const DatasetRegistry* registry,
     : registry_(registry),
       options_(options),
       cache_(options.cache_capacity, options.cache_shards, {},
-             options.cache_byte_budget),
+             options.cache_byte_budget, options.cache_max_entry_fraction),
       pool_(options.num_threads) {
-  HostOptions host_options = options_.host;
-  // Learned speeches are only recorded when someone can drain them --
-  // either the registry persists (FlushLearned) or the caller opted in.
-  host_options.record_learned =
-      host_options.record_learned || registry_->persists_learned();
-  for (const std::string& name : registry_->Names()) {
-    hosts_.push_back(std::make_unique<EngineHost>(
-        name, registry_->engine(name), &cache_, &coalescer_, host_options));
-    per_host_requests_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
-  }
+  // Eager initial build so the constructor's cost (host construction per
+  // dataset) is not paid by the first request.
+  hosts_.store(RebuildHosts(registry_->snapshot(), nullptr));
 }
 
-RoutingService::~RoutingService() { Drain(); }
+RoutingService::~RoutingService() {
+  Drain();
+  // With the pool drained, every retired slot is sole-owned: run the final
+  // sweep so pending learned speeches of removed datasets reach the
+  // registry's persistence instead of dying with retired_.
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  SweepRetired(/*drain_pinned=*/true);
+}
+
+HostOptions RoutingService::OptionsFor(const DatasetEntry& entry) const {
+  // A registry policy replaces the fleet default wholesale (it IS the
+  // dataset's serving contract); recording learned speeches additionally
+  // turns on whenever someone can drain them -- either the registry
+  // persists (FlushLearned / slot retirement) or the options opted in.
+  HostOptions host_options = entry.policy.has_value() ? *entry.policy
+                                                      : options_.host;
+  host_options.record_learned =
+      host_options.record_learned || registry_->persists_learned();
+  return host_options;
+}
+
+RoutingService::HostSetPtr RoutingService::RebuildHosts(
+    const RegistrySnapshotPtr& snapshot, const HostSetPtr& previous) const {
+  std::unordered_map<const DatasetEntry*, std::shared_ptr<HostSlot>> reusable;
+  if (previous != nullptr) {
+    for (const auto& slot : previous->slots) {
+      reusable.emplace(slot->entry.get(), slot);
+    }
+  }
+  auto next = std::make_shared<HostSet>();
+  next->registry_version = snapshot->version;
+  next->slots.reserve(snapshot->entries.size());
+  for (const auto& entry : snapshot->entries) {
+    auto reuse = reusable.find(entry.get());
+    if (reuse != reusable.end()) {
+      // Same entry object (same generation): the host survives with its
+      // stats, batch queues and pending learned speeches intact.
+      next->slots.push_back(reuse->second);
+      reusable.erase(reuse);
+      continue;
+    }
+    auto slot = std::make_shared<HostSlot>();
+    slot->entry = entry;
+    slot->host = std::make_unique<EngineHost>(entry->name, entry->engine.get(),
+                                              &cache_, &coalescer_,
+                                              OptionsFor(*entry),
+                                              entry->generation);
+    next->slots.push_back(std::move(slot));
+  }
+  // Whatever was not reused belongs to removed datasets: park it on the
+  // retired list for the sweep (learned drain + cache purge, repeated
+  // until the last in-flight reference is gone).
+  for (auto& [entry, slot] : reusable) {
+    (void)entry;
+    retired_.push_back(std::move(slot));
+  }
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  return next;
+}
+
+bool RoutingService::DrainAndPurge(const HostSlot& slot) const {
+  // Drain learned speeches into the registry's persistence (best effort --
+  // the entry may be gone from the registry, so SaveLearnedFor takes the
+  // entry itself) and purge the retired fingerprint's cache keys so a
+  // retired engine's rendered answers stop occupying the budget live
+  // datasets share. Without persistence there is nowhere to drain to: a
+  // caller that enabled record_learned on its own must TakeLearned before
+  // RemoveDataset, or the pending speeches die with the slot.
+  bool drained = true;
+  if (registry_->persists_learned()) {
+    std::vector<StoredSpeech> learned = slot.host->TakeLearned();
+    if (!learned.empty()) {
+      Status saved = registry_->SaveLearnedFor(*slot.entry, learned);
+      if (!saved.ok()) {
+        // Not on disk; hand the speeches back and report failure so a
+        // final sweep does NOT release the slot -- a later sweep retries.
+        slot.host->RestoreLearned(std::move(learned));
+        drained = false;
+      }
+    }
+  }
+  purged_cache_entries_.fetch_add(
+      cache_.PurgePrefix(slot.host->fingerprint() + "|"),
+      std::memory_order_relaxed);
+  return drained;
+}
+
+void RoutingService::SweepRetired(bool drain_pinned) const {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // Sole-ownership is observed BEFORE the pass: once the retired list
+    // holds the only reference, no in-flight request can write cache
+    // entries or learned speeches through this slot anymore, so a pass
+    // that started sole-owner is guaranteed final. Checking after the pass
+    // instead would let a late write land between the purge and the check
+    // and then release the slot without ever catching it.
+    bool final_pass = it->use_count() == 1;
+    if (!final_pass && !drain_pinned) {
+      // Request-fast-path mode: pinned slots are skipped entirely, so the
+      // per-request cost while stragglers finish is one use_count read,
+      // not a cache scan.
+      ++it;
+      continue;
+    }
+    // A failed drain (transient learned_dir error) keeps the slot on the
+    // list even on a final pass: the restored speeches would die with it.
+    bool drained = DrainAndPurge(**it);
+    it = (final_pass && drained) ? retired_.erase(it) : std::next(it);
+  }
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+}
+
+void RoutingService::ScheduleRetiredSweep() const {
+  if (retired_count_.load(std::memory_order_relaxed) == 0) return;
+  // At most one queued release task at a time; a slot that is still pinned
+  // when the task runs gets rescheduled by a later request.
+  if (sweep_scheduled_.exchange(true, std::memory_order_relaxed)) return;
+  (void)pool_.SubmitTask([this] {
+    {
+      std::lock_guard<std::mutex> lock(sync_mutex_);
+      // Final-only passes: pinned slots are skipped (their late writes are
+      // fully caught by the eventual final pass, see SweepRetired), so a
+      // rescheduled background sweep never re-scans the cache per straggler.
+      SweepRetired(/*drain_pinned=*/false);
+    }
+    sweep_scheduled_.store(false, std::memory_order_relaxed);
+  });
+}
+
+RoutingService::HostSetPtr RoutingService::CurrentHosts() const {
+  HostSetPtr current = hosts_.load();
+  // One wait-free version probe per request; the rebuild path only runs
+  // when a mutation actually happened.
+  if (current->registry_version == registry_->version()) {
+    // Steady traffic must still release retired slots whose stragglers
+    // finished -- without this, a removed dataset's memory would stay
+    // pinned until the NEXT registry mutation.
+    ScheduleRetiredSweep();
+    return current;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    current = hosts_.load();
+    RegistrySnapshotPtr snapshot = registry_->snapshot();
+    if (current->registry_version != snapshot->version) {
+      current = RebuildHosts(snapshot, current);
+      hosts_.store(current);
+      registry_syncs_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // The retirement work itself (learned drain to disk + a cache scan per
+  // retired fingerprint) runs as a standalone pool task, never inline on a
+  // serving request -- neither here on the rebuild path nor on the fast
+  // path above. SyncRegistry remains the synchronous variant.
+  ScheduleRetiredSweep();
+  return current;
+}
+
+void RoutingService::SyncRegistry() {
+  // One lock, one sweep -- whether or not the version moved. (Calling
+  // CurrentHosts and then sweeping again would drain+purge every retired
+  // slot twice per call.) The sweep runs even on an unchanged version: a
+  // quiescent router can still owe retired slots their final drain+purge,
+  // e.g. after the in-flight requests of a removed dataset finished.
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  HostSetPtr current = hosts_.load();
+  RegistrySnapshotPtr snapshot = registry_->snapshot();
+  if (current->registry_version != snapshot->version) {
+    hosts_.store(RebuildHosts(snapshot, current));
+    registry_syncs_.fetch_add(1, std::memory_order_relaxed);
+  }
+  SweepRetired(/*drain_pinned=*/true);
+}
 
 std::future<RoutedResponse> RoutingService::Submit(std::string request) {
   return pool_.SubmitTask(
@@ -39,11 +204,12 @@ RoutedResponse RoutingService::AnswerNow(const std::string& request) {
 
 void RoutingService::Drain() { pool_.Wait(); }
 
-RoutingService::RouteDecision RoutingService::Route(
-    const std::string& request) const {
+RoutingService::RouteDecision RoutingService::RouteIn(
+    const HostSet& hosts, const std::string& request) const {
   RouteDecision decision;
-  for (size_t i = 0; i < hosts_.size(); ++i) {
-    double score = hosts_[i]->engine().extractor().Coverage(request).Score();
+  for (size_t i = 0; i < hosts.slots.size(); ++i) {
+    double score =
+        hosts.slots[i]->host->engine().extractor().Coverage(request).Score();
     // Strictly greater keeps ties on the first-registered dataset, so
     // routing is deterministic under any registration order.
     if (score > decision.score) {
@@ -57,17 +223,25 @@ RoutingService::RouteDecision RoutingService::Route(
   return decision;
 }
 
+RoutingService::RouteDecision RoutingService::Route(
+    const std::string& request) const {
+  return RouteIn(*CurrentHosts(), request);
+}
+
 RoutedResponse RoutingService::Process(const std::string& request) {
   requests_.fetch_add(1, std::memory_order_relaxed);
+  // ONE snapshot acquisition per request: every decision below acts on this
+  // host set, and holding it keeps each slot's engine alive even if the
+  // dataset is removed while we are answering.
+  HostSetPtr hosts = CurrentHosts();
   RoutedResponse out;
-  RouteDecision decision = Route(request);
+  RouteDecision decision = RouteIn(*hosts, request);
   if (decision.host_index >= 0) {
     routed_.fetch_add(1, std::memory_order_relaxed);
-    per_host_requests_[static_cast<size_t>(decision.host_index)]->fetch_add(
-        1, std::memory_order_relaxed);
-    EngineHost& host = *hosts_[static_cast<size_t>(decision.host_index)];
-    out.response = host.Handle(request);
-    out.dataset = host.name();
+    HostSlot& slot = *hosts->slots[static_cast<size_t>(decision.host_index)];
+    slot.routed_requests.fetch_add(1, std::memory_order_relaxed);
+    out.response = slot.host->Handle(request);
+    out.dataset = slot.host->name();
     out.routed = true;
     out.route_score = decision.score;
     return out;
@@ -79,9 +253,9 @@ RoutedResponse RoutingService::Process(const std::string& request) {
   // that grounds nowhere falls out as not-understood/unanswerable.
   unrouted_.fetch_add(1, std::memory_order_relaxed);
   Stopwatch watch;
-  if (!hosts_.empty()) {
+  if (!hosts->slots.empty()) {
     ClassifiedRequest classified =
-        hosts_[0]->engine().classifier().Classify(request);
+        hosts->slots[0]->host->engine().classifier().Classify(request);
     out.response.type = classified.type;
   }
   switch (out.response.type) {
@@ -109,49 +283,64 @@ Status RoutingService::FlushLearned() {
   // One flush at a time: concurrent read-merge-write cycles on the learned
   // files would lose whichever batch reads the stale disk state.
   std::lock_guard<std::mutex> lock(flush_mutex_);
+  HostSetPtr hosts = CurrentHosts();
   Status first_error;
-  for (auto& host : hosts_) {
-    std::vector<StoredSpeech> learned = host->TakeLearned();
+  for (const auto& slot : hosts->slots) {
+    std::vector<StoredSpeech> learned = slot->host->TakeLearned();
     if (learned.empty()) continue;
-    Status st = registry_->SaveLearned(host->name(), learned);
+    // Via the held entry, not the name: the dataset may have been removed
+    // (and the name even re-registered) since this host set was built.
+    Status st = registry_->SaveLearnedFor(*slot->entry, learned);
     if (!st.ok()) {
       // The speeches are not on disk; hand them back so a later flush can
       // retry instead of silently dropping them.
-      host->RestoreLearned(std::move(learned));
+      slot->host->RestoreLearned(std::move(learned));
       if (first_error.ok()) first_error = st;
     }
   }
   return first_error;
 }
 
-EngineHost* RoutingService::host(const std::string& name) {
-  for (auto& host : hosts_) {
-    if (host->name() == name) return host.get();
+EngineHost* RoutingService::host(const std::string& name) const {
+  HostSetPtr hosts = CurrentHosts();
+  for (const auto& slot : hosts->slots) {
+    if (slot->host->name() == name) return slot->host.get();
   }
   return nullptr;
 }
+
+size_t RoutingService::num_hosts() const { return CurrentHosts()->slots.size(); }
 
 RouterStats RoutingService::stats() const {
   RouterStats out;
   out.requests = requests_.load(std::memory_order_relaxed);
   out.routed = routed_.load(std::memory_order_relaxed);
   out.unrouted = unrouted_.load(std::memory_order_relaxed);
-  for (size_t i = 0; i < hosts_.size(); ++i) {
+  out.registry_syncs = registry_syncs_.load(std::memory_order_relaxed);
+  out.purged_cache_entries =
+      purged_cache_entries_.load(std::memory_order_relaxed);
+  HostSetPtr hosts = CurrentHosts();
+  for (const auto& slot : hosts->slots) {
     out.per_dataset.emplace_back(
-        hosts_[i]->name(), per_host_requests_[i]->load(std::memory_order_relaxed));
+        slot->host->name(),
+        slot->routed_requests.load(std::memory_order_relaxed));
   }
   return out;
 }
 
 std::string RoutingService::HelpText() const {
+  HostSetPtr hosts = CurrentHosts();
+  const auto& slots = hosts->slots;
   std::string text;
-  if (hosts_.size() == 1) {
-    text = "You can ask about the " + hosts_[0]->name() + " data set.";
+  if (slots.empty()) {
+    text = "No data sets are registered right now.";
+  } else if (slots.size() == 1) {
+    text = "You can ask about the " + slots[0]->host->name() + " data set.";
   } else {
-    text = "You can ask about " + std::to_string(hosts_.size()) + " data sets:";
-    for (size_t i = 0; i < hosts_.size(); ++i) {
-      text += (i == 0 ? " " : i + 1 == hosts_.size() ? " and " : ", ");
-      text += hosts_[i]->name();
+    text = "You can ask about " + std::to_string(slots.size()) + " data sets:";
+    for (size_t i = 0; i < slots.size(); ++i) {
+      text += (i == 0 ? " " : i + 1 == slots.size() ? " and " : ", ");
+      text += slots[i]->host->name();
     }
     text += ".";
   }

@@ -1,11 +1,23 @@
-// Multi-dataset request routing over a fleet of EngineHosts.
+// Multi-dataset request routing over a dynamic fleet of EngineHosts.
 //
 // Each request is scored against every registered dataset's NLU vocabulary
 // (QueryExtractor::Coverage) and dispatched to the best-covered host, so the
 // caller never names a dataset: "cancelled flights in February" finds the
 // flights engine, "visual impairment in Manhattan" the ACS one. All hosts
-// share one worker pool, one sharded answer cache (configuration
-// fingerprints keep keys disjoint) and one in-flight coalescer.
+// share one worker pool, one sharded answer cache (host fingerprints keep
+// keys disjoint) and one in-flight coalescer.
+//
+// The fleet follows the registry's RCU snapshots: every request acquires
+// the current host set once (wait-free), and when the registry version
+// moved -- AddDataset/RemoveDataset under live traffic -- the set is
+// rebuilt: surviving datasets keep their host objects (stats, learned
+// speeches, batch queues intact), a new dataset gets a freshly built host
+// honoring its per-dataset policy, and a removed dataset's host drains its
+// pending learned speeches to the registry and has its cache keys purged by
+// fingerprint. In-flight requests dispatched from an older set hold it by
+// shared_ptr, so a removed engine stays alive until its last answer
+// resolves; requests submitted after RemoveDataset returns can never route
+// to it.
 #ifndef VQ_SERVE_ROUTER_H_
 #define VQ_SERVE_ROUTER_H_
 
@@ -19,6 +31,7 @@
 
 #include "serve/engine_host.h"
 #include "serve/registry.h"
+#include "util/snapshot_ptr.h"
 #include "util/thread_pool.h"
 
 namespace vq {
@@ -33,7 +46,14 @@ struct RouterOptions {
   /// Approximate byte budget for the shared cache (size-aware LRU
   /// eviction); 0 = entry-count eviction only.
   size_t cache_byte_budget = 0;
-  /// Per-host behavior; applied to every host. The default enables a
+  /// Admission ceiling as a fraction of a shard's byte slice: a rendered
+  /// answer bigger than this share is refused instead of evicting half the
+  /// shard (see ShardedSummaryCache; 0.5 is a reasonable setting). Opt-in
+  /// (0 = admit everything) so existing byte-budget deployments keep
+  /// caching the answers they always cached.
+  double cache_max_entry_fraction = 0.0;
+  /// Fleet-wide default per-host behavior; a dataset with a registry policy
+  /// (DatasetEntry::policy) uses that instead. The default enables a
   /// bounded TTL on negative results so stale apologies age out of the
   /// shared cache (a later store reload or registry change can then answer).
   HostOptions host = {.unanswerable_ttl_seconds = 60.0};
@@ -55,15 +75,21 @@ struct RouterStats {
   uint64_t requests = 0;
   uint64_t routed = 0;
   uint64_t unrouted = 0;
-  /// Requests dispatched per dataset, in registration order.
+  /// Host-set rebuilds taken after registry version changes.
+  uint64_t registry_syncs = 0;
+  /// Cache entries purged for removed datasets (by fingerprint prefix).
+  uint64_t purged_cache_entries = 0;
+  /// Requests dispatched per CURRENTLY registered dataset, in registration
+  /// order (a removed dataset's counts leave with its host).
   std::vector<std::pair<std::string, uint64_t>> per_dataset;
 };
 
 /// \brief Routes requests from a shared worker pool to per-dataset hosts.
 ///
-/// The registry must outlive the service and must not change while the
-/// service is running (hosts hold engine pointers). All public methods are
-/// thread-safe. Destruction drains in-flight requests.
+/// The registry must outlive the service and MAY change while the service
+/// is running: the router follows its snapshots lazily (next request) or
+/// eagerly (SyncRegistry). All public methods are thread-safe. Destruction
+/// drains in-flight requests.
 class RoutingService {
  public:
   explicit RoutingService(const DatasetRegistry* registry,
@@ -82,6 +108,15 @@ class RoutingService {
   /// Blocks until every submitted request has been answered.
   void Drain();
 
+  /// Rebuilds the host set against the current registry snapshot if its
+  /// version moved, and sweeps retired slots (learned drain + cache purge,
+  /// final release once no in-flight request references them). Requests
+  /// rebuild implicitly; the explicit call exists so a caller that just
+  /// removed a dataset can force the teardown deterministically (e.g.
+  /// after Drain, to assert purge completeness or release a retired
+  /// engine's memory without waiting for traffic).
+  void SyncRegistry();
+
   /// The routing decision alone (exposed for tests and benches).
   struct RouteDecision {
     int host_index = -1;  ///< -1: no dataset covers the request
@@ -89,14 +124,23 @@ class RoutingService {
   };
   RouteDecision Route(const std::string& request) const;
 
-  /// Flushes every host's learned on-demand speeches through the registry's
-  /// persistence (no-op entries are skipped). Returns the first error.
+  /// Flushes every live host's learned on-demand speeches through the
+  /// registry's persistence (no-op entries are skipped). Returns the first
+  /// error. Removed hosts flush through the retirement sweeps instead
+  /// (every sync, with a final pass once their last in-flight reference is
+  /// gone). Note this requires the registry to persist: a caller that
+  /// enabled HostOptions::record_learned WITHOUT a registry learned_dir
+  /// must drain via host(name)->TakeLearned() BEFORE RemoveDataset --
+  /// speeches still pending on a removed host have nowhere to go and are
+  /// dropped with it.
   Status FlushLearned();
 
-  /// Host lookup by registration name; nullptr when unknown.
-  EngineHost* host(const std::string& name);
+  /// Host lookup by registration name; nullptr when unknown. The pointer
+  /// stays valid while the dataset remains registered and this service
+  /// alive; after RemoveDataset the host dies with the next sync.
+  EngineHost* host(const std::string& name) const;
 
-  size_t num_hosts() const { return hosts_.size(); }
+  size_t num_hosts() const;
   size_t num_threads() const { return pool_.NumThreads(); }
   const ShardedSummaryCache& cache() const { return cache_; }
   const InflightCoalescer& coalescer() const { return coalescer_; }
@@ -106,20 +150,86 @@ class RoutingService {
   std::string HelpText() const;
 
  private:
+  /// One dataset's serving slot: the host plus the shared_ptr that keeps
+  /// the registry entry (table/engine) alive for as long as any host set --
+  /// or in-flight request holding one -- references the slot.
+  struct HostSlot {
+    std::shared_ptr<const DatasetEntry> entry;
+    std::unique_ptr<EngineHost> host;
+    std::atomic<uint64_t> routed_requests{0};
+  };
+  /// Immutable published host set for one registry version.
+  struct HostSet {
+    uint64_t registry_version = 0;
+    std::vector<std::shared_ptr<HostSlot>> slots;
+  };
+  using HostSetPtr = std::shared_ptr<const HostSet>;
+
+  /// Acquires the current host set, rebuilding it first when the registry
+  /// snapshot version moved (double-checked under sync_mutex_).
+  HostSetPtr CurrentHosts() const;
+  /// Builds the slot vector for `snapshot`, reusing slots of `previous`
+  /// whose entries survive, and moves dropped slots onto the retired list
+  /// (first learned drain + cache purge happen in the sweep).
+  HostSetPtr RebuildHosts(const RegistrySnapshotPtr& snapshot,
+                          const HostSetPtr& previous) const;
+  /// Drains learned speeches and purges cache keys of retired slots
+  /// (callers hold sync_mutex_). A request that was already past routing
+  /// when its dataset was removed can insert cache entries or record
+  /// learned speeches AFTER the retirement pass that follows the removal;
+  /// sweeping on every sync catches those, and a slot whose last outside
+  /// reference was already gone when the pass started gets that final
+  /// drain+purge -- nothing can write to it anymore -- and is released.
+  /// With `drain_pinned` false (the request fast path), slots still
+  /// referenced by in-flight requests are skipped entirely instead of
+  /// re-drained, keeping the per-request cost at one use_count read.
+  void SweepRetired(bool drain_pinned) const;
+  /// One retired slot's drain (learned speeches -> registry persistence,
+  /// when enabled) plus cache purge by fingerprint prefix. Returns false
+  /// when a learned batch could not be persisted (it was restored onto the
+  /// host for a retry, so the slot must not be released yet).
+  bool DrainAndPurge(const HostSlot& slot) const;
+  /// Queues one background pool task (at most one at a time) that releases
+  /// retired slots whose last outside reference is gone. Requests call
+  /// this instead of sweeping inline, so no serving request ever pays the
+  /// drain's disk write or the purge's cache scan; steady traffic with no
+  /// further registry mutations still releases a removed dataset's
+  /// table/index/engine without waiting for the next mutation or an
+  /// explicit SyncRegistry.
+  void ScheduleRetiredSweep() const;
+  HostOptions OptionsFor(const DatasetEntry& entry) const;
+
   RoutedResponse Process(const std::string& request);
+  RouteDecision RouteIn(const HostSet& hosts, const std::string& request) const;
 
   const DatasetRegistry* registry_;
   RouterOptions options_;
-  ShardedSummaryCache cache_;
-  InflightCoalescer coalescer_;
-  std::vector<std::unique_ptr<EngineHost>> hosts_;
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> per_host_requests_;
+  // cache_/coalescer_ are mutable: the (logically const) lazy host-set sync
+  // purges retired fingerprints and hands both to newly built hosts.
+  mutable ShardedSummaryCache cache_;
+  mutable InflightCoalescer coalescer_;
+  /// The published host set (util/snapshot_ptr.h explains why this is a
+  /// mutex-guarded cell rather than std::atomic<shared_ptr>).
+  mutable SnapshotPtr<const HostSet> hosts_;
+  /// Serializes host-set rebuilds (acquiring hosts_ never waits on one).
+  mutable std::mutex sync_mutex_;
+  /// Slots of removed datasets still possibly referenced by in-flight
+  /// requests; guarded by sync_mutex_, emptied by the retirement sweeps.
+  mutable std::vector<std::shared_ptr<HostSlot>> retired_;
+  /// Mirrors retired_.size() so the request fast path can skip the
+  /// try-lock entirely while nothing is retired (the common case).
+  mutable std::atomic<size_t> retired_count_{0};
+  /// True while a release task is queued/running (at most one at a time).
+  mutable std::atomic<bool> sweep_scheduled_{false};
   /// Serializes FlushLearned: the registry's file merge is read-modify-write.
   std::mutex flush_mutex_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> unrouted_{0};
-  ThreadPool pool_;
+  mutable std::atomic<uint64_t> registry_syncs_{0};
+  mutable std::atomic<uint64_t> purged_cache_entries_{0};
+  /// mutable: the (logically const) lazy sync schedules release tasks.
+  mutable ThreadPool pool_;
 };
 
 }  // namespace serve

@@ -8,7 +8,7 @@ namespace serve {
 SummaryService::SummaryService(const VoiceQueryEngine* engine,
                                ServiceOptions options)
     : cache_(options.cache_capacity, options.cache_shards, {},
-             options.cache_byte_budget),
+             options.cache_byte_budget, options.cache_max_entry_fraction),
       host_(engine->config().table, engine, &cache_, &coalescer_, options.host),
       pool_(options.num_threads) {}
 

@@ -42,6 +42,13 @@ struct ServiceOptions {
   /// Approximate byte budget for the cache across all shards (size-aware
   /// LRU eviction); 0 = entry-count eviction only.
   size_t cache_byte_budget = 0;
+  /// Admission ceiling as a fraction of a shard's byte slice: a rendered
+  /// answer bigger than this share of the shard is refused outright instead
+  /// of evicting half the shard's working set (see ShardedSummaryCache;
+  /// 0.5 is a reasonable setting). Opt-in (0 = admit everything) so
+  /// existing byte-budget deployments keep caching the answers they always
+  /// cached.
+  double cache_max_entry_fraction = 0.0;
   /// Per-request behavior, passed to the wrapped EngineHost verbatim. If
   /// you enable host.record_learned, drain via mutable_host()->TakeLearned()
   /// periodically -- the learned list grows until taken.

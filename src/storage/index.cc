@@ -46,6 +46,7 @@ size_t TableIndex::EstimateBytes() const {
   for (const auto& offsets : offsets_) bytes += offsets.capacity() * sizeof(uint32_t);
   for (const auto& rows : rows_) bytes += rows.capacity() * sizeof(uint32_t);
   for (const auto& sums : target_sums_) bytes += sums.capacity() * sizeof(double);
+  bytes += sizeof(ScanStats);
   return bytes;
 }
 

@@ -11,8 +11,11 @@
 #define VQ_STORAGE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
+
+#include "util/scan_stats.h"
 
 namespace vq {
 
@@ -73,6 +76,14 @@ class TableIndex {
   /// Approximate heap footprint (counted by Table::EstimateBytes).
   size_t EstimateBytes() const;
 
+  /// This table's scan-planner statistics (util/scan_stats.h). Hung off the
+  /// index because the index shares its lifetime with the planner decisions
+  /// it informs: appending rows invalidates both together, so stale per-row
+  /// costs can never steer plans for a table that has changed shape. The
+  /// instance is internally atomic, hence mutable through the const index
+  /// the planner holds; heap-boxed so the index itself stays movable.
+  ScanStats& scan_stats() const { return *scan_stats_; }
+
  private:
   size_t num_rows_ = 0;
   size_t num_targets_ = 0;
@@ -82,6 +93,7 @@ class TableIndex {
   std::vector<std::vector<uint32_t>> rows_;
   /// Per dim: cardinality x num_targets sums, row-major by value.
   std::vector<std::vector<double>> target_sums_;
+  std::unique_ptr<ScanStats> scan_stats_ = std::make_unique<ScanStats>();
 };
 
 }  // namespace vq

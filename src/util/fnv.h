@@ -1,0 +1,50 @@
+// FNV-1a 64-bit hashing, the one place the offset-basis/prime constants
+// live. Used wherever the codebase needs a cheap deterministic
+// non-cryptographic hash (row-merge keys in facts/instance.cc, the
+// learned-file table fingerprint in serve/answer.cc). Deterministic across
+// runs of equal endianness; never used for security.
+#ifndef VQ_UTIL_FNV_H_
+#define VQ_UTIL_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace vq {
+
+inline constexpr uint64_t kFnv64OffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnv64Prime = 1099511628211ull;
+
+/// Incremental FNV-1a 64 state.
+struct Fnv64 {
+  uint64_t state = kFnv64OffsetBasis;
+
+  void Mix(const void* data, size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state ^= bytes[i];
+      state *= kFnv64Prime;
+    }
+  }
+  /// One whole 64-bit value as a single mixing step (byte-granular mixing
+  /// is unnecessary for fixed-width inputs).
+  void MixWord(uint64_t value) {
+    state ^= value;
+    state *= kFnv64Prime;
+  }
+  void MixU64(uint64_t value) { Mix(&value, sizeof(value)); }
+  void MixDouble(double value) {
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    MixU64(bits);
+  }
+  void MixString(const std::string& text) {
+    MixU64(text.size());
+    Mix(text.data(), text.size());
+  }
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_FNV_H_

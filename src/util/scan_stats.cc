@@ -1,0 +1,66 @@
+#include "util/scan_stats.h"
+
+#include <algorithm>
+
+namespace vq {
+
+void ScanStats::RecordInto(std::atomic<double>* ewma,
+                           std::atomic<uint64_t>* samples, size_t rows,
+                           double seconds) {
+  if (rows == 0 || seconds <= 0.0) return;
+  double per_row = seconds / static_cast<double>(rows);
+  // Lock-free EWMA: CAS loop over the (0.0 == unset) running value. A lost
+  // race re-blends from the winner's value -- every observation still lands
+  // with weight ~kAlpha, which is all a smoothing heuristic needs.
+  double current = ewma->load(std::memory_order_relaxed);
+  double next;
+  do {
+    next = current == 0.0 ? per_row : (1.0 - kAlpha) * current + kAlpha * per_row;
+  } while (!ewma->compare_exchange_weak(current, next, std::memory_order_relaxed));
+  samples->fetch_add(1, std::memory_order_relaxed);
+}
+
+void ScanStats::RecordPostings(size_t driver_rows, double seconds) {
+  RecordInto(&ewma_postings_seconds_per_row_, &postings_samples_, driver_rows,
+             seconds);
+}
+
+void ScanStats::RecordScan(size_t table_rows, double seconds) {
+  RecordInto(&ewma_scan_seconds_per_row_, &scan_samples_, table_rows, seconds);
+}
+
+double ScanStats::CostFactor(double fallback) const {
+  double postings = ewma_postings_seconds_per_row_.load(std::memory_order_relaxed);
+  double scan = ewma_scan_seconds_per_row_.load(std::memory_order_relaxed);
+  if (postings <= 0.0 || scan <= 0.0) return fallback;  // a path is unsampled
+  return std::clamp(postings / scan, kMinFactor, kMaxFactor);
+}
+
+bool ScanStats::TakeProbe() {
+  uint64_t decision = decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (decision % kProbePeriod != kProbePeriod - 1) return false;
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t ScanStats::postings_samples() const {
+  return postings_samples_.load(std::memory_order_relaxed);
+}
+
+uint64_t ScanStats::scan_samples() const {
+  return scan_samples_.load(std::memory_order_relaxed);
+}
+
+uint64_t ScanStats::probes() const {
+  return probes_.load(std::memory_order_relaxed);
+}
+
+double ScanStats::postings_ns_per_row() const {
+  return ewma_postings_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
+}
+
+double ScanStats::scan_ns_per_row() const {
+  return ewma_scan_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
+}
+
+}  // namespace vq

@@ -1,0 +1,92 @@
+// Online scan-planner statistics: EWMAs of the observed per-row costs of the
+// two conjunctive-filter execution paths (posting-list intersection vs
+// vectorized column scan), fed back into the postings-vs-scan decision by
+// relational/scan_planner.h. Lives in util/ so storage/index.h can hang one
+// instance off every lazily built TableIndex (per-table statistics) without
+// a storage -> relational dependency.
+#ifndef VQ_UTIL_SCAN_STATS_H_
+#define VQ_UTIL_SCAN_STATS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace vq {
+
+/// \brief Online planner statistics: EWMA of the observed per-row costs of
+/// the two execution paths, fed back into the postings-vs-scan decision.
+///
+/// The fixed cost_factor of 4 encodes "one galloping probe costs about four
+/// row comparisons" -- true on the machine it was tuned on, wrong elsewhere
+/// (cache sizes, gather latency and branch predictors move the ratio).
+/// PlannedFilterRows times every execution it runs and records
+/// seconds-per-driver-row (postings) or seconds-per-table-row (scan); the
+/// learned cost factor is the ratio of the two EWMAs, so the planner adapts
+/// to the hardware it is actually running on. All methods are thread-safe
+/// and lock-free (relaxed atomics + CAS on the EWMAs): the filter funnel is
+/// on every serving worker's path, so the shared statistics must never
+/// serialize it. A torn read across the two EWMAs only skews one heuristic
+/// decision, never correctness -- both execution paths return identical
+/// rows.
+class ScanStats {
+ public:
+  /// EWMA smoothing weight per sample; small enough that one descheduled
+  /// outlier execution cannot flip the planner.
+  static constexpr double kAlpha = 0.05;
+  /// Learned-factor clamp: keeps a cold or pathological EWMA pair from
+  /// planning postings for unselective predicates (or never using them).
+  static constexpr double kMinFactor = 1.0;
+  static constexpr double kMaxFactor = 64.0;
+  /// Every kProbePeriod-th eligible planning decision executes the path the
+  /// planner did NOT choose (see TakeProbe). Only the executed path is
+  /// timed, so without probes an outlier streak that pushes the factor to a
+  /// clamp starves the disfavored path of samples forever -- the EWMA that
+  /// caused the bad decision can never be corrected by the decisions it
+  /// causes. A probe costs the DISFAVORED path's full price (up to
+  /// ~kMaxFactor times the favored one), so the period must dwarf the
+  /// clamp, not just be "rare" by count: with kProbePeriod >> kMaxFactor
+  /// the worst-case TIME tax is ~kMaxFactor / kProbePeriod (~6%) of the
+  /// eligible-filter budget, while recovery from a fully clamped factor
+  /// still needs only a few dozen probes.
+  static constexpr uint64_t kProbePeriod = 1024;
+
+  void RecordPostings(size_t driver_rows, double seconds);
+  void RecordScan(size_t table_rows, double seconds);
+
+  /// The adapted cost factor, clamped to [kMinFactor, kMaxFactor]; returns
+  /// `fallback` until BOTH paths have at least one sample (a lone EWMA says
+  /// nothing about the ratio).
+  double CostFactor(double fallback) const;
+
+  /// Counts one eligible planning decision (a multi-predicate conjunction
+  /// where both paths could run) and returns true when this decision is the
+  /// period's forced-alternate-path probe: the caller must execute -- and
+  /// record -- the strategy the planner disfavored, so both EWMAs keep
+  /// training even after a clamp.
+  bool TakeProbe();
+
+  uint64_t postings_samples() const;
+  uint64_t scan_samples() const;
+  /// Forced-alternate-path probes taken so far.
+  uint64_t probes() const;
+  /// Current EWMAs in nanoseconds per (driver|table) row; 0 before samples.
+  double postings_ns_per_row() const;
+  double scan_ns_per_row() const;
+
+ private:
+  /// 0.0 doubles as "no sample yet" (a real observation is never exactly 0:
+  /// Record* rejects non-positive seconds).
+  static void RecordInto(std::atomic<double>* ewma, std::atomic<uint64_t>* samples,
+                         size_t rows, double seconds);
+
+  std::atomic<double> ewma_postings_seconds_per_row_{0.0};
+  std::atomic<double> ewma_scan_seconds_per_row_{0.0};
+  std::atomic<uint64_t> postings_samples_{0};
+  std::atomic<uint64_t> scan_samples_{0};
+  std::atomic<uint64_t> decisions_{0};
+  std::atomic<uint64_t> probes_{0};
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_SCAN_STATS_H_

@@ -1,0 +1,57 @@
+// A published-snapshot cell: one shared_ptr swapped atomically between a
+// single writer path and many readers (the RCU pattern the serving layer's
+// dynamic registry and router host sets publish through).
+//
+// Deliberately a mutex around a pointer copy rather than
+// std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic implements the
+// latter with a lock-bit spinlock and PLAIN pointer writes under it, which
+// ThreadSanitizer cannot model (false-positive data races on every
+// store/load pair) -- and the serve-tsan preset is the concurrency safety
+// net for everything built on this cell. The critical section is a
+// refcount bump and two pointer moves, nanoseconds; callers that need a
+// wait-free fast-path probe pair the cell with a plain atomic version
+// counter (see DatasetRegistry::version()) so the lock is only taken when
+// something actually changed or a snapshot is genuinely needed.
+#ifndef VQ_UTIL_SNAPSHOT_PTR_H_
+#define VQ_UTIL_SNAPSHOT_PTR_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace vq {
+
+template <typename T>
+class SnapshotPtr {
+ public:
+  SnapshotPtr() = default;
+  explicit SnapshotPtr(std::shared_ptr<T> value) : value_(std::move(value)) {}
+
+  SnapshotPtr(const SnapshotPtr&) = delete;
+  SnapshotPtr& operator=(const SnapshotPtr&) = delete;
+
+  /// Acquires the current snapshot; the caller's shared_ptr pins it for as
+  /// long as it is held, whatever later store()s publish.
+  std::shared_ptr<T> load() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return value_;
+  }
+
+  /// Publishes `value` as the current snapshot. The displaced snapshot is
+  /// released outside the lock (its destructor may cascade).
+  void store(std::shared_ptr<T> value) {
+    std::shared_ptr<T> displaced;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      displaced = std::exchange(value_, std::move(value));
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::shared_ptr<T> value_;
+};
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_SNAPSHOT_PTR_H_

@@ -202,5 +202,93 @@ TEST(ScanStatsTest, LearnedFactorDrivesThePlanner) {
   EXPECT_EQ(slow.postings_samples(), before);
 }
 
+TEST(ScanStatsTest, ForcedProbeRecoversAPoisonedEwma) {
+  Rng rng(7);
+  Table table = RandomTable(&rng, 200, 3, 6);
+  // Hot head values: an eligible conjunction where both paths can run.
+  PredicateSet hot{EqPredicate{0, 0}, EqPredicate{1, 0}};
+
+  // Poison the postings EWMA with an outlier streak: the learned factor
+  // clamps at kMaxFactor, so the planner chooses the scan for every
+  // eligible conjunction -- and before the probe fix, the postings path
+  // would never be timed again, freezing the EWMA at the poison forever.
+  const double kPoisonNsPerRow = 100000.0;  // 100 us per driver row
+  ScanStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.RecordPostings(10, 10 * kPoisonNsPerRow * 1e-9);
+    stats.RecordScan(1000, 1000 * 20e-9);
+  }
+  ASSERT_DOUBLE_EQ(stats.CostFactor(4.0), ScanStats::kMaxFactor);
+  ASSERT_DOUBLE_EQ(stats.postings_ns_per_row(), kPoisonNsPerRow);
+  uint64_t poisoned_samples = stats.postings_samples();
+
+  ScanPlannerOptions options;
+  options.stats = &stats;
+  std::vector<uint32_t> expected = NaiveFilterRows(table, hot);
+  // Run well past several probe periods. Every kProbePeriod-th eligible
+  // filter executes (and times) the disfavored postings path; real probes
+  // on a 200-row table are orders of magnitude cheaper than the poison, so
+  // the EWMA ratio must come down off the clamp.
+  const int kFilters = 32 * static_cast<int>(ScanStats::kProbePeriod);
+  for (int i = 0; i < kFilters; ++i) {
+    EXPECT_EQ(PlannedFilterRows(table, hot, options), expected);
+  }
+  EXPECT_GE(stats.probes(), static_cast<uint64_t>(kFilters) /
+                                ScanStats::kProbePeriod);
+  // The disfavored path kept collecting samples...
+  EXPECT_GT(stats.postings_samples(), poisoned_samples);
+  // ...and its EWMA -- the unclamped quantity the poison froze -- came
+  // well down toward real probe timings. (The clamped RATIO is not
+  // asserted: on a loaded machine the true postings/scan ratio can
+  // legitimately sit at the clamp, because real scans cost only a few
+  // nanoseconds per row.)
+  EXPECT_LT(stats.postings_ns_per_row(), kPoisonNsPerRow / 2);
+}
+
+TEST(ScanStatsTest, PerTableStatsStopCrossTableSkew) {
+  Rng rng(11);
+  Table big = RandomTable(&rng, 300, 3, 6);
+  Table fresh = RandomTable(&rng, 300, 3, 6);
+  PredicateSet hot{EqPredicate{0, 0}, EqPredicate{1, 0}};
+  size_t driver = std::min(big.index().Count(0, 0), big.index().Count(1, 0));
+  ASSERT_GT(driver, 0u);
+
+  // The process-wide model was skewed by some other (tiny) table: its cheap
+  // scans make intersections look prohibitively expensive.
+  ScanStats shared;
+  for (int i = 0; i < 50; ++i) {
+    shared.RecordPostings(10, 10 * 100000e-9);
+    shared.RecordScan(1000, 1000 * 1e-9);
+  }
+  ASSERT_DOUBLE_EQ(shared.CostFactor(4.0), ScanStats::kMaxFactor);
+
+  // The big table's OWN statistics say intersections are effectively free.
+  ScanPlannerOptions options;
+  options.stats = &shared;
+  options.per_table_stats = true;
+  for (uint64_t i = 0; i < options.table_stats_min_samples; ++i) {
+    big.index().scan_stats().RecordPostings(1000, 1000 * 1e-9);
+    big.index().scan_stats().RecordScan(1000, 1000 * 1e-9);
+  }
+  // Once warm, the per-table model overrides the skewed shared one.
+  bool cheap_selective = static_cast<double>(driver) * ScanStats::kMinFactor <=
+                         static_cast<double>(big.NumRows());
+  EXPECT_EQ(PlanScan(big, hot, options).strategy,
+            cheap_selective ? ScanStrategy::kPostings
+                            : ScanStrategy::kColumnScan);
+
+  // A table with no warm statistics of its own still falls back to the
+  // shared model (kMaxFactor -> scan for any eligible conjunction).
+  ASSERT_EQ(fresh.index().scan_stats().postings_samples(), 0u);
+  EXPECT_EQ(PlanScan(fresh, hot, options).strategy, ScanStrategy::kColumnScan);
+
+  // Executions through the funnel-style options train BOTH models.
+  uint64_t shared_before = shared.scan_samples();
+  uint64_t local_before = fresh.index().scan_stats().scan_samples();
+  EXPECT_EQ(PlannedFilterRows(fresh, hot, options), NaiveFilterRows(fresh, hot));
+  EXPECT_EQ(shared.scan_samples(), shared_before + 1);
+  EXPECT_EQ(fresh.index().scan_stats().scan_samples(), local_before + 1);
+}
+
 }  // namespace
 }  // namespace vq

@@ -242,6 +242,102 @@ TEST(ShardedSummaryCacheTest, ZeroByteBudgetMeansUnlimited) {
   EXPECT_GT(cache.TotalBytes(), 32u * 4096u);
 }
 
+TEST(ShardedSummaryCacheTest, AdmissionControlRejectsOversizedEntries) {
+  ServedAnswerPtr small = MakeAnswer("s");
+  size_t small_bytes = ShardedSummaryCache::EstimateEntryBytes("a", small);
+  // Budget of ~8 small entries; admission caps any single entry at half the
+  // shard's slice.
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/1, {},
+                            /*byte_budget=*/8 * small_bytes,
+                            /*max_entry_fraction=*/0.5);
+  cache.Put("a", MakeAnswer("s"));
+  cache.Put("b", MakeAnswer("s"));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Without admission control this oversized answer would be admitted and
+  // immediately evict the whole working set (see
+  // OversizedEntryDisplacesEverythingButSurvives); with it, the Put is
+  // refused, nothing is evicted, and no byte_evictions fire.
+  EXPECT_FALSE(cache.Put("huge", MakeAnswer(std::string(64 * small_bytes, 'h'))));
+  EXPECT_FALSE(cache.Contains("huge"));
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.Contains("b"));
+  CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.byte_evictions, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  // A rejected replace leaves the existing entry untouched.
+  ASSERT_TRUE(cache.Put("a", MakeAnswer("fits")));
+  EXPECT_FALSE(cache.Put("a", MakeAnswer(std::string(64 * small_bytes, 'h'))));
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("a")->text, "fits");
+
+  // Entries under the ceiling are admitted as before.
+  EXPECT_TRUE(cache.Put("c", MakeAnswer("s")));
+  EXPECT_EQ(cache.TotalStats().admission_rejects, 2u);
+}
+
+TEST(ShardedSummaryCacheTest, AdmissionControlOffByDefault) {
+  ServedAnswerPtr small = MakeAnswer("s");
+  size_t small_bytes = ShardedSummaryCache::EstimateEntryBytes("a", small);
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/1, {},
+                            /*byte_budget=*/4 * small_bytes);
+  // fraction 0 = admit everything: the pre-admission behavior.
+  EXPECT_TRUE(cache.Put("huge", MakeAnswer(std::string(64 * small_bytes, 'h'))));
+  EXPECT_TRUE(cache.Contains("huge"));
+  EXPECT_EQ(cache.TotalStats().admission_rejects, 0u);
+}
+
+TEST(ShardedSummaryCacheTest, OwnerQuotaEvictsOnlyThatOwnersEntries) {
+  ServedAnswerPtr sample = MakeAnswer(std::string(50, 's'));
+  // "owner_a" and "owner_b" are the same length, so one estimate (owner
+  // tag included) covers entries of both.
+  size_t entry_bytes =
+      ShardedSummaryCache::EstimateEntryBytes("a0", sample, "owner_a");
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/1);
+  size_t quota = 3 * entry_bytes + entry_bytes / 2;  // ~3 entries for "a"
+
+  // Interleave two owners; only "a" carries a quota.
+  for (int i = 0; i < 6; ++i) {
+    cache.Put("a" + std::to_string(i), MakeAnswer(std::string(50, 's')), 0.0,
+              "owner_a", quota);
+    cache.Put("b" + std::to_string(i), MakeAnswer(std::string(50, 's')), 0.0,
+              "owner_b", 0);
+  }
+  // Owner a was trimmed to its quota; owner b kept everything.
+  EXPECT_LE(cache.OwnerBytes("owner_a"), quota);
+  EXPECT_EQ(cache.OwnerBytes("owner_b"), 6 * entry_bytes);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(cache.Contains("b" + std::to_string(i))) << i;
+  }
+  // The survivors of "a" are its most recent entries.
+  EXPECT_TRUE(cache.Contains("a5"));
+  EXPECT_FALSE(cache.Contains("a0"));
+  CacheStats stats = cache.TotalStats();
+  EXPECT_EQ(stats.quota_evictions, 3u);
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.byte_evictions, 0u);
+}
+
+TEST(ShardedSummaryCacheTest, PurgePrefixDropsExactlyThatPrefix) {
+  ShardedSummaryCache cache(/*capacity=*/64, /*num_shards=*/4);
+  for (int i = 0; i < 8; ++i) {
+    cache.Put("left|k" + std::to_string(i), MakeAnswer("l"));
+    cache.Put("right|k" + std::to_string(i), MakeAnswer("r"));
+  }
+  EXPECT_EQ(cache.CountPrefix("left|"), 8u);
+  EXPECT_EQ(cache.PurgePrefix("left|"), 8u);
+  EXPECT_EQ(cache.CountPrefix("left|"), 0u);
+  EXPECT_EQ(cache.CountPrefix("right|"), 8u);
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.PurgePrefix("left|"), 0u);  // idempotent
+  // Byte accounting followed the purge.
+  size_t bytes_after = cache.TotalBytes();
+  cache.Put("right|k0", MakeAnswer("r"));  // replace, no growth
+  EXPECT_EQ(cache.TotalBytes(), bytes_after);
+}
+
 TEST(ShardedSummaryCacheTest, PutRefreshesTtl) {
   double now = 0.0;
   ShardedSummaryCache cache(4, 1, [&now] { return now; });

@@ -1,0 +1,365 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace vq {
+namespace obs {
+
+namespace {
+
+/// Shortest %g that round-trips well enough for exposition text.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Splits "name{labels}" into the family name and the label block
+/// ("{...}" or empty). Histogram exposition needs to inject suffixes
+/// (_bucket, _sum) between the two.
+void SplitLabels(const std::string& full, std::string* base, std::string* labels) {
+  size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    *base = full;
+    labels->clear();
+  } else {
+    *base = full.substr(0, brace);
+    *labels = full.substr(brace);
+  }
+}
+
+/// "name_suffix{labels,extra}" assembly for histogram series.
+std::string SeriesName(const std::string& base, const std::string& labels,
+                       const char* suffix, const std::string& extra_label) {
+  std::string out = base;
+  out += suffix;
+  if (labels.empty()) {
+    if (!extra_label.empty()) out += "{" + extra_label + "}";
+  } else if (extra_label.empty()) {
+    out += labels;
+  } else {
+    out += labels.substr(0, labels.size() - 1);  // drop trailing '}'
+    out += ",";
+    out += extra_label;
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::Set(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  bits_.store(bits, std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  uint64_t bits = bits_.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// HistogramSnapshot
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_seconds += other.sum_seconds;
+  max_seconds = std::max(max_seconds, other.max_seconds);
+  if (buckets.size() < other.buckets.size()) {
+    buckets.resize(other.buckets.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank in [1, count]: the q*count-th smallest recorded value.
+  double rank = std::max(1.0, q * static_cast<double>(count));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    cumulative += buckets[b];
+    if (static_cast<double>(cumulative) + 1e-9 < rank) continue;
+    double lo = LatencyHistogram::BucketLowerBound(b);
+    double hi = LatencyHistogram::BucketUpperBound(b);
+    if (max_seconds > 0.0) hi = std::min(hi, max_seconds);
+    lo = std::min(lo, hi);
+    double in_bucket = static_cast<double>(buckets[b]);
+    double position = (rank - static_cast<double>(cumulative - buckets[b])) / in_bucket;
+    position = std::min(1.0, std::max(0.0, position));
+    return lo + (hi - lo) * position;
+  }
+  return max_seconds;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+LatencyHistogram::LatencyHistogram() : shards_(new Shard[kShards]) {
+  for (size_t s = 0; s < kShards; ++s) {
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      shards_[s].buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t LatencyHistogram::ShardIndex() {
+  // A cheap stable per-thread lane: threads are assigned round-robin at
+  // first use, so a fixed pool spreads evenly over the shards.
+  static std::atomic<size_t> next_lane{0};
+  thread_local size_t lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+  return lane & (kShards - 1);
+}
+
+size_t LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > std::ldexp(1.0, kMinExp))) return 0;  // underflow (and NaN)
+  int exp = 0;
+  double mantissa = std::frexp(seconds, &exp);  // seconds = mantissa * 2^exp
+  int octave = exp - 1 - kMinExp;               // [2^(kMinExp+o), 2^(kMinExp+o+1))
+  if (octave < 0) return 0;
+  if (octave >= kNumOctaves) return kNumBuckets - 1;  // overflow
+  // mantissa in [0.5, 1): linear sub-buckets within the octave.
+  size_t sub = static_cast<size_t>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return 1 + static_cast<size_t>(octave) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0.0;
+  if (bucket >= kNumBuckets - 1) {
+    return std::ldexp(1.0, kMinExp + kNumOctaves);
+  }
+  size_t i = bucket - 1;
+  int octave = static_cast<int>(i / kSubBuckets);
+  size_t sub = i % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, kMinExp + octave);
+}
+
+double LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return BucketLowerBound(bucket + 1);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) return;  // drops negatives and NaN
+  Shard& shard = shards_[ShardIndex()];
+  shard.buckets[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+  shard.sum_nanos.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = shard.max_nanos.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !shard.max_nanos.compare_exchange_weak(seen, nanos,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  uint64_t sum_nanos = 0;
+  uint64_t max_nanos = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    const Shard& shard = shards_[s];
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    sum_nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+    max_nanos = std::max(max_nanos, shard.max_nanos.load(std::memory_order_relaxed));
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  snap.sum_seconds = static_cast<double>(sum_nanos) * 1e-9;
+  snap.max_seconds = static_cast<double>(max_nanos) * 1e-9;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();  // intentionally leaked
+  return *global;
+}
+
+std::string MetricsRegistry::WithLabel(std::string_view name, std::string_view key,
+                                       std::string_view value) {
+  std::string out(name);
+  std::string label;
+  label.append(key);
+  label += "=\"";
+  label.append(value);
+  label += "\"";
+  if (!out.empty() && out.back() == '}') {
+    out.pop_back();
+    out += ",";
+    out += label;
+    out += "}";
+  } else {
+    out += "{";
+    out += label;
+    out += "}";
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new LatencyHistogram());
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  GetGauge(name)->Set(value);
+}
+
+void MetricsRegistry::SetCounter(const std::string& name, uint64_t absolute) {
+  GetCounter(name)->Set(absolute);
+}
+
+uint64_t MetricsRegistry::RegisterCollector(
+    std::function<void(MetricsRegistry&)> collector) {
+  std::lock_guard<std::mutex> lock(collector_mutex_);
+  uint64_t id = next_collector_id_++;
+  collectors_[id] = std::move(collector);
+  return id;
+}
+
+void MetricsRegistry::UnregisterCollector(uint64_t id) {
+  std::lock_guard<std::mutex> lock(collector_mutex_);
+  collectors_.erase(id);
+}
+
+void MetricsRegistry::Collect() {
+  // Held for the whole pass: UnregisterCollector() blocking on this mutex
+  // is what lets an owner (e.g. a RoutingService) die safely -- once its
+  // unregister returns, no render can still be calling into it.
+  std::lock_guard<std::mutex> lock(collector_mutex_);
+  for (auto& entry : collectors_) entry.second(*this);
+}
+
+HistogramSnapshot MetricsRegistry::SnapshotHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) return HistogramSnapshot{};
+  return it->second->Snapshot();
+}
+
+std::string MetricsRegistry::RenderText() {
+  Collect();
+  std::string out;
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  std::string base, labels, last_family;
+  for (const auto& entry : counters_) {
+    SplitLabels(entry.first, &base, &labels);
+    if (base != last_family) {
+      out += "# TYPE " + base + " counter\n";
+      last_family = base;
+    }
+    out += entry.first + " " + std::to_string(entry.second->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& entry : gauges_) {
+    SplitLabels(entry.first, &base, &labels);
+    if (base != last_family) {
+      out += "# TYPE " + base + " gauge\n";
+      last_family = base;
+    }
+    out += entry.first + " " + FormatDouble(entry.second->Value()) + "\n";
+  }
+  last_family.clear();
+  for (const auto& entry : histograms_) {
+    HistogramSnapshot snap = entry.second->Snapshot();
+    SplitLabels(entry.first, &base, &labels);
+    if (base != last_family) {
+      out += "# TYPE " + base + " histogram\n";
+      last_family = base;
+    }
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.buckets.size(); ++b) {
+      if (snap.buckets[b] == 0) continue;  // cumulative counts stay valid
+      cumulative += snap.buckets[b];
+      double upper = LatencyHistogram::BucketUpperBound(b);
+      std::string le = std::isinf(upper) ? "+Inf" : FormatDouble(upper);
+      out += SeriesName(base, labels, "_bucket", "le=\"" + le + "\"") + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += SeriesName(base, labels, "_bucket", "le=\"+Inf\"") + " " +
+           std::to_string(snap.count) + "\n";
+    out += SeriesName(base, labels, "_sum", "") + " " +
+           FormatDouble(snap.sum_seconds) + "\n";
+    out += SeriesName(base, labels, "_count", "") + " " +
+           std::to_string(snap.count) + "\n";
+    out += SeriesName(base, labels, "", "quantile=\"0.5\"") + " " +
+           FormatDouble(snap.p50()) + "\n";
+    out += SeriesName(base, labels, "", "quantile=\"0.9\"") + " " +
+           FormatDouble(snap.p90()) + "\n";
+    out += SeriesName(base, labels, "", "quantile=\"0.99\"") + " " +
+           FormatDouble(snap.p99()) + "\n";
+    out += SeriesName(base, labels, "_max", "") + " " +
+           FormatDouble(snap.max_seconds) + "\n";
+  }
+  return out;
+}
+
+Json MetricsRegistry::RenderJson() {
+  Collect();
+  Json counters = Json::Object();
+  Json gauges = Json::Object();
+  Json histograms = Json::Object();
+  std::lock_guard<std::mutex> lock(data_mutex_);
+  for (const auto& entry : counters_) {
+    counters.Set(entry.first, Json::Int(static_cast<int64_t>(entry.second->Value())));
+  }
+  for (const auto& entry : gauges_) {
+    gauges.Set(entry.first, Json::Number(entry.second->Value()));
+  }
+  for (const auto& entry : histograms_) {
+    HistogramSnapshot snap = entry.second->Snapshot();
+    Json h = Json::Object();
+    h.Set("count", Json::Int(static_cast<int64_t>(snap.count)));
+    h.Set("sum_seconds", Json::Number(snap.sum_seconds));
+    h.Set("max_seconds", Json::Number(snap.max_seconds));
+    h.Set("mean_seconds", Json::Number(snap.mean_seconds()));
+    h.Set("p50_seconds", Json::Number(snap.p50()));
+    h.Set("p90_seconds", Json::Number(snap.p90()));
+    h.Set("p99_seconds", Json::Number(snap.p99()));
+    histograms.Set(entry.first, std::move(h));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace vq

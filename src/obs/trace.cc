@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace vq {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Trace
+
+size_t Trace::BeginSpan(const char* name) {
+  TraceSpan span;
+  span.name = name;
+  span.start_seconds = epoch_offset_ + watch_.ElapsedSeconds();
+  span.duration_seconds = -1.0;  // open
+  span.depth = static_cast<int>(open_.size());
+  spans_.push_back(span);
+  size_t index = spans_.size() - 1;
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::EndSpan(size_t index) {
+  if (index >= spans_.size()) return;
+  TraceSpan& span = spans_[index];
+  if (span.duration_seconds < 0.0) {
+    span.duration_seconds =
+        epoch_offset_ + watch_.ElapsedSeconds() - span.start_seconds;
+  }
+  // Pop through the open stack down to (and including) this span; spans
+  // close LIFO on the happy path, so this loop runs once.
+  while (!open_.empty()) {
+    size_t top = open_.back();
+    open_.pop_back();
+    if (top == index) break;
+  }
+}
+
+void Trace::AddTimedSpan(const char* name, double start_seconds,
+                         double duration_seconds, int depth) {
+  TraceSpan span;
+  span.name = name;
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  span.depth = depth;
+  spans_.push_back(span);
+}
+
+Json Trace::ToJson(const std::string& dataset, const std::string& request,
+                   double total_seconds) const {
+  Json spans = Json::Array();
+  double now = epoch_offset_ + watch_.ElapsedSeconds();
+  for (const TraceSpan& span : spans_) {
+    Json s = Json::Object();
+    s.Set("name", Json::Str(span.name));
+    s.Set("start_ms", Json::Number(span.start_seconds * 1e3));
+    double duration =
+        span.duration_seconds < 0.0 ? now - span.start_seconds : span.duration_seconds;
+    s.Set("duration_ms", Json::Number(duration * 1e3));
+    s.Set("depth", Json::Int(span.depth));
+    spans.Append(std::move(s));
+  }
+  Json out = Json::Object();
+  out.Set("dataset", Json::Str(dataset));
+  out.Set("request", Json::Str(request));
+  out.Set("total_ms", Json::Number(total_seconds * 1e3));
+  out.Set("spans", std::move(spans));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSampler
+
+TraceSampler::TraceSampler(uint32_t per_second, std::function<double()> clock_seconds)
+    : per_second_(per_second), clock_(std::move(clock_seconds)) {}
+
+bool TraceSampler::Admit() {
+  if (per_second_ == 0) return false;
+  double now_seconds = clock_ ? clock_() : watch_.ElapsedSeconds();
+  uint32_t now = static_cast<uint32_t>(now_seconds);
+  uint64_t state = state_.load(std::memory_order_relaxed);
+  for (;;) {
+    uint32_t epoch = static_cast<uint32_t>(state >> 32);
+    uint32_t admitted = static_cast<uint32_t>(state);
+    uint64_t next;
+    if (epoch != now) {
+      next = (static_cast<uint64_t>(now) << 32) | 1u;
+    } else if (admitted < per_second_) {
+      next = (static_cast<uint64_t>(epoch) << 32) | (admitted + 1u);
+    } else {
+      return false;
+    }
+    if (state_.compare_exchange_weak(state, next, std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceLog
+
+void TraceLog::Record(Json trace_json) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.push_back(std::move(trace_json));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<Json> TraceLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Json>(entries_.begin(), entries_.end());
+}
+
+size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+Json TraceLog::ToJson() const {
+  Json out = Json::Array();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Json& entry : entries_) out.Append(entry);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace vq

@@ -1,0 +1,141 @@
+// Per-request tracing: a stack of timed spans carried through the serving
+// path, sampled N-per-second per dataset, dumpable as JSON.
+//
+// A Trace is owned by exactly one request and only ever touched from the
+// thread currently executing that request (the request path hands off
+// between threads at well-defined points -- Submit() -> pool worker -- and
+// the trace pointer travels with it). That single-writer discipline keeps
+// span recording allocation-light and lock-free; only the retention sinks
+// (TraceLog) take a mutex, and only for sampled or slow requests.
+//
+// Span names must be string literals (the trace stores the pointer, not a
+// copy); request text and dataset are attached at dump time, so the
+// fast path never copies strings.
+#ifndef VQ_OBS_TRACE_H_
+#define VQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stopwatch.h"
+
+namespace vq {
+namespace obs {
+
+/// One timed region of a request. `depth` is the nesting level at the time
+/// the span was opened (0 = top level), so dumps can indent without
+/// reconstructing the tree.
+struct TraceSpan {
+  const char* name = "";
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  int depth = 0;
+};
+
+/// \brief A single request's span stack. NOT thread-safe; see file comment.
+class Trace {
+ public:
+  Trace() { spans_.reserve(8); }
+
+  /// Opens a span; returns its index for EndSpan. `name` must outlive the
+  /// trace (use a string literal).
+  size_t BeginSpan(const char* name);
+  void EndSpan(size_t index);
+
+  /// Appends an already-measured span (e.g. routing work done before the
+  /// sampling decision existed). Does not affect the open-span stack.
+  void AddTimedSpan(const char* name, double start_seconds,
+                    double duration_seconds, int depth = 0);
+
+  /// Shifts this trace's epoch: span starts recorded from now on report
+  /// `seconds` plus the time since construction. Used when work preceding
+  /// the trace's creation (routing) is backfilled via AddTimedSpan, so the
+  /// whole dump shares one request-start-relative timeline.
+  void set_epoch_offset(double seconds) { epoch_offset_ = seconds; }
+
+  double ElapsedSeconds() const { return watch_.ElapsedSeconds(); }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// {"dataset":..., "request":..., "total_seconds":..., "spans":[{...}]}.
+  /// Open spans are dumped with their duration-so-far.
+  Json ToJson(const std::string& dataset, const std::string& request,
+              double total_seconds) const;
+
+ private:
+  Stopwatch watch_;
+  double epoch_offset_ = 0.0;
+  std::vector<TraceSpan> spans_;
+  std::vector<size_t> open_;
+};
+
+/// \brief RAII span: no-op when `trace` is null, so instrumented code reads
+/// the same whether or not this request is being traced.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, const char* name)
+      : trace_(trace), index_(trace ? trace->BeginSpan(name) : 0) {}
+  ~ScopedSpan() {
+    if (trace_ != nullptr) trace_->EndSpan(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Trace* trace_;
+  size_t index_;
+};
+
+/// \brief Token bucket admitting at most `per_second` traces per wall
+/// second. Thread-safe and lock-free: the {epoch second, admitted count}
+/// pair lives in one atomic word updated by CAS.
+class TraceSampler {
+ public:
+  /// `clock_seconds` is injectable for tests; defaults to the steady clock.
+  explicit TraceSampler(uint32_t per_second,
+                        std::function<double()> clock_seconds = {});
+
+  /// True if this request should be traced (consumes one token).
+  bool Admit();
+
+  uint32_t per_second() const { return per_second_; }
+
+ private:
+  uint32_t per_second_;
+  std::function<double()> clock_;
+  Stopwatch watch_;
+  std::atomic<uint64_t> state_{0};  // high 32: epoch second, low 32: admitted
+};
+
+/// \brief Bounded FIFO of dumped traces (the slow-query log and the sampled
+/// trace ring both use this). Thread-safe; oldest entries are dropped once
+/// `capacity` is reached.
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 64) : capacity_(capacity) {}
+
+  void Record(Json trace_json);
+  std::vector<Json> Entries() const;
+  size_t size() const;
+  /// Total traces ever recorded (including since-dropped ones).
+  uint64_t total_recorded() const { return total_.load(std::memory_order_relaxed); }
+  /// The whole log as a JSON array (newest last).
+  Json ToJson() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<Json> entries_;
+  std::atomic<uint64_t> total_{0};
+};
+
+}  // namespace obs
+}  // namespace vq
+
+#endif  // VQ_OBS_TRACE_H_

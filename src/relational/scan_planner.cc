@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "storage/index.h"
 #include "util/stopwatch.h"
 
@@ -29,6 +30,19 @@ ScanStats* PlanningStats(const Table& table, const ScanPlannerOptions& options) 
   return options.stats;
 }
 
+/// Filter-execution latency by path, fed ONLY from the already-stopwatched
+/// statistics samples: the untimed fast paths (single-predicate postings,
+/// O(1) plans, statistics off) stay untimed.
+obs::LatencyHistogram* FilterHistogram(bool postings) {
+  static obs::LatencyHistogram* hists[2] = {
+      obs::MetricsRegistry::Global().GetHistogram(obs::MetricsRegistry::WithLabel(
+          "vq_scan_filter_seconds", "path", "scan")),
+      obs::MetricsRegistry::Global().GetHistogram(obs::MetricsRegistry::WithLabel(
+          "vq_scan_filter_seconds", "path", "postings")),
+  };
+  return hists[postings ? 1 : 0];
+}
+
 /// Recording trains the per-table model (when enabled) AND the injected
 /// shared one, so a cold table converges to its own statistics while the
 /// process-wide fallback keeps learning from every table.
@@ -38,6 +52,7 @@ void RecordPostingsSample(const Table& table, const ScanPlannerOptions& options,
   if (options.per_table_stats) {
     table.index().scan_stats().RecordPostings(driver_rows, seconds);
   }
+  FilterHistogram(/*postings=*/true)->Record(seconds);
 }
 
 void RecordScanSample(const Table& table, const ScanPlannerOptions& options,
@@ -46,6 +61,7 @@ void RecordScanSample(const Table& table, const ScanPlannerOptions& options,
   if (options.per_table_stats) {
     table.index().scan_stats().RecordScan(table_rows, seconds);
   }
+  FilterHistogram(/*postings=*/false)->Record(seconds);
 }
 
 /// True when statistics feedback is active for this call at all (either a
@@ -53,6 +69,25 @@ void RecordScanSample(const Table& table, const ScanPlannerOptions& options,
 bool RecordsStats(const ScanPlannerOptions& options) {
   return options.stats != nullptr || options.per_table_stats;
 }
+
+/// Plan-choice counter for `strategy`. The planner is a free function with
+/// no owning object to hold instruments, so these live as function-local
+/// statics against the process-global registry (which is never destroyed);
+/// after the first call each bump is one relaxed atomic add.
+obs::Counter* PlanCounter(ScanStrategy strategy) {
+  static obs::Counter* counters[4] = {
+      obs::MetricsRegistry::Global().GetCounter(obs::MetricsRegistry::WithLabel(
+          "vq_scan_plans_total", "strategy", "all-rows")),
+      obs::MetricsRegistry::Global().GetCounter(obs::MetricsRegistry::WithLabel(
+          "vq_scan_plans_total", "strategy", "empty")),
+      obs::MetricsRegistry::Global().GetCounter(obs::MetricsRegistry::WithLabel(
+          "vq_scan_plans_total", "strategy", "postings")),
+      obs::MetricsRegistry::Global().GetCounter(obs::MetricsRegistry::WithLabel(
+          "vq_scan_plans_total", "strategy", "column-scan")),
+  };
+  return counters[static_cast<size_t>(strategy)];
+}
+
 
 /// Forced-alternate-path exploration, shared by the single and batched
 /// funnels: every kProbePeriod-th eligible decision (multi-predicate, both
@@ -87,6 +122,9 @@ bool MaybeProbeAlternate(const Table& table, const ScanPlannerOptions& options,
   plan->strategy = plan->strategy == ScanStrategy::kPostings
                        ? ScanStrategy::kColumnScan
                        : ScanStrategy::kPostings;
+  static obs::Counter* probes =
+      obs::MetricsRegistry::Global().GetCounter("vq_scan_probes_total");
+  probes->Increment();
   return true;
 }
 
@@ -142,6 +180,7 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
   if (predicates.empty()) {
     plan.strategy = ScanStrategy::kAllRows;
     plan.estimated_rows = table.NumRows();
+    PlanCounter(plan.strategy)->Increment();
     return plan;
   }
   const TableIndex& index = table.index();
@@ -153,6 +192,7 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
     if (count == 0) {
       plan.strategy = ScanStrategy::kEmptyResult;
       plan.estimated_rows = 0;
+      PlanCounter(plan.strategy)->Increment();
       return plan;
     }
     if (count < min_count) {
@@ -164,6 +204,7 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
   plan.driver = driver;
   if (options.force_scan) {
     plan.strategy = ScanStrategy::kColumnScan;
+    PlanCounter(plan.strategy)->Increment();
     return plan;
   }
   // A single predicate is a posting-list copy -- never scan. Conjunctions
@@ -178,6 +219,7 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
                    static_cast<double>(table.NumRows());
   plan.strategy = (predicates.size() == 1 || selective) ? ScanStrategy::kPostings
                                                         : ScanStrategy::kColumnScan;
+  PlanCounter(plan.strategy)->Increment();
   return plan;
 }
 

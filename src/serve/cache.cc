@@ -4,6 +4,8 @@
 #include <chrono>
 #include <functional>
 
+#include "util/stopwatch.h"
+
 namespace vq {
 namespace serve {
 
@@ -72,24 +74,49 @@ size_t ShardedSummaryCache::ShardIndex(const std::string& key) const {
   return std::hash<std::string>{}(key) & (shards_.size() - 1);
 }
 
-void ShardedSummaryCache::DebitOwner(Shard* shard, const std::string& owner,
-                                     size_t bytes) {
-  if (owner.empty()) return;
-  auto owned = shard->owner_bytes.find(owner);
-  if (owned == shard->owner_bytes.end()) return;
-  owned->second -= std::min(owned->second, bytes);
-  if (owned->second == 0) shard->owner_bytes.erase(owned);
-}
-
 void ShardedSummaryCache::EraseEntry(Shard* shard,
                                      std::list<Entry>::iterator it) {
   shard->bytes -= it->bytes;
-  DebitOwner(shard, it->owner, it->bytes);
+  if (it->account != nullptr) {
+    // Exact: every entry debits precisely the bytes it credited at insert,
+    // so the account can never underflow.
+    it->account->bytes.fetch_sub(it->bytes, std::memory_order_relaxed);
+  }
   shard->index.erase(it->key);
   shard->lru.erase(it);
 }
 
+ShardedSummaryCache::OwnerAccountPtr ShardedSummaryCache::AccountFor(
+    const std::string& owner) {
+  if (owner.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(owners_mutex_);
+  auto& slot = owners_[owner];
+  if (slot == nullptr) slot = std::make_shared<OwnerAccount>();
+  return slot;
+}
+
+void ShardedSummaryCache::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  lookup_hist_.store(metrics->GetHistogram("vq_cache_lookup_seconds"),
+                     std::memory_order_relaxed);
+}
+
 ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
+  obs::LatencyHistogram* hist = lookup_hist_.load(std::memory_order_relaxed);
+  if (hist == nullptr) return GetImpl(key);  // untimed until metrics attach
+  // 1-in-16 sampled timing: the lookup sits on the >100k-qps hit path, and
+  // two clock reads per call cost more than the lock it is measuring. The
+  // histogram reflects the lookup-latency DISTRIBUTION (rates come from the
+  // hit/miss counters, which count every call).
+  thread_local uint32_t lookup_tick = 0;
+  if ((++lookup_tick & 0xF) != 0) return GetImpl(key);
+  Stopwatch watch;
+  ServedAnswerPtr answer = GetImpl(key);
+  hist->Record(watch.ElapsedSeconds());
+  return answer;
+}
+
+ServedAnswerPtr ShardedSummaryCache::GetImpl(const std::string& key) {
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.index.find(key);
@@ -114,77 +141,103 @@ bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
                               size_t owner_byte_quota) {
   double expires_at = ttl_seconds > 0.0 ? Now() + ttl_seconds : 0.0;
   size_t bytes = EstimateEntryBytes(key, answer, owner);
+  OwnerAccountPtr account = AccountFor(owner);
   Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  // Admission control: refuse an entry that would claim more than its
-  // configured share of the slice. Rejecting (rather than admitting and
-  // letting the byte loop run) keeps one oversized rendered answer from
-  // flushing the shard's whole working set; a pre-existing entry under the
-  // same key stays as it was.
-  if (shard.max_entry_bytes > 0 && bytes > shard.max_entry_bytes) {
-    ++shard.stats.admission_rejects;
-    return false;
-  }
-  auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    Entry& entry = *it->second;
-    // Re-point the byte accounting (total and per-owner) at the new value.
-    shard.bytes -= entry.bytes;
-    shard.bytes += bytes;
-    DebitOwner(&shard, entry.owner, entry.bytes);
-    if (!owner.empty()) shard.owner_bytes[owner] += bytes;
-    entry.answer = std::move(answer);
-    entry.expires_at = expires_at;
-    entry.bytes = bytes;
-    entry.owner = owner;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  } else {
-    if (shard.lru.size() >= shard.capacity) {
-      EraseEntry(&shard, std::prev(shard.lru.end()));
-      ++shard.stats.evictions;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Admission control: refuse an entry that would claim more than its
+    // configured share of the slice. Rejecting (rather than admitting and
+    // letting the byte loop run) keeps one oversized rendered answer from
+    // flushing the shard's whole working set; a pre-existing entry under the
+    // same key stays as it was.
+    if (shard.max_entry_bytes > 0 && bytes > shard.max_entry_bytes) {
+      ++shard.stats.admission_rejects;
+      return false;
     }
-    shard.lru.emplace_front(Entry{key, std::move(answer), expires_at, bytes, owner});
-    shard.index.emplace(key, shard.lru.begin());
-    shard.bytes += bytes;
-    if (!owner.empty()) shard.owner_bytes[owner] += bytes;
-    ++shard.stats.insertions;
-  }
-  // Size-aware eviction: drop LRU entries until back under the byte slice.
-  // The just-touched entry (front) always survives its own Put, so one
-  // oversized answer occupies the shard alone rather than wedging the loop.
-  if (shard.byte_budget > 0) {
-    while (shard.bytes > shard.byte_budget && shard.lru.size() > 1) {
-      EraseEntry(&shard, std::prev(shard.lru.end()));
-      ++shard.stats.evictions;
-      ++shard.stats.byte_evictions;
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      // Re-point the byte accounting (shard total and owner account) at the
+      // new value; the previous incarnation may belong to another owner.
+      shard.bytes -= entry.bytes;
+      shard.bytes += bytes;
+      if (entry.account != nullptr) {
+        entry.account->bytes.fetch_sub(entry.bytes, std::memory_order_relaxed);
+      }
+      if (account != nullptr) {
+        account->bytes.fetch_add(bytes, std::memory_order_relaxed);
+      }
+      entry.answer = std::move(answer);
+      entry.expires_at = expires_at;
+      entry.bytes = bytes;
+      entry.owner = owner;
+      entry.account = account;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      if (shard.lru.size() >= shard.capacity) {
+        EraseEntry(&shard, std::prev(shard.lru.end()));
+        ++shard.stats.evictions;
+      }
+      shard.lru.emplace_front(
+          Entry{key, std::move(answer), expires_at, bytes, owner, account});
+      shard.index.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      if (account != nullptr) {
+        account->bytes.fetch_add(bytes, std::memory_order_relaxed);
+      }
+      ++shard.stats.insertions;
+    }
+    // Size-aware eviction: drop LRU entries until back under the byte slice.
+    // The just-touched entry (front) always survives its own Put, so one
+    // oversized answer occupies the shard alone rather than wedging the loop.
+    if (shard.byte_budget > 0) {
+      while (shard.bytes > shard.byte_budget && shard.lru.size() > 1) {
+        EraseEntry(&shard, std::prev(shard.lru.end()));
+        ++shard.stats.evictions;
+        ++shard.stats.byte_evictions;
+      }
     }
   }
-  // Per-owner quota: the owner's LRU entries (and only those) are dropped
-  // until the owner fits its slice, so a chatty dataset reclaims from its
-  // own answers, never its neighbors'. ONE tail-to-front walk evicts every
-  // needed victim (erasing a list node leaves the other iterators valid),
-  // so an over-quota Put costs at most one pass over the shard, not one
-  // per victim. The walk stops before the just-touched front entry for the
-  // same never-self-evict reason as above.
-  if (!owner.empty() && owner_byte_quota > 0) {
-    size_t owner_slice =
-        std::max<size_t>(1, owner_byte_quota / shards_.size());
-    auto over_quota = [&shard, &owner, owner_slice] {
-      auto owned = shard.owner_bytes.find(owner);
-      return owned != shard.owner_bytes.end() && owned->second > owner_slice;
-    };
-    for (auto entry = std::prev(shard.lru.end());
-         entry != shard.lru.begin() && over_quota();) {
-      auto next_newer = std::prev(entry);
-      if (entry->owner == owner) {
+  // Per-owner quota, enforced against the owner's bytes summed across ALL
+  // shards (not per-shard slices, which degenerate once quota/num_shards
+  // drops below one entry). Runs after this shard's lock is released and
+  // takes one shard lock at a time, so no two shard locks are ever nested.
+  if (account != nullptr && owner_byte_quota > 0 &&
+      account->bytes.load(std::memory_order_relaxed) > owner_byte_quota) {
+    EnforceOwnerQuota(owner, account.get(), owner_byte_quota, key);
+  }
+  return true;
+}
+
+void ShardedSummaryCache::EnforceOwnerQuota(const std::string& owner,
+                                            OwnerAccount* account, size_t quota,
+                                            const std::string& protect_key) {
+  // Victim order approximates global LRU: each shard's tail-to-front walk
+  // evicts the owner's locally oldest entries first, and the account is
+  // re-read before every eviction so the walk stops the moment the owner
+  // fits (concurrent Puts of the same owner may both run this; each evicts
+  // only while still over quota). The just-inserted entry (protect_key) is
+  // never evicted, so a quota below one entry keeps exactly the newest
+  // answer rather than wedging or thrashing.
+  for (auto& shard_ptr : shards_) {
+    if (account->bytes.load(std::memory_order_relaxed) <= quota) return;
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.lru.empty()) continue;
+    auto entry = std::prev(shard.lru.end());
+    for (;;) {
+      if (account->bytes.load(std::memory_order_relaxed) <= quota) break;
+      bool at_front = entry == shard.lru.begin();
+      auto next_newer = at_front ? entry : std::prev(entry);
+      if (entry->owner == owner && entry->key != protect_key) {
         EraseEntry(&shard, entry);
         ++shard.stats.evictions;
         ++shard.stats.quota_evictions;
       }
+      if (at_front) break;
       entry = next_newer;
     }
   }
-  return true;
 }
 
 bool ShardedSummaryCache::Contains(const std::string& key) const {
@@ -223,21 +276,22 @@ size_t ShardedSummaryCache::CountPrefix(const std::string& prefix) const {
 }
 
 size_t ShardedSummaryCache::OwnerBytes(const std::string& owner) const {
-  size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    auto it = shard->owner_bytes.find(owner);
-    if (it != shard->owner_bytes.end()) total += it->second;
-  }
-  return total;
+  std::lock_guard<std::mutex> lock(owners_mutex_);
+  auto it = owners_.find(owner);
+  return it != owners_.end() ? it->second->bytes.load(std::memory_order_relaxed)
+                             : 0;
 }
 
 void ShardedSummaryCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      if (entry.account != nullptr) {
+        entry.account->bytes.fetch_sub(entry.bytes, std::memory_order_relaxed);
+      }
+    }
     shard->lru.clear();
     shard->index.clear();
-    shard->owner_bytes.clear();
     shard->bytes = 0;
   }
 }

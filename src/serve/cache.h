@@ -9,6 +9,7 @@
 #ifndef VQ_SERVE_CACHE_H_
 #define VQ_SERVE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -19,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/answer.h"
 
 namespace vq {
@@ -98,10 +100,18 @@ class ShardedSummaryCache {
   /// is not shadowed by a stale apology forever.
   ///
   /// `owner` tags the entry with the dataset (host fingerprint) it belongs
-  /// to; with a positive `owner_byte_quota` the shard evicts that owner's
-  /// own LRU entries until its bytes fit `owner_byte_quota / num_shards`
-  /// (`quota_evictions`), so one dataset's answers cannot crowd every other
-  /// dataset out of the shared cache. An empty owner is untracked.
+  /// to; with a positive `owner_byte_quota` the cache evicts that owner's
+  /// own LRU entries -- and only those -- until the owner's bytes SUMMED
+  /// ACROSS ALL SHARDS fit the quota (`quota_evictions`), so one dataset's
+  /// answers cannot crowd every other dataset out of the shared cache.
+  /// Enforcement is global (a per-owner atomic byte account), not per-shard
+  /// slices, so a quota smaller than num_shards x entry size still bounds
+  /// occupancy instead of degenerating (the old slice scheme kept up to one
+  /// entry PER SHARD). Victims are found by walking shards in order and
+  /// evicting the owner's per-shard LRU tails -- approximate global LRU.
+  /// The entry being Put is itself never evicted, so an owner whose quota
+  /// is below one entry keeps exactly its newest answer. An empty owner is
+  /// untracked.
   ///
   /// Returns false when admission control rejected the entry (see the
   /// constructor); an existing entry under `key` is left untouched then.
@@ -121,8 +131,14 @@ class ShardedSummaryCache {
   /// tests can assert purge completeness).
   size_t CountPrefix(const std::string& prefix) const;
 
-  /// Approximate bytes currently held for `owner` across all shards.
+  /// Approximate bytes currently held for `owner` across all shards (O(1):
+  /// reads the owner's global byte account).
   size_t OwnerBytes(const std::string& owner) const;
+
+  /// Starts recording per-lookup latency into `metrics` (histogram
+  /// "vq_cache_lookup_seconds"). Idempotent; pass the registry the owning
+  /// service exposes. Until attached, Get() takes no timestamps at all.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   void Clear();
 
@@ -151,6 +167,15 @@ class ShardedSummaryCache {
   size_t ShardIndex(const std::string& key) const;
 
  private:
+  /// Global (cross-shard) byte account of one owner. Entries credit/debit
+  /// it atomically under their shard's lock; quota enforcement reads it
+  /// lock-free, so the summed total is always coherent even though no lock
+  /// covers all shards at once.
+  struct OwnerAccount {
+    std::atomic<size_t> bytes{0};
+  };
+  using OwnerAccountPtr = std::shared_ptr<OwnerAccount>;
+
   struct Entry {
     std::string key;
     ServedAnswerPtr answer;
@@ -160,6 +185,8 @@ class ShardedSummaryCache {
     size_t bytes = 0;
     /// Dataset tag for per-owner quotas; empty = untracked.
     std::string owner;
+    /// The owner's global byte account (null for untracked entries).
+    OwnerAccountPtr account;
   };
   struct Shard {
     mutable std::mutex mutex;
@@ -172,16 +199,23 @@ class ShardedSummaryCache {
     size_t byte_budget = 0;     ///< 0 = unlimited
     size_t max_entry_bytes = 0; ///< admission ceiling; 0 = admit everything
     size_t bytes = 0;           ///< sum of Entry::bytes
-    /// Bytes per owner tag (only non-empty owners are tracked).
-    std::unordered_map<std::string, size_t> owner_bytes;
   };
 
-  /// Removes `bytes` from `owner`'s tracked total, dropping the owner's
-  /// accounting entry at zero (saturating; empty owners are untracked).
-  static void DebitOwner(Shard* shard, const std::string& owner, size_t bytes);
-  /// Unlinks one entry from the shard's list/map/byte accounting (counters
-  /// are the caller's job: eviction vs expiration vs purge).
+  /// Unlinks one entry from the shard's list/map/byte accounting, debiting
+  /// the owner's global account (counters are the caller's job: eviction vs
+  /// expiration vs purge).
   static void EraseEntry(Shard* shard, std::list<Entry>::iterator it);
+
+  /// Find-or-create the global byte account for `owner` (nullptr if empty).
+  OwnerAccountPtr AccountFor(const std::string& owner);
+
+  /// Evicts `owner`'s LRU entries shard by shard (locking ONE shard at a
+  /// time, after the Put released its own shard's lock) until the owner's
+  /// global account fits `quota`; never evicts `protect_key`.
+  void EnforceOwnerQuota(const std::string& owner, OwnerAccount* account,
+                         size_t quota, const std::string& protect_key);
+
+  ServedAnswerPtr GetImpl(const std::string& key);
 
   double Now() const { return clock_(); }
 
@@ -189,6 +223,15 @@ class ShardedSummaryCache {
   size_t byte_budget_;
   Clock clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Owner tag -> global byte account. Accounts persist for the cache's
+  /// lifetime (one per dataset fingerprint; churn adds a few dozen strings,
+  /// never hot-path work).
+  mutable std::mutex owners_mutex_;
+  std::unordered_map<std::string, OwnerAccountPtr> owners_;
+
+  /// Set once by AttachMetrics (atomic: Get() may race with attachment).
+  std::atomic<obs::LatencyHistogram*> lookup_hist_{nullptr};
 };
 
 }  // namespace serve

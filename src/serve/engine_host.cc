@@ -33,9 +33,30 @@ void BumpMax(std::atomic<uint64_t>* slot, uint64_t value) {
 
 }  // namespace
 
+HostOptions HostOverrides::ApplyTo(HostOptions base) const {
+  if (on_demand_summaries) base.on_demand_summaries = *on_demand_summaries;
+  if (batch_on_demand) base.batch_on_demand = *batch_on_demand;
+  if (cache_unanswerable) base.cache_unanswerable = *cache_unanswerable;
+  if (unanswerable_ttl_seconds) {
+    base.unanswerable_ttl_seconds = *unanswerable_ttl_seconds;
+  }
+  if (record_learned) base.record_learned = *record_learned;
+  if (max_concurrent_solves) base.max_concurrent_solves = *max_concurrent_solves;
+  if (cache_byte_quota) base.cache_byte_quota = *cache_byte_quota;
+  if (simulated_vocalize_seconds) {
+    base.simulated_vocalize_seconds = *simulated_vocalize_seconds;
+  }
+  if (trace_samples_per_second) {
+    base.trace_samples_per_second = *trace_samples_per_second;
+  }
+  if (slow_trace_seconds) base.slow_trace_seconds = *slow_trace_seconds;
+  return base;
+}
+
 EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
                        ShardedSummaryCache* cache, InflightCoalescer* coalescer,
-                       HostOptions options, uint64_t generation)
+                       HostOptions options, uint64_t generation,
+                       obs::MetricsRegistry* metrics)
     : name_(std::move(name)),
       engine_(engine),
       options_(options),
@@ -49,7 +70,15 @@ EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
                    (generation > 0 ? "#" + std::to_string(generation) : "") +
                    ":" + ConfigFingerprint(engine->config())),
       cache_(cache),
-      coalescer_(coalescer) {
+      coalescer_(coalescer),
+      metrics_(metrics != nullptr ? metrics : &obs::MetricsRegistry::Global()),
+      solve_hist_(metrics_->GetHistogram(
+          obs::MetricsRegistry::WithLabel("vq_host_solve_seconds", "dataset", name_))),
+      render_hist_(metrics_->GetHistogram(
+          obs::MetricsRegistry::WithLabel("vq_host_render_seconds", "dataset", name_))),
+      coalesced_wait_hist_(metrics_->GetHistogram(obs::MetricsRegistry::WithLabel(
+          "vq_host_coalesced_wait_seconds", "dataset", name_))),
+      trace_sampler_(options.trace_samples_per_second) {
   // On-demand problems must be solved exactly like the pre-processor's, so
   // an on-demand answer for a materialized query reproduces the stored text.
   const Configuration& config = engine_->config();
@@ -60,11 +89,13 @@ EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
   summarizer_options_.instance.prior_value = config.prior_value;
 }
 
-ServeResponse EngineHost::Handle(const std::string& request) {
+ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) {
   Stopwatch watch;
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ServeResponse response;
+  size_t classify_span = trace ? trace->BeginSpan("classify") : 0;
   ClassifiedRequest classified = engine_->classifier().Classify(request);
+  if (trace) trace->EndSpan(classify_span);
   response.type = classified.type;
 
   switch (classified.type) {
@@ -82,10 +113,14 @@ ServeResponse EngineHost::Handle(const std::string& request) {
     case RequestType::kSupportedQuery:
     case RequestType::kUnsupportedQuery: {
       stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      size_t ground_span = trace ? trace->BeginSpan("ground") : 0;
       VoiceQuery query = engine_->GroundQuery(classified);
       std::string key = CanonicalQueryKey(fingerprint_, query);
+      if (trace) trace->EndSpan(ground_span);
 
+      size_t lookup_span = trace ? trace->BeginSpan("cache_lookup") : 0;
       ServedAnswerPtr answer = cache_->Get(key);
+      if (trace) trace->EndSpan(lookup_span);
       if (answer != nullptr) {
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         response.cache_hit = true;
@@ -99,8 +134,9 @@ ServeResponse EngineHost::Handle(const std::string& request) {
           // break the exactly-once-per-unique-query guarantee.
           answer = cache_->Get(key);
           if (answer == nullptr) {
+            obs::ScopedSpan compute_span(trace, "compute");
             try {
-              answer = ComputeAnswer(query);
+              answer = ComputeAnswer(query, trace);
             } catch (...) {
               // Followers block until Fulfill (coalescer contract); never
               // leave them hanging, whatever ComputeAnswer threw.
@@ -122,7 +158,10 @@ ServeResponse EngineHost::Handle(const std::string& request) {
         } else {
           stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
           response.coalesced = true;
+          Stopwatch wait_watch;
+          obs::ScopedSpan wait_span(trace, "coalesce_wait");
           answer = ticket.result.get();
+          coalesced_wait_hist_->Record(wait_watch.ElapsedSeconds());
         }
       }
       response.text = answer->text;
@@ -133,6 +172,7 @@ ServeResponse EngineHost::Handle(const std::string& request) {
   }
 
   if (options_.simulated_vocalize_seconds > 0.0) {
+    obs::ScopedSpan vocalize_span(trace, "vocalize");
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options_.simulated_vocalize_seconds));
   }
@@ -140,7 +180,8 @@ ServeResponse EngineHost::Handle(const std::string& request) {
   return response;
 }
 
-ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query) {
+ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
+                                          obs::Trace* trace) {
   Stopwatch watch;
   const SpeechStore& store = engine_->store();
 
@@ -152,7 +193,8 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query) {
   }
 
   if (options_.on_demand_summaries && query.target_index >= 0) {
-    ServedAnswerPtr solved = SolveOnDemand(query);
+    obs::ScopedSpan on_demand_span(trace, "on_demand");
+    ServedAnswerPtr solved = SolveOnDemand(query, trace);
     if (solved != nullptr) return solved;
     // Empty subset or unsolvable instance: fall through to the engine's
     // most-specific-containing-speech behavior.
@@ -182,13 +224,14 @@ std::shared_ptr<EngineHost::TargetBatchQueue> EngineHost::BatchQueueFor(
   return slot;
 }
 
-ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query) {
+ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
+                                          obs::Trace* trace) {
   auto pending = std::make_shared<PendingOnDemand>();
   pending->query = query;
   std::future<ServedAnswerPtr> future = pending->promise.get_future();
 
   if (!options_.batch_on_demand) {
-    SolveBatch({std::move(pending)});
+    SolveBatch({std::move(pending)}, trace);
     return future.get();
   }
 
@@ -215,7 +258,7 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query) {
     batch.swap(queue->waiting);
     lock.unlock();
     try {
-      SolveBatch(std::move(batch));
+      SolveBatch(std::move(batch), trace);
     } catch (...) {
       // SolveBatch fulfills its promises even on failure; whatever still
       // escaped must not leave `running` latched, or later misses would
@@ -250,11 +293,15 @@ EngineHost::SolveSlot::~SolveSlot() {
   host_->gate_cv_.notify_one();
 }
 
-void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch) {
+void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
+                            obs::Trace* trace) {
   // The thread-share slot is taken before any work: a host over its
   // on-demand quota parks its runner here, off-CPU (the worker thread
   // itself stays occupied -- see HostOptions::max_concurrent_solves).
+  size_t gate_span = trace ? trace->BeginSpan("gate_wait") : 0;
   SolveSlot slot(this);
+  if (trace) trace->EndSpan(gate_span);
+  obs::ScopedSpan batch_span(trace, "solve_batch");
   const Table& table = engine_->table();
   stats_.on_demand_passes.fetch_add(1, std::memory_order_relaxed);
   BumpMax(&stats_.max_batch, batch.size());
@@ -268,6 +315,8 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch)
     // One planner-routed pass resolves every query's row subset: selective
     // queries are answered from the table's posting lists, the rest share a
     // single column scan (relational/scan_planner.h).
+    // Span covers the shared row filtering plus the (once-per-target) prior.
+    obs::ScopedSpan filter_span(trace, "filter_rows");
     std::vector<const PredicateSet*> predicate_sets;
     predicate_sets.reserve(batch.size());
     for (const auto& pending : batch) {
@@ -313,9 +362,12 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
       PreparedProblem::FromInstance(std::move(instance).value(), options);
   if (!prepared.ok()) return nullptr;
   SummaryResult result = prepared.value().Run(options);
+  solve_hist_->Record(watch.ElapsedSeconds());
+  Stopwatch render_watch;
   Speech speech =
       RenderSpeech(engine_->table(), prepared.value().instance(),
                    prepared.value().catalog(), result, query.predicates);
+  render_hist_->Record(render_watch.ElapsedSeconds());
   stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
   {
     // Batches run concurrently on pool workers; counters are plain

@@ -17,6 +17,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -24,6 +25,8 @@
 
 #include "core/summarizer.h"
 #include "engine/voice_engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/answer.h"
 #include "serve/cache.h"
 #include "serve/coalescer.h"
@@ -64,16 +67,47 @@ struct HostOptions {
   /// Per-dataset byte quota inside the shared answer cache (0 = none): the
   /// cache evicts this host's own LRU entries once its tagged bytes exceed
   /// the quota, so per-dataset policies bound cache occupancy independently
-  /// of the global byte budget. Enforced per cache shard as equal slices of
-  /// quota/num_shards (exactly like the global byte budget), so size it
-  /// well above num_shards x a typical rendered answer -- a slice smaller
-  /// than one entry degenerates into every insert evicting the dataset's
-  /// other entries in that shard (see ShardedSummaryCache::Put).
+  /// of the global byte budget. Enforced against the owner's SUMMED bytes
+  /// across all shards (a global per-owner account), so small quotas work
+  /// regardless of shard count; the just-inserted entry itself is never
+  /// evicted (see ShardedSummaryCache::Put).
   size_t cache_byte_quota = 0;
   /// Artificial per-request vocalization/transport latency, applied after
   /// the answer is published. Stands in for the TTS + network time of a real
   /// deployment; benches use it to measure how well workers overlap waiting.
   double simulated_vocalize_seconds = 0.0;
+  /// Per-dataset request-trace sampling budget: at most this many requests
+  /// per wall second carry an obs::Trace that is retained in the sampled
+  /// trace log (0 disables sampling; slow-trace capture below still works).
+  uint32_t trace_samples_per_second = 2;
+  /// Slow-query threshold: a routed request slower than this dumps its
+  /// trace into the router's slow-query log regardless of sampling
+  /// (<= 0 disables). The default comfortably exceeds a warm cache hit but
+  /// catches cold on-demand solves and gate-wait convoys.
+  double slow_trace_seconds = 0.25;
+};
+
+/// \brief Per-dataset policy: OPTIONAL per-field overrides over a base
+/// HostOptions (the router fleet default).
+///
+/// Only fields explicitly set override the base; every unmentioned knob
+/// inherits it. This replaces wholesale HostOptions replacement, where a
+/// fresh-constructed policy silently reset unmentioned knobs (e.g. the
+/// negative-result TTL) to their struct defaults instead of the fleet's.
+struct HostOverrides {
+  std::optional<bool> on_demand_summaries;
+  std::optional<bool> batch_on_demand;
+  std::optional<bool> cache_unanswerable;
+  std::optional<double> unanswerable_ttl_seconds;
+  std::optional<bool> record_learned;
+  std::optional<size_t> max_concurrent_solves;
+  std::optional<size_t> cache_byte_quota;
+  std::optional<double> simulated_vocalize_seconds;
+  std::optional<uint32_t> trace_samples_per_second;
+  std::optional<double> slow_trace_seconds;
+
+  /// `base` with every set field replaced.
+  HostOptions ApplyTo(HostOptions base) const;
 };
 
 /// One served response (a ServedAnswer plus per-request serving metadata).
@@ -121,15 +155,21 @@ class EngineHost {
   /// different rows but an identical configuration -- can never be served
   /// the retired incarnation's cached answers, even before the purge of the
   /// old fingerprint's keys completes.
+  /// `metrics` is where the host's latency histograms (solve, render,
+  /// coalesced wait) live, labeled by dataset name; nullptr means the
+  /// process-wide obs::MetricsRegistry::Global().
   EngineHost(std::string name, const VoiceQueryEngine* engine,
              ShardedSummaryCache* cache, InflightCoalescer* coalescer,
-             HostOptions options = {}, uint64_t generation = 0);
+             HostOptions options = {}, uint64_t generation = 0,
+             obs::MetricsRegistry* metrics = nullptr);
 
   EngineHost(const EngineHost&) = delete;
   EngineHost& operator=(const EngineHost&) = delete;
 
   /// Answers one request on the caller's thread (workers call this).
-  ServeResponse Handle(const std::string& request);
+  /// `trace` (optional) collects per-stage spans for this request; it must
+  /// stay owned by the caller and is only touched from this thread.
+  ServeResponse Handle(const std::string& request, obs::Trace* trace = nullptr);
 
   /// Aggregated optimizer work counters (join/bound row visits, pruning
   /// decisions) over every on-demand solve this host ran. Batches run
@@ -163,6 +203,10 @@ class EngineHost {
   const std::string& fingerprint() const { return fingerprint_; }
   const HostOptions& options() const { return options_; }
   HostStats stats() const;
+  /// Per-dataset trace sampling token bucket (see
+  /// HostOptions::trace_samples_per_second); the router consults it before
+  /// allocating a trace for a routed request.
+  obs::TraceSampler& trace_sampler() { return trace_sampler_; }
 
  private:
   /// One on-demand miss waiting for (or running) a batch solve.
@@ -181,19 +225,22 @@ class EngineHost {
   };
 
   /// Computes the answer for a grounded query (store lookup, then on-demand
-  /// summarization, then most-specific fallback).
-  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query);
+  /// summarization, then most-specific fallback). `trace` may be null; it
+  /// only ever receives spans from the calling thread's own work.
+  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query, obs::Trace* trace);
 
   /// Entry point of the batched on-demand path. Returns nullptr when the
   /// query could not be summarized (empty subset etc.) so the caller can
   /// fall back to the most specific stored speech.
-  ServedAnswerPtr SolveOnDemand(const VoiceQuery& query);
+  ServedAnswerPtr SolveOnDemand(const VoiceQuery& query, obs::Trace* trace);
 
   /// Solves one batch of distinct same-target queries in a single shared
   /// table pass and fulfills every promise (with nullptr on failure); never
   /// leaves a promise unresolved. Honors the host's on-demand thread share
-  /// (HostOptions::max_concurrent_solves) by gating entry.
-  void SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch);
+  /// (HostOptions::max_concurrent_solves) by gating entry. `trace` belongs
+  /// to the runner request whose thread executes the batch.
+  void SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
+                  obs::Trace* trace);
 
   /// RAII thread-share slot around one batch solve: blocks while the host
   /// already runs its maximum of concurrent solves, tracks the active count
@@ -227,6 +274,16 @@ class EngineHost {
   std::string fingerprint_;
   ShardedSummaryCache* cache_;
   InflightCoalescer* coalescer_;
+
+  /// Dataset-labeled latency histograms (owned by metrics_; stable
+  /// pointers resolved once at construction so the hot path never touches
+  /// the registry's name map). Solve/render record for EVERY solved query
+  /// regardless of tracing, so per-dataset tail latency is always visible.
+  obs::MetricsRegistry* metrics_;
+  obs::LatencyHistogram* solve_hist_;
+  obs::LatencyHistogram* render_hist_;
+  obs::LatencyHistogram* coalesced_wait_hist_;
+  obs::TraceSampler trace_sampler_;
 
   std::mutex batch_mutex_;  ///< guards batch_queues_
   std::unordered_map<int, std::shared_ptr<TargetBatchQueue>> batch_queues_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "serve/answer.h"
+#include "util/stopwatch.h"
 
 namespace vq {
 namespace serve {
@@ -56,7 +57,11 @@ std::shared_ptr<const DatasetEntry> RegistrySnapshot::FindShared(
 }
 
 DatasetRegistry::DatasetRegistry(RegistryOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricsRegistry::Global()),
+      add_hist_(metrics_->GetHistogram("vq_registry_add_seconds")),
+      remove_hist_(metrics_->GetHistogram("vq_registry_remove_seconds")) {
   snapshot_.store(std::make_shared<const RegistrySnapshot>());
 }
 
@@ -70,17 +75,20 @@ void DatasetRegistry::Publish(std::shared_ptr<RegistrySnapshot> next) {
     next->index.emplace(next->entries[i]->name, i);
   }
   uint64_t version = next->version;
+  size_t datasets = next->entries.size();
   // Snapshot first, counter second: observing the new version (acquire)
   // therefore implies the new snapshot is visible.
   snapshot_.store(std::move(next));
   version_.store(version, std::memory_order_release);
+  metrics_->SetGauge("vq_registry_version", static_cast<double>(version));
+  metrics_->SetGauge("vq_registry_datasets", static_cast<double>(datasets));
 }
 
 Status DatasetRegistry::AddGenerated(const std::string& name,
                                      Configuration config, size_t rows,
                                      uint64_t seed,
                                      const PreprocessOptions& options,
-                                     std::optional<HostOptions> policy,
+                                     std::optional<HostOverrides> policy,
                                      const EngineSetup& configure) {
   VQ_ASSIGN_OR_RETURN(Table table, MakeDataset(config.table, rows, seed));
   return AddDataset(name, std::move(table), std::move(config), options,
@@ -90,8 +98,9 @@ Status DatasetRegistry::AddGenerated(const std::string& name,
 Status DatasetRegistry::AddDataset(const std::string& name, Table table,
                                    Configuration config,
                                    const PreprocessOptions& options,
-                                   std::optional<HostOptions> policy,
+                                   std::optional<HostOverrides> policy,
                                    const EngineSetup& configure) {
+  Stopwatch watch;
   if (name.empty()) return Status::InvalidArgument("dataset name must not be empty");
   // Fast duplicate fail before the expensive build; the authoritative check
   // re-runs under the write mutex right before publish.
@@ -132,10 +141,13 @@ Status DatasetRegistry::AddDataset(const std::string& name, Table table,
   next->entries = current->entries;
   next->entries.push_back(std::move(entry));
   Publish(std::move(next));
+  metrics_->GetCounter("vq_registry_adds_total")->Increment();
+  add_hist_->Record(watch.ElapsedSeconds());
   return Status::OK();
 }
 
 Status DatasetRegistry::RemoveDataset(const std::string& name) {
+  Stopwatch watch;
   std::lock_guard<std::mutex> lock(write_mutex_);
   RegistrySnapshotPtr current = snapshot();
   if (current->Find(name) == nullptr) {
@@ -148,6 +160,8 @@ Status DatasetRegistry::RemoveDataset(const std::string& name) {
     if (entry->name != name) next->entries.push_back(entry);
   }
   Publish(std::move(next));
+  metrics_->GetCounter("vq_registry_removes_total")->Increment();
+  remove_hist_->Record(watch.ElapsedSeconds());
   return Status::OK();
 }
 

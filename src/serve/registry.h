@@ -44,6 +44,9 @@ struct RegistryOptions {
   /// SpeechStore JSON form). Empty disables persistence. Created on first
   /// save if missing.
   std::string learned_dir;
+  /// Where registry metrics go (add/remove durations, snapshot version and
+  /// dataset-count gauges). nullptr = obs::MetricsRegistry::Global().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One registered dataset. Immutable once published in a snapshot (the
@@ -65,15 +68,13 @@ struct DatasetEntry {
   std::string table_fingerprint;
   /// Speeches reloaded from the learned file at registration time.
   size_t learned_loaded = 0;
-  /// Per-dataset serving policy: when set, the routing layer builds this
-  /// entry's host from these options INSTEAD OF its fleet-wide default
-  /// (thread share, cache byte quota, TTLs, batching -- see HostOptions).
-  /// The replacement is wholesale, not a field merge: start from the
-  /// router's default (e.g. RouterOptions{}.host) and modify, or a
-  /// fresh-constructed policy silently resets every unmentioned knob to
-  /// the HostOptions defaults -- including the negative-result TTL the
-  /// router default sets so stale apologies age out.
-  std::optional<HostOptions> policy;
+  /// Per-dataset serving policy: sparse overrides the routing layer merges
+  /// OVER its fleet-wide default (RouterOptions::host) when building this
+  /// entry's host. Only the fields explicitly set in the overrides change;
+  /// every unset field keeps the fleet value -- so a policy that only caps
+  /// max_concurrent_solves still inherits the fleet's negative-result TTL,
+  /// batching mode, cache quota, etc. See HostOverrides::ApplyTo.
+  std::optional<HostOverrides> policy;
 };
 
 /// One immutable published state of the registry. `entries` preserves
@@ -123,14 +124,14 @@ class DatasetRegistry {
   /// from this registry.
   Status AddDataset(const std::string& name, Table table, Configuration config,
                     const PreprocessOptions& options = {},
-                    std::optional<HostOptions> policy = std::nullopt,
+                    std::optional<HostOverrides> policy = std::nullopt,
                     const EngineSetup& configure = {});
 
   /// Builds `config.table` via storage/datasets' MakeDataset, then
   /// AddDataset.
   Status AddGenerated(const std::string& name, Configuration config, size_t rows,
                       uint64_t seed, const PreprocessOptions& options = {},
-                      std::optional<HostOptions> policy = std::nullopt,
+                      std::optional<HostOverrides> policy = std::nullopt,
                       const EngineSetup& configure = {});
 
   /// Unpublishes `name`: the next snapshot no longer carries the entry, so
@@ -211,6 +212,10 @@ class DatasetRegistry {
   Status ReloadLearned(DatasetEntry* entry) const;
 
   RegistryOptions options_;
+  /// Resolved metrics sink (options_.metrics or the process-global registry).
+  obs::MetricsRegistry* metrics_;
+  obs::LatencyHistogram* add_hist_;     ///< vq_registry_add_seconds
+  obs::LatencyHistogram* remove_hist_;  ///< vq_registry_remove_seconds
   /// Serializes mutations (snapshot build + publish + generation stamps).
   std::mutex write_mutex_;
   uint64_t next_generation_ = 1;  ///< guarded by write_mutex_

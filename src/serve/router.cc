@@ -14,13 +14,31 @@ RoutingService::RoutingService(const DatasetRegistry* registry,
       options_(options),
       cache_(options.cache_capacity, options.cache_shards, {},
              options.cache_byte_budget, options.cache_max_entry_fraction),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Global()),
+      request_hist_(metrics_->GetHistogram("vq_router_request_seconds")),
+      route_hist_(metrics_->GetHistogram("vq_router_route_seconds")),
+      snapshot_hist_(metrics_->GetHistogram("vq_router_snapshot_acquire_seconds")),
+      queue_wait_hist_(metrics_->GetHistogram("vq_router_queue_wait_seconds")),
+      retire_drain_hist_(metrics_->GetHistogram("vq_router_retire_drain_seconds")),
+      sampled_traces_(options.trace_log_capacity),
+      slow_queries_(options.trace_log_capacity),
       pool_(options.num_threads) {
+  cache_.AttachMetrics(metrics_);
   // Eager initial build so the constructor's cost (host construction per
   // dataset) is not paid by the first request.
   hosts_.store(RebuildHosts(registry_->snapshot(), nullptr));
+  // External atomic stats (router, cache, coalescer, per-host, solver
+  // PerfCounters) export through ONE collector at render/snapshot time --
+  // no double bookkeeping on the request path.
+  collector_id_ = metrics_->RegisterCollector(
+      [this](obs::MetricsRegistry& into) { ExportMetrics(into); });
 }
 
 RoutingService::~RoutingService() {
+  // First: no render may call into this object once we tear down
+  // (UnregisterCollector blocks until an in-flight Collect() finishes).
+  metrics_->UnregisterCollector(collector_id_);
   Drain();
   // With the pool drained, every retired slot is sole-owned: run the final
   // sweep so pending learned speeches of removed datasets reach the
@@ -30,12 +48,16 @@ RoutingService::~RoutingService() {
 }
 
 HostOptions RoutingService::OptionsFor(const DatasetEntry& entry) const {
-  // A registry policy replaces the fleet default wholesale (it IS the
-  // dataset's serving contract); recording learned speeches additionally
-  // turns on whenever someone can drain them -- either the registry
-  // persists (FlushLearned / slot retirement) or the options opted in.
-  HostOptions host_options = entry.policy.has_value() ? *entry.policy
-                                                      : options_.host;
+  // A registry policy is a set of per-field OVERRIDES applied on top of the
+  // fleet default -- unmentioned knobs inherit RouterOptions::host instead
+  // of silently resetting to the struct defaults (HostOverrides::ApplyTo).
+  // Recording learned speeches additionally turns on whenever someone can
+  // drain them -- either the registry persists (FlushLearned / slot
+  // retirement) or the merged options opted in.
+  HostOptions host_options = options_.host;
+  if (entry.policy.has_value()) {
+    host_options = entry.policy->ApplyTo(host_options);
+  }
   host_options.record_learned =
       host_options.record_learned || registry_->persists_learned();
   return host_options;
@@ -66,7 +88,7 @@ RoutingService::HostSetPtr RoutingService::RebuildHosts(
     slot->host = std::make_unique<EngineHost>(entry->name, entry->engine.get(),
                                               &cache_, &coalescer_,
                                               OptionsFor(*entry),
-                                              entry->generation);
+                                              entry->generation, metrics_);
     next->slots.push_back(std::move(slot));
   }
   // Whatever was not reused belongs to removed datasets: park it on the
@@ -88,6 +110,7 @@ bool RoutingService::DrainAndPurge(const HostSlot& slot) const {
   // datasets share. Without persistence there is nowhere to drain to: a
   // caller that enabled record_learned on its own must TakeLearned before
   // RemoveDataset, or the pending speeches die with the slot.
+  Stopwatch drain_watch;
   bool drained = true;
   if (registry_->persists_learned()) {
     std::vector<StoredSpeech> learned = slot.host->TakeLearned();
@@ -104,6 +127,7 @@ bool RoutingService::DrainAndPurge(const HostSlot& slot) const {
   purged_cache_entries_.fetch_add(
       cache_.PurgePrefix(slot.host->fingerprint() + "|"),
       std::memory_order_relaxed);
+  retire_drain_hist_->Record(drain_watch.ElapsedSeconds());
   return drained;
 }
 
@@ -194,12 +218,17 @@ void RoutingService::SyncRegistry() {
 }
 
 std::future<RoutedResponse> RoutingService::Submit(std::string request) {
-  return pool_.SubmitTask(
-      [this, request = std::move(request)] { return Process(request); });
+  // The stopwatch rides in the closure: it starts here at enqueue and is
+  // read when a worker finally runs the task, measuring pure queue wait --
+  // the saturation signal a load shedder in the future net front end needs.
+  return pool_.SubmitTask([this, request = std::move(request),
+                           queued = Stopwatch()] {
+    return Process(request, queued.ElapsedSeconds());
+  });
 }
 
 RoutedResponse RoutingService::AnswerNow(const std::string& request) {
-  return Process(request);
+  return Process(request, /*queue_wait_seconds=*/0.0);
 }
 
 void RoutingService::Drain() { pool_.Wait(); }
@@ -228,22 +257,75 @@ RoutingService::RouteDecision RoutingService::Route(
   return RouteIn(*CurrentHosts(), request);
 }
 
-RoutedResponse RoutingService::Process(const std::string& request) {
+RoutedResponse RoutingService::Process(const std::string& request,
+                                       double queue_wait_seconds) {
+  Stopwatch watch;
+  if (queue_wait_seconds > 0.0) queue_wait_hist_->Record(queue_wait_seconds);
   requests_.fetch_add(1, std::memory_order_relaxed);
   // ONE snapshot acquisition per request: every decision below acts on this
   // host set, and holding it keeps each slot's engine alive even if the
   // dataset is removed while we are answering.
   HostSetPtr hosts = CurrentHosts();
+  double snapshot_seconds = watch.ElapsedSeconds();
+  snapshot_hist_->Record(snapshot_seconds);
   RoutedResponse out;
   RouteDecision decision = RouteIn(*hosts, request);
+  double routed_at = watch.ElapsedSeconds();
+  route_hist_->Record(routed_at - snapshot_seconds);
   if (decision.host_index >= 0) {
     routed_.fetch_add(1, std::memory_order_relaxed);
     HostSlot& slot = *hosts->slots[static_cast<size_t>(decision.host_index)];
     slot.routed_requests.fetch_add(1, std::memory_order_relaxed);
-    out.response = slot.host->Handle(request);
+
+    // Tracing: a Trace (heap object + a dozen clock reads through the host
+    // path) is allocated ONLY for requests the sampler admits -- at the
+    // default 2/s that is noise against >100k qps, where tracing every
+    // request in case it turns out slow costs ~10% throughput. The
+    // routing/snapshot stages are backfilled so the dump covers the whole
+    // request on one timeline.
+    const HostOptions& host_options = slot.host->options();
+    std::unique_ptr<obs::Trace> trace;
+    bool sampled = host_options.trace_samples_per_second > 0 &&
+                   slot.host->trace_sampler().Admit();
+    if (sampled) {
+      trace = std::make_unique<obs::Trace>();
+      trace->set_epoch_offset(routed_at);
+      if (queue_wait_seconds > 0.0) {
+        trace->AddTimedSpan("queue_wait", -queue_wait_seconds,
+                            queue_wait_seconds);
+      }
+      trace->AddTimedSpan("snapshot_acquire", 0.0, snapshot_seconds);
+      trace->AddTimedSpan("route", snapshot_seconds, routed_at - snapshot_seconds);
+    }
+
+    out.response = slot.host->Handle(request, trace.get());
     out.dataset = slot.host->name();
     out.routed = true;
     out.route_score = decision.score;
+    if ((out.response.type == RequestType::kSupportedQuery ||
+         out.response.type == RequestType::kUnsupportedQuery) &&
+        !out.response.answered) {
+      slot.unanswered_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+    double total_seconds = watch.ElapsedSeconds();
+    request_hist_->Record(total_seconds);
+    bool slow = host_options.slow_trace_seconds > 0.0 &&
+                total_seconds >= host_options.slow_trace_seconds;
+    if (sampled) {
+      Json dumped = trace->ToJson(slot.host->name(), request, total_seconds);
+      if (slow) slow_queries_.Record(dumped);
+      sampled_traces_.Record(std::move(dumped));
+    } else if (slow) {
+      // Un-sampled slow request: log a span-less entry. Which requests are
+      // slow matters on every request; WHY (the spans) is answered by the
+      // sampled traces and the per-stage histograms without taxing the
+      // fast path with per-request trace bookkeeping.
+      Json dumped = Json::Object();
+      dumped.Set("dataset", Json::Str(slot.host->name()));
+      dumped.Set("request", Json::Str(request));
+      dumped.Set("total_ms", Json::Number(total_seconds * 1e3));
+      slow_queries_.Record(std::move(dumped));
+    }
     return out;
   }
 
@@ -252,7 +334,7 @@ RoutedResponse RoutingService::Process(const std::string& request) {
   // canned responses instead of a crash or a silent drop; query-shaped text
   // that grounds nowhere falls out as not-understood/unanswerable.
   unrouted_.fetch_add(1, std::memory_order_relaxed);
-  Stopwatch watch;
+  Stopwatch unrouted_watch;
   if (!hosts->slots.empty()) {
     ClassifiedRequest classified =
         hosts->slots[0]->host->engine().classifier().Classify(request);
@@ -275,7 +357,7 @@ RoutedResponse RoutingService::Process(const std::string& request) {
   }
   out.response.source = AnswerSource::kUnanswerable;
   out.response.answered = false;
-  out.response.seconds = watch.ElapsedSeconds();
+  out.response.seconds = unrouted_watch.ElapsedSeconds();
   return out;
 }
 
@@ -326,6 +408,91 @@ RouterStats RoutingService::stats() const {
         slot->routed_requests.load(std::memory_order_relaxed));
   }
   return out;
+}
+
+void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
+  // Runs under the registry's collector mutex on RenderText()/RenderJson().
+  // Everything read here is internally thread-safe (atomics, locked stats),
+  // so a render concurrent with serving sees a coherent-enough snapshot.
+  into.SetCounter("vq_router_requests_total",
+                  requests_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_routed_total",
+                  routed_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_unrouted_total",
+                  unrouted_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_registry_syncs_total",
+                  registry_syncs_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_purged_cache_entries_total",
+                  purged_cache_entries_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_sampled_traces_total",
+                  sampled_traces_.total_recorded());
+  into.SetCounter("vq_router_slow_queries_total", slow_queries_.total_recorded());
+  into.SetGauge("vq_router_retired_slots",
+                static_cast<double>(retired_count_.load(std::memory_order_relaxed)));
+
+  CacheStats cache_stats = cache_.TotalStats();
+  into.SetCounter("vq_cache_hits_total", cache_stats.hits);
+  into.SetCounter("vq_cache_misses_total", cache_stats.misses);
+  into.SetCounter("vq_cache_insertions_total", cache_stats.insertions);
+  into.SetCounter("vq_cache_evictions_total", cache_stats.evictions);
+  into.SetCounter("vq_cache_expirations_total", cache_stats.expirations);
+  into.SetCounter("vq_cache_byte_evictions_total", cache_stats.byte_evictions);
+  into.SetCounter("vq_cache_admission_rejects_total",
+                  cache_stats.admission_rejects);
+  into.SetCounter("vq_cache_quota_evictions_total", cache_stats.quota_evictions);
+  into.SetGauge("vq_cache_entries", static_cast<double>(cache_.size()));
+  into.SetGauge("vq_cache_bytes", static_cast<double>(cache_.TotalBytes()));
+
+  into.SetCounter("vq_coalescer_leaders_total", coalescer_.leaders());
+  into.SetCounter("vq_coalescer_coalesced_total", coalescer_.coalesced());
+  into.SetGauge("vq_coalescer_inflight",
+                static_cast<double>(coalescer_.InFlight()));
+
+  HostSetPtr hosts = CurrentHosts();
+  into.SetGauge("vq_router_hosts", static_cast<double>(hosts->slots.size()));
+  for (const auto& slot : hosts->slots) {
+    const std::string& dataset = slot->host->name();
+    auto labeled = [&dataset](const char* name) {
+      return obs::MetricsRegistry::WithLabel(name, "dataset", dataset);
+    };
+    into.SetCounter(labeled("vq_router_dataset_requests_total"),
+                    slot->routed_requests.load(std::memory_order_relaxed));
+    into.SetCounter(labeled("vq_router_dataset_errors_total"),
+                    slot->unanswered_requests.load(std::memory_order_relaxed));
+    HostStats host_stats = slot->host->stats();
+    into.SetCounter(labeled("vq_host_requests_total"), host_stats.requests);
+    into.SetCounter(labeled("vq_host_queries_total"), host_stats.queries);
+    into.SetCounter(labeled("vq_host_cache_hits_total"), host_stats.cache_hits);
+    into.SetCounter(labeled("vq_host_cache_misses_total"),
+                    host_stats.cache_misses);
+    into.SetCounter(labeled("vq_host_coalesced_waits_total"),
+                    host_stats.coalesced_waits);
+    into.SetCounter(labeled("vq_host_store_exact_hits_total"),
+                    host_stats.store_exact_hits);
+    into.SetCounter(labeled("vq_host_store_fallback_hits_total"),
+                    host_stats.store_fallback_hits);
+    into.SetCounter(labeled("vq_host_on_demand_summaries_total"),
+                    host_stats.on_demand_summaries);
+    into.SetCounter(labeled("vq_host_on_demand_passes_total"),
+                    host_stats.on_demand_passes);
+    into.SetCounter(labeled("vq_host_unanswerable_total"),
+                    host_stats.unanswerable);
+    into.SetGauge(labeled("vq_host_max_batch"),
+                  static_cast<double>(host_stats.max_batch));
+    into.SetGauge(labeled("vq_host_max_active_solves"),
+                  static_cast<double>(host_stats.max_active_solves));
+    into.SetGauge(labeled("vq_host_pending_learned"),
+                  static_cast<double>(slot->host->pending_learned()));
+    // Solver work counters ride the SAME field tables the struct itself
+    // defines (PerfCounters::ForEachField) -- a counter added there shows
+    // up here with zero further wiring, and there is no second
+    // serialization contract to drift.
+    PerfCounters perf = slot->host->perf();
+    perf.ForEachField([&](const char* field, uint64_t value) {
+      into.SetCounter(labeled((std::string("vq_engine_perf_") + field).c_str()),
+                      value);
+    });
+  }
 }
 
 std::string RoutingService::HelpText() const {

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine_host.h"
 #include "serve/registry.h"
 #include "util/snapshot_ptr.h"
@@ -53,13 +55,21 @@ struct RouterOptions {
   /// caching the answers they always cached.
   double cache_max_entry_fraction = 0.0;
   /// Fleet-wide default per-host behavior; a dataset with a registry policy
-  /// (DatasetEntry::policy) uses that instead. The default enables a
-  /// bounded TTL on negative results so stale apologies age out of the
-  /// shared cache (a later store reload or registry change can then answer).
+  /// (DatasetEntry::policy) merges its explicitly-set fields OVER this base
+  /// (HostOverrides::ApplyTo). The default enables a bounded TTL on negative
+  /// results so stale apologies age out of the shared cache (a later store
+  /// reload or registry change can then answer).
   HostOptions host = {.unanswerable_ttl_seconds = 60.0};
   /// A request routes only when the best coverage score exceeds this (and
   /// at least one token grounded). 0 accepts any grounding.
   double min_route_score = 0.0;
+  /// Where the service's metrics live (counters, gauges and latency
+  /// histograms; see README "Observability"). nullptr = the process-wide
+  /// obs::MetricsRegistry::Global(). Benches inject a private registry per
+  /// run so histogram-derived percentiles are isolated per scenario.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Capacity of the sampled-trace ring and the slow-query log (each).
+  size_t trace_log_capacity = 64;
 };
 
 /// One routed response: the host's answer plus the routing decision.
@@ -146,6 +156,18 @@ class RoutingService {
   const InflightCoalescer& coalescer() const { return coalescer_; }
   RouterStats stats() const;
 
+  /// The metrics registry this service reports into (RouterOptions::metrics
+  /// or the process Global()). RenderText()/RenderJson() on it include this
+  /// service's counters/gauges/histograms via a registered collector --
+  /// router, cache, coalescer, per-host stats and solver PerfCounters in
+  /// one snapshot call.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// Traces admitted by the per-dataset samplers (newest-last ring).
+  const obs::TraceLog& sampled_traces() const { return sampled_traces_; }
+  /// Traces of requests that exceeded their dataset's slow threshold
+  /// (HostOptions::slow_trace_seconds).
+  const obs::TraceLog& slow_queries() const { return slow_queries_; }
+
   /// Spoken help text enumerating the registered datasets.
   std::string HelpText() const;
 
@@ -157,6 +179,9 @@ class RoutingService {
     std::shared_ptr<const DatasetEntry> entry;
     std::unique_ptr<EngineHost> host;
     std::atomic<uint64_t> routed_requests{0};
+    /// Routed data-access queries answered with an apology (exported as the
+    /// per-dataset error counter).
+    std::atomic<uint64_t> unanswered_requests{0};
   };
   /// Immutable published host set for one registry version.
   struct HostSet {
@@ -199,8 +224,15 @@ class RoutingService {
   void ScheduleRetiredSweep() const;
   HostOptions OptionsFor(const DatasetEntry& entry) const;
 
-  RoutedResponse Process(const std::string& request);
+  /// `queue_wait_seconds`: time the request sat in the pool queue before a
+  /// worker picked it up (0 for AnswerNow).
+  RoutedResponse Process(const std::string& request, double queue_wait_seconds);
   RouteDecision RouteIn(const HostSet& hosts, const std::string& request) const;
+
+  /// Collector body: copies router/cache/coalescer/per-host stats and every
+  /// host's PerfCounters (via ForEachField -- one serialization contract)
+  /// into `into` as counters/gauges. Runs on RenderText()/RenderJson().
+  void ExportMetrics(obs::MetricsRegistry& into) const;
 
   const DatasetRegistry* registry_;
   RouterOptions options_;
@@ -228,6 +260,20 @@ class RoutingService {
   std::atomic<uint64_t> unrouted_{0};
   mutable std::atomic<uint64_t> registry_syncs_{0};
   mutable std::atomic<uint64_t> purged_cache_entries_{0};
+
+  /// Observability: instrument pointers are resolved once here (stable for
+  /// the registry's lifetime) so the request path never touches the
+  /// registry's name map.
+  obs::MetricsRegistry* metrics_;
+  obs::LatencyHistogram* request_hist_;        ///< total routed-request time
+  obs::LatencyHistogram* route_hist_;          ///< NLU coverage scoring
+  obs::LatencyHistogram* snapshot_hist_;       ///< host-set acquisition
+  obs::LatencyHistogram* queue_wait_hist_;     ///< pool queue wait (Submit)
+  obs::LatencyHistogram* retire_drain_hist_;   ///< retired-slot drain+purge
+  obs::TraceLog sampled_traces_;
+  obs::TraceLog slow_queries_;
+  uint64_t collector_id_ = 0;
+
   /// mutable: the (logically const) lazy sync schedules release tasks.
   mutable ThreadPool pool_;
 };

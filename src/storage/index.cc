@@ -1,10 +1,13 @@
 #include "storage/index.h"
 
+#include "obs/metrics.h"
 #include "storage/table.h"
+#include "util/stopwatch.h"
 
 namespace vq {
 
 TableIndex TableIndex::Build(const Table& table) {
+  Stopwatch watch;
   TableIndex index;
   index.num_rows_ = table.NumRows();
   index.num_targets_ = table.NumTargets();
@@ -38,6 +41,15 @@ TableIndex TableIndex::Build(const Table& table) {
       }
     }
   }
+  // Builds are rare (registration, first lazy warm) but expensive and
+  // latency-visible when they land on a serving path; both instruments sit
+  // in the process-global registry because Build is a static factory.
+  static obs::Counter* builds =
+      obs::MetricsRegistry::Global().GetCounter("vq_index_builds_total");
+  static obs::LatencyHistogram* build_hist =
+      obs::MetricsRegistry::Global().GetHistogram("vq_index_build_seconds");
+  builds->Increment();
+  build_hist->Record(watch.ElapsedSeconds());
   return index;
 }
 

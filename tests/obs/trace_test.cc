@@ -1,0 +1,138 @@
+// Trace-primitive suite: span stack shape (nesting depth, open-span dumps),
+// epoch-offset backfill, JSON form, the N-per-second token-bucket sampler
+// (with an injected clock) and the bounded TraceLog.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace vq {
+namespace obs {
+namespace {
+
+TEST(TraceTest, SpansNestWithDepth) {
+  Trace trace;
+  size_t outer = trace.BeginSpan("outer");
+  size_t inner = trace.BeginSpan("inner");
+  trace.EndSpan(inner);
+  trace.EndSpan(outer);
+  size_t sibling = trace.BeginSpan("sibling");
+  trace.EndSpan(sibling);
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_STREQ(trace.spans()[0].name, "outer");
+  EXPECT_EQ(trace.spans()[0].depth, 0);
+  EXPECT_STREQ(trace.spans()[1].name, "inner");
+  EXPECT_EQ(trace.spans()[1].depth, 1);
+  EXPECT_EQ(trace.spans()[2].depth, 0);
+  for (const TraceSpan& span : trace.spans()) {
+    EXPECT_GE(span.duration_seconds, 0.0) << span.name;
+    EXPECT_LE(span.start_seconds, trace.ElapsedSeconds());
+  }
+  // Inner is contained in outer.
+  EXPECT_GE(trace.spans()[1].start_seconds, trace.spans()[0].start_seconds);
+  EXPECT_LE(trace.spans()[1].duration_seconds, trace.spans()[0].duration_seconds);
+}
+
+TEST(TraceTest, ScopedSpanIsNullSafe) {
+  ScopedSpan noop(nullptr, "ignored");  // must not crash
+  Trace trace;
+  {
+    ScopedSpan span(&trace, "scoped");
+  }
+  ASSERT_EQ(trace.spans().size(), 1u);
+  EXPECT_GE(trace.spans()[0].duration_seconds, 0.0);
+}
+
+TEST(TraceTest, EpochOffsetShiftsBackfilledTimeline) {
+  Trace trace;
+  // Routing work that happened 5ms before the trace existed is backfilled
+  // at its true offsets, and the epoch shift makes subsequent live spans
+  // report on the same request-relative timeline.
+  trace.AddTimedSpan("queue_wait", -0.005, 0.005);
+  trace.AddTimedSpan("route", 0.0, 0.001);
+  trace.set_epoch_offset(0.001);
+  size_t live = trace.BeginSpan("compute");
+  trace.EndSpan(live);
+  ASSERT_EQ(trace.spans().size(), 3u);
+  EXPECT_DOUBLE_EQ(trace.spans()[0].start_seconds, -0.005);
+  // The live span starts at (or after) the end of the backfilled routing.
+  EXPECT_GE(trace.spans()[2].start_seconds, 0.001);
+}
+
+TEST(TraceTest, ToJsonDumpsOpenSpansWithDurationSoFar) {
+  Trace trace;
+  trace.BeginSpan("never_ended");
+  Json json = trace.ToJson("flights", "cancelled in winter", 0.25);
+  std::string dump = json.Dump();
+  EXPECT_NE(dump.find("\"dataset\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("flights"), std::string::npos);
+  EXPECT_NE(dump.find("cancelled in winter"), std::string::npos);
+  EXPECT_NE(dump.find("\"total_ms\""), std::string::npos);
+  EXPECT_NE(dump.find("never_ended"), std::string::npos);
+  // duration_ms of the open span is a non-negative duration-so-far, not -1.
+  EXPECT_EQ(dump.find("-1"), std::string::npos) << dump;
+}
+
+// --------------------------------------------------------------- sampler
+
+TEST(TraceSamplerTest, AdmitsNPerSecond) {
+  double now = 100.0;
+  TraceSampler sampler(3, [&now] { return now; });
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_FALSE(sampler.Admit());
+  EXPECT_FALSE(sampler.Admit());
+  now = 101.0;  // next wall second: bucket refills
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_TRUE(sampler.Admit());
+  EXPECT_FALSE(sampler.Admit());
+}
+
+TEST(TraceSamplerTest, ZeroRateNeverAdmits) {
+  TraceSampler sampler(0);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(sampler.Admit());
+}
+
+TEST(TraceSamplerTest, ConcurrentAdmitNeverOverAdmits) {
+  double now = 7.0;
+  TraceSampler sampler(16, [&now] { return now; });
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (sampler.Admit()) admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(admitted.load(), 16);
+}
+
+// -------------------------------------------------------------- trace log
+
+TEST(TraceLogTest, CapsAtCapacityDroppingOldest) {
+  TraceLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    Json entry = Json::Object();
+    entry.Set("request", Json::Int(i));
+    log.Record(std::move(entry));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+  std::vector<Json> entries = log.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Oldest (0, 1) dropped; newest last.
+  EXPECT_NE(entries.front().Dump().find("2"), std::string::npos);
+  EXPECT_NE(entries.back().Dump().find("4"), std::string::npos);
+  EXPECT_NE(log.ToJson().Dump().find("3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vq

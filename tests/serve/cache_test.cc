@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <set>
 #include <string>
 #include <thread>
@@ -318,6 +319,39 @@ TEST(ShardedSummaryCacheTest, OwnerQuotaEvictsOnlyThatOwnersEntries) {
   EXPECT_EQ(stats.quota_evictions, 3u);
   EXPECT_EQ(stats.evictions, 3u);
   EXPECT_EQ(stats.byte_evictions, 0u);
+}
+
+TEST(ShardedSummaryCacheTest, OwnerQuotaIsGlobalAcrossShards) {
+  // Keys hash across 8 shards, so per-shard accounting would see only a
+  // fraction of the owner's footprint in any one shard and never trim; the
+  // quota must bound the owner's SUMMED bytes across all shards.
+  ServedAnswerPtr sample = MakeAnswer(std::string(50, 's'));
+  size_t entry_bytes =
+      ShardedSummaryCache::EstimateEntryBytes("a00", sample, "owner_a");
+  ShardedSummaryCache cache(/*capacity=*/1000, /*num_shards=*/8);
+  size_t quota = 2 * entry_bytes + entry_bytes / 2;  // ~2.5 entries
+
+  for (int i = 0; i < 16; ++i) {
+    char key[8];
+    std::snprintf(key, sizeof(key), "a%02d", i);
+    ASSERT_TRUE(cache.Put(key, MakeAnswer(std::string(50, 's')), 0.0,
+                          "owner_a", quota));
+    ASSERT_TRUE(cache.Put("b" + std::to_string(i),
+                          MakeAnswer(std::string(50, 's')), 0.0, "owner_b", 0));
+  }
+  EXPECT_LE(cache.OwnerBytes("owner_a"), quota);
+  // The entry whose Put triggered enforcement is protected, never evicted
+  // to make room for itself.
+  EXPECT_TRUE(cache.Contains("a15"));
+  // The unlimited owner was untouched even where its entries share shards
+  // with the trimmed one.
+  size_t expected_b = 0;
+  for (int i = 0; i < 16; ++i) {
+    expected_b += ShardedSummaryCache::EstimateEntryBytes(
+        "b" + std::to_string(i), sample, "owner_b");
+  }
+  EXPECT_EQ(cache.OwnerBytes("owner_b"), expected_b);
+  EXPECT_GE(cache.TotalStats().quota_evictions, 13u);
 }
 
 TEST(ShardedSummaryCacheTest, PurgePrefixDropsExactlyThatPrefix) {

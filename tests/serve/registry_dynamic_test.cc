@@ -3,7 +3,8 @@
 // lazy host-set sync), removal guarantees (no routes to a removed dataset
 // after RemoveDataset returns, cache purge by fingerprint, generation-keyed
 // isolation across re-adds) and the per-dataset serving policies
-// (HostOptions per entry: TTLs, cache byte quotas, on-demand thread shares).
+// (HostOverrides per entry, merged over the fleet default: TTLs, cache byte
+// quotas, on-demand thread shares).
 // The concurrency hammer at the end runs under the serve-tsan preset.
 #include <gtest/gtest.h>
 
@@ -249,7 +250,7 @@ TEST(DynamicRegistryTest, LearnedFileNeverLeaksAcrossDataChanges) {
 
 TEST(DynamicRegistryTest, PerDatasetPoliciesOverrideTheFleetDefault) {
   DatasetRegistry registry;
-  HostOptions strict;
+  HostOverrides strict;
   strict.unanswerable_ttl_seconds = 5.0;
   strict.max_concurrent_solves = 1;
   strict.cache_byte_quota = 1 << 12;
@@ -263,20 +264,27 @@ TEST(DynamicRegistryTest, PerDatasetPoliciesOverrideTheFleetDefault) {
   RoutingService router(&registry);
   ASSERT_NE(router.host("re"), nullptr);
   ASSERT_NE(router.host("flights"), nullptr);
-  // The policy replaced the fleet default for "re" only.
+  // The policy's explicit fields override the fleet default for "re" only.
   EXPECT_DOUBLE_EQ(router.host("re")->options().unanswerable_ttl_seconds, 5.0);
   EXPECT_EQ(router.host("re")->options().max_concurrent_solves, 1u);
   EXPECT_EQ(router.host("re")->options().cache_byte_quota, size_t{1} << 12);
   EXPECT_DOUBLE_EQ(router.host("flights")->options().unanswerable_ttl_seconds,
                    60.0);
   EXPECT_EQ(router.host("flights")->options().cache_byte_quota, 0u);
+  // Merge semantics: every field the policy left unset keeps the FLEET
+  // value -- "re" still batches on-demand solves and keeps the fleet's
+  // trace sampling even though its policy never mentioned either.
+  EXPECT_EQ(router.host("re")->options().batch_on_demand,
+            RouterOptions{}.host.batch_on_demand);
+  EXPECT_EQ(router.host("re")->options().trace_samples_per_second,
+            RouterOptions{}.host.trace_samples_per_second);
 }
 
 TEST(DynamicRegistryTest, CacheByteQuotaBoundsOneDatasetsOccupancy) {
   DatasetRegistry registry;
   // A quota holding a handful of rendered answers; a single cache shard
   // makes the accounting deterministic.
-  HostOptions quota_policy;
+  HostOverrides quota_policy;
   quota_policy.cache_byte_quota = 2048;
   ASSERT_TRUE(registry
                   .AddGenerated("re", RunningExampleConfig(), 16, kSeed, {},
@@ -318,7 +326,7 @@ TEST(DynamicRegistryTest, ThreadShareCapsConcurrentSolves) {
   config.max_query_predicates = 1;
 
   DatasetRegistry registry;
-  HostOptions share;
+  HostOverrides share;
   share.max_concurrent_solves = 1;
   ASSERT_TRUE(
       registry.AddGenerated("flights", config, 400, kSeed, {}, share).ok());

@@ -49,12 +49,17 @@ Evaluator::Evaluator(const SummaryInstance* instance, const FactCatalog* catalog
   const SummaryInstance& inst = *instance_;
   size_t words = (inst.num_rows + 63) / 64;
   prior_dev_.resize(inst.num_rows);
-  // Zero-padded to whole blocks for the masked block-sum kernel (see header).
+  // Zero-padded to whole blocks for the masked block-sum and single-fact
+  // kernels (see header).
   prior_dev_weighted_.assign(words * 64, 0.0);
+  target_padded_.assign(words * 64, 0.0);
+  weight_padded_.assign(words * 64, 0.0);
   prior_block_weighted_.assign(words, 0.0);
   for (size_t r = 0; r < inst.num_rows; ++r) {
     prior_dev_[r] = std::fabs(inst.prior - inst.target[r]);
     prior_dev_weighted_[r] = prior_dev_[r] * inst.weight[r];
+    target_padded_[r] = inst.target[r];
+    weight_padded_[r] = inst.weight[r];
     prior_block_weighted_[r >> 6] += prior_dev_weighted_[r];
   }
 }
@@ -99,6 +104,39 @@ double Evaluator::Error(std::span<const FactId> speech, ConflictModel model) con
     // Uncovered rows of a partially covered block: one masked kernel sum.
     // Bits past num_rows select only the array's zero padding.
     error += kernels.masked_sum64(prior_dev_weighted_.data() + base, ~cover);
+    // Under kClosest (the optimization model, so the exact search's leaf
+    // path), rows covered by exactly ONE fact need no conflict resolution:
+    // the listener picks that fact's value or the prior, whichever is
+    // closer, so the row contributes min(weighted fact deviation, weighted
+    // prior deviation) -- one branchless masked kernel call per (fact,
+    // word). The incremental OR below separates those rows from the
+    // multi-fact ones, which keep the row-at-a-time ExpectedValue loop.
+    if (model == ConflictModel::kClosest && bits.size() > 1) {
+      uint64_t acc = 0;
+      uint64_t multi = 0;
+      for (size_t f = 0; f < bits.size(); ++f) {
+        multi |= acc & bits[f][w];
+        acc |= bits[f][w];
+      }
+      uint64_t single = cover & ~multi;
+      for (size_t f = 0; f < bits.size() && single != 0; ++f) {
+        uint64_t mine = bits[f][w] & single;
+        if (mine == 0) continue;
+        single &= ~mine;
+        error += kernels.masked_single_fact(
+            all_values[f], target_padded_.data() + base,
+            weight_padded_.data() + base, prior_dev_weighted_.data() + base,
+            mine);
+      }
+      cover = multi;
+    } else if (model == ConflictModel::kClosest && bits.size() == 1) {
+      // A one-fact speech: every covered row is single-covered.
+      error += kernels.masked_single_fact(
+          all_values[0], target_padded_.data() + base,
+          weight_padded_.data() + base, prior_dev_weighted_.data() + base,
+          cover);
+      continue;
+    }
     // Covered rows resolve conflicting facts row by row (semantic core).
     while (cover != 0) {
       size_t r = base + static_cast<size_t>(std::countr_zero(cover));

@@ -71,7 +71,11 @@ struct PerfCounters {
 /// blocks reduce with the masked block-sum kernel over the padded
 /// prior-deviation array, and the initialization join streams the catalog's
 /// SoA block-delta tables (ScopeDevs/ScopeWeights) through the positive-gain
-/// gather kernel. Results match the *Reference paths to relative 1e-12 (the
+/// gather kernel. Under kClosest, rows covered by exactly one speech fact
+/// additionally resolve branchlessly through the masked single-fact kernel
+/// (their contribution is min(weighted fact deviation, weighted prior
+/// deviation)); only rows covered by SEVERAL facts still walk the
+/// row-at-a-time ExpectedValue conflict loop. Results match the *Reference paths to relative 1e-12 (the
 /// kernels reassociate sums; the forced-scalar table is bit-identical), and
 /// counter totals are unchanged.
 class Evaluator {
@@ -126,6 +130,13 @@ class Evaluator {
   /// cover masks never select them).
   std::vector<double> prior_dev_;
   std::vector<double> prior_dev_weighted_;
+  /// Block-padded copies of the instance's target and weight columns (same
+  /// padding contract), the inputs of the masked single-fact kernel: under
+  /// kClosest, rows covered by exactly ONE speech fact resolve branchlessly
+  /// as min(weighted fact deviation, weighted prior deviation) -- see
+  /// Error(). Rows covered by several facts still go through ExpectedValue.
+  std::vector<double> target_padded_;
+  std::vector<double> weight_padded_;
   /// Weighted prior deviation summed per 64-row block: the O(1) reduction
   /// for blocks no speech fact covers.
   std::vector<double> prior_block_weighted_;

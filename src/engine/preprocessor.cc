@@ -45,6 +45,10 @@ Result<SpeechStore> Preprocess(const Table& table, const Configuration& config,
   // Every worker's scope materialization routes through the scan planner,
   // which reads the table's inverted index; building it once up front keeps
   // the first wave of parallel solves from serializing on the lazy build.
+  // On a multi-shard (paper-scale) table the build itself fans shard builds
+  // across the scan pool, and the workers' later multi-shard filters fan out
+  // there too -- the scan pool is deliberately distinct from options.pool,
+  // so a solve worker blocking on its filter can never deadlock the fan-out.
   // Warmed even with zero generated queries: pre-processing is the dynamic
   // registry's last step before a dataset becomes routable, and the serving
   // layer's first on-demand miss hits the index immediately. Touching the

@@ -64,6 +64,14 @@ std::vector<std::vector<uint32_t>> FilterRowsMulti(
   return PlannedFilterRowsMulti(table, predicate_sets, options);
 }
 
+std::vector<ScanPartials> FilterRowsMultiPartials(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets) {
+  ScanPlannerOptions options;
+  options.stats = &GlobalScanStats();
+  options.per_table_stats = true;
+  return PlannedFilterRowsMultiPartials(table, predicate_sets, options);
+}
+
 bool IsSubsetOf(const PredicateSet& subset, const PredicateSet& superset) {
   for (const auto& p : subset) {
     bool found = false;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "relational/scan_partial.h"
 #include "storage/table.h"
 #include "util/status.h"
 
@@ -45,6 +46,13 @@ std::vector<uint32_t> FilterRows(const Table& table, const PredicateSet& predica
 /// serving layer's batched on-demand path groups concurrent misses on the
 /// same target and resolves their subsets here.
 std::vector<std::vector<uint32_t>> FilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets);
+
+/// FilterRowsMulti without the final merge: out[i][s] is predicate set i's
+/// answer on shard s (see relational/scan_partial.h for the id contract).
+/// Consumers that iterate rows anyway -- the serving layer's batch solves --
+/// take this form and merge (or stream) the partials themselves.
+std::vector<ScanPartials> FilterRowsMultiPartials(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets);
 
 /// True if `subset` is contained in `superset` (predicate-set inclusion,

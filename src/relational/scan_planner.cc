@@ -1,11 +1,14 @@
 #include "relational/scan_planner.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 
 #include "obs/metrics.h"
 #include "storage/index.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace vq {
 
@@ -88,6 +91,33 @@ obs::Counter* PlanCounter(ScanStrategy strategy) {
   return counters[static_cast<size_t>(strategy)];
 }
 
+/// Shards dispatched to the scan pool across all parallel fan-outs (the
+/// fan-out width counter: each parallel filter adds its shard count).
+obs::Counter* FanoutCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "vq_scan_shard_fanout_total");
+  return counter;
+}
+
+/// Per-shard filter latency under a SAMPLED shard label: the first
+/// kShardLabels ordinals get their own series, everything beyond collapses
+/// into shard="other" -- a 48-shard table must not mint 48 histogram series.
+constexpr size_t kShardLabels = 8;
+obs::LatencyHistogram* ShardHistogram(size_t shard) {
+  static obs::LatencyHistogram* hists[kShardLabels + 1] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (size_t s = 0; s < kShardLabels; ++s) {
+      hists[s] = obs::MetricsRegistry::Global().GetHistogram(
+          obs::MetricsRegistry::WithLabel("vq_scan_shard_filter_seconds",
+                                          "shard", std::to_string(s)));
+    }
+    hists[kShardLabels] = obs::MetricsRegistry::Global().GetHistogram(
+        obs::MetricsRegistry::WithLabel("vq_scan_shard_filter_seconds",
+                                        "shard", "other"));
+  });
+  return hists[std::min(shard, kShardLabels)];
+}
 
 /// Forced-alternate-path exploration, shared by the single and batched
 /// funnels: every kProbePeriod-th eligible decision (multi-predicate, both
@@ -162,6 +192,194 @@ void GallopIntersect(std::vector<uint32_t>* result, std::span<const uint32_t> li
   result->resize(kept);
 }
 
+// ----------------------------------------------------- per-shard execution
+// Each shard answers the filter over ITS posting lists or ITS slice of the
+// table's columns, emitting shard-local ascending row ids (the ScanPartial
+// contract). For a single-shard table these are exactly the pre-shard
+// global-id paths, so results are bit-identical by construction; for
+// multi-shard tables shard-order concatenation restores the global order.
+
+/// Galloping intersection over one shard, shortest shard-local list first.
+/// `driver_rows` (optional) receives the shard-local driver list length,
+/// the normalizer for this shard's ScanStats sample.
+ScanPartial ShardFilterPostings(const ShardIndex& shard,
+                                const PredicateSet& predicates,
+                                size_t* driver_rows = nullptr) {
+  ScanPartial partial{shard.ordinal(), shard.base(), {}};
+  std::vector<size_t> order(predicates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return shard.Count(static_cast<size_t>(predicates[a].dim), predicates[a].value) <
+           shard.Count(static_cast<size_t>(predicates[b].dim), predicates[b].value);
+  });
+  std::span<const uint32_t> driver = shard.Postings(
+      static_cast<size_t>(predicates[order[0]].dim), predicates[order[0]].value);
+  if (driver_rows != nullptr) *driver_rows = driver.size();
+  partial.rows.assign(driver.begin(), driver.end());
+  for (size_t i = 1; i < order.size() && !partial.rows.empty(); ++i) {
+    const EqPredicate& p = predicates[order[i]];
+    GallopIntersect(&partial.rows,
+                    shard.Postings(static_cast<size_t>(p.dim), p.value));
+  }
+  return partial;
+}
+
+/// Column scan over one shard's row range of the table's contiguous columns.
+ScanPartial ShardFilterColumnScan(const Table& table, const ShardIndex& shard,
+                                  const PredicateSet& predicates) {
+  ScanPartial partial{shard.ordinal(), shard.base(), {}};
+  uint32_t base = shard.base();
+  uint32_t rows = shard.num_rows();
+  if (predicates.empty()) {
+    partial.rows.resize(rows);
+    std::iota(partial.rows.begin(), partial.rows.end(), 0);
+    return partial;
+  }
+  // First predicate: tight scan over the shard's slice of one code column.
+  {
+    const ValueId* column =
+        table.DimColumn(static_cast<size_t>(predicates[0].dim)).data() + base;
+    ValueId want = predicates[0].value;
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (column[r] == want) partial.rows.push_back(r);
+    }
+  }
+  // Each further predicate refines the survivors against its column.
+  for (size_t i = 1; i < predicates.size() && !partial.rows.empty(); ++i) {
+    const ValueId* column =
+        table.DimColumn(static_cast<size_t>(predicates[i].dim)).data() + base;
+    ValueId want = predicates[i].value;
+    size_t kept = 0;
+    for (uint32_t row : partial.rows) {
+      if (column[row] == want) partial.rows[kept++] = row;
+    }
+    partial.rows.resize(kept);
+  }
+  return partial;
+}
+
+/// One shard's share of `plan`. kEmptyResult never reaches here (handled
+/// without touching shards).
+ScanPartial ExecuteShard(const Table& table, const ShardIndex& shard,
+                         const PredicateSet& predicates, ScanStrategy strategy,
+                         size_t* driver_rows = nullptr) {
+  switch (strategy) {
+    case ScanStrategy::kAllRows: {
+      ScanPartial partial{shard.ordinal(), shard.base(), {}};
+      partial.rows.resize(shard.num_rows());
+      std::iota(partial.rows.begin(), partial.rows.end(), 0);
+      return partial;
+    }
+    case ScanStrategy::kEmptyResult:
+      return ScanPartial{shard.ordinal(), shard.base(), {}};
+    case ScanStrategy::kPostings:
+      return ShardFilterPostings(shard, predicates, driver_rows);
+    case ScanStrategy::kColumnScan:
+      return ShardFilterColumnScan(table, shard, predicates);
+  }
+  return ShardFilterColumnScan(table, shard, predicates);
+}
+
+/// Empty partials for every shard (the kEmptyResult answer, shaped like any
+/// other partial set so consumers never special-case it).
+ScanPartials EmptyPartials(const TableIndex& index) {
+  ScanPartials partials;
+  partials.reserve(index.num_shards());
+  for (const ShardIndex& shard : index.shards()) {
+    partials.push_back(ScanPartial{shard.ordinal(), shard.base(), {}});
+  }
+  return partials;
+}
+
+ThreadPool* ResolvePool(const ScanPlannerOptions& options) {
+  return options.pool != nullptr ? options.pool : &ScanPool();
+}
+
+/// True when this call should fan shards out instead of looping them: more
+/// than one shard, a pool that can actually parallelize, and a caller that
+/// is not itself a worker of that pool (a nested fan-out would block a
+/// worker on tasks the saturated pool may never start).
+bool ShouldFanOut(const TableIndex& index, ThreadPool* pool) {
+  return index.num_shards() > 1 && pool->NumThreads() > 1 &&
+         pool->CurrentWorkerIndex() == ThreadPool::kNotAWorker;
+}
+
+/// Fans `run_shard(s)` for every shard across `pool` with shard->worker
+/// affinity hints, and blocks until THIS call's tasks finish (a private
+/// countdown, not pool Wait(): concurrent filters share the pool and must
+/// not wait on each other's tasks). Each completed task re-records which
+/// worker ran it as the next hint for that shard.
+void RunShardFanout(const TableIndex& index, ThreadPool* pool,
+                    const std::function<void(size_t)>& run_shard) {
+  size_t num_shards = index.num_shards();
+  FanoutCounter()->Increment(num_shards);
+  std::mutex mutex;
+  std::condition_variable done;
+  size_t remaining = num_shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto task = [&, s] {
+      Stopwatch watch;
+      run_shard(s);
+      ShardHistogram(s)->Record(watch.ElapsedSeconds());
+      size_t worker = pool->CurrentWorkerIndex();
+      if (worker != ThreadPool::kNotAWorker) {
+        index.set_shard_last_worker(s, static_cast<uint32_t>(worker));
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) done.notify_one();
+    };
+    uint32_t hint = index.shard_last_worker(s);
+    if (hint == TableIndex::kNoWorker) {
+      pool->Submit(std::move(task));
+    } else {
+      pool->SubmitHinted(hint, std::move(task));
+    }
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+/// Executes `plan` over every shard into partials: sequentially for
+/// single-shard tables (exactly the pre-shard code path), else fanned out
+/// across the pool. Parallel shard tasks additionally train their shard's
+/// own ScanStats from the observed per-shard cost.
+ScanPartials ExecutePlanPartials(const Table& table,
+                                 const PredicateSet& predicates,
+                                 const ScanPlan& plan,
+                                 const ScanPlannerOptions& options) {
+  const TableIndex& index = table.index();
+  if (plan.strategy == ScanStrategy::kEmptyResult) return EmptyPartials(index);
+  ScanPartials partials(index.num_shards());
+  ThreadPool* pool = ResolvePool(options);
+  if (!ShouldFanOut(index, pool)) {
+    for (size_t s = 0; s < index.num_shards(); ++s) {
+      partials[s] = ExecuteShard(table, index.shard(s), predicates, plan.strategy);
+    }
+    return partials;
+  }
+  bool shard_stats = plan.strategy == ScanStrategy::kPostings ||
+                     plan.strategy == ScanStrategy::kColumnScan;
+  RunShardFanout(index, pool, [&](size_t s) {
+    const ShardIndex& shard = index.shard(s);
+    Stopwatch watch;
+    size_t driver_rows = 0;
+    partials[s] =
+        ExecuteShard(table, shard, predicates, plan.strategy, &driver_rows);
+    if (!shard_stats) return;
+    double seconds = watch.ElapsedSeconds();
+    if (plan.strategy == ScanStrategy::kPostings) {
+      if (predicates.size() > 1) {
+        shard.scan_stats().RecordPostings(std::max<size_t>(driver_rows, 1),
+                                          seconds);
+      }
+    } else {
+      shard.scan_stats().RecordScan(std::max<uint32_t>(shard.num_rows(), 1),
+                                    seconds);
+    }
+  });
+  return partials;
+}
+
 }  // namespace
 
 const char* ScanStrategyName(ScanStrategy strategy) {
@@ -226,77 +444,41 @@ ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
 std::vector<uint32_t> FilterRowsPostings(const Table& table,
                                          const PredicateSet& predicates) {
   const TableIndex& index = table.index();
-  // Intersect in ascending posting-list length: the driver bounds the work
-  // of every later gallop.
-  std::vector<size_t> order(predicates.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return index.Count(static_cast<size_t>(predicates[a].dim), predicates[a].value) <
-           index.Count(static_cast<size_t>(predicates[b].dim), predicates[b].value);
-  });
-  std::span<const uint32_t> driver = index.Postings(
-      static_cast<size_t>(predicates[order[0]].dim), predicates[order[0]].value);
-  std::vector<uint32_t> result(driver.begin(), driver.end());
-  for (size_t i = 1; i < order.size() && !result.empty(); ++i) {
-    const EqPredicate& p = predicates[order[i]];
-    GallopIntersect(&result, index.Postings(static_cast<size_t>(p.dim), p.value));
+  ScanPartials partials;
+  partials.reserve(index.num_shards());
+  for (const ShardIndex& shard : index.shards()) {
+    partials.push_back(ShardFilterPostings(shard, predicates));
   }
-  return result;
+  return MergeScanPartials(std::move(partials));
 }
 
 std::vector<uint32_t> FilterRowsColumnScan(const Table& table,
                                            const PredicateSet& predicates) {
-  std::vector<uint32_t> result;
-  if (predicates.empty()) {
-    result.resize(table.NumRows());
-    std::iota(result.begin(), result.end(), 0);
-    return result;
+  const TableIndex& index = table.index();
+  ScanPartials partials;
+  partials.reserve(index.num_shards());
+  for (const ShardIndex& shard : index.shards()) {
+    partials.push_back(ShardFilterColumnScan(table, shard, predicates));
   }
-  // First predicate: tight scan over one contiguous code column.
-  {
-    const std::vector<ValueId>& column =
-        table.DimColumn(static_cast<size_t>(predicates[0].dim));
-    ValueId want = predicates[0].value;
-    for (size_t r = 0; r < column.size(); ++r) {
-      if (column[r] == want) result.push_back(static_cast<uint32_t>(r));
-    }
-  }
-  // Each further predicate refines the survivors against its column.
-  for (size_t i = 1; i < predicates.size() && !result.empty(); ++i) {
-    const std::vector<ValueId>& column =
-        table.DimColumn(static_cast<size_t>(predicates[i].dim));
-    ValueId want = predicates[i].value;
-    size_t kept = 0;
-    for (uint32_t row : result) {
-      if (column[row] == want) result[kept++] = row;
-    }
-    result.resize(kept);
-  }
-  return result;
+  return MergeScanPartials(std::move(partials));
 }
 
 std::vector<uint32_t> ExecuteScanPlan(const Table& table,
                                       const PredicateSet& predicates,
                                       const ScanPlan& plan) {
-  switch (plan.strategy) {
-    case ScanStrategy::kAllRows: {
-      std::vector<uint32_t> all(table.NumRows());
-      std::iota(all.begin(), all.end(), 0);
-      return all;
-    }
-    case ScanStrategy::kEmptyResult:
-      return {};
-    case ScanStrategy::kPostings:
-      return FilterRowsPostings(table, predicates);
-    case ScanStrategy::kColumnScan:
-      return FilterRowsColumnScan(table, predicates);
+  const TableIndex& index = table.index();
+  if (plan.strategy == ScanStrategy::kEmptyResult) return {};
+  ScanPartials partials;
+  partials.reserve(index.num_shards());
+  for (const ShardIndex& shard : index.shards()) {
+    partials.push_back(ExecuteShard(table, shard, predicates, plan.strategy));
   }
-  return FilterRowsColumnScan(table, predicates);
+  return MergeScanPartials(std::move(partials));
 }
 
-std::vector<uint32_t> PlannedFilterRows(const Table& table,
-                                        const PredicateSet& predicates,
-                                        const ScanPlannerOptions& options) {
+ScanPartials PlannedFilterRowsPartials(const Table& table,
+                                       const PredicateSet& predicates,
+                                       const ScanPlannerOptions& options) {
   ScanPlan plan = PlanScan(table, predicates, options);
   (void)MaybeProbeAlternate(table, options, predicates, &plan);
   // Statistics feedback: time the execution and charge it to the path that
@@ -304,28 +486,36 @@ std::vector<uint32_t> PlannedFilterRows(const Table& table,
   // that actually train the model pay for the clock: single-predicate
   // postings are unconditional copies (they say nothing about intersection
   // cost), and kAllRows/kEmptyResult are O(1) answers -- none of them may
-  // tax the nanoseconds-scale fast path with stopwatch calls.
+  // tax the nanoseconds-scale fast path with stopwatch calls. On
+  // multi-shard tables the sample is the fan-out's WALL time: the learned
+  // cost is the cost the caller actually observes.
   bool trains_postings = plan.strategy == ScanStrategy::kPostings &&
                          predicates.size() > 1;
   bool trains_scan = plan.strategy == ScanStrategy::kColumnScan;
   if (!RecordsStats(options) || (!trains_postings && !trains_scan)) {
-    return ExecuteScanPlan(table, predicates, plan);
+    return ExecutePlanPartials(table, predicates, plan, options);
   }
   Stopwatch watch;
-  std::vector<uint32_t> result = ExecuteScanPlan(table, predicates, plan);
+  ScanPartials partials = ExecutePlanPartials(table, predicates, plan, options);
   double seconds = watch.ElapsedSeconds();
   if (trains_postings) {
     RecordPostingsSample(table, options, plan.estimated_rows, seconds);
   } else {
     RecordScanSample(table, options, table.NumRows(), seconds);
   }
-  return result;
+  return partials;
 }
 
-std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
+std::vector<uint32_t> PlannedFilterRows(const Table& table,
+                                        const PredicateSet& predicates,
+                                        const ScanPlannerOptions& options) {
+  return MergeScanPartials(PlannedFilterRowsPartials(table, predicates, options));
+}
+
+std::vector<ScanPartials> PlannedFilterRowsMultiPartials(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
     const ScanPlannerOptions& options) {
-  std::vector<std::vector<uint32_t>> out(predicate_sets.size());
+  std::vector<ScanPartials> out(predicate_sets.size());
   // Selective sets are answered from posting lists; the rest share one pass.
   std::vector<size_t> scan_sets;
   for (size_t q = 0; q < predicate_sets.size(); ++q) {
@@ -337,7 +527,7 @@ std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
     bool probed = MaybeProbeAlternate(table, options, predicates, &plan);
     if (plan.strategy == ScanStrategy::kColumnScan && probed) {
       Stopwatch watch;
-      out[q] = ExecuteScanPlan(table, predicates, plan);
+      out[q] = ExecutePlanPartials(table, predicates, plan, options);
       RecordScanSample(table, options, table.NumRows(), watch.ElapsedSeconds());
     } else if (plan.strategy == ScanStrategy::kColumnScan) {
       scan_sets.push_back(q);
@@ -347,27 +537,63 @@ std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
       // Same single-path rule as PlannedFilterRows: only executions that
       // train the model pay for the clock.
       Stopwatch watch;
-      out[q] = ExecuteScanPlan(table, predicates, plan);
+      out[q] = ExecutePlanPartials(table, predicates, plan, options);
       RecordPostingsSample(table, options, plan.estimated_rows,
                            watch.ElapsedSeconds());
     } else {
-      out[q] = ExecuteScanPlan(table, predicates, plan);
+      out[q] = ExecutePlanPartials(table, predicates, plan, options);
     }
   }
   if (!scan_sets.empty()) {
-    size_t n = table.NumRows();
-    Stopwatch watch;
-    for (size_t r = 0; r < n; ++r) {
-      for (size_t q : scan_sets) {
-        if (RowMatches(table, r, *predicate_sets[q])) {
-          out[q].push_back(static_cast<uint32_t>(r));
+    const TableIndex& index = table.index();
+    for (size_t q : scan_sets) out[q] = EmptyPartials(index);
+    // The shared pass visits each shard once, checking every batched set
+    // against each row of that shard -- the per-shard unit of the same
+    // one-pass contract the unsharded code kept per table. Multi-shard
+    // tables fan the shard passes out like the single-filter path.
+    auto scan_shard = [&](size_t s) {
+      const ShardIndex& shard = index.shard(s);
+      uint32_t base = shard.base();
+      uint32_t rows = shard.num_rows();
+      for (uint32_t r = 0; r < rows; ++r) {
+        for (size_t q : scan_sets) {
+          if (RowMatches(table, base + r, *predicate_sets[q])) {
+            out[q][s].rows.push_back(r);
+          }
         }
       }
+    };
+    ThreadPool* pool = ResolvePool(options);
+    size_t n = table.NumRows();
+    Stopwatch watch;
+    if (!ShouldFanOut(index, pool)) {
+      for (size_t s = 0; s < index.num_shards(); ++s) scan_shard(s);
+    } else {
+      RunShardFanout(index, pool, [&](size_t s) {
+        const ShardIndex& shard = index.shard(s);
+        Stopwatch shard_watch;
+        scan_shard(s);
+        shard.scan_stats().RecordScan(
+            std::max<size_t>(size_t{shard.num_rows()} * scan_sets.size(), 1),
+            shard_watch.ElapsedSeconds());
+      });
     }
     // The batch shares ONE pass: charge its per-row cost once, normalized
     // by the rows scanned (the planner compares per-set costs, and each
     // set's marginal share of a shared pass is at most one full scan).
     RecordScanSample(table, options, n * scan_sets.size(), watch.ElapsedSeconds());
+  }
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
+    const ScanPlannerOptions& options) {
+  std::vector<ScanPartials> partials =
+      PlannedFilterRowsMultiPartials(table, predicate_sets, options);
+  std::vector<std::vector<uint32_t>> out(partials.size());
+  for (size_t q = 0; q < partials.size(); ++q) {
+    out[q] = MergeScanPartials(std::move(partials[q]));
   }
   return out;
 }

@@ -10,6 +10,15 @@
 // paths emit row ids in ascending order, so results are bit-identical to the
 // seed row-at-a-time loop (tests/relational/scan_planner_test.cc proves this
 // by property testing all three).
+//
+// Since the sharded-storage refactor a filter executes PER SHARD: each shard
+// answers over its own posting lists (or its slice of the columns) into a
+// ScanPartial (relational/scan_partial.h), and multi-shard tables fan the
+// shard tasks across the scan pool (util/thread_pool.h) with shard->worker
+// affinity hints before merging the partials in shard order -- which keeps
+// results bit-identical to the single-shard path
+// (tests/relational/sharded_scan_test.cc property-tests this across shard
+// counts).
 #ifndef VQ_RELATIONAL_SCAN_PLANNER_H_
 #define VQ_RELATIONAL_SCAN_PLANNER_H_
 
@@ -17,10 +26,13 @@
 #include <vector>
 
 #include "relational/predicate.h"
+#include "relational/scan_partial.h"
 #include "storage/table.h"
 #include "util/scan_stats.h"
 
 namespace vq {
+
+class ThreadPool;
 
 /// Process-wide statistics instance: FilterRows/FilterRowsMulti (the funnel
 /// every subsystem materializes subsets through) record into and plan from
@@ -83,6 +95,12 @@ struct ScanPlannerOptions {
   /// inject a specific ScanStats stay deterministic.
   bool per_table_stats = false;
   uint64_t table_stats_min_samples = 16;
+  /// Pool for the multi-shard fan-out; nullptr uses the process-wide
+  /// ScanPool(). Benches inject fixed-size pools here to measure the
+  /// rows x threads scaling curve; tests inject small pools to exercise the
+  /// parallel merge deterministically on any machine. Single-shard tables
+  /// never touch a pool.
+  ThreadPool* pool = nullptr;
 };
 
 /// Plans one conjunction against `table` (builds the table index on first
@@ -90,7 +108,8 @@ struct ScanPlannerOptions {
 ScanPlan PlanScan(const Table& table, const PredicateSet& predicates,
                   const ScanPlannerOptions& options = {});
 
-/// Executes `plan` for the predicates it was planned from.
+/// Executes `plan` for the predicates it was planned from (per shard,
+/// sequentially, merged -- the parallel path lives in the Planned* calls).
 std::vector<uint32_t> ExecuteScanPlan(const Table& table,
                                       const PredicateSet& predicates,
                                       const ScanPlan& plan);
@@ -100,17 +119,33 @@ std::vector<uint32_t> PlannedFilterRows(const Table& table,
                                         const PredicateSet& predicates,
                                         const ScanPlannerOptions& options = {});
 
+/// Plan + execute, returning the per-shard partials UNMERGED (ascending
+/// shard order, one entry per shard). The composable form consumers that
+/// want shard-local results build on; PlannedFilterRows is exactly
+/// MergeScanPartials() of this.
+ScanPartials PlannedFilterRowsPartials(const Table& table,
+                                       const PredicateSet& predicates,
+                                       const ScanPlannerOptions& options = {});
+
 /// Batched variant behind FilterRowsMulti: predicate sets whose plan says
 /// kColumnScan share ONE pass over the table (the serving layer's batched
-/// on-demand contract), while selective sets are answered individually from
-/// posting lists.
+/// on-demand contract) -- parallelized across shards on multi-shard tables
+/// -- while selective sets are answered individually from posting lists.
 std::vector<std::vector<uint32_t>> PlannedFilterRowsMulti(
     const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
     const ScanPlannerOptions& options = {});
 
+/// Batched variant returning per-set, per-shard partials (out[q][s] is
+/// predicate set q's answer on shard s). What EngineHost's batch solves
+/// consume directly.
+std::vector<ScanPartials> PlannedFilterRowsMultiPartials(
+    const Table& table, const std::vector<const PredicateSet*>& predicate_sets,
+    const ScanPlannerOptions& options = {});
+
 /// The two execution paths, exposed for equivalence tests and benches.
-/// Postings: galloping intersection, shortest list first. Scan: one column
-/// at a time, first predicate's matches refined by each further column.
+/// Postings: per-shard galloping intersection, shortest list first. Scan:
+/// one column at a time per shard, first predicate's matches refined by each
+/// further column. Both sequential over shards.
 std::vector<uint32_t> FilterRowsPostings(const Table& table,
                                          const PredicateSet& predicates);
 std::vector<uint32_t> FilterRowsColumnScan(const Table& table,

@@ -322,7 +322,15 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
     for (const auto& pending : batch) {
       predicate_sets.push_back(&pending->query.predicates);
     }
-    rows = FilterRowsMulti(table, predicate_sets);
+    // Partials form: on multi-shard tables the filter fans out across the
+    // scan pool and each query's answer arrives as per-shard pieces; the
+    // merge below is the only per-query serial work left on this thread.
+    std::vector<ScanPartials> partials =
+        FilterRowsMultiPartials(table, predicate_sets);
+    rows.resize(partials.size());
+    for (size_t q = 0; q < partials.size(); ++q) {
+      rows[q] = MergeScanPartials(std::move(partials[q]));
+    }
 
     // The prior is shared too: under the default global-average prior every
     // query in the batch uses the same constant, computed once per target

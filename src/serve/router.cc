@@ -23,7 +23,7 @@ RoutingService::RoutingService(const DatasetRegistry* registry,
       retire_drain_hist_(metrics_->GetHistogram("vq_router_retire_drain_seconds")),
       sampled_traces_(options.trace_log_capacity),
       slow_queries_(options.trace_log_capacity),
-      pool_(options.num_threads) {
+      pool_(options.num_threads, ThreadPoolOptions{.numa_pin = true}) {
   cache_.AttachMetrics(metrics_);
   // Eager initial build so the constructor's cost (host construction per
   // dataset) is not paid by the first request.

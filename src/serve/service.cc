@@ -10,7 +10,7 @@ SummaryService::SummaryService(const VoiceQueryEngine* engine,
     : cache_(options.cache_capacity, options.cache_shards, {},
              options.cache_byte_budget, options.cache_max_entry_fraction),
       host_(engine->config().table, engine, &cache_, &coalescer_, options.host),
-      pool_(options.num_threads) {}
+      pool_(options.num_threads, ThreadPoolOptions{.numa_pin = true}) {}
 
 SummaryService::~SummaryService() { Drain(); }
 

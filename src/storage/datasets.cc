@@ -20,6 +20,23 @@ std::vector<std::string> MakeNames(const std::string& prefix, size_t count) {
   return out;
 }
 
+// Paper-scale generation (10-50M rows) cannot afford a per-row string
+// round-trip through Dictionary::Intern, so every generator pre-interns its
+// value lists once -- in declaration order, making dictionary code ==
+// enumeration index -- and appends pre-encoded rows into pre-reserved
+// columns. The drawn values are identical to the old string path (the rng
+// call sequence is unchanged); only the dictionary code ORDER differs
+// (first-appearance order before, declaration order now), which nothing
+// observes through the name-based predicate API.
+
+void InternAll(Table* table, size_t dim, const char* const* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) table->mutable_dict(dim).Intern(values[i]);
+}
+
+void InternAll(Table* table, size_t dim, const std::vector<std::string>& values) {
+  for (const auto& v : values) table->mutable_dict(dim).Intern(v);
+}
+
 }  // namespace
 
 Table MakeRunningExampleTable() {
@@ -63,6 +80,15 @@ Table MakeFlightsTable(size_t rows, uint64_t seed) {
                                 "May",     "June",     "July",      "August",
                                 "September", "October", "November", "December"};
   const char* const times[] = {"Morning", "Afternoon", "Evening", "Night"};
+  static const char* const season_of[] = {"Winter", "Spring", "Summer", "Fall"};
+
+  InternAll(&table, 0, airlines);
+  InternAll(&table, 1, states);
+  InternAll(&table, 2, kRegions, 4);
+  InternAll(&table, 3, season_of, 4);
+  InternAll(&table, 4, months, 12);
+  InternAll(&table, 5, times, 4);
+  table.ReserveRows(rows);
 
   Rng rng(seed);
   // Planted per-value effects (deterministic in the seed).
@@ -73,6 +99,8 @@ Table MakeFlightsTable(size_t rows, uint64_t seed) {
   std::vector<double> airline_cancel(14);
   for (auto& e : airline_cancel) e = rng.NextUniform(-0.015, 0.03);
 
+  std::vector<ValueId> codes(6);
+  std::vector<double> targets(2);
   for (size_t i = 0; i < rows; ++i) {
     size_t airline = rng.NextZipf(14, 1.0);
     size_t state = rng.NextZipf(52, 0.8);
@@ -80,7 +108,6 @@ Table MakeFlightsTable(size_t rows, uint64_t seed) {
     size_t month = static_cast<size_t>(rng.NextBelow(12));
     // Consistent month -> season mapping (Dec/Jan/Feb = Winter, ...).
     size_t season = ((month + 1) / 3) % 4;  // 0 Winter 1 Spring 2 Summer 3 Fall
-    static const char* const season_of[] = {"Winter", "Spring", "Summer", "Fall"};
     size_t tod = static_cast<size_t>(rng.NextBelow(4));
 
     // Delay model: base + winter spike (strongest in the North), evening
@@ -103,10 +130,15 @@ Table MakeFlightsTable(size_t rows, uint64_t seed) {
     cancel_p = std::clamp(cancel_p, 0.005, 0.5);
     double cancelled = rng.NextBool(cancel_p) ? 100.0 : 0.0;  // percent units
 
-    Status st = table.AppendRow({airlines[airline], states[state], kRegions[dest],
-                                 season_of[season], months[month], times[tod]},
-                                {delay, cancelled});
-    (void)st;
+    codes[0] = static_cast<ValueId>(airline);
+    codes[1] = static_cast<ValueId>(state);
+    codes[2] = static_cast<ValueId>(dest);
+    codes[3] = static_cast<ValueId>(season);
+    codes[4] = static_cast<ValueId>(month);
+    codes[5] = static_cast<ValueId>(tod);
+    targets[0] = delay;
+    targets[1] = cancelled;
+    table.AppendEncodedRow(codes, targets);
   }
   return table;
 }
@@ -142,24 +174,28 @@ Table MakeAcsTable(size_t rows, uint64_t seed) {
   // Borough multipliers: mild geographic variation (Bronx highest).
   const double borough_mult[5] = {1.05, 0.85, 0.95, 1.0, 1.25};
 
+  InternAll(&table, 0, boroughs, 5);
+  InternAll(&table, 1, ages, 3);
+  InternAll(&table, 2, sexes, 2);
+  table.ReserveRows(rows);
+
   Rng rng(seed);
-  std::vector<std::string> dims(3);
+  std::vector<ValueId> codes(3);
   std::vector<double> targets(6);
   for (size_t i = 0; i < rows; ++i) {
     size_t borough = static_cast<size_t>(rng.NextBelow(5));
     size_t age = rng.NextWeighted({0.2, 0.55, 0.25});
     size_t sex = static_cast<size_t>(rng.NextBelow(2));
-    dims[0] = boroughs[borough];
-    dims[1] = ages[age];
-    dims[2] = sexes[sex];
+    codes[0] = static_cast<ValueId>(borough);
+    codes[1] = static_cast<ValueId>(age);
+    codes[2] = static_cast<ValueId>(sex);
     for (int t = 0; t < 6; ++t) {
       double v = base[t][age] * borough_mult[borough];
       if (sex == 1) v *= 1.08;  // slightly higher male prevalence
       v += rng.NextGaussian(0.0, v * 0.15);
       targets[static_cast<size_t>(t)] = std::max(0.0, std::round(v));
     }
-    Status st = table.AppendRow(dims, targets);
-    (void)st;
+    table.AppendEncodedRow(codes, targets);
   }
   return table;
 }
@@ -192,8 +228,17 @@ Table MakeStackOverflowTable(size_t rows, uint64_t seed) {
   const char* const genders[] = {"Man", "Woman", "Non-binary"};
   const char* const years[] = {"0-2", "3-5", "6-10", "10+"};
 
+  InternAll(&table, 0, regions, 8);
+  InternAll(&table, 1, dev_types, 6);
+  InternAll(&table, 2, educations, 5);
+  InternAll(&table, 3, employments, 4);
+  InternAll(&table, 4, org_sizes, 5);
+  InternAll(&table, 5, genders, 3);
+  InternAll(&table, 6, years, 4);
+  table.ReserveRows(rows);
+
   Rng rng(seed);
-  std::vector<std::string> dims(7);
+  std::vector<ValueId> codes(7);
   std::vector<double> targets(6);
   for (size_t i = 0; i < rows; ++i) {
     size_t region = rng.NextZipf(8, 0.7);
@@ -203,13 +248,13 @@ Table MakeStackOverflowTable(size_t rows, uint64_t seed) {
     size_t org = static_cast<size_t>(rng.NextBelow(5));
     size_t gender = rng.NextWeighted({0.85, 0.12, 0.03});
     size_t yrs = rng.NextWeighted({0.25, 0.3, 0.25, 0.2});
-    dims[0] = regions[region];
-    dims[1] = dev_types[dev];
-    dims[2] = educations[edu];
-    dims[3] = employments[emp];
-    dims[4] = org_sizes[org];
-    dims[5] = genders[gender];
-    dims[6] = years[yrs];
+    codes[0] = static_cast<ValueId>(region);
+    codes[1] = static_cast<ValueId>(dev);
+    codes[2] = static_cast<ValueId>(edu);
+    codes[3] = static_cast<ValueId>(emp);
+    codes[4] = static_cast<ValueId>(org);
+    codes[5] = static_cast<ValueId>(gender);
+    codes[6] = static_cast<ValueId>(yrs);
 
     double experience = static_cast<double>(yrs);  // 0..3
     double competence = 5.5 + 0.8 * experience + rng.NextGaussian(0.0, 1.2);
@@ -231,8 +276,7 @@ Table MakeStackOverflowTable(size_t rows, uint64_t seed) {
     targets[3] = scale10(career_sat);
     targets[4] = std::max(5.0, std::round(salary));
     targets[5] = std::max(5.0, std::round(hours));
-    Status st = table.AppendRow(dims, targets);
-    (void)st;
+    table.AppendEncodedRow(codes, targets);
   }
   return table;
 }
@@ -254,21 +298,29 @@ Table MakePrimariesTable(size_t rows, uint64_t seed) {
   const char* const educations[] = {"High school", "Some college", "College",
                                     "Postgraduate"};
 
+  InternAll(&table, 0, candidates, 6);
+  InternAll(&table, 1, regions, 4);
+  InternAll(&table, 2, urbanities, 3);
+  InternAll(&table, 3, age_brackets, 4);
+  InternAll(&table, 4, educations, 4);
+  table.ReserveRows(rows);
+
   Rng rng(seed);
   // Candidate base support and interactions.
   const double base_support[6] = {28, 24, 18, 14, 10, 6};
-  std::vector<std::string> dims(5);
+  std::vector<ValueId> codes(5);
+  std::vector<double> targets(1);
   for (size_t i = 0; i < rows; ++i) {
     size_t cand = static_cast<size_t>(rng.NextBelow(6));
     size_t region = static_cast<size_t>(rng.NextBelow(4));
     size_t urb = rng.NextWeighted({0.35, 0.4, 0.25});
     size_t age = static_cast<size_t>(rng.NextBelow(4));
     size_t edu = static_cast<size_t>(rng.NextBelow(4));
-    dims[0] = candidates[cand];
-    dims[1] = regions[region];
-    dims[2] = urbanities[urb];
-    dims[3] = age_brackets[age];
-    dims[4] = educations[edu];
+    codes[0] = static_cast<ValueId>(cand);
+    codes[1] = static_cast<ValueId>(region);
+    codes[2] = static_cast<ValueId>(urb);
+    codes[3] = static_cast<ValueId>(age);
+    codes[4] = static_cast<ValueId>(edu);
 
     double share = base_support[cand];
     if (cand == 0 && age == 0) share += 14.0;  // A strong with young voters
@@ -277,8 +329,8 @@ Table MakePrimariesTable(size_t rows, uint64_t seed) {
     if (cand == 3 && edu == 3) share += 8.0;      // D postgraduate
     share += rng.NextGaussian(0.0, 5.0);
     share = std::clamp(std::round(share), 0.0, 100.0);
-    Status st = table.AppendRow(dims, {share});
-    (void)st;
+    targets[0] = share;
+    table.AppendEncodedRow(codes, targets);
   }
   return table;
 }

@@ -7,6 +7,11 @@
 // per-dimension cardinalities and the planted effects the paper's prose
 // relies on (winter delays, February cancellation spike, elders' visual
 // impairment around 80/1000, ...). See DESIGN.md for the substitution note.
+//
+// The generators run at paper scale: dictionaries are pre-interned and rows
+// appended pre-encoded into pre-reserved columns, so building a 10-50M-row
+// table (the scan bench's rows x threads scaling curve) is one tight loop
+// with no per-row string work.
 #ifndef VQ_STORAGE_DATASETS_H_
 #define VQ_STORAGE_DATASETS_H_
 

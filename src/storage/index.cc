@@ -1,8 +1,11 @@
 #include "storage/index.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 #include "storage/table.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace vq {
 
@@ -12,35 +15,59 @@ TableIndex TableIndex::Build(const Table& table) {
   index.num_rows_ = table.NumRows();
   index.num_targets_ = table.NumTargets();
   size_t num_dims = table.NumDims();
-  index.offsets_.resize(num_dims);
-  index.rows_.resize(num_dims);
-  index.target_sums_.resize(num_dims);
 
+  // Shard placement: contiguous ranges of ~TargetShardRows() rows, ragged
+  // last shard. Every table has at least one shard (possibly empty) so the
+  // planner's per-shard paths never special-case zero.
+  size_t target = std::max<size_t>(1, table.TargetShardRows());
+  size_t n = index.num_rows_;
+  size_t num_shards = n == 0 ? 1 : (n + target - 1) / target;
+  index.shards_.resize(num_shards);
+  auto build_shard = [&](size_t s) {
+    size_t base = s * target;
+    size_t rows = std::min(target, n - base);
+    if (n == 0) rows = 0;
+    index.shards_[s] = ShardIndex::Build(table, static_cast<uint32_t>(base),
+                                         static_cast<uint32_t>(rows));
+    index.shards_[s].ordinal_ = static_cast<uint32_t>(s);
+  };
+  // Shard builds are independent single-writer jobs: fan them out on the
+  // scan pool at paper scale. Sequential fallback when the build is already
+  // running ON a scan-pool worker (a nested fan-out would deadlock a
+  // saturated pool) or when parallelism cannot help.
+  ThreadPool& pool = ScanPool();
+  if (num_shards > 1 && pool.NumThreads() > 1 &&
+      pool.CurrentWorkerIndex() == ThreadPool::kNotAWorker) {
+    ParallelFor(&pool, num_shards, build_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) build_shard(s);
+  }
+
+  // Merge the per-shard aggregates so table-level Count/TargetSum stay O(1).
+  index.merged_counts_.resize(num_dims);
+  index.merged_sums_.resize(num_dims);
   for (size_t d = 0; d < num_dims; ++d) {
-    const std::vector<ValueId>& column = table.DimColumn(d);
     size_t cardinality = table.dict(d).size();
-
-    // Counting pass -> exclusive prefix sums.
-    std::vector<uint32_t>& offsets = index.offsets_[d];
-    offsets.assign(cardinality + 1, 0);
-    for (ValueId code : column) ++offsets[code + 1];
-    for (size_t v = 1; v <= cardinality; ++v) offsets[v] += offsets[v - 1];
-
-    // Fill pass: ascending row order makes every posting list sorted.
-    std::vector<uint32_t>& rows = index.rows_[d];
-    rows.resize(column.size());
-    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    std::vector<double>& sums = index.target_sums_[d];
+    std::vector<uint32_t>& counts = index.merged_counts_[d];
+    std::vector<double>& sums = index.merged_sums_[d];
+    counts.assign(cardinality, 0);
     sums.assign(cardinality * index.num_targets_, 0.0);
-    for (size_t r = 0; r < column.size(); ++r) {
-      ValueId code = column[r];
-      rows[cursor[code]++] = static_cast<uint32_t>(r);
-      double* value_sums = sums.data() + code * index.num_targets_;
-      for (size_t t = 0; t < index.num_targets_; ++t) {
-        value_sums[t] += table.TargetValue(r, t);
+    for (const ShardIndex& shard : index.shards_) {
+      for (size_t v = 0; v < cardinality; ++v) {
+        counts[v] += static_cast<uint32_t>(shard.Count(d, v));
+        for (size_t t = 0; t < index.num_targets_; ++t) {
+          sums[v * index.num_targets_ + t] += shard.TargetSum(d, v, t);
+        }
       }
     }
   }
+
+  index.last_worker_ =
+      std::make_unique<std::atomic<uint32_t>[]>(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    index.last_worker_[s].store(kNoWorker, std::memory_order_relaxed);
+  }
+
   // Builds are rare (registration, first lazy warm) but expensive and
   // latency-visible when they land on a serving path; both instruments sit
   // in the process-global registry because Build is a static factory.
@@ -55,9 +82,12 @@ TableIndex TableIndex::Build(const Table& table) {
 
 size_t TableIndex::EstimateBytes() const {
   size_t bytes = 0;
-  for (const auto& offsets : offsets_) bytes += offsets.capacity() * sizeof(uint32_t);
-  for (const auto& rows : rows_) bytes += rows.capacity() * sizeof(uint32_t);
-  for (const auto& sums : target_sums_) bytes += sums.capacity() * sizeof(double);
+  for (const ShardIndex& shard : shards_) bytes += shard.EstimateBytes();
+  for (const auto& counts : merged_counts_) {
+    bytes += counts.capacity() * sizeof(uint32_t);
+  }
+  for (const auto& sums : merged_sums_) bytes += sums.capacity() * sizeof(double);
+  bytes += shards_.size() * sizeof(std::atomic<uint32_t>);
   bytes += sizeof(ScanStats);
   return bytes;
 }

@@ -1,20 +1,27 @@
-// Per-dimension inverted indexes over a Table's dictionary-encoded columns.
+// Table-level facade over the per-shard inverted indexes.
 //
-// For every (dimension, value) pair the index holds the sorted posting list
-// of matching row ids plus precomputed aggregates (row count and per-target
-// sums), so single-predicate counts/averages are O(1) and conjunctive
-// filters can intersect posting lists instead of scanning every row (the
-// ScanPlanner in relational/scan_planner.h makes that choice). The index is
-// built once per table in one pass per dimension and is immutable after
-// construction; Table owns one lazily (see Table::index()).
+// Since the sharded-storage refactor the real index state lives in
+// ShardIndex (storage/shard.h): a table's rows are split into contiguous
+// shards of ~Table::TargetShardRows() rows, each owning CSR-packed posting
+// lists (shard-local row ids), per-(dim,value) counts/target-sums and its
+// own ScanStats. TableIndex builds and owns that shard vector plus merged
+// per-(dim,value) aggregates, so single-predicate counts/averages stay O(1)
+// at table level regardless of shard count, and conjunctive filters
+// intersect posting lists per shard (the ScanPlanner in
+// relational/scan_planner.h fans the shards across the scan pool and merges
+// the partial results). The index is built once per table and is immutable
+// after construction; Table owns one lazily (see Table::index()).
 #ifndef VQ_STORAGE_INDEX_H_
 #define VQ_STORAGE_INDEX_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "storage/shard.h"
 #include "util/scan_stats.h"
 
 namespace vq {
@@ -22,47 +29,56 @@ namespace vq {
 class Table;
 using ValueId = uint32_t;
 
-/// \brief Immutable inverted index over all dimension columns of one Table.
+/// \brief Immutable sharded inverted index over all dimension columns of one
+/// Table.
 ///
-/// Posting lists are CSR-packed per dimension: rows_[dim] holds the row ids
-/// of value 0, then value 1, ... with offsets_[dim][value] marking the
-/// starts. Row ids within one posting list are strictly increasing (build
-/// order), which posting-list intersection relies on.
+/// Within each shard, posting lists are CSR-packed per dimension with
+/// strictly increasing SHARD-LOCAL row ids (build order); global row ids are
+/// shard base + local id, so shard-order concatenation of per-shard results
+/// is globally ascending -- what posting-list intersection and the planner's
+/// partial merge rely on.
 class TableIndex {
  public:
-  /// Builds the index for `table` (one counting pass + one fill pass per
-  /// dimension). Values interned after the build are simply absent; Table
-  /// invalidates its cached index on append, so this cannot be observed
-  /// through Table::index().
+  /// Builds the index for `table`: one ShardIndex per ~TargetShardRows()
+  /// rows (built in parallel on the scan pool when there are several), plus
+  /// the merged table-level aggregates. Values interned after the build are
+  /// simply absent; Table invalidates its cached index on append, so this
+  /// cannot be observed through Table::index().
   static TableIndex Build(const Table& table);
 
-  size_t num_dims() const { return offsets_.size(); }
+  size_t num_dims() const { return merged_counts_.size(); }
   size_t num_rows() const { return num_rows_; }
 
-  /// Sorted row ids with `value` in dimension `dim`. Values beyond the
-  /// dictionary size at build time (including the kNoValue sentinel, which
-  /// would wrap a `value + 1` comparison) yield an empty span.
+  size_t num_shards() const { return shards_.size(); }
+  const ShardIndex& shard(size_t s) const { return shards_[s]; }
+  std::span<const ShardIndex> shards() const { return shards_; }
+
+  /// Sorted row ids with `value` in dimension `dim`. Only valid on
+  /// single-shard tables (where shard-local ids ARE global ids); multi-shard
+  /// tables answer postings queries per shard -- the planner never needs a
+  /// table-level contiguous span, and materializing one would double the
+  /// index footprint. Values beyond the dictionary size at build time
+  /// (including the kNoValue sentinel) yield an empty span.
   std::span<const uint32_t> Postings(size_t dim, ValueId value) const {
-    const auto& offsets = offsets_[dim];
-    if (value >= offsets.size() - 1) return {};
-    const uint32_t* base = rows_[dim].data();
-    return {base + offsets[value], base + offsets[value + 1]};
+    assert(shards_.size() == 1 &&
+           "table-level Postings() requires a single-shard table");
+    return shards_[0].Postings(dim, value);
   }
 
-  /// Number of rows with `value` in dimension `dim` (O(1)).
+  /// Number of rows with `value` in dimension `dim` (O(1), merged over all
+  /// shards at build time).
   size_t Count(size_t dim, ValueId value) const {
-    const auto& offsets = offsets_[dim];
-    if (value >= offsets.size() - 1) return 0;
-    return offsets[value + 1] - offsets[value];
+    const auto& counts = merged_counts_[dim];
+    if (value >= counts.size()) return 0;
+    return counts[value];
   }
 
   /// Sum of target column `target` over rows with `value` in dimension `dim`
   /// (O(1)); with Count this answers single-predicate averages without
   /// touching a single row.
   double TargetSum(size_t dim, ValueId value, size_t target) const {
-    const auto& sums = target_sums_[dim];
-    size_t cardinality = offsets_[dim].size() - 1;
-    if (value >= cardinality) return 0.0;
+    const auto& sums = merged_sums_[dim];
+    if (value >= merged_counts_[dim].size()) return 0.0;
     return sums[value * num_targets_ + target];
   }
 
@@ -82,18 +98,37 @@ class TableIndex {
   /// costs can never steer plans for a table that has changed shape. The
   /// instance is internally atomic, hence mutable through the const index
   /// the planner holds; heap-boxed so the index itself stays movable.
+  /// Each shard additionally owns its own instance (ShardIndex::scan_stats).
   ScanStats& scan_stats() const { return *scan_stats_; }
+
+  /// Sentinel for shard_last_worker() before any worker has scanned a shard.
+  static constexpr uint32_t kNoWorker = static_cast<uint32_t>(-1);
+
+  /// Affinity memory for the parallel fan-out: the scan-pool worker that
+  /// last executed each shard's filter task. The planner submits the next
+  /// task for that shard with this as the placement hint, so a shard tends
+  /// to be rescanned by the worker whose cache (and NUMA node, when pinning
+  /// is active) already holds its lists. Relaxed atomics: a stale or torn
+  /// hint only costs locality, never correctness.
+  uint32_t shard_last_worker(size_t s) const {
+    return last_worker_[s].load(std::memory_order_relaxed);
+  }
+  void set_shard_last_worker(size_t s, uint32_t worker) const {
+    last_worker_[s].store(worker, std::memory_order_relaxed);
+  }
 
  private:
   size_t num_rows_ = 0;
   size_t num_targets_ = 0;
-  /// Per dim: value -> start offset into rows_[dim]; length cardinality + 1.
-  std::vector<std::vector<uint32_t>> offsets_;
-  /// Per dim: posting lists back to back, ascending row ids per value.
-  std::vector<std::vector<uint32_t>> rows_;
+  std::vector<ShardIndex> shards_;
+  /// Per dim: value -> row count, summed over shards; length cardinality.
+  std::vector<std::vector<uint32_t>> merged_counts_;
   /// Per dim: cardinality x num_targets sums, row-major by value.
-  std::vector<std::vector<double>> target_sums_;
+  std::vector<std::vector<double>> merged_sums_;
   std::unique_ptr<ScanStats> scan_stats_ = std::make_unique<ScanStats>();
+  /// Per shard: last scan-pool worker (kNoWorker until first scanned).
+  /// unique_ptr<atomic[]> keeps the index movable.
+  std::unique_ptr<std::atomic<uint32_t>[]> last_worker_;
 };
 
 }  // namespace vq

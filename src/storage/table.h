@@ -51,6 +51,11 @@ class Table {
   void AppendEncodedRow(const std::vector<ValueId>& dim_codes,
                         const std::vector<double>& target_values);
 
+  /// Reserves column capacity for `num_rows` total rows. The paper-scale
+  /// dataset generators call this before their bulk AppendEncodedRow loops
+  /// so a 50M-row build never reallocates a 400MB column mid-append.
+  void ReserveRows(size_t num_rows);
+
   size_t NumRows() const { return num_rows_; }
   size_t NumDims() const { return dim_names_.size(); }
   size_t NumTargets() const { return target_names_.size(); }
@@ -99,6 +104,18 @@ class Table {
   /// includes the inverted index when built.
   size_t EstimateBytes() const;
 
+  /// Default shard size: ~1M rows per shard keeps every pre-existing test
+  /// and bench table (<=80k rows) at exactly one shard -- the single-shard
+  /// fast paths and table-level Postings() contract are unchanged there --
+  /// while paper-scale tables (10-50M rows) split into enough shards to
+  /// keep the whole scan pool busy.
+  static constexpr size_t kDefaultTargetShardRows = 1u << 20;
+
+  /// Rows per index shard (see TableIndex::Build). Setting it invalidates
+  /// the cached index; tests force specific shard counts through this.
+  size_t TargetShardRows() const { return target_shard_rows_; }
+  void SetTargetShardRows(size_t rows);
+
   /// Serializes all rows (decoded) to CSV.
   std::string ToCsv() const;
 
@@ -121,6 +138,7 @@ class Table {
 
   std::string name_;
   size_t num_rows_ = 0;
+  size_t target_shard_rows_ = kDefaultTargetShardRows;
   std::vector<std::string> dim_names_;
   std::vector<Dictionary> dictionaries_;
   std::vector<std::vector<ValueId>> dim_codes_;

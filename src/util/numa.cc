@@ -1,0 +1,109 @@
+#include "util/numa.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace vq {
+namespace numa {
+
+namespace {
+
+#if defined(__linux__)
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into cpu ids. Malformed input
+/// yields an empty list, which callers treat as "don't pin".
+std::vector<int> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string token = text.substr(pos, end - pos);
+    size_t dash = token.find('-');
+    char* rest = nullptr;
+    if (dash == std::string::npos) {
+      long cpu = std::strtol(token.c_str(), &rest, 10);
+      if (rest != token.c_str() && cpu >= 0) cpus.push_back(static_cast<int>(cpu));
+    } else {
+      long lo = std::strtol(token.substr(0, dash).c_str(), &rest, 10);
+      long hi = std::strtol(token.substr(dash + 1).c_str(), &rest, 10);
+      for (long cpu = lo; cpu >= 0 && cpu <= hi; ++cpu) {
+        cpus.push_back(static_cast<int>(cpu));
+      }
+    }
+    pos = end + 1;
+  }
+  return cpus;
+}
+
+/// Per-node cpusets read once from sysfs. Empty when detection found fewer
+/// than two usable nodes (the "graceful no-op" state).
+const std::vector<std::vector<int>>& NodeCpus() {
+  static const std::vector<std::vector<int>>* nodes = [] {
+    auto* out = new std::vector<std::vector<int>>();
+    for (size_t node = 0;; ++node) {
+      std::ifstream cpulist("/sys/devices/system/node/node" +
+                            std::to_string(node) + "/cpulist");
+      if (!cpulist.is_open()) break;
+      std::string text;
+      std::getline(cpulist, text);
+      std::vector<int> cpus = ParseCpuList(text);
+      if (!cpus.empty()) out->push_back(std::move(cpus));
+    }
+    if (out->size() < 2) out->clear();
+    return out;
+  }();
+  return *nodes;
+}
+
+#endif  // __linux__
+
+bool EnvRequested() {
+  const char* env = std::getenv("VQ_NUMA");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+}  // namespace
+
+bool Enabled() {
+#if defined(__linux__)
+  static const bool enabled = EnvRequested() && !NodeCpus().empty();
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+size_t NumNodes() {
+#if defined(__linux__)
+  if (!Enabled()) return 1;
+  return NodeCpus().size();
+#else
+  return 1;
+#endif
+}
+
+bool PinThreadToNode(size_t node) {
+#if defined(__linux__)
+  if (!Enabled()) return false;
+  const auto& nodes = NodeCpus();
+  const std::vector<int>& cpus = nodes[node % nodes.size()];
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (int cpu : cpus) CPU_SET(cpu, &mask);
+  return pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace numa
+}  // namespace vq

@@ -1,0 +1,34 @@
+// NUMA topology detection + worker pinning for the scan/solve thread pools.
+//
+// Multi-socket fleet machines split memory across nodes; a shard scanned by
+// a worker on the remote socket pays the interconnect on every cache miss.
+// This module reads the Linux sysfs topology (/sys/devices/system/node) and
+// pins pool workers round-robin across nodes so the shard->worker affinity
+// hints in the scan planner keep a shard's pages local to the socket that
+// faulted them in. Everything is gated behind the VQ_NUMA environment
+// variable and degrades to a graceful no-op: unset VQ_NUMA, a single-node
+// box, a non-Linux build, or a failed sysfs read all leave threads unpinned.
+#ifndef VQ_UTIL_NUMA_H_
+#define VQ_UTIL_NUMA_H_
+
+#include <cstddef>
+
+namespace vq {
+namespace numa {
+
+/// True when VQ_NUMA is set (non-empty, not "0") AND the machine exposes
+/// more than one NUMA node. Latched on first call.
+bool Enabled();
+
+/// Number of NUMA nodes detected from sysfs; 1 when detection is disabled
+/// or fails (so `worker % NumNodes()` is always a valid node argument).
+size_t NumNodes();
+
+/// Pins the calling thread to the cpuset of node `node % NumNodes()`.
+/// No-op unless Enabled(). Returns true if an affinity mask was applied.
+bool PinThreadToNode(size_t node);
+
+}  // namespace numa
+}  // namespace vq
+
+#endif  // VQ_UTIL_NUMA_H_

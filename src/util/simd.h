@@ -13,6 +13,10 @@
 //   avx2    -- x86-64 AVX2(+FMA/POPCNT) four-lane kernels, compiled with
 //              per-function target attributes so the library itself still
 //              builds for a generic x86-64 baseline (VQ_MARCH_NATIVE off).
+//   avx512  -- x86-64 AVX-512F eight-lane kernels. Fault-suppressing masked
+//              loads handle every tail and bitset mask directly, so unlike
+//              avx2 these kernels never read past the live data (see the
+//              masked_sum64 padding note below).
 //   neon    -- aarch64 two-lane kernels for the dense reductions (the
 //              gather-shaped kernels reuse the scalar loops: NEON has no
 //              gather, and the fused compute dominates only on x86).
@@ -43,7 +47,7 @@ namespace simd {
 /// never exactly. Integer kernels (or_popcount, argmax) and the values
 /// stored by min_update are bit-exact.
 struct Kernels {
-  const char* name;  ///< "scalar", "avx2" or "neon"
+  const char* name;  ///< "scalar", "avx2", "avx512" or "neon"
 
   /// covered[w] = OR over the `num_sets` bitsets of sets[s][w], for w in
   /// [0, num_words); returns the total popcount of `covered`. `sets` may be
@@ -52,10 +56,27 @@ struct Kernels {
                           size_t num_words, uint64_t* covered);
 
   /// Sum of block[i] over the set bits i of `mask`. The block is one 64-row
-  /// bitset block: ALL 64 doubles must be readable (vector lanes load past
+  /// bitset block: ALL 64 doubles must be readable (the avx2 lanes load past
   /// cleared bits), so callers pad their per-row arrays to a whole number of
-  /// blocks -- Evaluator does.
+  /// blocks -- Evaluator does. The avx512 table's fault-suppressing masked
+  /// loads touch only selected lanes and would not need the padding, but the
+  /// contract keeps the stricter requirement so one caller layout serves
+  /// every table.
   double (*masked_sum64)(const double* block, uint64_t mask);
+
+  /// Single-covering-fact conflict resolution over one 64-row block under
+  /// the kClosest model (Definition 4 with exactly one in-scope fact): for
+  /// each set bit i, the listener picks `value` or the prior, whichever lies
+  /// closer to the actual target -- so the row's weighted error is
+  /// min(|value - targets[i]| * weights[i], prior_dev_weighted[i]). Returns
+  /// the sum over the set bits. Padding contract as masked_sum64 (targets,
+  /// weights and prior_dev_weighted are block-padded arrays; padding lanes
+  /// carry 0.0). The min over weighted deviations selects the same value the
+  /// scalar argmin over unweighted deviations does: weights are >= 0 and
+  /// rounding is monotone, so the order of the weighted pair never flips.
+  double (*masked_single_fact)(double value, const double* targets,
+                               const double* weights,
+                               const double* prior_dev_weighted, uint64_t mask);
 
   /// Dense dot product: sum over i of values[i] * weights[i].
   double (*weighted_sum)(const double* values, const double* weights,
@@ -104,13 +125,14 @@ const Kernels& Active();
 /// The scalar fallback table (always available; the correctness oracle).
 const Kernels& Scalar();
 
-/// Every table the current build + CPU can run: scalar first, then the
-/// vector table when the CPU supports it. Equivalence tests iterate this so
-/// one binary exercises each implementation against the scalar oracle.
+/// Every table the current build + CPU can run: scalar first, then each
+/// vector table the CPU supports in ascending width (avx2 before avx512).
+/// Equivalence tests iterate this so one binary exercises each
+/// implementation against the scalar oracle.
 const std::vector<const Kernels*>& AllImplementations();
 
-/// Lookup by name ("scalar", "avx2", "neon"); nullptr when that table is not
-/// runnable in this build/CPU.
+/// Lookup by name ("scalar", "avx2", "avx512", "neon"); nullptr when that
+/// table is not runnable in this build/CPU.
 const Kernels* ByName(const char* name);
 
 /// True when dispatch is pinned to scalar (VQ_FORCE_SCALAR=1 in the

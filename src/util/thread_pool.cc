@@ -2,15 +2,31 @@
 
 #include <algorithm>
 
+#include "util/numa.h"
+
 namespace vq {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+namespace {
+
+/// Which pool (if any) the calling thread belongs to, and its index there.
+/// Written once per worker at startup; CurrentWorkerIndex() compares the
+/// pool pointer so nested pools cannot alias each other's indices.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+thread_local size_t tl_worker_index = ThreadPool::kNotAWorker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads, const ThreadPoolOptions& options) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  hinted_.resize(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i, numa_pin = options.numa_pin] {
+      if (numa_pin) numa::PinThreadToNode(i % numa::NumNodes());
+      WorkerLoop(i);
+    });
   }
 }
 
@@ -32,9 +48,26 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitHinted(size_t hint, std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    hinted_[hint % hinted_.size()].push_back(std::move(task));
+    ++hinted_total_;
+    ++in_flight_;
+  }
+  // One wake suffices even if it lands on the "wrong" worker: any woken
+  // worker that finds its own queues empty steals hinted work (PopTask), so
+  // the task cannot strand while a worker sleeps.
+  work_available_.notify_one();
+}
+
 size_t ThreadPool::PendingTasks() const {
   std::unique_lock<std::mutex> lock(mutex_);
   return in_flight_;
+}
+
+size_t ThreadPool::CurrentWorkerIndex() const {
+  return tl_worker_pool == this ? tl_worker_index : kNotAWorker;
 }
 
 void ThreadPool::Wait() {
@@ -42,18 +75,51 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::PopTask(size_t index, std::function<void()>* task) {
+  // Own hinted tasks first (the affinity contract), then the shared FIFO,
+  // then steal the oldest hinted task of the nearest busy neighbor so a
+  // saturated hinted worker never serializes the pool.
+  std::deque<std::function<void()>>& own = hinted_[index];
+  if (!own.empty()) {
+    *task = std::move(own.front());
+    own.pop_front();
+    --hinted_total_;
+    return true;
+  }
+  if (!queue_.empty()) {
+    *task = std::move(queue_.front());
+    queue_.pop();
+    return true;
+  }
+  if (hinted_total_ > 0) {
+    for (size_t step = 1; step < hinted_.size(); ++step) {
+      std::deque<std::function<void()>>& other =
+          hinted_[(index + step) % hinted_.size()];
+      if (!other.empty()) {
+        *task = std::move(other.front());
+        other.pop_front();
+        --hinted_total_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tl_worker_pool = this;
+  tl_worker_index = index;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      work_available_.wait(lock, [this] {
+        return shutting_down_ || !queue_.empty() || hinted_total_ > 0;
+      });
+      if (!PopTask(index, &task)) {
         if (shutting_down_) return;
         continue;
       }
-      task = std::move(queue_.front());
-      queue_.pop();
     }
     task();
     {
@@ -62,6 +128,14 @@ void ThreadPool::WorkerLoop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+}
+
+ThreadPool& ScanPool() {
+  // Never destroyed: scan tasks may still be draining when static
+  // destructors run (the serving pools are leaked for the same reason).
+  static ThreadPool* pool =
+      new ThreadPool(0, ThreadPoolOptions{.numa_pin = true});
+  return *pool;
 }
 
 void ParallelFor(ThreadPool* pool, size_t count,

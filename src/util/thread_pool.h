@@ -1,11 +1,13 @@
 // Fixed-size thread pool used by the batch pre-processor (Section III: all
-// speeches are generated in one batch operation; problems are independent).
+// speeches are generated in one batch operation; problems are independent)
+// and, since the sharded-storage refactor, by the parallel shard scans.
 #ifndef VQ_UTIL_THREAD_POOL_H_
 #define VQ_UTIL_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
@@ -18,11 +20,31 @@
 
 namespace vq {
 
-/// \brief Simple fixed-size thread pool with a shared FIFO queue.
+/// Construction knobs for ThreadPool (defaults preserve the historical
+/// shared-FIFO behavior exactly).
+struct ThreadPoolOptions {
+  /// Pin worker i to NUMA node (i % nodes) via util/numa.h. A no-op unless
+  /// VQ_NUMA is set and the machine exposes multiple nodes, so pools can
+  /// request it unconditionally (scan + solve pools do).
+  bool numa_pin = false;
+};
+
+/// \brief Fixed-size thread pool: a shared FIFO queue plus one small hinted
+/// queue per worker.
+///
+/// Submit() is the historical any-worker path. SubmitHinted(hint, ...) asks
+/// for the task to run on worker `hint % NumThreads()` -- the scan planner
+/// uses it to re-run a shard on the worker that scanned it last, keeping the
+/// shard's pages hot in that worker's cache (and on its NUMA node when
+/// pinning is on). The hint is a preference, not a guarantee: idle workers
+/// steal hinted tasks rather than sleep, so a busy hinted worker can never
+/// strand work.
 class ThreadPool {
  public:
   /// `num_threads` == 0 picks hardware concurrency (at least 1).
-  explicit ThreadPool(size_t num_threads = 0);
+  explicit ThreadPool(size_t num_threads = 0)
+      : ThreadPool(num_threads, ThreadPoolOptions{}) {}
+  ThreadPool(size_t num_threads, const ThreadPoolOptions& options);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,6 +52,10 @@ class ThreadPool {
 
   /// Enqueues a task; tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task preferring worker `hint % NumThreads()` (see class
+  /// comment). Tasks must not throw.
+  void SubmitHinted(size_t hint, std::function<void()> task);
 
   /// Enqueues a callable and returns a future for its result. Unlike
   /// Submit(), the callable may throw: the exception is captured in the
@@ -53,11 +79,27 @@ class ThreadPool {
   /// the value may change before the caller uses it.
   size_t PendingTasks() const;
 
+  /// Sentinel for CurrentWorkerIndex() on a non-worker thread.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
+  /// Index of the calling thread within THIS pool's workers, or kNotAWorker
+  /// when the caller is not one of them. The scan planner records it as the
+  /// shard->worker affinity hint for the next scan of the same shard.
+  size_t CurrentWorkerIndex() const;
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t index);
+  /// Pops the next task for worker `index` under mutex_: own hinted queue
+  /// first, then the shared queue, then steal the oldest hinted task of
+  /// another worker. Returns false when nothing is queued.
+  bool PopTask(size_t index, std::function<void()>* task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
+  /// Per-worker hinted tasks (guarded by mutex_ like queue_). hinted_total_
+  /// keeps the wait predicate O(1).
+  std::vector<std::deque<std::function<void()>>> hinted_;
+  size_t hinted_total_ = 0;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable all_done_;
@@ -69,6 +111,15 @@ class ThreadPool {
 /// Iteration order across threads is unspecified; bodies must be independent.
 void ParallelFor(ThreadPool* pool, size_t count,
                  const std::function<void(size_t)>& body);
+
+/// Process-wide pool for data-parallel storage/scan work: sharded index
+/// builds and the scan planner's per-shard filter fan-out. Lazily created
+/// with hardware concurrency and NUMA pinning requested (a no-op off
+/// multi-node machines, see util/numa.h), never destroyed. Deliberately
+/// separate from the serving solve pools: FilterRows runs ON solve-pool
+/// workers, and fanning shard tasks into the pool the caller blocks on
+/// would deadlock once every worker is a blocked caller.
+ThreadPool& ScanPool();
 
 }  // namespace vq
 

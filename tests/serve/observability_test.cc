@@ -3,15 +3,21 @@
 // and latency histograms, cache and coalescer stats, per-dataset host
 // counters, the engine's PerfCounters (exported through ForEachField, the
 // single serialization contract), registry add/remove instrumentation --
-// plus the sampled-trace ring and the slow-query log.
+// plus the sampled-trace ring, the slow-query log, and the scan planner's
+// shard fan-out instruments (width counter + sampled per-shard latency).
 #include <gtest/gtest.h>
 
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "relational/predicate.h"
+#include "relational/scan_planner.h"
 #include "serve/registry.h"
 #include "serve/router.h"
+#include "storage/datasets.h"
+#include "storage/table.h"
+#include "util/thread_pool.h"
 
 namespace vq {
 namespace serve {
@@ -109,6 +115,41 @@ TEST(ObservabilityTest, RenderTextCoversTheWholeServingStack) {
   EXPECT_EQ(snap.count, 5u);
   EXPECT_GT(snap.p50(), 0.0);
   EXPECT_LE(snap.p99(), snap.max_seconds * (1.0 + 1e-9));
+}
+
+TEST(ObservabilityTest, ShardedScanMetricsLightUpOnParallelFilter) {
+  // The scan planner's fan-out instruments live against the process-global
+  // registry (free functions have no per-object home), so this asserts
+  // DELTAS around one parallel multi-shard filter rather than absolute
+  // values other suites may already have bumped.
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  uint64_t fanout_before =
+      global.GetCounter("vq_scan_shard_fanout_total")->Value();
+  const std::string shard0 = obs::MetricsRegistry::WithLabel(
+      "vq_scan_shard_filter_seconds", "shard", "0");
+  uint64_t shard0_before = global.SnapshotHistogram(shard0).count;
+
+  Table table = MakeFlightsTable(4000, kSeed);
+  table.SetTargetShardRows(700);  // 6 shards
+  ASSERT_GT(table.index().num_shards(), 1u);
+  PredicateSet predicates = {EqPredicate{table.DimIndex("origin_state"), 3},
+                             EqPredicate{table.DimIndex("month"), 1}};
+  ASSERT_TRUE(NormalizePredicates(&predicates).ok());
+  ThreadPool pool(3);
+  ScanPlannerOptions options;
+  options.pool = &pool;
+  (void)PlannedFilterRows(table, predicates, options);
+
+  size_t num_shards = table.index().num_shards();
+  EXPECT_EQ(global.GetCounter("vq_scan_shard_fanout_total")->Value(),
+            fanout_before + num_shards);
+  EXPECT_EQ(global.SnapshotHistogram(shard0).count, shard0_before + 1);
+
+  // Both families render under their exact exposition names.
+  std::string text = global.RenderText();
+  EXPECT_NE(text.find("vq_scan_shard_fanout_total"), std::string::npos);
+  EXPECT_NE(text.find("vq_scan_shard_filter_seconds_count{shard=\"0\"}"),
+            std::string::npos);
 }
 
 TEST(ObservabilityTest, SampledTracesCarryStageSpans) {

@@ -117,6 +117,40 @@ TEST(SimdKernelsTest, MaskedSum64MatchesScalar) {
   }
 }
 
+TEST(SimdKernelsTest, MaskedSingleFactMatchesScalar) {
+  Rng rng(29);
+  for (const simd::Kernels* impl : simd::AllImplementations()) {
+    for (int round = 0; round < 4; ++round) {
+      std::vector<double> targets = RandomArray(&rng, 64);
+      std::vector<double> weights = RandomWeights(&rng, 64);
+      // Weighted prior deviations straddling the fact deviations, so the
+      // min() picks each side often (a lane-blend bug would surface here).
+      std::vector<double> prior_dev_weighted(64);
+      for (size_t i = 0; i < 64; ++i) {
+        prior_dev_weighted[i] =
+            weights[i] * std::fabs(rng.NextUniform(-120.0, 120.0) - targets[i]);
+      }
+      const uint64_t masks[] = {0ull,
+                                1ull,
+                                0x8000000000000000ull,
+                                0xFFFFFFFFFFFFFFFFull,
+                                0x5555555555555555ull,
+                                0x00FF00FF00FF00FFull,
+                                rng.NextU64(),
+                                rng.NextU64() & rng.NextU64()};
+      for (uint64_t mask : masks) {
+        double value = rng.NextUniform(-120.0, 120.0);
+        double reference = simd::Scalar().masked_single_fact(
+            value, targets.data(), weights.data(), prior_dev_weighted.data(), mask);
+        double got = impl->masked_single_fact(
+            value, targets.data(), weights.data(), prior_dev_weighted.data(), mask);
+        EXPECT_NEAR(got, reference, Tol(reference))
+            << impl->name << " mask=" << mask;
+      }
+    }
+  }
+}
+
 TEST(SimdKernelsTest, DenseReductionsMatchScalar) {
   Rng rng(13);
   for (const simd::Kernels* impl : simd::AllImplementations()) {
@@ -328,6 +362,23 @@ TEST(SimdEvaluatorEquivalenceTest, GreedySolvesIdenticallyUnderEveryKernelTable)
       }
     }
   }
+}
+
+TEST(SimdDispatchTest, ImplementationListMatchesCpuFeatures) {
+  // Every table the CPU can run must be listed (AllImplementations is the
+  // coverage contract the property tests above iterate): a machine with
+  // AVX-512F must test avx512 AND avx2, not just whichever dispatch picked.
+#if defined(__x86_64__) || defined(__i386__)
+  bool cpu_avx2 = __builtin_cpu_supports("avx2") &&
+                  __builtin_cpu_supports("fma") &&
+                  __builtin_cpu_supports("popcnt");
+  bool cpu_avx512 =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("popcnt");
+  EXPECT_EQ(simd::ByName("avx2") != nullptr, cpu_avx2);
+  EXPECT_EQ(simd::ByName("avx512") != nullptr, cpu_avx512);
+#else
+  EXPECT_EQ(simd::ByName("avx512"), nullptr);
+#endif
 }
 
 TEST(SimdDispatchTest, ForcedScalarReflectsBuildAndEnvironment) {

@@ -19,6 +19,21 @@ baseline; metrics missing from the candidate always fail. The cmake targets
 `check_simd_regression` and `check_router_regression` wire this against
 BENCH_simd.json and BENCH_router.json (routed qps plus the
 add/remove-under-load scenario's steady qps).
+
+Besides the relative baseline diff, --min PATH=VALUE asserts an absolute
+floor on a candidate metric, independent of whatever hardware produced the
+checked-in baseline:
+
+    check_bench_regression.py BASELINE.json CANDIDATE.json \
+        --metric snapshot_cold_start.steady_qps:higher \
+        --min snapshot_cold_start.time_to_routable_speedup=100
+
+This is how order-of-magnitude claims gate (e.g. "snapshot restore reaches
+routable >=100x faster than a cold build"): a relative diff would let the
+claim erode baseline-over-baseline, while the floor pins the contract
+itself. Floors missing from the candidate fail; floors are skipped when the
+candidate carries an explicit "<path>_gated": false marker sibling (used by
+benches that only enforce a floor at full scale).
 """
 
 import argparse
@@ -56,6 +71,14 @@ def main():
         type=float,
         default=0.10,
         help="allowed fractional regression (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--min",
+        action="append",
+        default=[],
+        dest="floors",
+        metavar="PATH=VALUE",
+        help="absolute floor the candidate metric must meet (repeatable)",
     )
     args = parser.parse_args()
 
@@ -101,6 +124,28 @@ def main():
                 f"{path}: {change:+.1%} beyond the {args.threshold:.0%} "
                 f"{direction}-is-better threshold"
             )
+
+    for spec in args.floors:
+        try:
+            path, floor_text = spec.rsplit("=", 1)
+            floor = float(floor_text)
+        except ValueError:
+            sys.exit(f"bad --min {spec!r}: expected PATH=VALUE")
+        if lookup(candidate, path + "_gated") is False:
+            print(f"  SKIP {path} floor: candidate marks it ungated "
+                  f"(reduced-scale run)")
+            continue
+        cand_value = lookup(candidate, path)
+        if cand_value is None:
+            failures.append(f"{path}: missing from candidate report")
+            continue
+        cand_value = float(cand_value)
+        met = cand_value >= floor
+        print(f"  {path}: candidate {cand_value:.3f}, floor {floor:.3f} "
+              f"[{'ok' if met else 'below floor'}]")
+        if not met:
+            failures.append(f"{path}: {cand_value:.3f} below the absolute "
+                            f"floor {floor:.3f}")
 
     if failures:
         print("REGRESSION:", file=sys.stderr)

@@ -14,11 +14,21 @@
 // during churn, per-cycle onboard/retire latency, and that no request routed
 // to a removed dataset after RemoveDataset returned.
 //
+// Since the zero-copy snapshot work, it also measures cold start at paper
+// scale: a 10M-row StackOverflow dataset is onboarded under the same steady
+// traffic twice -- once via the cold build (preprocess + index) and once via
+// AddFromSnapshot (mmap + pointer adoption) -- reporting time-to-routable
+// for both, their ratio (gated at >=100x when run at full scale), that both
+// incarnations answer the probe workload identically, and the steady qps
+// sustained across the whole onboarding window. VQ_SNAPBENCH_ROWS caps the
+// row count for development runs (the speedup floor only gates at >=10M).
+//
 // Emits a machine-readable JSON report (default BENCH_router.json, override
 // with VQ_BENCH_OUT).
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -26,6 +36,7 @@
 
 #include "bench_common.h"
 #include "obs/metrics.h"
+#include "storage/datasets.h"
 #include "serve/registry.h"
 #include "serve/router.h"
 #include "serve/service.h"
@@ -286,6 +297,159 @@ ChurnResult ChurnRun(vq::serve::DatasetRegistry* registry,
   return result;
 }
 
+struct SnapshotColdStartResult {
+  size_t rows = 0;
+  bool gated = false;              ///< full scale (>=10M rows): floor enforced
+  double cold_routable_seconds = 0.0;
+  double snapshot_routable_seconds = 0.0;
+  double speedup = 0.0;
+  double write_seconds = 0.0;
+  size_t snapshot_bytes = 0;
+  bool answers_identical = false;
+  size_t probes = 0;
+  size_t steady_requests = 0;
+  double steady_qps = 0.0;
+};
+
+/// Cold start vs zero-copy restore, both under load: while steady
+/// three-dataset traffic flows through the SAME router, a paper-scale
+/// StackOverflow dataset is cold-built into the registry (time-to-routable =
+/// AddDataset returning + the first probe answering), snapshotted, removed,
+/// and re-added from the snapshot (time-to-routable measured the same way).
+/// The probe workload's rendered answers must match between the two
+/// incarnations: the mmap-adopted columns/postings/speeches must be
+/// indistinguishable from the cold build's, not just faster.
+SnapshotColdStartResult SnapshotColdStartRun(
+    vq::serve::DatasetRegistry* registry,
+    const std::vector<std::pair<std::string, std::string>>& workload,
+    uint64_t seed) {
+  SnapshotColdStartResult result;
+  const char* rows_env = std::getenv("VQ_SNAPBENCH_ROWS");
+  result.rows = rows_env != nullptr
+                    ? static_cast<size_t>(std::atoll(rows_env))
+                    : 10000000;
+  result.gated = result.rows >= 10000000;
+
+  vq::Configuration config;
+  config.table = "stackoverflow";
+  config.dimensions = {"region",   "dev_type", "education", "employment",
+                       "org_size", "gender",   "years_coding"};
+  config.targets = {"competence", "optimism", "job_satisfaction",
+                    "career_satisfaction", "salary", "work_hours"};
+  config.max_query_predicates = 1;
+  const std::string name = "stackoverflow";
+  const std::string snapshot_path = "BENCH_stackoverflow.vqsnap.tmp";
+
+  // Generation is the data source, not part of either serving path: untimed.
+  vq::Table table = vq::MakeStackOverflowTable(result.rows, seed);
+
+  vq::serve::RouterOptions options;
+  options.num_threads = 4;
+  vq::serve::RoutingService router(registry, options);
+  for (const auto& [request, dataset] : workload) (void)router.AnswerNow(request);
+
+  // Steady traffic covers the WHOLE onboarding window: cold build, snapshot
+  // write, and restore all compete with live requests for the machine.
+  std::atomic<bool> stop_steady{false};
+  std::atomic<size_t> steady_done{0};
+  std::thread steady([&] {
+    size_t i = 0;
+    std::vector<std::future<vq::serve::RoutedResponse>> inflight;
+    while (!stop_steady.load(std::memory_order_relaxed)) {
+      inflight.clear();
+      for (size_t b = 0; b < 64; ++b) {
+        inflight.push_back(router.Submit(workload[i++ % workload.size()].first));
+      }
+      for (auto& future : inflight) (void)future.get();
+      steady_done.fetch_add(64, std::memory_order_relaxed);
+    }
+  });
+  vq::Stopwatch steady_watch;
+
+  // Probe requests: stratified per-target samples from the dataset's own
+  // query space, rendered to voice-request text.
+  std::vector<std::string> probes;
+  {
+    auto generator = vq::ProblemGenerator::Create(&table, config).value();
+    for (const auto& query :
+         vq::bench::StratifiedSampleQueries(generator, 12, seed)) {
+      probes.push_back(RequestText(table, query));
+    }
+  }
+  result.probes = probes.size();
+
+  auto probe_answers = [&]() {
+    std::vector<std::string> answers;
+    for (const auto& probe : probes) {
+      vq::serve::RoutedResponse routed = router.AnswerNow(probe);
+      answers.push_back(routed.routed && routed.dataset == name
+                            ? routed.response.text
+                            : "<unrouted>");
+    }
+    return answers;
+  };
+
+  // ---- Cold path: full preprocess (speech generation + index build).
+  vq::Stopwatch cold_watch;
+  vq::Status st = registry->AddDataset(name, table, config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "snapshot bench: cold add failed: %s\n",
+                 st.ToString().c_str());
+    stop_steady.store(true, std::memory_order_relaxed);
+    steady.join();
+    return result;
+  }
+  (void)router.AnswerNow(probes.front());  // first routed answer closes the clock
+  result.cold_routable_seconds = cold_watch.ElapsedSeconds();
+  std::vector<std::string> cold_answers = probe_answers();
+
+  vq::Stopwatch write_watch;
+  st = registry->WriteSnapshot(name, snapshot_path);
+  result.write_seconds = write_watch.ElapsedSeconds();
+  if (st.ok()) {
+    result.snapshot_bytes =
+        static_cast<size_t>(std::filesystem::file_size(snapshot_path));
+    (void)registry->RemoveDataset(name);
+    router.SyncRegistry();
+
+    // ---- Zero-copy path: mmap, verify, adopt pointers.
+    vq::Stopwatch snap_watch;
+    st = registry->AddFromSnapshot(name, snapshot_path, config);
+    if (st.ok()) {
+      (void)router.AnswerNow(probes.front());
+      result.snapshot_routable_seconds = snap_watch.ElapsedSeconds();
+      std::vector<std::string> snapshot_answers = probe_answers();
+      result.answers_identical = snapshot_answers == cold_answers;
+      result.speedup = result.snapshot_routable_seconds > 0.0
+                           ? result.cold_routable_seconds /
+                                 result.snapshot_routable_seconds
+                           : 0.0;
+      (void)registry->RemoveDataset(name);
+      router.SyncRegistry();
+    } else {
+      std::fprintf(stderr, "snapshot bench: restore failed: %s\n",
+                   st.ToString().c_str());
+    }
+  } else {
+    std::fprintf(stderr, "snapshot bench: write failed: %s\n",
+                 st.ToString().c_str());
+    (void)registry->RemoveDataset(name);
+    router.SyncRegistry();
+  }
+  std::filesystem::remove(snapshot_path);
+
+  stop_steady.store(true, std::memory_order_relaxed);
+  steady.join();
+  router.Drain();
+  double steady_wall = steady_watch.ElapsedSeconds();
+  result.steady_requests = steady_done.load(std::memory_order_relaxed);
+  result.steady_qps =
+      steady_wall > 0.0
+          ? static_cast<double>(result.steady_requests) / steady_wall
+          : 0.0;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -418,6 +582,22 @@ int main() {
       churn.steady_qps, churn.dynamic_answered, churn.cycles,
       churn.misroutes_after_remove, churn_ok ? "OK" : "FAIL");
 
+  // ---- Snapshot cold start vs cold build, both under steady traffic.
+  SnapshotColdStartResult snap =
+      SnapshotColdStartRun(&registry, interleaved, kSeed);
+  bool snap_ok = snap.answers_identical && snap.speedup > 0.0 &&
+                 (!snap.gated || snap.speedup >= 100.0);
+  std::printf(
+      "Snapshot cold start (%zu rows%s): cold build routable in %.3f s, "
+      "snapshot restore routable in %.4f s (%.0fx, write %.3f s, %.1f MiB), "
+      "answers identical on %zu probes: %s, steady traffic %.0f qps [%s]\n",
+      snap.rows, snap.gated ? "" : ", reduced scale -- floor ungated",
+      snap.cold_routable_seconds, snap.snapshot_routable_seconds, snap.speedup,
+      snap.write_seconds,
+      static_cast<double>(snap.snapshot_bytes) / (1024.0 * 1024.0),
+      snap.probes, snap.answers_identical ? "yes" : "NO", snap.steady_qps,
+      snap_ok ? "OK" : "FAIL");
+
   // ---- Single-dataset path: the BENCH_serve workload shape through the
   // (post-refactor) SummaryService wrapper, for regression comparison
   // against BENCH_serve.json.
@@ -507,6 +687,25 @@ int main() {
   dynamic.Set("misroutes_after_remove",
               vq::Json::Int(static_cast<int64_t>(churn.misroutes_after_remove)));
   report.Set("dynamic_registry", std::move(dynamic));
+  vq::Json cold_start = vq::Json::Object();
+  cold_start.Set("rows", vq::Json::Int(static_cast<int64_t>(snap.rows)));
+  cold_start.Set("cold_routable_seconds",
+                 vq::Json::Number(snap.cold_routable_seconds));
+  cold_start.Set("snapshot_routable_seconds",
+                 vq::Json::Number(snap.snapshot_routable_seconds));
+  cold_start.Set("time_to_routable_speedup", vq::Json::Number(snap.speedup));
+  // The >=100x floor only binds at full scale (>=10M rows);
+  // check_bench_regression.py --min skips the floor when this is false.
+  cold_start.Set("time_to_routable_speedup_gated", vq::Json::Bool(snap.gated));
+  cold_start.Set("write_seconds", vq::Json::Number(snap.write_seconds));
+  cold_start.Set("snapshot_bytes",
+                 vq::Json::Int(static_cast<int64_t>(snap.snapshot_bytes)));
+  cold_start.Set("answers_identical", vq::Json::Bool(snap.answers_identical));
+  cold_start.Set("probes", vq::Json::Int(static_cast<int64_t>(snap.probes)));
+  cold_start.Set("steady_requests",
+                 vq::Json::Int(static_cast<int64_t>(snap.steady_requests)));
+  cold_start.Set("steady_qps", vq::Json::Number(snap.steady_qps));
+  report.Set("snapshot_cold_start", std::move(cold_start));
   vq::Json single = vq::Json::Object();
   single.Set("threads", vq::Json::Int(4));
   single.Set("requests", vq::Json::Int(static_cast<int64_t>(kTotalRequests)));
@@ -521,6 +720,7 @@ int main() {
   out.close();
   std::printf("Report written to %s\n", out_path.c_str());
 
-  bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0 && churn_ok;
+  bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0 &&
+            churn_ok && snap_ok;
   return ok ? 0 : 1;
 }

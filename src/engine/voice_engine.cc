@@ -18,6 +18,19 @@ Result<VoiceQueryEngine> VoiceQueryEngine::Build(const Table* table,
   return engine;
 }
 
+VoiceQueryEngine VoiceQueryEngine::FromStore(const Table* table,
+                                             Configuration config,
+                                             SpeechStore store) {
+  VoiceQueryEngine engine;
+  engine.table_ = table;
+  engine.store_ = std::move(store);
+  engine.config_ = std::move(config);
+  engine.extractor_ = std::make_unique<QueryExtractor>(table);
+  engine.classifier_ = std::make_unique<RequestClassifier>(
+      engine.extractor_.get(), engine.config_.max_query_predicates);
+  return engine;
+}
+
 std::string VoiceQueryEngine::HelpText() const {
   return "You can ask for an average value, optionally narrowed down by up to " +
          std::to_string(config_.max_query_predicates) +

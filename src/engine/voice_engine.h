@@ -41,6 +41,14 @@ class VoiceQueryEngine {
                                         const PreprocessOptions& options,
                                         PreprocessStats* stats = nullptr);
 
+  /// Wires up an engine around an ALREADY computed speech store, skipping
+  /// pre-processing entirely -- the zero-copy snapshot load path
+  /// (storage/snapshot.cc), where the store was optimized by a previous
+  /// process and deserialized. The table must outlive the engine and must
+  /// be the table the store's value ids refer to.
+  static VoiceQueryEngine FromStore(const Table* table, Configuration config,
+                                    SpeechStore store);
+
   struct Response {
     RequestType type = RequestType::kOther;
     std::string text;

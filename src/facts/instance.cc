@@ -10,7 +10,7 @@
 namespace vq {
 
 double GlobalAverage(const Table& table, int target_index) {
-  const std::vector<double>& column =
+  std::span<const double> column =
       table.TargetColumn(static_cast<size_t>(target_index));
   double sum = 0.0;
   for (double v : column) sum += v;
@@ -99,7 +99,7 @@ Result<SummaryInstance> BuildInstanceFromRows(const Table& table,
     return Status::NotFound("query predicates select no rows");
   }
 
-  const std::vector<double>& target_column =
+  std::span<const double> target_column =
       table.TargetColumn(static_cast<size_t>(target_index));
 
   // Prior.

@@ -1,7 +1,6 @@
 #include "serve/answer.h"
 
 #include <cstdio>
-#include <functional>
 
 #include "storage/table.h"
 #include "util/fnv.h"
@@ -25,12 +24,15 @@ const char* AnswerSourceName(AnswerSource source) {
 
 std::string ConfigFingerprint(const Configuration& config) {
   // The JSON form covers every semantic field (table, dimensions, targets,
-  // limits, prior) in a deterministic member order; hash it down to a short
-  // hex prefix for the key.
-  std::string canonical = config.ToJson().Dump();
-  size_t hash = std::hash<std::string>{}(canonical);
-  char buffer[2 * sizeof(size_t) + 1];
-  std::snprintf(buffer, sizeof(buffer), "%zx", hash);
+  // limits, prior) in a deterministic member order. Hash it with FNV-1a,
+  // NOT std::hash: the fingerprint is persisted (learned-speech files,
+  // snapshot headers) and compared across process runs, and std::hash is
+  // implementation-defined and may be seeded per process.
+  Fnv64 hash;
+  hash.MixString(config.ToJson().Dump());
+  char buffer[2 * sizeof(uint64_t) + 1];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash.state));
   return buffer;
 }
 

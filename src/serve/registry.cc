@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "serve/answer.h"
+#include "storage/snapshot.h"
+#include "util/atomic_file.h"
 #include "util/stopwatch.h"
 
 namespace vq {
@@ -19,26 +21,6 @@ Result<std::string> ReadFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
-}
-
-/// Atomic replace: stream into a sibling temp file, then rename over the
-/// target, so a crash mid-write can never leave truncated JSON behind.
-Status WriteFileAtomic(const std::string& path, const std::string& contents) {
-  std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp);
-    if (!out) return Status::IOError("cannot open '" + temp + "' for writing");
-    out << contents;
-    out.close();
-    if (!out) return Status::IOError("write to '" + temp + "' failed");
-  }
-  std::error_code ec;
-  std::filesystem::rename(temp, path, ec);
-  if (ec) {
-    std::filesystem::remove(temp, ec);
-    return Status::IOError("cannot replace '" + path + "': " + ec.message());
-  }
-  return Status::OK();
 }
 
 }  // namespace
@@ -130,19 +112,101 @@ Status DatasetRegistry::AddDataset(const std::string& name, Table table,
   // never pays -- or serializes workers on -- the lazy build.
   VQ_RETURN_IF_ERROR(ReloadLearned(entry.get()));
 
+  VQ_RETURN_IF_ERROR(PublishEntry(std::move(entry)));
+  metrics_->GetCounter("vq_registry_adds_total")->Increment();
+  add_hist_->Record(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status DatasetRegistry::PublishEntry(std::shared_ptr<DatasetEntry> entry) {
   std::lock_guard<std::mutex> lock(write_mutex_);
   RegistrySnapshotPtr current = snapshot();
-  if (current->Find(name) != nullptr) {
-    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  if (current->Find(entry->name) != nullptr) {
+    return Status::AlreadyExists("dataset '" + entry->name +
+                                 "' already registered");
   }
   entry->generation = next_generation_++;
+  snapshot_bytes_mapped_ += entry->bytes_mapped;
+  metrics_->SetGauge("vq_registry_snapshot_bytes_mapped",
+                     static_cast<double>(snapshot_bytes_mapped_));
   auto next = std::make_shared<RegistrySnapshot>();
   next->version = current->version + 1;
   next->entries = current->entries;
   next->entries.push_back(std::move(entry));
   Publish(std::move(next));
+  return Status::OK();
+}
+
+Status DatasetRegistry::AddFromSnapshot(const std::string& name,
+                                        const std::string& snapshot_path,
+                                        Configuration config,
+                                        const TableBuilder& cold_fallback,
+                                        const PreprocessOptions& options,
+                                        std::optional<HostOverrides> policy,
+                                        const EngineSetup& configure) {
+  Stopwatch watch;
+  if (name.empty()) return Status::InvalidArgument("dataset name must not be empty");
+  if (snapshot()->Find(name) != nullptr) {
+    return Status::AlreadyExists("dataset '" + name + "' already registered");
+  }
+
+  Result<LoadedSnapshot> loaded = LoadSnapshot(snapshot_path);
+  Status snapshot_status =
+      loaded.ok() ? Status::OK() : loaded.status();
+  if (snapshot_status.ok() &&
+      loaded.value().config_fingerprint != ConfigFingerprint(config)) {
+    // The speech store (and everything the engine will answer from) was
+    // optimized under a different configuration; adopting it would serve
+    // wrong summaries with full confidence.
+    snapshot_status = Status::FailedPrecondition(
+        "snapshot '" + snapshot_path +
+        "' was written under a different configuration");
+  }
+  if (!snapshot_status.ok()) {
+    // A bad snapshot costs time, never correctness: rebuild from scratch.
+    metrics_->GetCounter("vq_registry_snapshot_fallbacks_total")->Increment();
+    if (!cold_fallback) return snapshot_status;
+    VQ_ASSIGN_OR_RETURN(Table table, cold_fallback());
+    return AddDataset(name, std::move(table), std::move(config), options,
+                      std::move(policy), configure);
+  }
+
+  auto entry = std::make_shared<DatasetEntry>();
+  entry->name = name;
+  entry->table = std::make_unique<Table>(std::move(loaded.value().table));
+  entry->policy = std::move(policy);
+  entry->engine = std::make_unique<VoiceQueryEngine>(VoiceQueryEngine::FromStore(
+      entry->table.get(), std::move(config), std::move(loaded.value().store)));
+  // Stamped at write time, so the learned persistence gets its content
+  // fingerprint without re-hashing 10M+ cells on the fast path.
+  entry->table_fingerprint = loaded.value().table_fingerprint;
+  entry->bytes_mapped = loaded.value().bytes_mapped;
+  if (configure) configure(entry->engine.get());
+  VQ_RETURN_IF_ERROR(ReloadLearned(entry.get()));
+
+  VQ_RETURN_IF_ERROR(PublishEntry(std::move(entry)));
   metrics_->GetCounter("vq_registry_adds_total")->Increment();
+  metrics_->GetCounter("vq_registry_snapshot_loads_total")->Increment();
+  metrics_->GetHistogram("vq_registry_snapshot_load_seconds")
+      ->Record(watch.ElapsedSeconds());
   add_hist_->Record(watch.ElapsedSeconds());
+  return Status::OK();
+}
+
+Status DatasetRegistry::WriteSnapshot(const std::string& name,
+                                      const std::string& path) const {
+  std::shared_ptr<const DatasetEntry> entry = snapshot()->FindShared(name);
+  if (entry == nullptr) return Status::NotFound("dataset '" + name + "' unknown");
+  // Cold-built entries without learned persistence never computed the
+  // content fingerprint; the snapshot needs it stamped, so hash now.
+  std::string table_fingerprint = entry->table_fingerprint.empty()
+                                      ? TableFingerprint(*entry->table)
+                                      : entry->table_fingerprint;
+  Result<size_t> written = vq::WriteSnapshot(
+      path, *entry->table, ConfigFingerprint(entry->engine->config()),
+      table_fingerprint, entry->engine->store());
+  if (!written.ok()) return written.status();
+  metrics_->GetCounter("vq_registry_snapshot_writes_total")->Increment();
   return Status::OK();
 }
 
@@ -157,7 +221,15 @@ Status DatasetRegistry::RemoveDataset(const std::string& name) {
   next->version = current->version + 1;
   next->entries.reserve(current->entries.size() - 1);
   for (const auto& entry : current->entries) {
-    if (entry->name != name) next->entries.push_back(entry);
+    if (entry->name != name) {
+      next->entries.push_back(entry);
+    } else {
+      // Gauge counts registered mappings; the mapping itself stays alive
+      // until the last holder of the entry drops it.
+      snapshot_bytes_mapped_ -= entry->bytes_mapped;
+      metrics_->SetGauge("vq_registry_snapshot_bytes_mapped",
+                         static_cast<double>(snapshot_bytes_mapped_));
+    }
   }
   Publish(std::move(next));
   metrics_->GetCounter("vq_registry_removes_total")->Increment();

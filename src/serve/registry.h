@@ -68,6 +68,12 @@ struct DatasetEntry {
   std::string table_fingerprint;
   /// Speeches reloaded from the learned file at registration time.
   size_t learned_loaded = 0;
+  /// Snapshot-backed entries: bytes of the mmap'd snapshot file this entry's
+  /// table views (and pins, via Table::SetBacking). 0 for cold-built
+  /// entries. Feeds the vq_registry_snapshot_bytes_mapped gauge, which
+  /// tracks REGISTERED mappings -- a removed entry's mapping may outlive
+  /// the gauge decrement while in-flight requests still pin it.
+  size_t bytes_mapped = 0;
   /// Per-dataset serving policy: sparse overrides the routing layer merges
   /// OVER its fleet-wide default (RouterOptions::host) when building this
   /// entry's host. Only the fields explicitly set in the overrides change;
@@ -133,6 +139,35 @@ class DatasetRegistry {
                       uint64_t seed, const PreprocessOptions& options = {},
                       std::optional<HostOverrides> policy = std::nullopt,
                       const EngineSetup& configure = {});
+
+  /// Produces the dataset's table for AddFromSnapshot's cold-build fallback.
+  using TableBuilder = std::function<Result<Table>()>;
+
+  /// Registers `name` from a zero-copy snapshot file (storage/snapshot.h):
+  /// columns, inverted index and speech store are adopted straight out of
+  /// the mapping, skipping pre-processing and index build entirely -- the
+  /// millisecond-cold-start path. The snapshot must have been written under
+  /// a configuration with the same fingerprint as `config`; on ANY snapshot
+  /// problem (unreadable, version mismatch, corrupt, truncated, foreign
+  /// configuration) the registry increments
+  /// vq_registry_snapshot_fallbacks_total and falls back to building the
+  /// table via `cold_fallback` + the normal AddDataset path (`options` is
+  /// only used by that fallback; the snapshot path needs no pre-processing).
+  /// Without a `cold_fallback`, the snapshot error is returned as-is.
+  /// May be called while routers are serving, like AddDataset.
+  Status AddFromSnapshot(const std::string& name,
+                         const std::string& snapshot_path, Configuration config,
+                         const TableBuilder& cold_fallback = {},
+                         const PreprocessOptions& options = {},
+                         std::optional<HostOverrides> policy = std::nullopt,
+                         const EngineSetup& configure = {});
+
+  /// Persists the registered dataset `name` -- table, index, pre-computed +
+  /// learned speeches -- as a snapshot at `path` (atomic replace), so the
+  /// next process can AddFromSnapshot it. Stamps the entry's configuration
+  /// and table fingerprints. Safe under live traffic: serializes only
+  /// reads of the published entry.
+  Status WriteSnapshot(const std::string& name, const std::string& path) const;
 
   /// Unpublishes `name`: the next snapshot no longer carries the entry, so
   /// new requests cannot route to it, while snapshots (and host slots)
@@ -208,6 +243,10 @@ class DatasetRegistry {
  private:
   /// Swaps in `next` as the current snapshot (callers hold write_mutex_).
   void Publish(std::shared_ptr<RegistrySnapshot> next);
+  /// Shared add tail: takes write_mutex_, re-checks the name, stamps the
+  /// generation and publishes. AlreadyExists if the name was registered
+  /// concurrently since the caller's fast check.
+  Status PublishEntry(std::shared_ptr<DatasetEntry> entry);
   /// Loads the persisted learned speeches (if any) into the entry's store.
   Status ReloadLearned(DatasetEntry* entry) const;
 
@@ -219,6 +258,9 @@ class DatasetRegistry {
   /// Serializes mutations (snapshot build + publish + generation stamps).
   std::mutex write_mutex_;
   uint64_t next_generation_ = 1;  ///< guarded by write_mutex_
+  /// Sum of bytes_mapped over currently registered entries (guarded by
+  /// write_mutex_); mirrored to the vq_registry_snapshot_bytes_mapped gauge.
+  size_t snapshot_bytes_mapped_ = 0;
   /// The published snapshot (util/snapshot_ptr.h explains why this is a
   /// mutex-guarded cell rather than std::atomic<shared_ptr>).
   SnapshotPtr<const RegistrySnapshot> snapshot_;

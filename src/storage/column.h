@@ -1,0 +1,92 @@
+// Maybe-owned columnar storage: one array that is either a std::vector the
+// structure built itself (the cold-build path) or a borrowed std::span into
+// an externally owned buffer (the zero-copy snapshot path, where the bytes
+// live in a read-only mmap pinned elsewhere -- see storage/snapshot.h and
+// util/mmap_file.h).
+//
+// Read access is uniform (span()/data()/operator[]); mutation is owned-only
+// and a mutating call on a borrowed column first materializes a private
+// heap copy (EnsureOwned). That copy-on-write keeps every existing Table
+// mutation path (AppendRow on a snapshot-loaded table, future delta ingest)
+// correct without the snapshot layer leaking into them: the mapped bytes
+// are never written through, so the mapping stays shareable across
+// processes.
+#ifndef VQ_STORAGE_COLUMN_H_
+#define VQ_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace vq {
+
+/// \brief One column-shaped array, owned (vector) or borrowed (span).
+///
+/// Copying a borrowed column copies the BORROW, not the bytes: the copy
+/// aliases the same external buffer, so whoever copies a structure holding
+/// borrowed columns must also copy the buffer pin (Table does; see
+/// Table::backing()).
+template <typename T>
+class ColumnStorage {
+ public:
+  ColumnStorage() = default;
+  /// An owned column adopting `values`.
+  explicit ColumnStorage(std::vector<T> values) : owned_(std::move(values)) {}
+
+  /// A borrowed column viewing externally owned, externally pinned memory.
+  static ColumnStorage View(std::span<const T> view) {
+    ColumnStorage column;
+    column.view_ = view;
+    column.borrowed_ = true;
+    return column;
+  }
+
+  bool borrowed() const { return borrowed_; }
+  size_t size() const { return borrowed_ ? view_.size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  const T* data() const { return borrowed_ ? view_.data() : owned_.data(); }
+  const T& operator[](size_t i) const { return data()[i]; }
+  std::span<const T> span() const {
+    return borrowed_ ? view_ : std::span<const T>(owned_);
+  }
+
+  /// Replaces the contents with an owned vector (cold builders).
+  void Assign(std::vector<T> values) {
+    owned_ = std::move(values);
+    view_ = {};
+    borrowed_ = false;
+  }
+
+  void PushBack(const T& value) {
+    EnsureOwned();
+    owned_.push_back(value);
+  }
+
+  void Reserve(size_t capacity) {
+    EnsureOwned();
+    owned_.reserve(capacity);
+  }
+
+  /// Bytes resident on the heap or in the mapping for this column.
+  size_t CapacityBytes() const {
+    return borrowed_ ? view_.size_bytes() : owned_.capacity() * sizeof(T);
+  }
+
+  /// Borrowed -> owned: materializes a private copy of the viewed bytes.
+  void EnsureOwned() {
+    if (!borrowed_) return;
+    owned_.assign(view_.begin(), view_.end());
+    view_ = {};
+    borrowed_ = false;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace vq
+
+#endif  // VQ_STORAGE_COLUMN_H_

@@ -48,10 +48,8 @@ TableIndex TableIndex::Build(const Table& table) {
   index.merged_sums_.resize(num_dims);
   for (size_t d = 0; d < num_dims; ++d) {
     size_t cardinality = table.dict(d).size();
-    std::vector<uint32_t>& counts = index.merged_counts_[d];
-    std::vector<double>& sums = index.merged_sums_[d];
-    counts.assign(cardinality, 0);
-    sums.assign(cardinality * index.num_targets_, 0.0);
+    std::vector<uint32_t> counts(cardinality, 0);
+    std::vector<double> sums(cardinality * index.num_targets_, 0.0);
     for (const ShardIndex& shard : index.shards_) {
       for (size_t v = 0; v < cardinality; ++v) {
         counts[v] += static_cast<uint32_t>(shard.Count(d, v));
@@ -60,6 +58,8 @@ TableIndex TableIndex::Build(const Table& table) {
         }
       }
     }
+    index.merged_counts_[d].Assign(std::move(counts));
+    index.merged_sums_[d].Assign(std::move(sums));
   }
 
   index.last_worker_ =
@@ -80,13 +80,35 @@ TableIndex TableIndex::Build(const Table& table) {
   return index;
 }
 
+TableIndex TableIndex::FromParts(size_t num_rows, size_t num_targets,
+                                 std::vector<ShardIndex> shards,
+                                 std::vector<MergedViews> merged) {
+  TableIndex index;
+  index.num_rows_ = num_rows;
+  index.num_targets_ = num_targets;
+  index.shards_ = std::move(shards);
+  size_t num_shards = index.shards_.size();
+  for (size_t s = 0; s < num_shards; ++s) {
+    index.shards_[s].ordinal_ = static_cast<uint32_t>(s);
+  }
+  index.merged_counts_.resize(merged.size());
+  index.merged_sums_.resize(merged.size());
+  for (size_t d = 0; d < merged.size(); ++d) {
+    index.merged_counts_[d] = ColumnStorage<uint32_t>::View(merged[d].counts);
+    index.merged_sums_[d] = ColumnStorage<double>::View(merged[d].sums);
+  }
+  index.last_worker_ = std::make_unique<std::atomic<uint32_t>[]>(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    index.last_worker_[s].store(kNoWorker, std::memory_order_relaxed);
+  }
+  return index;
+}
+
 size_t TableIndex::EstimateBytes() const {
   size_t bytes = 0;
   for (const ShardIndex& shard : shards_) bytes += shard.EstimateBytes();
-  for (const auto& counts : merged_counts_) {
-    bytes += counts.capacity() * sizeof(uint32_t);
-  }
-  for (const auto& sums : merged_sums_) bytes += sums.capacity() * sizeof(double);
+  for (const auto& counts : merged_counts_) bytes += counts.CapacityBytes();
+  for (const auto& sums : merged_sums_) bytes += sums.CapacityBytes();
   bytes += shards_.size() * sizeof(std::atomic<uint32_t>);
   bytes += sizeof(ScanStats);
   return bytes;

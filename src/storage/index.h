@@ -46,6 +46,23 @@ class TableIndex {
   /// cannot be observed through Table::index().
   static TableIndex Build(const Table& table);
 
+  /// Per-dimension merged aggregates for FromParts: spans into an externally
+  /// pinned buffer (the snapshot mapping). `counts` has cardinality entries,
+  /// `sums` has cardinality x num_targets entries.
+  struct MergedViews {
+    std::span<const uint32_t> counts;
+    std::span<const double> sums;
+  };
+
+  /// Zero-copy counterpart of Build: adopts pre-built shards (themselves
+  /// ShardIndex::FromViews products) and merged aggregates without touching
+  /// a row. Shard ordinals are (re)assigned in vector order; affinity hints
+  /// and scan stats start fresh, exactly as after a cold Build in a new
+  /// process. The caller pins the buffer behind every span.
+  static TableIndex FromParts(size_t num_rows, size_t num_targets,
+                              std::vector<ShardIndex> shards,
+                              std::vector<MergedViews> merged);
+
   size_t num_dims() const { return merged_counts_.size(); }
   size_t num_rows() const { return num_rows_; }
 
@@ -89,6 +106,16 @@ class TableIndex {
                      : 0.0;
   }
 
+  /// Raw merged-aggregate arrays for one dimension, exactly as stored; the
+  /// snapshot writer serializes these verbatim for FromParts to adopt.
+  std::span<const uint32_t> MergedCountsArray(size_t dim) const {
+    return merged_counts_[dim].span();
+  }
+  std::span<const double> MergedSumsArray(size_t dim) const {
+    return merged_sums_[dim].span();
+  }
+  size_t num_targets() const { return num_targets_; }
+
   /// Approximate heap footprint (counted by Table::EstimateBytes).
   size_t EstimateBytes() const;
 
@@ -122,9 +149,10 @@ class TableIndex {
   size_t num_targets_ = 0;
   std::vector<ShardIndex> shards_;
   /// Per dim: value -> row count, summed over shards; length cardinality.
-  std::vector<std::vector<uint32_t>> merged_counts_;
+  /// ColumnStorage so a snapshot-loaded index can view the arrays in place.
+  std::vector<ColumnStorage<uint32_t>> merged_counts_;
   /// Per dim: cardinality x num_targets sums, row-major by value.
-  std::vector<std::vector<double>> merged_sums_;
+  std::vector<ColumnStorage<double>> merged_sums_;
   std::unique_ptr<ScanStats> scan_stats_ = std::make_unique<ScanStats>();
   /// Per shard: last scan-pool worker (kNoWorker until first scanned).
   /// unique_ptr<atomic[]> keeps the index movable.

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "storage/column.h"
 #include "util/scan_stats.h"
 
 namespace vq {
@@ -34,6 +35,26 @@ class ShardIndex {
  public:
   /// Builds the index for rows [base, base + num_rows) of `table`.
   static ShardIndex Build(const Table& table, uint32_t base, uint32_t num_rows);
+
+  /// Per-dimension CSR arrays for FromViews: spans into an externally pinned
+  /// buffer (the snapshot mapping). `offsets` has cardinality + 1 entries,
+  /// `rows` has num_rows entries (ascending local ids per value), `sums` has
+  /// cardinality x num_targets entries.
+  struct DimViews {
+    std::span<const uint32_t> offsets;
+    std::span<const uint32_t> rows;
+    std::span<const double> sums;
+  };
+
+  /// Zero-copy counterpart of Build: adopts pre-built CSR arrays as views
+  /// instead of scanning the table. The caller (storage/snapshot.cc) pins
+  /// the buffer behind the spans for the shard's lifetime and guarantees
+  /// the arrays satisfy the local-id invariant (they were written by a
+  /// cold Build of the same table). ScanStats start fresh -- learned costs
+  /// are a property of this process's cache behavior, not of the data.
+  static ShardIndex FromViews(uint32_t base, uint32_t num_rows,
+                              size_t num_targets,
+                              std::vector<DimViews> dims);
 
   /// Shard ordinal within the table (0-based, assigned by TableIndex).
   uint32_t ordinal() const { return ordinal_; }
@@ -69,6 +90,20 @@ class ShardIndex {
     return sums[value * num_targets_ + target];
   }
 
+  /// Raw CSR arrays for one dimension, exactly as stored; the snapshot
+  /// writer (storage/snapshot.cc) serializes these verbatim so FromViews
+  /// can adopt them byte-identically.
+  std::span<const uint32_t> OffsetsArray(size_t dim) const {
+    return offsets_[dim].span();
+  }
+  std::span<const uint32_t> RowsArray(size_t dim) const {
+    return rows_[dim].span();
+  }
+  std::span<const double> SumsArray(size_t dim) const {
+    return target_sums_[dim].span();
+  }
+  size_t num_targets() const { return num_targets_; }
+
   /// Approximate heap footprint.
   size_t EstimateBytes() const;
 
@@ -87,11 +122,12 @@ class ShardIndex {
   uint32_t num_rows_ = 0;
   size_t num_targets_ = 0;
   /// Per dim: value -> start offset into rows_[dim]; length cardinality + 1.
-  std::vector<std::vector<uint32_t>> offsets_;
+  /// ColumnStorage so a snapshot-loaded shard can view the arrays in place.
+  std::vector<ColumnStorage<uint32_t>> offsets_;
   /// Per dim: posting lists back to back, ascending LOCAL row ids per value.
-  std::vector<std::vector<uint32_t>> rows_;
+  std::vector<ColumnStorage<uint32_t>> rows_;
   /// Per dim: cardinality x num_targets sums, row-major by value.
-  std::vector<std::vector<double>> target_sums_;
+  std::vector<ColumnStorage<double>> target_sums_;
   std::unique_ptr<ScanStats> scan_stats_ = std::make_unique<ScanStats>();
 };
 

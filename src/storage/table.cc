@@ -16,7 +16,8 @@ Table::Table(const Table& other)
       dim_codes_(other.dim_codes_),
       target_names_(other.target_names_),
       target_units_(other.target_units_),
-      target_values_(other.target_values_) {}
+      target_values_(other.target_values_),
+      backing_(other.backing_) {}
 
 Table& Table::operator=(const Table& other) {
   if (this == &other) return *this;
@@ -29,6 +30,7 @@ Table& Table::operator=(const Table& other) {
   target_names_ = other.target_names_;
   target_units_ = other.target_units_;
   target_values_ = other.target_values_;
+  backing_ = other.backing_;
   InvalidateIndex();
   return *this;
 }
@@ -48,6 +50,7 @@ Table::Table(Table&& other) noexcept
       target_names_(std::move(other.target_names_)),
       target_units_(std::move(other.target_units_)),
       target_values_(std::move(other.target_values_)),
+      backing_(std::move(other.backing_)),
       index_cell_(std::move(other.index_cell_)) {
   other.num_rows_ = 0;
 }
@@ -63,6 +66,7 @@ Table& Table::operator=(Table&& other) noexcept {
   target_names_ = std::move(other.target_names_);
   target_units_ = std::move(other.target_units_);
   target_values_ = std::move(other.target_values_);
+  backing_ = std::move(other.backing_);
   index_cell_ = std::move(other.index_cell_);
   other.num_rows_ = 0;
   return *this;
@@ -82,6 +86,14 @@ const TableIndex& Table::index() const {
     cell.ptr.store(cell.index.get(), std::memory_order_release);
   }
   return *cell.index;
+}
+
+void Table::AdoptIndex(std::unique_ptr<const TableIndex> index) {
+  if (index_cell_ == nullptr) index_cell_ = std::make_unique<IndexCell>();
+  IndexCell& cell = *index_cell_;
+  std::lock_guard<std::mutex> lock(cell.mutex);
+  cell.index = std::move(index);
+  cell.ptr.store(cell.index.get(), std::memory_order_release);
 }
 
 void Table::InvalidateIndex() {
@@ -125,10 +137,10 @@ Status Table::AppendRow(const std::vector<std::string>& dim_values,
                                    std::to_string(target_values.size()));
   }
   for (size_t d = 0; d < dim_values.size(); ++d) {
-    dim_codes_[d].push_back(dictionaries_[d].Intern(dim_values[d]));
+    dim_codes_[d].PushBack(dictionaries_[d].Intern(dim_values[d]));
   }
   for (size_t t = 0; t < target_values.size(); ++t) {
-    target_values_[t].push_back(target_values[t]);
+    target_values_[t].PushBack(target_values[t]);
   }
   ++num_rows_;
   InvalidateIndex();
@@ -141,18 +153,18 @@ void Table::AppendEncodedRow(const std::vector<ValueId>& dim_codes,
   assert(target_values.size() == target_names_.size());
   for (size_t d = 0; d < dim_codes.size(); ++d) {
     assert(dim_codes[d] < dictionaries_[d].size());
-    dim_codes_[d].push_back(dim_codes[d]);
+    dim_codes_[d].PushBack(dim_codes[d]);
   }
   for (size_t t = 0; t < target_values.size(); ++t) {
-    target_values_[t].push_back(target_values[t]);
+    target_values_[t].PushBack(target_values[t]);
   }
   ++num_rows_;
   InvalidateIndex();
 }
 
 void Table::ReserveRows(size_t num_rows) {
-  for (auto& column : dim_codes_) column.reserve(num_rows);
-  for (auto& column : target_values_) column.reserve(num_rows);
+  for (auto& column : dim_codes_) column.Reserve(num_rows);
+  for (auto& column : target_values_) column.Reserve(num_rows);
 }
 
 void Table::SetTargetShardRows(size_t rows) {
@@ -177,8 +189,8 @@ int Table::TargetIndex(const std::string& column_name) const {
 
 size_t Table::EstimateBytes() const {
   size_t bytes = 0;
-  for (const auto& column : dim_codes_) bytes += column.capacity() * sizeof(ValueId);
-  for (const auto& column : target_values_) bytes += column.capacity() * sizeof(double);
+  for (const auto& column : dim_codes_) bytes += column.CapacityBytes();
+  for (const auto& column : target_values_) bytes += column.CapacityBytes();
   for (const auto& dict : dictionaries_) bytes += dict.EstimateBytes();
   const TableIndex* built =
       index_cell_ != nullptr ? index_cell_->ptr.load(std::memory_order_acquire)

@@ -8,9 +8,11 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "storage/column.h"
 #include "storage/dictionary.h"
 #include "storage/index.h"
 #include "util/csv.h"
@@ -73,9 +75,11 @@ class Table {
     return target_values_[target][row];
   }
 
-  const std::vector<ValueId>& DimColumn(size_t dim) const { return dim_codes_[dim]; }
-  const std::vector<double>& TargetColumn(size_t target) const {
-    return target_values_[target];
+  std::span<const ValueId> DimColumn(size_t dim) const {
+    return dim_codes_[dim].span();
+  }
+  std::span<const double> TargetColumn(size_t target) const {
+    return target_values_[target].span();
   }
 
   const Dictionary& dict(size_t dim) const { return dictionaries_[dim]; }
@@ -125,6 +129,42 @@ class Table {
                                const std::vector<std::string>& dim_columns,
                                const std::vector<std::string>& target_columns);
 
+  // --- Zero-copy snapshot adoption (storage/snapshot.cc) -------------------
+  //
+  // A snapshot-loaded table borrows its columns straight out of a read-only
+  // mmap: AdoptDimColumnView/AdoptTargetColumnView install spans instead of
+  // copying, `backing` pins the mapping for as long as any copy of the
+  // table lives, and AdoptIndex publishes the snapshot's pre-built index so
+  // the lazy path never rebuilds it. Mutating a borrowed column later
+  // (AppendRow etc.) transparently materializes a private heap copy first
+  // (ColumnStorage::EnsureOwned), so adopted tables keep full Table
+  // semantics.
+
+  /// Installs a borrowed dimension column; `view.size()` must equal the row
+  /// count passed to SetAdoptedRows. The column must already be declared.
+  void AdoptDimColumnView(size_t dim, std::span<const ValueId> view) {
+    dim_codes_[dim] = ColumnStorage<ValueId>::View(view);
+  }
+  void AdoptTargetColumnView(size_t target, std::span<const double> view) {
+    target_values_[target] = ColumnStorage<double>::View(view);
+  }
+  /// Declares the row count of a table whose columns were adopted as views
+  /// (AppendRow would both adopt and count; view adoption cannot).
+  void SetAdoptedRows(size_t num_rows) { num_rows_ = num_rows; }
+  /// Pins whatever owns the bytes behind borrowed columns (the snapshot
+  /// mapping). Shared by copies of the table.
+  void SetBacking(std::shared_ptr<const void> backing) {
+    backing_ = std::move(backing);
+  }
+  /// True when any storage is borrowed from a snapshot mapping.
+  bool snapshot_backed() const { return backing_ != nullptr; }
+
+  /// Publishes a pre-built index (the snapshot's), replacing any cached one;
+  /// index() then returns it without building. Not thread-safe against
+  /// concurrent index() calls -- adoption happens before the table is
+  /// published to any reader, like all other loader-side mutation.
+  void AdoptIndex(std::unique_ptr<const TableIndex> index);
+
  private:
   /// Heap-boxed lazy-index state so Table itself stays movable (mutex
   /// members are not). `ptr` is the double-checked fast path; `index` owns.
@@ -141,10 +181,13 @@ class Table {
   size_t target_shard_rows_ = kDefaultTargetShardRows;
   std::vector<std::string> dim_names_;
   std::vector<Dictionary> dictionaries_;
-  std::vector<std::vector<ValueId>> dim_codes_;
+  std::vector<ColumnStorage<ValueId>> dim_codes_;
   std::vector<std::string> target_names_;
   std::vector<std::string> target_units_;
-  std::vector<std::vector<double>> target_values_;
+  std::vector<ColumnStorage<double>> target_values_;
+  /// Keeps the snapshot mapping alive while borrowed columns (here or in
+  /// copies of this table) view into it; null for cold-built tables.
+  std::shared_ptr<const void> backing_;
   /// Always non-null on a live table (constructors allocate it), so index()
   /// needs no creation handshake.
   mutable std::unique_ptr<IndexCell> index_cell_ = std::make_unique<IndexCell>();

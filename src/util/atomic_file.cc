@@ -1,0 +1,92 @@
+#include "util/atomic_file.h"
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VQ_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define VQ_HAVE_FSYNC 0
+#endif
+
+namespace vq {
+
+namespace {
+
+/// Distinguishes concurrent writers within one process; combined with the
+/// pid it distinguishes writers across processes sharing a directory.
+std::atomic<uint64_t> g_temp_counter{0};
+
+uint64_t ProcessId() {
+#if VQ_HAVE_FSYNC
+  return static_cast<uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Flushes a file's (or directory's) blocks to stable storage. Best-effort
+/// on platforms or filesystems without fsync semantics.
+Status SyncPath(const std::string& path, bool required) {
+#if VQ_HAVE_FSYNC
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return required ? Status::IOError("cannot open '" + path + "' for fsync")
+                    : Status::OK();
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && required) {
+    return Status::IOError("fsync of '" + path + "' failed");
+  }
+#else
+  (void)path;
+  (void)required;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  uint64_t stamp = g_temp_counter.fetch_add(1, std::memory_order_relaxed);
+  std::string temp = path + ".tmp." + std::to_string(ProcessId()) + "." +
+                     std::to_string(stamp);
+  {
+    std::ofstream out(temp, std::ios::binary);
+    if (!out) return Status::IOError("cannot open '" + temp + "' for writing");
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(temp, ec);
+      return Status::IOError("write to '" + temp + "' failed");
+    }
+  }
+  // Data must be durable BEFORE the rename is, or a crash between the two
+  // journal commits leaves a truncated file under the final name.
+  Status synced = SyncPath(temp, /*required=*/true);
+  if (!synced.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(temp, ec);
+    return synced;
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return Status::IOError("cannot replace '" + path + "': " + ec.message());
+  }
+  // Directory fsync makes the rename itself durable; failure here cannot
+  // tear the file (both names point at complete contents), so best-effort.
+  std::string parent = std::filesystem::path(path).parent_path().string();
+  (void)SyncPath(parent.empty() ? "." : parent, /*required=*/false);
+  return Status::OK();
+}
+
+}  // namespace vq

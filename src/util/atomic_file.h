@@ -1,0 +1,37 @@
+// Crash-safe whole-file replacement, shared by every persistence path
+// (learned-speech JSON in serve/registry.cc, dataset snapshots in
+// storage/snapshot.cc).
+//
+// The torn-write hazard this closes has two halves:
+//   1. A crash mid-write must never leave a truncated file under the target
+//      name -- solved by streaming into a sibling temp file and renaming
+//      over the target (rename(2) is atomic within a filesystem).
+//   2. The rename must not land before the DATA does. On journaling
+//      filesystems a rename can be committed ahead of the temp file's
+//      blocks, so a power cut can otherwise materialize a zero-length or
+//      partially written file under the final name -- the exact torn state
+//      the rename was supposed to prevent. Solved by fsync()ing the temp
+//      file before the rename (and best-effort fsync()ing the directory
+//      after, so the rename itself survives the crash).
+//
+// Temp names embed the pid plus a process-wide counter: concurrent writers
+// of DIFFERENT targets in one directory (or two processes racing on the
+// same target) each stream into their own temp file, and the loser of a
+// same-target race is a complete file, never an interleaving.
+#ifndef VQ_UTIL_ATOMIC_FILE_H_
+#define VQ_UTIL_ATOMIC_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace vq {
+
+/// Atomically replaces the contents of `path` with `contents`. On any error
+/// the target is untouched and the temp file is cleaned up best-effort.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace vq
+
+#endif  // VQ_UTIL_ATOMIC_FILE_H_

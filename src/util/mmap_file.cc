@@ -1,0 +1,109 @@
+#include "util/mmap_file.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VQ_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#else
+#define VQ_HAVE_MMAP 0
+#include <fstream>
+#endif
+
+namespace vq {
+
+MmapFile::~MmapFile() { Reset(); }
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(other.addr_),
+      size_(other.size_),
+      fallback_(std::move(other.fallback_)) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  addr_ = other.addr_;
+  size_ = other.size_;
+  fallback_ = std::move(other.fallback_);
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  return *this;
+}
+
+void MmapFile::Reset() {
+#if VQ_HAVE_MMAP
+  if (addr_ != nullptr && fallback_.empty()) {
+    ::munmap(addr_, size_);
+  }
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+  fallback_.clear();
+}
+
+#if VQ_HAVE_MMAP
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path + "': " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = Status::IOError("cannot stat '" + path + "': " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    // MAP_PRIVATE: the mapping is logically immutable input; nothing is ever
+    // written back, and a later in-place rewrite of the file by another
+    // process cannot alter pages this process already faulted in.
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status status = Status::IOError("cannot mmap '" + path + "': " +
+                                      std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    file.addr_ = addr;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is not
+  // needed past this point.
+  ::close(fd);
+  return file;
+}
+
+#else  // !VQ_HAVE_MMAP
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  MmapFile file;
+  file.fallback_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(file.fallback_.data()), size)) {
+    return Status::IOError("cannot read '" + path + "'");
+  }
+  file.size_ = file.fallback_.size();
+  file.addr_ = file.fallback_.empty() ? nullptr : file.fallback_.data();
+  return file;
+}
+
+#endif  // VQ_HAVE_MMAP
+
+}  // namespace vq

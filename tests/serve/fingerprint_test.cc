@@ -1,0 +1,73 @@
+// Regression tests for the configuration/table fingerprints stamped into
+// learned-speech files and dataset snapshots.
+//
+// The config fingerprint must be byte-stable across processes and across
+// compiler/standard-library versions: a snapshot written by one server binary
+// must be adoptable by another.  std::hash gives no such guarantee (it is
+// implementation-defined and may be seeded per process), which is why
+// ConfigFingerprint hashes the canonical JSON encoding with FNV-1a.  The
+// golden literal below pins that contract; if it ever changes, every snapshot
+// and learned-speech file in the fleet is silently invalidated, so a change
+// here must be deliberate and called out.
+#include <gtest/gtest.h>
+
+#include "serve/answer.h"
+
+namespace vq::serve {
+namespace {
+
+Configuration CanonicalConfig() {
+  Configuration config;
+  config.table = "flights";
+  config.dimensions = {"season", "month"};
+  config.targets = {"cancelled"};
+  config.max_query_predicates = 2;
+  return config;
+}
+
+TEST(ConfigFingerprintTest, MatchesGoldenValueAcrossProcesses) {
+  // Computed once from the canonical JSON encoding; any process, any build,
+  // must reproduce it exactly.
+  EXPECT_EQ(ConfigFingerprint(CanonicalConfig()), "61e68c5d85d86779");
+}
+
+TEST(ConfigFingerprintTest, IsDeterministicWithinAProcess) {
+  EXPECT_EQ(ConfigFingerprint(CanonicalConfig()),
+            ConfigFingerprint(CanonicalConfig()));
+}
+
+TEST(ConfigFingerprintTest, SensitiveToEveryConfigField) {
+  const std::string base = ConfigFingerprint(CanonicalConfig());
+
+  Configuration table = CanonicalConfig();
+  table.table = "ontime";
+  EXPECT_NE(ConfigFingerprint(table), base);
+
+  Configuration dims = CanonicalConfig();
+  dims.dimensions.push_back("carrier");
+  EXPECT_NE(ConfigFingerprint(dims), base);
+
+  Configuration order = CanonicalConfig();
+  std::swap(order.dimensions[0], order.dimensions[1]);
+  EXPECT_NE(ConfigFingerprint(order), base);
+
+  Configuration targets = CanonicalConfig();
+  targets.targets = {"delay"};
+  EXPECT_NE(ConfigFingerprint(targets), base);
+
+  Configuration predicates = CanonicalConfig();
+  predicates.max_query_predicates = 1;
+  EXPECT_NE(ConfigFingerprint(predicates), base);
+}
+
+TEST(ConfigFingerprintTest, IsFixedWidthLowercaseHex) {
+  const std::string fingerprint = ConfigFingerprint(CanonicalConfig());
+  ASSERT_EQ(fingerprint.size(), 16u);
+  for (char c : fingerprint) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "unexpected character '" << c << "' in " << fingerprint;
+  }
+}
+
+}  // namespace
+}  // namespace vq::serve

@@ -7,6 +7,8 @@
 // shard fan-out instruments (width counter + sampled per-shard latency).
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -115,6 +117,68 @@ TEST(ObservabilityTest, RenderTextCoversTheWholeServingStack) {
   EXPECT_EQ(snap.count, 5u);
   EXPECT_GT(snap.p50(), 0.0);
   EXPECT_LE(snap.p99(), snap.max_seconds * (1.0 + 1e-9));
+}
+
+TEST(ObservabilityTest, SnapshotMetricsLightUpInExposition) {
+  // The zero-copy snapshot path carries its own instrument family: loads,
+  // cold-build fallbacks, writes, mapped bytes, and load latency. One
+  // write/load/fallback cycle against a private registry must light up every
+  // exposition name with the exact expected counts.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "vq_obs_snapshot.vqsnap")
+          .string();
+  obs::MetricsRegistry metrics;
+  DatasetRegistry registry(RegistryOptions{.metrics = &metrics});
+  ASSERT_TRUE(registry.AddGenerated("flights", FlightsConfig(), 300, kSeed).ok());
+  ASSERT_TRUE(registry.WriteSnapshot("flights", path).ok());
+  ASSERT_TRUE(registry.RemoveDataset("flights").ok());
+
+  // Successful zero-copy load: bytes_mapped tracks the live mapping.
+  ASSERT_TRUE(registry.AddFromSnapshot("flights", path, FlightsConfig()).ok());
+  const double mapped =
+      metrics.GetGauge("vq_registry_snapshot_bytes_mapped")->Value();
+  EXPECT_EQ(mapped, static_cast<double>(std::filesystem::file_size(path)));
+  EXPECT_GT(mapped, 0.0);
+
+  // Corrupt the file; the re-add falls back to a cold build and says so.
+  ASSERT_TRUE(registry.RemoveDataset("flights").ok());
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(std::filesystem::file_size(path) / 2));
+    file.put('\xff');
+  }
+  bool fallback_ran = false;
+  ASSERT_TRUE(registry
+                  .AddFromSnapshot("flights", path, FlightsConfig(),
+                                   [&]() -> Result<Table> {
+                                     fallback_ran = true;
+                                     return MakeFlightsTable(300, kSeed);
+                                   })
+                  .ok());
+  EXPECT_TRUE(fallback_ran);
+
+  std::string text = metrics.RenderText();
+  EXPECT_NE(text.find("vq_registry_snapshot_writes_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vq_registry_snapshot_loads_total 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vq_registry_snapshot_fallbacks_total 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vq_registry_snapshot_bytes_mapped 0"), std::string::npos)
+      << text;  // cold fallback maps nothing; the gauge fell back to zero
+  EXPECT_NE(text.find("vq_registry_snapshot_load_seconds_count"),
+            std::string::npos)
+      << text;
+
+  // The load-latency histogram recorded exactly the one successful load
+  // (the fallback is a cold add and must not pollute the snapshot timing).
+  obs::HistogramSnapshot load =
+      metrics.SnapshotHistogram("vq_registry_snapshot_load_seconds");
+  EXPECT_EQ(load.count, 1u);
+  EXPECT_LE(load.p99(), load.max_seconds * (1.0 + 1e-9));
+
+  std::filesystem::remove(path);
 }
 
 TEST(ObservabilityTest, ShardedScanMetricsLightUpOnParallelFilter) {

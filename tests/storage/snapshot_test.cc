@@ -1,0 +1,275 @@
+// Snapshot robustness suite: the round-trip property (a loaded snapshot is
+// bit-identical to the cold-built structures it was written from, across
+// shard layouts including ragged last shards) and the rejection paths
+// (corrupted checksum, truncated file, foreign format version, garbage),
+// each of which must fail cleanly so the registry can fall back to a cold
+// build.
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/voice_engine.h"
+#include "storage/index.h"
+#include "util/rng.h"
+
+namespace vq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// A table with enough rows and cardinality that multi-shard layouts (and
+/// ragged last shards) actually occur, plus two targets so the sums arrays
+/// have non-trivial stride.
+Table MakeTable(size_t num_rows) {
+  Table table("snapshot_fixture");
+  table.AddDimColumn("region");
+  table.AddDimColumn("season");
+  table.AddTargetColumn("delay", "minutes");
+  table.AddTargetColumn("cancelled", "percent");
+  const char* regions[] = {"North", "South", "East", "West", "Central"};
+  const char* seasons[] = {"Winter", "Spring", "Summer", "Fall"};
+  Rng rng(20210318);
+  for (size_t r = 0; r < num_rows; ++r) {
+    EXPECT_TRUE(table
+                    .AppendRow({regions[rng.NextInt(0, 4)],
+                                seasons[rng.NextInt(0, 3)]},
+                               {static_cast<double>(rng.NextInt(0, 120)),
+                                rng.NextInt(0, 1000) / 10.0})
+                    .ok());
+  }
+  return table;
+}
+
+void ExpectBitIdentical(const Table& cold, const Table& loaded) {
+  ASSERT_EQ(loaded.NumRows(), cold.NumRows());
+  ASSERT_EQ(loaded.NumDims(), cold.NumDims());
+  ASSERT_EQ(loaded.NumTargets(), cold.NumTargets());
+  EXPECT_EQ(loaded.name(), cold.name());
+  EXPECT_EQ(loaded.TargetShardRows(), cold.TargetShardRows());
+  for (size_t d = 0; d < cold.NumDims(); ++d) {
+    EXPECT_EQ(loaded.DimName(d), cold.DimName(d));
+    // Identical intern order -> identical ValueIds -> columns can be
+    // compared as raw code arrays.
+    ASSERT_EQ(loaded.dict(d).values(), cold.dict(d).values());
+    auto cold_col = cold.DimColumn(d);
+    auto loaded_col = loaded.DimColumn(d);
+    ASSERT_EQ(loaded_col.size(), cold_col.size());
+    EXPECT_EQ(std::memcmp(loaded_col.data(), cold_col.data(),
+                          cold_col.size_bytes()),
+              0);
+  }
+  for (size_t t = 0; t < cold.NumTargets(); ++t) {
+    EXPECT_EQ(loaded.TargetName(t), cold.TargetName(t));
+    EXPECT_EQ(loaded.TargetUnit(t), cold.TargetUnit(t));
+    auto cold_col = cold.TargetColumn(t);
+    auto loaded_col = loaded.TargetColumn(t);
+    ASSERT_EQ(loaded_col.size(), cold_col.size());
+    // memcmp, not EXPECT_DOUBLE_EQ: the property is BIT-identity.
+    EXPECT_EQ(std::memcmp(loaded_col.data(), cold_col.data(),
+                          cold_col.size_bytes()),
+              0);
+  }
+
+  const TableIndex& cold_index = cold.index();
+  const TableIndex& loaded_index = loaded.index();
+  ASSERT_EQ(loaded_index.num_shards(), cold_index.num_shards());
+  EXPECT_EQ(loaded_index.num_rows(), cold_index.num_rows());
+  for (size_t s = 0; s < cold_index.num_shards(); ++s) {
+    const ShardIndex& a = cold_index.shard(s);
+    const ShardIndex& b = loaded_index.shard(s);
+    EXPECT_EQ(b.ordinal(), a.ordinal());
+    EXPECT_EQ(b.base(), a.base());
+    ASSERT_EQ(b.num_rows(), a.num_rows());
+    for (size_t d = 0; d < cold.NumDims(); ++d) {
+      auto a_rows = a.RowsArray(d);
+      auto b_rows = b.RowsArray(d);
+      ASSERT_EQ(b_rows.size(), a_rows.size());
+      EXPECT_EQ(
+          std::memcmp(b_rows.data(), a_rows.data(), a_rows.size_bytes()), 0);
+      auto a_offsets = a.OffsetsArray(d);
+      auto b_offsets = b.OffsetsArray(d);
+      ASSERT_EQ(b_offsets.size(), a_offsets.size());
+      EXPECT_EQ(std::memcmp(b_offsets.data(), a_offsets.data(),
+                            a_offsets.size_bytes()),
+                0);
+      auto a_sums = a.SumsArray(d);
+      auto b_sums = b.SumsArray(d);
+      ASSERT_EQ(b_sums.size(), a_sums.size());
+      EXPECT_EQ(
+          std::memcmp(b_sums.data(), a_sums.data(), a_sums.size_bytes()), 0);
+    }
+  }
+  for (size_t d = 0; d < cold.NumDims(); ++d) {
+    auto a_counts = cold_index.MergedCountsArray(d);
+    auto b_counts = loaded_index.MergedCountsArray(d);
+    ASSERT_EQ(b_counts.size(), a_counts.size());
+    EXPECT_EQ(std::memcmp(b_counts.data(), a_counts.data(),
+                          a_counts.size_bytes()),
+              0);
+    auto a_sums = cold_index.MergedSumsArray(d);
+    auto b_sums = loaded_index.MergedSumsArray(d);
+    ASSERT_EQ(b_sums.size(), a_sums.size());
+    EXPECT_EQ(
+        std::memcmp(b_sums.data(), a_sums.data(), a_sums.size_bytes()), 0);
+  }
+}
+
+TEST(SnapshotTest, RoundTripIsBitIdenticalAcrossShardLayouts) {
+  // 100 rows with shard targets 128 (1 shard), 40 (2 full + ragged 20), 25
+  // (4 exact), 13 (7 full + ragged 9): exercises single-shard, exact-fit
+  // and ragged-last-shard layouts.
+  const size_t kRows = 100;
+  for (size_t shard_rows : {size_t{128}, size_t{40}, size_t{25}, size_t{13}}) {
+    Table cold = MakeTable(kRows);
+    cold.SetTargetShardRows(shard_rows);
+    std::string path = TempPath("roundtrip_" + std::to_string(shard_rows) +
+                                ".vqsnap");
+    auto written = WriteSnapshot(path, cold, "cfg-fp", "table-fp", {});
+    ASSERT_TRUE(written.ok()) << written.status().message();
+    EXPECT_EQ(written.value(), std::filesystem::file_size(path));
+
+    auto loaded = LoadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_EQ(loaded.value().config_fingerprint, "cfg-fp");
+    EXPECT_EQ(loaded.value().table_fingerprint, "table-fp");
+    EXPECT_EQ(loaded.value().bytes_mapped, written.value());
+    EXPECT_TRUE(loaded.value().table.snapshot_backed());
+    // The index arrived pre-built: adoption, not a lazy rebuild.
+    EXPECT_TRUE(loaded.value().table.has_index());
+    ExpectBitIdentical(cold, loaded.value().table);
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(SnapshotTest, SpeechStoreRoundTripsThroughTheSnapshot) {
+  Table table = MakeTable(60);
+  Configuration config;
+  config.table = "snapshot_fixture";
+  config.dimensions = {"region", "season"};
+  config.targets = {"delay"};
+  config.max_query_predicates = 1;
+  auto engine = VoiceQueryEngine::Build(&table, config, {});
+  ASSERT_TRUE(engine.ok());
+  const SpeechStore& store = engine.value().store();
+  ASSERT_GT(store.size(), 0u);
+
+  std::string path = TempPath("speech_roundtrip.vqsnap");
+  ASSERT_TRUE(WriteSnapshot(path, table, "cfg", "tbl", store).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  const SpeechStore& reloaded = loaded.value().store;
+  ASSERT_EQ(reloaded.size(), store.size());
+  for (const StoredSpeech& stored : store.speeches()) {
+    const StoredSpeech* match = reloaded.FindExact(stored.query);
+    ASSERT_NE(match, nullptr) << stored.query.Key();
+    // Key equality implies the predicates re-encoded to the SAME ValueIds
+    // against the loaded table's dictionaries.
+    EXPECT_EQ(match->query.Key(), stored.query.Key());
+    EXPECT_EQ(match->speech.text, stored.speech.text);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, LoadedTableStaysMutableViaCopyOnWrite) {
+  Table cold = MakeTable(50);
+  std::string path = TempPath("cow.vqsnap");
+  ASSERT_TRUE(WriteSnapshot(path, cold, "cfg", "tbl", {}).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok());
+  Table table = std::move(loaded.value().table);
+
+  // Appending to a snapshot-backed table must materialize private copies of
+  // the borrowed columns (never write through the read-only mapping) and
+  // invalidate the adopted index.
+  ASSERT_TRUE(table.AppendRow({"North", "Winter"}, {42.0, 1.0}).ok());
+  EXPECT_FALSE(table.has_index());
+  EXPECT_EQ(table.NumRows(), 51u);
+  EXPECT_EQ(table.index().num_rows(), 51u);
+  EXPECT_EQ(table.index().Postings(0, 0).size(), table.index().Count(0, 0));
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, CorruptedChecksumIsRejected) {
+  Table cold = MakeTable(40);
+  std::string path = TempPath("corrupt.vqsnap");
+  ASSERT_TRUE(WriteSnapshot(path, cold, "cfg", "tbl", {}).ok());
+
+  // Flip one payload byte mid-file.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  size_t size = std::filesystem::file_size(path);
+  file.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  file.read(&byte, 1);
+  byte ^= 0x5a;
+  file.seekp(static_cast<std::streamoff>(size / 2));
+  file.write(&byte, 1);
+  file.close();
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, TruncatedFileIsRejected) {
+  Table cold = MakeTable(40);
+  std::string path = TempPath("truncated.vqsnap");
+  ASSERT_TRUE(WriteSnapshot(path, cold, "cfg", "tbl", {}).ok());
+  size_t size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - size / 3);
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+
+  // Degenerate truncation: shorter than the header itself.
+  std::filesystem::resize_file(path, 16);
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, ForeignFormatVersionIsRejected) {
+  Table cold = MakeTable(40);
+  std::string path = TempPath("version.vqsnap");
+  ASSERT_TRUE(WriteSnapshot(path, cold, "cfg", "tbl", {}).ok());
+
+  // format_version lives right after the 8-byte magic.
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.is_open());
+  uint32_t bumped = kSnapshotFormatVersion + 1;
+  file.seekp(8);
+  file.write(reinterpret_cast<const char*>(&bumped), sizeof(bumped));
+  file.close();
+
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotTest, GarbageAndMissingFilesAreRejected) {
+  EXPECT_FALSE(LoadSnapshot(TempPath("does_not_exist.vqsnap")).ok());
+
+  std::string path = TempPath("garbage.vqsnap");
+  std::ofstream out(path, std::ios::binary);
+  for (int i = 0; i < 4096; ++i) out.put(static_cast<char>(i * 31));
+  out.close();
+  auto loaded = LoadSnapshot(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("not a dataset snapshot"),
+            std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace vq

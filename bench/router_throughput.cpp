@@ -23,9 +23,19 @@
 // sustained across the whole onboarding window. VQ_SNAPBENCH_ROWS caps the
 // row count for development runs (the speedup floor only gates at >=10M).
 //
+// Since the overload-robustness work, an open-loop scenario offers 2x the
+// measured closed-loop capacity on a fixed arrival schedule (arrivals never
+// slow down when the router does) with 250 ms deadlines and a bounded
+// admission budget, and verifies the router sheds/degrades the excess
+// instead of queue-collapsing: accepted requests keep a bounded
+// submit-to-resolve p99, and every submitted request resolves to exactly
+// one of ok / shed / timeout / degraded (tallies reconcile with the
+// router's own counters).
+//
 // Emits a machine-readable JSON report (default BENCH_router.json, override
 // with VQ_BENCH_OUT).
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -450,6 +460,136 @@ SnapshotColdStartResult SnapshotColdStartRun(
   return result;
 }
 
+struct OverloadResult {
+  size_t threads = 0;
+  double capacity_qps = 0.0;   ///< closed-loop qps at the same thread count
+  double offered_qps = 0.0;    ///< open-loop arrival rate (2x capacity)
+  double deadline_ms = 0.0;
+  size_t max_pending = 0;
+  size_t submitted = 0;
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t timeout = 0;
+  size_t degraded = 0;
+  double wall_seconds = 0.0;
+  double accepted_p50_ms = 0.0;  ///< submit-to-resolve, ok+degraded only
+  double accepted_p99_ms = 0.0;
+  double shed_fraction = 0.0;
+  double accepted_fraction = 0.0;
+  bool reconciled = false;  ///< tallies == submitted == router counters
+};
+
+/// Overload shedding under open-loop arrivals: unlike TimedRun (which floods
+/// all requests upfront and lets backpressure pace the producer), requests
+/// arrive on a fixed schedule at 2x the measured closed-loop capacity,
+/// regardless of how far behind the router is -- the arrival process does
+/// not slow down when the system does, which is what makes unbounded queues
+/// collapse. With a 250 ms deadline and a bounded admission budget the
+/// router must shed the excess at the door and keep the accepted requests'
+/// end-to-end (submit-to-resolve, queue wait included) p99 bounded, instead
+/// of timing out everyone from the back of an ever-growing queue.
+OverloadResult OverloadRun(
+    const vq::serve::DatasetRegistry& registry,
+    const std::vector<std::pair<std::string, std::string>>& workload,
+    double capacity_qps, size_t threads, double vocalize_seconds) {
+  OverloadResult result;
+  result.threads = threads;
+  result.capacity_qps = capacity_qps;
+  result.offered_qps = 2.0 * capacity_qps;
+  result.deadline_ms = 250.0;
+  result.max_pending = 256;
+  const double kWindowSeconds = 1.5;
+  result.submitted = std::min<size_t>(
+      40000, static_cast<size_t>(result.offered_qps * kWindowSeconds));
+
+  vq::serve::RouterOptions options;
+  options.num_threads = threads;
+  options.host.simulated_vocalize_seconds = vocalize_seconds;
+  options.default_deadline_seconds = result.deadline_ms / 1e3;
+  options.max_pending_requests = result.max_pending;
+  vq::serve::RoutingService router(&registry, options);
+  for (const auto& [request, dataset] : workload) (void)router.AnswerNow(request);
+  // The warm-up's requests land in the router counters too: reconcile the
+  // timed window against the counter DELTA, not the absolute values.
+  vq::serve::RouterStats before = router.stats();
+
+  const size_t total = result.submitted;
+  std::vector<std::future<vq::serve::RoutedResponse>> futures;
+  futures.reserve(total);  // no reallocation: the harvester indexes into it
+  std::vector<double> submit_at(total, 0.0);
+  std::atomic<size_t> published{0};
+  size_t ok = 0, shed = 0, timeout = 0, degraded = 0;
+  std::vector<double> accepted_ms;
+  accepted_ms.reserve(total);
+
+  vq::Stopwatch clock;
+  // Harvester runs concurrently so resolve timestamps are observed as they
+  // happen; the pool completes FIFO, so in-order get() tracks completion.
+  std::thread harvester([&] {
+    for (size_t h = 0; h < total; ++h) {
+      while (published.load(std::memory_order_acquire) <= h) {
+        std::this_thread::yield();
+      }
+      vq::serve::RoutedResponse routed = futures[h].get();
+      double latency_ms = (clock.ElapsedSeconds() - submit_at[h]) * 1e3;
+      switch (routed.response.status) {
+        case vq::serve::ServeStatus::kOk:
+          ++ok;
+          accepted_ms.push_back(latency_ms);
+          break;
+        case vq::serve::ServeStatus::kDegraded:
+          ++degraded;
+          accepted_ms.push_back(latency_ms);
+          break;
+        case vq::serve::ServeStatus::kShed:
+          ++shed;
+          break;
+        case vq::serve::ServeStatus::kTimeout:
+          ++timeout;
+          break;
+      }
+    }
+  });
+
+  // Open-loop producer: batched ticks release every arrival whose scheduled
+  // time has passed, never waiting on responses.
+  size_t sent = 0;
+  while (sent < total) {
+    size_t due = std::min(
+        total,
+        static_cast<size_t>(result.offered_qps * clock.ElapsedSeconds()) + 1);
+    while (sent < due) {
+      submit_at[sent] = clock.ElapsedSeconds();
+      futures.push_back(router.Submit(workload[sent % workload.size()].first));
+      published.store(sent + 1, std::memory_order_release);
+      ++sent;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  harvester.join();
+  router.Drain();
+  result.wall_seconds = clock.ElapsedSeconds();
+
+  result.ok = ok;
+  result.shed = shed;
+  result.timeout = timeout;
+  result.degraded = degraded;
+  result.accepted_p50_ms = vq::Quantile(accepted_ms, 0.50);
+  result.accepted_p99_ms = vq::Quantile(accepted_ms, 0.99);
+  result.shed_fraction =
+      static_cast<double>(shed) / static_cast<double>(total);
+  result.accepted_fraction =
+      static_cast<double>(ok + degraded) / static_cast<double>(total);
+  vq::serve::RouterStats stats = router.stats();
+  result.reconciled = (ok + shed + timeout + degraded == total) &&
+                      stats.requests - before.requests == total &&
+                      stats.shed - before.shed == shed &&
+                      stats.timeouts - before.timeouts == timeout &&
+                      stats.degraded - before.degraded == degraded &&
+                      router.PendingRequests() == 0;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -582,6 +722,29 @@ int main() {
       churn.steady_qps, churn.dynamic_answered, churn.cycles,
       churn.misroutes_after_remove, churn_ok ? "OK" : "FAIL");
 
+  // ---- Overload shedding: open-loop arrivals at 2x the 4-thread
+  // closed-loop capacity, 250 ms deadlines, bounded admission. The router
+  // must shed or degrade the excess instead of queue-collapsing: accepted
+  // requests keep a bounded end-to-end p99, and every submitted request
+  // resolves to exactly one of ok/shed/timeout/degraded.
+  OverloadResult overload =
+      OverloadRun(registry, interleaved, runs[1].qps, /*threads=*/4,
+                  kVocalizeSeconds);
+  bool overload_ok = overload.reconciled &&
+                     overload.shed + overload.timeout + overload.degraded > 0 &&
+                     overload.ok > 0 &&
+                     overload.accepted_p99_ms < 2.0 * overload.deadline_ms;
+  std::printf(
+      "Overload shedding: offered %.0f qps (2x capacity %.0f) for %zu "
+      "requests, deadline %.0f ms, pending budget %zu: ok %zu, shed %zu "
+      "(%.2f), timeout %zu, degraded %zu; accepted p50 %.3f ms, p99 %.3f ms, "
+      "reconciled %s [%s]\n",
+      overload.offered_qps, overload.capacity_qps, overload.submitted,
+      overload.deadline_ms, overload.max_pending, overload.ok, overload.shed,
+      overload.shed_fraction, overload.timeout, overload.degraded,
+      overload.accepted_p50_ms, overload.accepted_p99_ms,
+      overload.reconciled ? "yes" : "NO", overload_ok ? "OK" : "FAIL");
+
   // ---- Snapshot cold start vs cold build, both under steady traffic.
   SnapshotColdStartResult snap =
       SnapshotColdStartRun(&registry, interleaved, kSeed);
@@ -687,6 +850,29 @@ int main() {
   dynamic.Set("misroutes_after_remove",
               vq::Json::Int(static_cast<int64_t>(churn.misroutes_after_remove)));
   report.Set("dynamic_registry", std::move(dynamic));
+  vq::Json shedding = vq::Json::Object();
+  shedding.Set("threads", vq::Json::Int(static_cast<int64_t>(overload.threads)));
+  shedding.Set("capacity_qps", vq::Json::Number(overload.capacity_qps));
+  shedding.Set("offered_qps", vq::Json::Number(overload.offered_qps));
+  shedding.Set("deadline_ms", vq::Json::Number(overload.deadline_ms));
+  shedding.Set("max_pending",
+               vq::Json::Int(static_cast<int64_t>(overload.max_pending)));
+  shedding.Set("submitted",
+               vq::Json::Int(static_cast<int64_t>(overload.submitted)));
+  shedding.Set("ok", vq::Json::Int(static_cast<int64_t>(overload.ok)));
+  shedding.Set("shed", vq::Json::Int(static_cast<int64_t>(overload.shed)));
+  shedding.Set("timeout",
+               vq::Json::Int(static_cast<int64_t>(overload.timeout)));
+  shedding.Set("degraded",
+               vq::Json::Int(static_cast<int64_t>(overload.degraded)));
+  shedding.Set("wall_seconds", vq::Json::Number(overload.wall_seconds));
+  shedding.Set("accepted_p50_ms", vq::Json::Number(overload.accepted_p50_ms));
+  shedding.Set("accepted_p99_ms", vq::Json::Number(overload.accepted_p99_ms));
+  shedding.Set("shed_fraction", vq::Json::Number(overload.shed_fraction));
+  shedding.Set("accepted_fraction",
+               vq::Json::Number(overload.accepted_fraction));
+  shedding.Set("reconciled", vq::Json::Bool(overload.reconciled));
+  report.Set("overload_shedding", std::move(shedding));
   vq::Json cold_start = vq::Json::Object();
   cold_start.Set("rows", vq::Json::Int(static_cast<int64_t>(snap.rows)));
   cold_start.Set("cold_routable_seconds",
@@ -721,6 +907,6 @@ int main() {
   std::printf("Report written to %s\n", out_path.c_str());
 
   bool ok = batching_ok && total_misrouted == 0 && speedup_4v1 > 2.0 &&
-            churn_ok && snap_ok;
+            churn_ok && snap_ok && overload_ok;
   return ok ? 0 : 1;
 }

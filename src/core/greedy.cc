@@ -19,12 +19,25 @@ std::pair<double, FactId> SelectBestFact(const Evaluator& evaluator,
                                          const GreedyState& state,
                                          const PruningPlan* plan,
                                          std::vector<double>* gains_buffer,
-                                         PerfCounters* counters) {
+                                         PerfCounters* counters,
+                                         const Deadline* deadline,
+                                         bool* timed_out) {
   const FactCatalog& catalog = evaluator.catalog();
   std::vector<double>& gains = *gains_buffer;
   gains.assign(catalog.NumFacts(), 0.0);
   double best_gain = -1.0;
   FactId best_fact = kNoFact;
+
+  // Deadline polling is amortized over groups: a clock read is cheap next to
+  // one AccumulateGroupGains pass, but catalogs can have thousands of groups.
+  size_t groups_seen = 0;
+  auto expired = [&]() {
+    if (deadline == nullptr) return false;
+    if ((groups_seen++ & 15) != 0) return false;
+    if (!deadline->Expired()) return false;
+    *timed_out = true;
+    return true;
+  };
 
   auto consider_group = [&](uint32_t g) {
     auto [gain, fact] = state.AccumulateGroupGains(g, &gains, counters);
@@ -35,13 +48,17 @@ std::pair<double, FactId> SelectBestFact(const Evaluator& evaluator,
   };
 
   if (plan == nullptr) {
-    for (uint32_t g = 0; g < catalog.NumGroups(); ++g) consider_group(g);
+    for (uint32_t g = 0; g < catalog.NumGroups(); ++g) {
+      if (expired()) return {best_gain, best_fact};
+      consider_group(g);
+    }
     return {best_gain, best_fact};
   }
 
   // 1. Compute utility for the pruning sources; m = best source gain.
   std::vector<bool> handled(catalog.NumGroups(), false);
   for (uint32_t g : plan->sources) {
+    if (expired()) return {best_gain, best_fact};
     consider_group(g);
     handled[g] = true;
   }
@@ -66,7 +83,9 @@ std::pair<double, FactId> SelectBestFact(const Evaluator& evaluator,
 
   // 3. Compute utility for surviving groups.
   for (uint32_t g = 0; g < catalog.NumGroups(); ++g) {
-    if (!handled[g] && !pruned[g]) consider_group(g);
+    if (handled[g] || pruned[g]) continue;
+    if (expired()) return {best_gain, best_fact};
+    consider_group(g);
   }
   return {best_gain, best_fact};
 }
@@ -105,8 +124,21 @@ SummaryResult GreedySummary(const Evaluator& evaluator, const GreedyOptions& opt
   GreedyState state(evaluator);
   std::vector<double> gains_buffer;
   for (int i = 0; i < options.max_facts; ++i) {
-    auto [gain, fact] = SelectBestFact(evaluator, state, plan.get(),
-                                       &gains_buffer, &result.counters);
+    if (options.deadline != nullptr && options.deadline->Expired()) {
+      result.timed_out = true;
+      break;
+    }
+    bool scan_timed_out = false;
+    auto [gain, fact] =
+        SelectBestFact(evaluator, state, plan.get(), &gains_buffer,
+                       &result.counters, options.deadline, &scan_timed_out);
+    if (scan_timed_out) {
+      // A partial scan's argmax is not the greedy choice; keep the
+      // checkpointed facts from completed iterations (anytime property)
+      // rather than appending a possibly poor fact.
+      result.timed_out = true;
+      break;
+    }
     if (fact == kNoFact || gain <= 1e-12) break;  // no fact improves the speech
     result.facts.push_back(fact);
     state.ApplyFact(fact);

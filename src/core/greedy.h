@@ -6,6 +6,7 @@
 #include "core/evaluator.h"
 #include "core/pruning.h"
 #include "core/summary.h"
+#include "util/stopwatch.h"
 
 namespace vq {
 
@@ -15,6 +16,12 @@ struct GreedyOptions {
   int max_facts = 3;
   FactPruning pruning = FactPruning::kNone;
   CostModelParams cost_model;
+  /// Optional per-request serving deadline (not owned; may be null). Greedy
+  /// is an anytime algorithm: each completed iteration leaves a valid,
+  /// just less complete, fact set. When the deadline expires mid-run the
+  /// best-so-far facts are returned with `timed_out` set, and the serving
+  /// layer renders them as a degraded summary instead of failing.
+  const Deadline* deadline = nullptr;
 };
 
 /// Runs the greedy algorithm: in each iteration, computes utility gains of

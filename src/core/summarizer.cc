@@ -40,6 +40,13 @@ SummaryResult PreparedProblem::Run(const SummarizerOptions& options) const {
       ExactOptions exact;
       exact.max_facts = options.max_facts;
       exact.timeout_seconds = options.exact_timeout_seconds;
+      if (options.deadline != nullptr && options.deadline->enabled()) {
+        double remaining = options.deadline->RemainingSeconds();
+        if (remaining < 0.0) remaining = 0.0;
+        if (exact.timeout_seconds <= 0.0 || remaining < exact.timeout_seconds) {
+          exact.timeout_seconds = remaining > 0.0 ? remaining : 1e-9;
+        }
+      }
       return ExactSummary(*evaluator_, exact);
     }
     case Algorithm::kGreedy:
@@ -48,6 +55,7 @@ SummaryResult PreparedProblem::Run(const SummarizerOptions& options) const {
       GreedyOptions greedy;
       greedy.max_facts = options.max_facts;
       greedy.cost_model = options.cost_model;
+      greedy.deadline = options.deadline;
       greedy.pruning = options.algorithm == Algorithm::kGreedy ? FactPruning::kNone
                        : options.algorithm == Algorithm::kGreedyNaive
                            ? FactPruning::kNaive

@@ -94,6 +94,13 @@ class VoiceQueryEngine {
   static const char* NoSummaryText() {
     return "I have no summary matching that question.";
   }
+  static const char* TimedOutText() {
+    return "Sorry, that took too long to answer. Please try again.";
+  }
+  static const char* OverloadedText() {
+    return "Sorry, I am handling too many questions right now. "
+           "Please try again in a moment.";
+  }
 
   const SpeechStore& store() const { return store_; }
   const RequestClassifier& classifier() const { return *classifier_; }

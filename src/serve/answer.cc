@@ -22,6 +22,20 @@ const char* AnswerSourceName(AnswerSource source) {
   return "unknown";
 }
 
+const char* ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kShed:
+      return "shed";
+    case ServeStatus::kTimeout:
+      return "timeout";
+    case ServeStatus::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
 std::string ConfigFingerprint(const Configuration& config) {
   // The JSON form covers every semantic field (table, dimensions, targets,
   // limits, prior) in a deterministic member order. Hash it with FNV-1a,

@@ -22,6 +22,19 @@ enum class AnswerSource {
 
 const char* AnswerSourceName(AnswerSource source);
 
+/// Terminal overload-control status of one served request. Every submitted
+/// request resolves to exactly one of these.
+enum class ServeStatus {
+  kOk = 0,    ///< answered (or legitimately unanswerable) within budget
+  kShed,      ///< rejected by admission control before any work was done
+  kTimeout,   ///< deadline expired with nothing useful to say
+  kDegraded,  ///< answered, but reduced: truncated anytime summary, a
+              ///< deadline-skipped solve served from the store, or a stale
+              ///< (TTL-expired) cache entry served under pressure
+};
+
+const char* ServeStatusName(ServeStatus status);
+
 /// \brief One rendered answer for a canonical query. Immutable after
 /// construction; shared by pointer between cache entries, in-flight waiters
 /// and responses, so concurrent readers need no synchronization.
@@ -35,6 +48,10 @@ struct ServedAnswer {
   /// Seconds spent producing this answer the first time (store lookup or
   /// on-demand optimization). Cache hits return the original cost.
   double compute_seconds = 0.0;
+  /// True when the answer was produced under an expired (or expiring)
+  /// deadline: a truncated anytime summary or a store fallback taken because
+  /// the solve was skipped. Degraded answers are never cached.
+  bool degraded = false;
 };
 
 using ServedAnswerPtr = std::shared_ptr<const ServedAnswer>;

@@ -136,6 +136,26 @@ ServedAnswerPtr ShardedSummaryCache::GetImpl(const std::string& key) {
   return it->second->answer;
 }
 
+ServedAnswerPtr ShardedSummaryCache::GetStale(const std::string& key,
+                                              bool* was_stale) {
+  if (was_stale != nullptr) *was_stale = false;
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return nullptr;
+  }
+  if (it->second->expires_at > 0.0 && Now() >= it->second->expires_at) {
+    if (was_stale != nullptr) *was_stale = true;
+    ++shard.stats.stale_serves;
+  } else {
+    ++shard.stats.hits;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->answer;
+}
+
 bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
                               double ttl_seconds, const std::string& owner,
                               size_t owner_byte_quota) {
@@ -317,6 +337,7 @@ CacheStats ShardedSummaryCache::TotalStats() const {
     total.byte_evictions += shard->stats.byte_evictions;
     total.admission_rejects += shard->stats.admission_rejects;
     total.quota_evictions += shard->stats.quota_evictions;
+    total.stale_serves += shard->stats.stale_serves;
   }
   return total;
 }

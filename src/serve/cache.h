@@ -45,6 +45,10 @@ struct CacheStats {
   /// Subset of `evictions` forced by a per-owner byte quota rather than the
   /// shared budget (per-dataset cache quotas in the serving layer).
   uint64_t quota_evictions = 0;
+  /// TTL-expired entries deliberately served anyway via GetStale (overload
+  /// control prefers a stale answer over shedding the request). Not counted
+  /// as hits, misses or expirations.
+  uint64_t stale_serves = 0;
 
   double HitRate() const {
     uint64_t lookups = hits + misses;
@@ -91,6 +95,14 @@ class ShardedSummaryCache {
   /// entry whose TTL has elapsed is dropped and reported as a miss (plus an
   /// expiration), so negative results age out and can be recomputed.
   ServedAnswerPtr Get(const std::string& key);
+
+  /// Overload-control lookup: like Get, but a TTL-expired entry is RETURNED
+  /// (with `*was_stale` set and `stale_serves` counted) instead of dropped,
+  /// so the serving layer can answer with yesterday's speech rather than
+  /// shed the request. The expired entry stays in place -- recency is still
+  /// refreshed -- and the next regular Get expires it as usual once pressure
+  /// subsides. A fresh entry behaves exactly like Get (counts as a hit).
+  ServedAnswerPtr GetStale(const std::string& key, bool* was_stale);
 
   /// Inserts (or replaces) the answer for `key`, evicting the shard's least
   /// recently used entry if the shard is full. `ttl_seconds` <= 0 means the

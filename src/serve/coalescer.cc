@@ -44,5 +44,23 @@ size_t InflightCoalescer::InFlight() const {
   return inflight_.size();
 }
 
+ServedAnswerPtr InflightCoalescer::WaitBounded(const Ticket& ticket,
+                                               const Deadline* deadline) {
+  if (deadline == nullptr || !deadline->enabled()) {
+    return ticket.result.get();
+  }
+  // RemainingSeconds may come from an injected test clock; the wait itself is
+  // real time. An already-expired deadline still polls once (wait_for(0)) so
+  // an answer that is ready is never discarded.
+  double remaining = deadline->RemainingSeconds();
+  if (remaining < 0.0) remaining = 0.0;
+  if (ticket.result.wait_for(std::chrono::duration<double>(remaining)) ==
+      std::future_status::ready) {
+    return ticket.result.get();
+  }
+  timed_out_waits_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
 }  // namespace serve
 }  // namespace vq

@@ -8,6 +8,7 @@
 #define VQ_SERVE_COALESCER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -16,6 +17,7 @@
 #include <unordered_map>
 
 #include "serve/answer.h"
+#include "util/stopwatch.h"
 
 namespace vq {
 namespace serve {
@@ -46,10 +48,23 @@ class InflightCoalescer {
   /// Keys currently being computed.
   size_t InFlight() const;
 
+  /// Bounded follower wait: blocks on `ticket.result` for at most the
+  /// deadline's remaining budget (forever when `deadline` is null or
+  /// disabled). Returns the leader's answer, or nullptr if the budget ran
+  /// out first (`timed_out_waits` counted; the leader still owns the
+  /// computation and will fulfill the other followers). The follower then
+  /// degrades -- stale cache serve or timeout -- instead of blocking
+  /// unboundedly on a slow leader.
+  ServedAnswerPtr WaitBounded(const Ticket& ticket, const Deadline* deadline);
+
   /// Total elections (== distinct computations started).
   uint64_t leaders() const { return leaders_.load(std::memory_order_relaxed); }
   /// Total followers that piggybacked on a leader's computation.
   uint64_t coalesced() const { return coalesced_.load(std::memory_order_relaxed); }
+  /// Follower waits abandoned because the request's deadline ran out.
+  uint64_t timed_out_waits() const {
+    return timed_out_waits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -62,6 +77,7 @@ class InflightCoalescer {
   std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_;
   std::atomic<uint64_t> leaders_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> timed_out_waits_{0};
 };
 
 }  // namespace serve

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "speech/speech.h"
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace vq {
@@ -40,8 +42,10 @@ HostOptions HostOverrides::ApplyTo(HostOptions base) const {
   if (unanswerable_ttl_seconds) {
     base.unanswerable_ttl_seconds = *unanswerable_ttl_seconds;
   }
+  if (answer_ttl_seconds) base.answer_ttl_seconds = *answer_ttl_seconds;
   if (record_learned) base.record_learned = *record_learned;
   if (max_concurrent_solves) base.max_concurrent_solves = *max_concurrent_solves;
+  if (max_pending_requests) base.max_pending_requests = *max_pending_requests;
   if (cache_byte_quota) base.cache_byte_quota = *cache_byte_quota;
   if (simulated_vocalize_seconds) {
     base.simulated_vocalize_seconds = *simulated_vocalize_seconds;
@@ -89,7 +93,8 @@ EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
   summarizer_options_.instance.prior_value = config.prior_value;
 }
 
-ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) {
+ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace,
+                                 const Deadline* deadline) {
   Stopwatch watch;
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ServeResponse response;
@@ -118,6 +123,14 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) 
       std::string key = CanonicalQueryKey(fingerprint_, query);
       if (trace) trace->EndSpan(ground_span);
 
+      if (deadline != nullptr && deadline->Expired()) {
+        // Budget gone before any lookup: serve what is already rendered
+        // (fresh, or TTL-expired marked stale) or apologize; never start
+        // compute for a request whose caller has given up.
+        ServeCachedOrApology(&response, key, ServeStatus::kTimeout);
+        break;
+      }
+
       size_t lookup_span = trace ? trace->BeginSpan("cache_lookup") : 0;
       ServedAnswerPtr answer = cache_->Get(key);
       if (trace) trace->EndSpan(lookup_span);
@@ -136,7 +149,7 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) 
           if (answer == nullptr) {
             obs::ScopedSpan compute_span(trace, "compute");
             try {
-              answer = ComputeAnswer(query, trace);
+              answer = ComputeAnswer(query, trace, deadline);
             } catch (...) {
               // Followers block until Fulfill (coalescer contract); never
               // leave them hanging, whatever ComputeAnswer threw.
@@ -146,10 +159,15 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) 
               coalescer_->Fulfill(key, failed);
               throw;
             }
-            if (answer->answered) {
-              cache_->Put(key, answer, /*ttl_seconds=*/0.0, fingerprint_,
-                          options_.cache_byte_quota);
-            } else if (options_.cache_unanswerable) {
+            // Degraded answers are request-specific (their truncation came
+            // from THIS request's budget) and deadline-starved unanswerables
+            // may be answerable with time: neither is cached.
+            bool starved = deadline != nullptr && deadline->Expired();
+            if (answer->answered && !answer->degraded) {
+              cache_->Put(key, answer, options_.answer_ttl_seconds,
+                          fingerprint_, options_.cache_byte_quota);
+            } else if (!answer->answered && !starved &&
+                       options_.cache_unanswerable) {
               cache_->Put(key, answer, options_.unanswerable_ttl_seconds,
                           fingerprint_, options_.cache_byte_quota);
             }
@@ -160,28 +178,117 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace) 
           response.coalesced = true;
           Stopwatch wait_watch;
           obs::ScopedSpan wait_span(trace, "coalesce_wait");
-          answer = ticket.result.get();
+          answer = coalescer_->WaitBounded(ticket, deadline);
           coalesced_wait_hist_->Record(wait_watch.ElapsedSeconds());
+          if (answer == nullptr) {
+            // The leader outlived our budget; degrade rather than block.
+            ServeCachedOrApology(&response, key, ServeStatus::kTimeout);
+            break;
+          }
         }
       }
       response.text = answer->text;
       response.source = answer->source;
       response.answered = answer->answered;
+      if (answer->degraded) {
+        response.status = ServeStatus::kDegraded;
+      } else if (!answer->answered && deadline != nullptr &&
+                 deadline->Expired()) {
+        // Nothing produced and the budget is gone: the caller cannot tell
+        // "genuinely unanswerable" from "ran out of time", so report the
+        // honest one.
+        response.status = ServeStatus::kTimeout;
+        response.text = VoiceQueryEngine::TimedOutText();
+      }
       break;
     }
   }
 
-  if (options_.simulated_vocalize_seconds > 0.0) {
+  // A timed-out request's caller is gone; vocalizing the apology would hold
+  // the worker for nothing (under overload, precisely when it hurts most).
+  if (options_.simulated_vocalize_seconds > 0.0 &&
+      response.status != ServeStatus::kTimeout &&
+      response.status != ServeStatus::kShed) {
     obs::ScopedSpan vocalize_span(trace, "vocalize");
     std::this_thread::sleep_for(
         std::chrono::duration<double>(options_.simulated_vocalize_seconds));
   }
+  RecordOutcome(response);
   response.seconds = watch.ElapsedSeconds();
   return response;
 }
 
+ServeResponse EngineHost::HandleOverload(const std::string& request,
+                                         ServeStatus fallback_status,
+                                         obs::Trace* trace) {
+  Stopwatch watch;
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+  ServeResponse response;
+  size_t classify_span = trace ? trace->BeginSpan("classify") : 0;
+  ClassifiedRequest classified = engine_->classifier().Classify(request);
+  if (trace) trace->EndSpan(classify_span);
+  response.type = classified.type;
+
+  switch (classified.type) {
+    case RequestType::kHelp:
+      response.text = engine_->HelpText();
+      break;
+    case RequestType::kRepeat:
+      response.text = VoiceQueryEngine::NothingToRepeatText();
+      break;
+    case RequestType::kOther:
+      response.text = VoiceQueryEngine::NotUnderstoodText();
+      break;
+    case RequestType::kSupportedQuery:
+    case RequestType::kUnsupportedQuery: {
+      stats_.queries.fetch_add(1, std::memory_order_relaxed);
+      VoiceQuery query = engine_->GroundQuery(classified);
+      std::string key = CanonicalQueryKey(fingerprint_, query);
+      ServeCachedOrApology(&response, key, fallback_status);
+      break;
+    }
+  }
+  RecordOutcome(response);
+  response.seconds = watch.ElapsedSeconds();
+  return response;
+}
+
+void EngineHost::ServeCachedOrApology(ServeResponse* response,
+                                      const std::string& key,
+                                      ServeStatus fallback_status) {
+  bool was_stale = false;
+  ServedAnswerPtr cached = cache_->GetStale(key, &was_stale);
+  if (cached != nullptr && cached->answered) {
+    response->text = cached->text;
+    response->source = cached->source;
+    response->answered = true;
+    response->cache_hit = true;
+    response->stale = was_stale;
+    response->status = was_stale ? ServeStatus::kDegraded : ServeStatus::kOk;
+    return;
+  }
+  response->answered = false;
+  response->source = AnswerSource::kUnanswerable;
+  response->status = fallback_status;
+  response->text = fallback_status == ServeStatus::kShed
+                       ? VoiceQueryEngine::OverloadedText()
+                       : VoiceQueryEngine::TimedOutText();
+}
+
+void EngineHost::RecordOutcome(const ServeResponse& response) {
+  if (response.status == ServeStatus::kDegraded) {
+    stats_.degraded.fetch_add(1, std::memory_order_relaxed);
+  } else if (response.status == ServeStatus::kTimeout) {
+    stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (response.stale) {
+    stats_.stale_serves.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
-                                          obs::Trace* trace) {
+                                          obs::Trace* trace,
+                                          const Deadline* deadline) {
   Stopwatch watch;
   const SpeechStore& store = engine_->store();
 
@@ -192,19 +299,31 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
                             watch.ElapsedSeconds());
   }
 
-  if (options_.on_demand_summaries && query.target_index >= 0) {
+  bool wants_solve = options_.on_demand_summaries && query.target_index >= 0;
+  if (wants_solve && !(deadline != nullptr && deadline->Expired())) {
     obs::ScopedSpan on_demand_span(trace, "on_demand");
-    ServedAnswerPtr solved = SolveOnDemand(query, trace);
+    ServedAnswerPtr solved = SolveOnDemand(query, trace, deadline);
     if (solved != nullptr) return solved;
-    // Empty subset or unsolvable instance: fall through to the engine's
+    // Empty subset, unsolvable instance, or deadline ran out before a solve
+    // slot/runner: fall through to the engine's
     // most-specific-containing-speech behavior.
   }
+  // A fallback taken only because the budget curtailed the solve is a
+  // reduced answer -- flag it degraded so the response says so.
+  bool solve_curtailed =
+      wants_solve && deadline != nullptr && deadline->Expired();
 
   const StoredSpeech* best = store.FindBest(query);
   if (best != nullptr) {
     stats_.store_fallback_hits.fetch_add(1, std::memory_order_relaxed);
-    return AnswerFromStored(*best, AnswerSource::kStoreFallback,
-                            watch.ElapsedSeconds());
+    ServedAnswerPtr fallback = AnswerFromStored(
+        *best, AnswerSource::kStoreFallback, watch.ElapsedSeconds());
+    if (solve_curtailed) {
+      auto degraded = std::make_shared<ServedAnswer>(*fallback);
+      degraded->degraded = true;
+      return degraded;
+    }
+    return fallback;
   }
 
   stats_.unanswerable.fetch_add(1, std::memory_order_relaxed);
@@ -225,13 +344,15 @@ std::shared_ptr<EngineHost::TargetBatchQueue> EngineHost::BatchQueueFor(
 }
 
 ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
-                                          obs::Trace* trace) {
+                                          obs::Trace* trace,
+                                          const Deadline* deadline) {
   auto pending = std::make_shared<PendingOnDemand>();
   pending->query = query;
+  if (deadline != nullptr && deadline->enabled()) pending->deadline = *deadline;
   std::future<ServedAnswerPtr> future = pending->promise.get_future();
 
   if (!options_.batch_on_demand) {
-    SolveBatch({std::move(pending)}, trace);
+    SolveBatch({std::move(pending)}, trace, deadline);
     return future.get();
   }
 
@@ -242,15 +363,36 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
   // arrivals. No wakeup can be missed: promises resolve outside the lock,
   // but the runner reacquires it before notifying, and a waiter holds it
   // from its readiness check until cv.wait releases it atomically.
+  //
+  // Waiters with a deadline wait with a bounded timeout; once the budget is
+  // gone they withdraw their entry (if still queued) and return nullptr so
+  // the caller degrades to its store fallback. An entry already swapped into
+  // a running batch is simply abandoned -- the runner owns it via shared_ptr
+  // and resolving its promise is harmless.
   std::shared_ptr<TargetBatchQueue> queue = BatchQueueFor(query.target_index);
   std::unique_lock<std::mutex> lock(queue->mutex);
-  queue->waiting.push_back(std::move(pending));
+  queue->waiting.push_back(pending);
   for (;;) {
     if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
       return future.get();
     }
+    if (deadline != nullptr && deadline->Expired()) {
+      for (size_t i = 0; i < queue->waiting.size(); ++i) {
+        if (queue->waiting[i] == pending) {
+          queue->waiting.erase(queue->waiting.begin() + i);
+          break;
+        }
+      }
+      return nullptr;
+    }
     if (queue->running) {
-      queue->cv.wait(lock);
+      if (deadline != nullptr && deadline->enabled()) {
+        double remaining = deadline->RemainingSeconds();
+        if (remaining < 0.0) remaining = 0.0;
+        queue->cv.wait_for(lock, std::chrono::duration<double>(remaining));
+      } else {
+        queue->cv.wait(lock);
+      }
       continue;
     }
     queue->running = true;
@@ -258,7 +400,7 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
     batch.swap(queue->waiting);
     lock.unlock();
     try {
-      SolveBatch(std::move(batch), trace);
+      SolveBatch(std::move(batch), trace, deadline);
     } catch (...) {
       // SolveBatch fulfills its promises even on failure; whatever still
       // escaped must not leave `running` latched, or later misses would
@@ -274,18 +416,31 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
   }
 }
 
-EngineHost::SolveSlot::SolveSlot(EngineHost* host) : host_(host) {
+EngineHost::SolveSlot::SolveSlot(EngineHost* host, const Deadline* deadline)
+    : host_(host) {
   std::unique_lock<std::mutex> lock(host_->gate_mutex_);
   if (host_->options_.max_concurrent_solves > 0) {
-    host_->gate_cv_.wait(lock, [this] {
+    auto has_slot = [this] {
       return host_->gate_active_ < host_->options_.max_concurrent_solves;
-    });
+    };
+    if (deadline != nullptr && deadline->enabled()) {
+      double remaining = deadline->RemainingSeconds();
+      if (remaining < 0.0) remaining = 0.0;
+      if (!host_->gate_cv_.wait_for(
+              lock, std::chrono::duration<double>(remaining), has_slot)) {
+        return;  // budget gone before a slot freed; acquired_ stays false
+      }
+    } else {
+      host_->gate_cv_.wait(lock, has_slot);
+    }
   }
+  acquired_ = true;
   ++host_->gate_active_;
   BumpMax(&host_->stats_.max_active_solves, host_->gate_active_);
 }
 
 EngineHost::SolveSlot::~SolveSlot() {
+  if (!acquired_) return;
   {
     std::lock_guard<std::mutex> lock(host_->gate_mutex_);
     --host_->gate_active_;
@@ -294,13 +449,21 @@ EngineHost::SolveSlot::~SolveSlot() {
 }
 
 void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
-                            obs::Trace* trace) {
+                            obs::Trace* trace, const Deadline* deadline) {
   // The thread-share slot is taken before any work: a host over its
   // on-demand quota parks its runner here, off-CPU (the worker thread
-  // itself stays occupied -- see HostOptions::max_concurrent_solves).
+  // itself stays occupied -- see HostOptions::max_concurrent_solves), for at
+  // most the runner's remaining budget.
   size_t gate_span = trace ? trace->BeginSpan("gate_wait") : 0;
-  SolveSlot slot(this);
+  SolveSlot slot(this, deadline);
   if (trace) trace->EndSpan(gate_span);
+  if (!slot.acquired()) {
+    // Solve capacity saturated past the deadline: resolve the whole batch
+    // with nullptr so every caller degrades to its store fallback now
+    // instead of queueing further behind a saturated gate.
+    for (auto& pending : batch) pending->promise.set_value(nullptr);
+    return;
+  }
   obs::ScopedSpan batch_span(trace, "solve_batch");
   const Table& table = engine_->table();
   stats_.on_demand_passes.fetch_add(1, std::memory_order_relaxed);
@@ -312,6 +475,12 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
   std::vector<std::vector<uint32_t>> rows;
   bool shared_ok = true;
   try {
+    // Chaos hook: a failure here exercises the whole-batch failure path
+    // (every caller falls back); a delay simulates a slow shared scan and
+    // drives deadline-expiry degradation.
+    if (fault::Injected(fault::kSolveBatch)) {
+      throw std::runtime_error("fault injected: solve.batch");
+    }
     // One planner-routed pass resolves every query's row subset: selective
     // queries are answered from the table's posting lists, the rest share a
     // single column scan (relational/scan_planner.h).
@@ -349,7 +518,8 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
     ServedAnswerPtr answer;
     if (shared_ok) {
       try {
-        answer = SolveOne(pending.query, rows[i], options);
+        answer = SolveOne(pending.query, rows[i], options,
+                          pending.deadline ? &*pending.deadline : nullptr);
       } catch (...) {
         answer = nullptr;
       }
@@ -360,7 +530,8 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
 
 ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
                                      const std::vector<uint32_t>& rows,
-                                     const SummarizerOptions& options) {
+                                     const SummarizerOptions& options,
+                                     const Deadline* deadline) {
   Stopwatch watch;
   auto instance = BuildInstanceFromRows(engine_->table(), query.predicates,
                                         query.target_index, rows,
@@ -369,7 +540,14 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
   auto prepared =
       PreparedProblem::FromInstance(std::move(instance).value(), options);
   if (!prepared.ok()) return nullptr;
-  SummaryResult result = prepared.value().Run(options);
+  SummarizerOptions query_options = options;
+  query_options.deadline = deadline;
+  SummaryResult result = prepared.value().Run(query_options);
+  if (result.timed_out && result.facts.empty()) {
+    // The budget expired before even one greedy iteration finished; there is
+    // no checkpoint to render. nullptr sends the caller to its fallback.
+    return nullptr;
+  }
   solve_hist_->Record(watch.ElapsedSeconds());
   Stopwatch render_watch;
   Speech speech =
@@ -384,7 +562,9 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
     perf_ = perf_.Merged(result.counters);
   }
 
-  if (options_.record_learned) {
+  // Truncated (anytime) summaries are never learned: a persisted speech must
+  // be the full greedy result, not whatever one request's budget allowed.
+  if (options_.record_learned && !result.timed_out) {
     std::lock_guard<std::mutex> lock(learned_mutex_);
     if (learned_keys_.insert(query.Key()).second) {
       learned_.push_back(StoredSpeech{query, speech});
@@ -397,6 +577,7 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
   answer->answered = true;
   answer->scaled_utility = speech.scaled_utility;
   answer->compute_seconds = watch.ElapsedSeconds();
+  answer->degraded = result.timed_out;
   return answer;
 }
 
@@ -463,6 +644,9 @@ HostStats EngineHost::stats() const {
   out.max_active_solves =
       stats_.max_active_solves.load(std::memory_order_relaxed);
   out.unanswerable = stats_.unanswerable.load(std::memory_order_relaxed);
+  out.degraded = stats_.degraded.load(std::memory_order_relaxed);
+  out.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  out.stale_serves = stats_.stale_serves.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -51,6 +51,12 @@ struct HostOptions {
   /// LRU eviction. A bounded TTL lets answers learned later (store reloads,
   /// new datasets) replace stale apologies.
   double unanswerable_ttl_seconds = 0.0;
+  /// TTL for cached ANSWERED results; <= 0 keeps them until LRU eviction
+  /// (the default: rendered answers over an immutable table never go bad).
+  /// Deployments that reload tables set a freshness bound here; under
+  /// overload the shedding path may still serve a TTL-expired entry, marked
+  /// stale + kDegraded (a stale answer beats an apology).
+  double answer_ttl_seconds = 0.0;
   /// Record on-demand results for TakeLearned()/persistence. Off by default:
   /// a host whose owner never drains the learned list must not grow it
   /// without bound (RoutingService turns this on when its registry
@@ -64,6 +70,13 @@ struct HostOptions {
   /// occupies its pool worker (parked on a condition variable, off-CPU)
   /// until a running solve of this host finishes.
   size_t max_concurrent_solves = 0;
+  /// Per-dataset admission limit: at most this many routed requests may be
+  /// inside this host at once (0 = unlimited). The router checks it after
+  /// routing and, when exceeded, sheds the request -- serving a stale cached
+  /// answer if one exists -- instead of letting the dataset's queue grow
+  /// without bound. Complements `max_concurrent_solves`, which bounds the
+  /// compute-heavy solves but still parks excess requests on its gate.
+  size_t max_pending_requests = 0;
   /// Per-dataset byte quota inside the shared answer cache (0 = none): the
   /// cache evicts this host's own LRU entries once its tagged bytes exceed
   /// the quota, so per-dataset policies bound cache occupancy independently
@@ -99,8 +112,10 @@ struct HostOverrides {
   std::optional<bool> batch_on_demand;
   std::optional<bool> cache_unanswerable;
   std::optional<double> unanswerable_ttl_seconds;
+  std::optional<double> answer_ttl_seconds;
   std::optional<bool> record_learned;
   std::optional<size_t> max_concurrent_solves;
+  std::optional<size_t> max_pending_requests;
   std::optional<size_t> cache_byte_quota;
   std::optional<double> simulated_vocalize_seconds;
   std::optional<uint32_t> trace_samples_per_second;
@@ -118,6 +133,12 @@ struct ServeResponse {
   bool answered = false;    ///< a speech (not an apology) was produced
   bool cache_hit = false;   ///< answered from the rendered-answer cache
   bool coalesced = false;   ///< waited on another request's computation
+  /// Overload-control outcome (kOk unless the request was shed, timed out,
+  /// or was answered in a reduced form). Every request gets exactly one.
+  ServeStatus status = ServeStatus::kOk;
+  /// True when `text` came from a TTL-expired cache entry served under
+  /// pressure (status is kDegraded then).
+  bool stale = false;
   double seconds = 0.0;     ///< total in-service time for this request
 };
 
@@ -139,6 +160,9 @@ struct HostStats {
   uint64_t max_batch = 0;         ///< largest batch solved so far
   uint64_t max_active_solves = 0; ///< peak concurrent batch solves observed
   uint64_t unanswerable = 0;
+  uint64_t degraded = 0;      ///< responses served with ServeStatus::kDegraded
+  uint64_t timeouts = 0;      ///< responses served with ServeStatus::kTimeout
+  uint64_t stale_serves = 0;  ///< TTL-expired cache entries served anyway
 };
 
 /// \brief The per-engine serving path over injected shared resources.
@@ -169,7 +193,23 @@ class EngineHost {
   /// Answers one request on the caller's thread (workers call this).
   /// `trace` (optional) collects per-stage spans for this request; it must
   /// stay owned by the caller and is only touched from this thread.
-  ServeResponse Handle(const std::string& request, obs::Trace* trace = nullptr);
+  /// `deadline` (optional, not owned, must outlive the call) is the
+  /// request's remaining serving budget: the cache/coalescer/solve stages
+  /// each check it, an expired budget degrades the answer (stale cache
+  /// serve, truncated anytime summary, store fallback) instead of blocking,
+  /// and `ServeResponse::status` records the outcome.
+  ServeResponse Handle(const std::string& request, obs::Trace* trace = nullptr,
+                       const Deadline* deadline = nullptr);
+
+  /// Overload path, used by the router when it refuses to run the full
+  /// pipeline (admission shed, queue-expired deadline): classify + ground
+  /// only -- no solve, no coalescing -- then serve a cached answer if one
+  /// exists, even TTL-expired (marked stale, status kDegraded). With nothing
+  /// cached, apologizes with `fallback_status` (kShed or kTimeout).
+  /// Non-query requests (help etc.) get their canned texts as usual.
+  ServeResponse HandleOverload(const std::string& request,
+                               ServeStatus fallback_status,
+                               obs::Trace* trace = nullptr);
 
   /// Aggregated optimizer work counters (join/bound row visits, pruning
   /// decisions) over every on-demand solve this host ran. Batches run
@@ -213,6 +253,11 @@ class EngineHost {
   struct PendingOnDemand {
     VoiceQuery query;
     std::promise<ServedAnswerPtr> promise;
+    /// Copy of the requesting thread's deadline (absent = unbounded). A copy,
+    /// not a pointer: a waiter whose budget expires abandons its future and
+    /// returns, destroying its stack Deadline while the elected runner may
+    /// still be solving this entry.
+    std::optional<Deadline> deadline;
   };
   /// Per-target batch queue: misses enqueue; one of them is elected runner
   /// for ONE batch at a time, then hands runnership to a woken waiter, so no
@@ -226,44 +271,68 @@ class EngineHost {
 
   /// Computes the answer for a grounded query (store lookup, then on-demand
   /// summarization, then most-specific fallback). `trace` may be null; it
-  /// only ever receives spans from the calling thread's own work.
-  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query, obs::Trace* trace);
+  /// only ever receives spans from the calling thread's own work. An expired
+  /// (or expiring) `deadline` skips or truncates the solve and marks the
+  /// answer degraded.
+  ServedAnswerPtr ComputeAnswer(const VoiceQuery& query, obs::Trace* trace,
+                                const Deadline* deadline);
 
   /// Entry point of the batched on-demand path. Returns nullptr when the
-  /// query could not be summarized (empty subset etc.) so the caller can
-  /// fall back to the most specific stored speech.
-  ServedAnswerPtr SolveOnDemand(const VoiceQuery& query, obs::Trace* trace);
+  /// query could not be summarized (empty subset etc.) OR when `deadline`
+  /// ran out before a solve slot/runner got to it, so the caller can fall
+  /// back to the most specific stored speech.
+  ServedAnswerPtr SolveOnDemand(const VoiceQuery& query, obs::Trace* trace,
+                                const Deadline* deadline);
 
   /// Solves one batch of distinct same-target queries in a single shared
   /// table pass and fulfills every promise (with nullptr on failure); never
   /// leaves a promise unresolved. Honors the host's on-demand thread share
-  /// (HostOptions::max_concurrent_solves) by gating entry. `trace` belongs
-  /// to the runner request whose thread executes the batch.
+  /// (HostOptions::max_concurrent_solves) by gating entry -- bounded by the
+  /// runner's `deadline` (the whole batch resolves nullptr if the slot wait
+  /// times out: under that much solve pressure, batchmates' budgets are
+  /// presumed blown too, and every caller degrades to its store fallback).
+  /// `trace` belongs to the runner request whose thread executes the batch.
   void SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
-                  obs::Trace* trace);
+                  obs::Trace* trace, const Deadline* deadline);
 
   /// RAII thread-share slot around one batch solve: blocks while the host
-  /// already runs its maximum of concurrent solves, tracks the active count
-  /// and the max_active_solves gauge.
+  /// already runs its maximum of concurrent solves (at most the deadline's
+  /// remaining budget when one is supplied), tracks the active count and the
+  /// max_active_solves gauge. Check acquired() before doing gated work.
   class SolveSlot {
    public:
-    explicit SolveSlot(EngineHost* host);
+    SolveSlot(EngineHost* host, const Deadline* deadline);
     ~SolveSlot();
     SolveSlot(const SolveSlot&) = delete;
     SolveSlot& operator=(const SolveSlot&) = delete;
 
+    bool acquired() const { return acquired_; }
+
    private:
     EngineHost* host_;
+    bool acquired_ = false;
   };
 
-  /// Solves one query of a batch from its pre-filtered rows.
+  /// Solves one query of a batch from its pre-filtered rows. `deadline`
+  /// (nullable) truncates the greedy run (anytime checkpoint -> degraded
+  /// answer); a truncation that produced zero facts returns nullptr.
   ServedAnswerPtr SolveOne(const VoiceQuery& query,
                            const std::vector<uint32_t>& rows,
-                           const SummarizerOptions& options);
+                           const SummarizerOptions& options,
+                           const Deadline* deadline);
 
   /// The global-average prior only depends on the (immutable) table and
   /// target, so it is computed once per target and reused by every batch.
   double GlobalAveragePrior(int target_index);
+
+  /// Fills `response` from whatever is cached under `key` -- fresh (kOk) or
+  /// TTL-expired (stale, kDegraded) -- or with the apology matching
+  /// `fallback_status` (kShed / kTimeout) when nothing usable is cached.
+  void ServeCachedOrApology(ServeResponse* response, const std::string& key,
+                            ServeStatus fallback_status);
+
+  /// Bumps the degraded/timeout/stale counters for a finished response.
+  void RecordOutcome(const ServeResponse& response);
 
   std::shared_ptr<TargetBatchQueue> BatchQueueFor(int target_index);
 
@@ -315,6 +384,9 @@ class EngineHost {
     std::atomic<uint64_t> max_batch{0};
     std::atomic<uint64_t> max_active_solves{0};
     std::atomic<uint64_t> unanswerable{0};
+    std::atomic<uint64_t> degraded{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> stale_serves{0};
   };
   AtomicStats stats_;
 };

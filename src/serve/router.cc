@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/stopwatch.h"
 
 namespace vq {
@@ -21,6 +22,8 @@ RoutingService::RoutingService(const DatasetRegistry* registry,
       snapshot_hist_(metrics_->GetHistogram("vq_router_snapshot_acquire_seconds")),
       queue_wait_hist_(metrics_->GetHistogram("vq_router_queue_wait_seconds")),
       retire_drain_hist_(metrics_->GetHistogram("vq_router_retire_drain_seconds")),
+      deadline_overrun_hist_(
+          metrics_->GetHistogram("vq_router_deadline_overrun_seconds")),
       sampled_traces_(options.trace_log_capacity),
       slow_queries_(options.trace_log_capacity),
       pool_(options.num_threads, ThreadPoolOptions{.numa_pin = true}) {
@@ -217,18 +220,81 @@ void RoutingService::SyncRegistry() {
   SweepRetired(/*drain_pinned=*/true);
 }
 
+RoutedResponse RoutingService::ShedNow() const {
+  RoutedResponse out;
+  out.response.type = RequestType::kOther;
+  out.response.text = VoiceQueryEngine::OverloadedText();
+  out.response.source = AnswerSource::kUnanswerable;
+  out.response.answered = false;
+  out.response.status = ServeStatus::kShed;
+  return out;
+}
+
 std::future<RoutedResponse> RoutingService::Submit(std::string request) {
-  // The stopwatch rides in the closure: it starts here at enqueue and is
-  // read when a worker finally runs the task, measuring pure queue wait --
-  // the saturation signal a load shedder in the future net front end needs.
+  return SubmitWithDeadline(std::move(request),
+                            options_.default_deadline_seconds);
+}
+
+std::future<RoutedResponse> RoutingService::Submit(std::string request,
+                                                   double deadline_seconds) {
+  return SubmitWithDeadline(std::move(request), deadline_seconds);
+}
+
+std::future<RoutedResponse> RoutingService::SubmitWithDeadline(
+    std::string request, double deadline_seconds) {
+  // Admission control runs HERE, on the caller's thread, before anything is
+  // queued: an overloaded router answers "try again" in nanoseconds instead
+  // of accepting work it will only time out on minutes later. The shed
+  // response still counts as a request so the status ledger reconciles
+  // (requests == ok + shed + timeouts + degraded).
+  int64_t pending = pending_requests_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool reject =
+      (options_.max_pending_requests > 0 &&
+       pending > static_cast<int64_t>(options_.max_pending_requests)) ||
+      fault::Injected(fault::kPoolSubmit);
+  if (reject) {
+    pending_requests_.fetch_sub(1, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<RoutedResponse> rejected;
+    rejected.set_value(ShedNow());
+    return rejected.get_future();
+  }
+  // The deadline starts NOW -- queue wait spends the same budget serving
+  // does, so a request that rotted in the queue is turned around at pickup
+  // (Process) without routing. The stopwatch rides in the closure the same
+  // way, measuring pure queue wait -- the saturation signal the shedder and
+  // the overload bench key off.
+  std::shared_ptr<Deadline> deadline;
+  if (deadline_seconds > 0.0) {
+    deadline = options_.deadline_clock
+                   ? std::make_shared<Deadline>(deadline_seconds,
+                                                options_.deadline_clock)
+                   : std::make_shared<Deadline>(deadline_seconds);
+  }
   return pool_.SubmitTask([this, request = std::move(request),
-                           queued = Stopwatch()] {
-    return Process(request, queued.ElapsedSeconds());
+                           queued = Stopwatch(), deadline] {
+    struct PendingGuard {
+      std::atomic<int64_t>* counter;
+      ~PendingGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+    } guard{&pending_requests_};
+    return Process(request, queued.ElapsedSeconds(), deadline.get());
   });
 }
 
 RoutedResponse RoutingService::AnswerNow(const std::string& request) {
-  return Process(request, /*queue_wait_seconds=*/0.0);
+  return AnswerNow(request, options_.default_deadline_seconds);
+}
+
+RoutedResponse RoutingService::AnswerNow(const std::string& request,
+                                         double deadline_seconds) {
+  if (deadline_seconds <= 0.0) {
+    return Process(request, /*queue_wait_seconds=*/0.0, nullptr);
+  }
+  Deadline deadline = options_.deadline_clock
+                          ? Deadline(deadline_seconds, options_.deadline_clock)
+                          : Deadline(deadline_seconds);
+  return Process(request, /*queue_wait_seconds=*/0.0, &deadline);
 }
 
 void RoutingService::Drain() { pool_.Wait(); }
@@ -257,11 +323,49 @@ RoutingService::RouteDecision RoutingService::Route(
   return RouteIn(*CurrentHosts(), request);
 }
 
+void RoutingService::RecordStatus(const RoutedResponse& out,
+                                  const Deadline* deadline) {
+  switch (out.response.status) {
+    case ServeStatus::kShed:
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kTimeout:
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kDegraded:
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ServeStatus::kOk:
+      break;
+  }
+  if (deadline != nullptr && deadline->Expired() &&
+      out.response.status != ServeStatus::kOk) {
+    deadline_overrun_hist_->Record(deadline->OverrunSeconds());
+  }
+}
+
 RoutedResponse RoutingService::Process(const std::string& request,
-                                       double queue_wait_seconds) {
+                                       double queue_wait_seconds,
+                                       const Deadline* deadline) {
   Stopwatch watch;
   if (queue_wait_seconds > 0.0) queue_wait_hist_->Record(queue_wait_seconds);
   requests_.fetch_add(1, std::memory_order_relaxed);
+  // Stage 0, queue expiry: a request whose budget died waiting for a worker
+  // is turned around before routing, grounding or any host work. This keeps
+  // the cost of an expired queue entry near zero, which is what lets an
+  // overloaded open-loop queue drain instead of collapsing (every queued
+  // request still doing full work is exactly the death spiral).
+  if (deadline != nullptr && deadline->Expired()) {
+    RoutedResponse out;
+    out.response.type = RequestType::kOther;
+    out.response.text = VoiceQueryEngine::TimedOutText();
+    out.response.source = AnswerSource::kUnanswerable;
+    out.response.answered = false;
+    out.response.status = ServeStatus::kTimeout;
+    out.response.seconds = watch.ElapsedSeconds();
+    RecordStatus(out, deadline);
+    return out;
+  }
   // ONE snapshot acquisition per request: every decision below acts on this
   // host set, and holding it keeps each slot's engine alive even if the
   // dataset is removed while we are answering.
@@ -298,10 +402,34 @@ RoutedResponse RoutingService::Process(const std::string& request,
       trace->AddTimedSpan("route", snapshot_seconds, routed_at - snapshot_seconds);
     }
 
-    out.response = slot.host->Handle(request, trace.get());
+    // Per-dataset admission, then the stage ladder: routing expiry checks
+    // run AFTER the route so even an overloaded/expired request still lands
+    // on the right dataset's cheap path (a stale cache serve beats an
+    // apology, and misrouting under load would be a correctness bug the
+    // chaos test hunts for).
+    struct ActiveGuard {
+      std::atomic<uint64_t>* counter;
+      ~ActiveGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
+    } active_guard{&slot.active_requests};
+    uint64_t active =
+        slot.active_requests.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (host_options.max_pending_requests > 0 &&
+        active > host_options.max_pending_requests) {
+      // This dataset is saturated: cheap overload turnaround (classify +
+      // cached/stale lookup, never a solve).
+      out.response = slot.host->HandleOverload(request, ServeStatus::kShed,
+                                               trace.get());
+    } else if (deadline != nullptr && deadline->Expired()) {
+      // Budget died during routing: same cheap path, flagged timeout.
+      out.response = slot.host->HandleOverload(request, ServeStatus::kTimeout,
+                                               trace.get());
+    } else {
+      out.response = slot.host->Handle(request, trace.get(), deadline);
+    }
     out.dataset = slot.host->name();
     out.routed = true;
     out.route_score = decision.score;
+    RecordStatus(out, deadline);
     if ((out.response.type == RequestType::kSupportedQuery ||
          out.response.type == RequestType::kUnsupportedQuery) &&
         !out.response.answered) {
@@ -398,6 +526,9 @@ RouterStats RoutingService::stats() const {
   out.requests = requests_.load(std::memory_order_relaxed);
   out.routed = routed_.load(std::memory_order_relaxed);
   out.unrouted = unrouted_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.timeouts = timeouts_.load(std::memory_order_relaxed);
+  out.degraded = degraded_.load(std::memory_order_relaxed);
   out.registry_syncs = registry_syncs_.load(std::memory_order_relaxed);
   out.purged_cache_entries =
       purged_cache_entries_.load(std::memory_order_relaxed);
@@ -424,11 +555,37 @@ void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
                   registry_syncs_.load(std::memory_order_relaxed));
   into.SetCounter("vq_router_purged_cache_entries_total",
                   purged_cache_entries_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_shed_total",
+                  shed_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_timeout_total",
+                  timeouts_.load(std::memory_order_relaxed));
+  into.SetCounter("vq_router_degraded_total",
+                  degraded_.load(std::memory_order_relaxed));
   into.SetCounter("vq_router_sampled_traces_total",
                   sampled_traces_.total_recorded());
   into.SetCounter("vq_router_slow_queries_total", slow_queries_.total_recorded());
   into.SetGauge("vq_router_retired_slots",
                 static_cast<double>(retired_count_.load(std::memory_order_relaxed)));
+  into.SetGauge("vq_router_pending_requests",
+                static_cast<double>(pending_requests_.load(std::memory_order_relaxed)));
+
+  // Pool saturation gauges: queue depth is THE early-warning signal for
+  // overload (latency histograms only confirm it after the damage). The
+  // solve pool is this router's worker pool; the scan pool is the process
+  // global used by parallel filter scans.
+  auto pool_gauges = [&into](const char* pool_name, const ThreadPool& pool) {
+    auto labeled = [pool_name](const char* name) {
+      return obs::MetricsRegistry::WithLabel(name, "pool", pool_name);
+    };
+    into.SetGauge(labeled("vq_pool_queued_tasks"),
+                  static_cast<double>(pool.QueuedTasks()));
+    into.SetGauge(labeled("vq_pool_pending_tasks"),
+                  static_cast<double>(pool.PendingTasks()));
+    into.SetGauge(labeled("vq_pool_threads"),
+                  static_cast<double>(pool.NumThreads()));
+  };
+  pool_gauges("solve", pool_);
+  pool_gauges("scan", ScanPool());
 
   CacheStats cache_stats = cache_.TotalStats();
   into.SetCounter("vq_cache_hits_total", cache_stats.hits);
@@ -440,11 +597,14 @@ void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
   into.SetCounter("vq_cache_admission_rejects_total",
                   cache_stats.admission_rejects);
   into.SetCounter("vq_cache_quota_evictions_total", cache_stats.quota_evictions);
+  into.SetCounter("vq_cache_stale_serves_total", cache_stats.stale_serves);
   into.SetGauge("vq_cache_entries", static_cast<double>(cache_.size()));
   into.SetGauge("vq_cache_bytes", static_cast<double>(cache_.TotalBytes()));
 
   into.SetCounter("vq_coalescer_leaders_total", coalescer_.leaders());
   into.SetCounter("vq_coalescer_coalesced_total", coalescer_.coalesced());
+  into.SetCounter("vq_coalescer_timed_out_waits_total",
+                  coalescer_.timed_out_waits());
   into.SetGauge("vq_coalescer_inflight",
                 static_cast<double>(coalescer_.InFlight()));
 
@@ -477,6 +637,13 @@ void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
                     host_stats.on_demand_passes);
     into.SetCounter(labeled("vq_host_unanswerable_total"),
                     host_stats.unanswerable);
+    into.SetCounter(labeled("vq_host_degraded_total"), host_stats.degraded);
+    into.SetCounter(labeled("vq_host_timeouts_total"), host_stats.timeouts);
+    into.SetCounter(labeled("vq_host_stale_serves_total"),
+                    host_stats.stale_serves);
+    into.SetGauge(labeled("vq_host_active_requests"),
+                  static_cast<double>(
+                      slot->active_requests.load(std::memory_order_relaxed)));
     into.SetGauge(labeled("vq_host_max_batch"),
                   static_cast<double>(host_stats.max_batch));
     into.SetGauge(labeled("vq_host_max_active_solves"),

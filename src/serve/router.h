@@ -70,6 +70,22 @@ struct RouterOptions {
   obs::MetricsRegistry* metrics = nullptr;
   /// Capacity of the sampled-trace ring and the slow-query log (each).
   size_t trace_log_capacity = 64;
+  /// Default per-request serving budget in seconds (0 = none; the Submit
+  /// overload can set a per-request budget). The budget starts at SUBMIT
+  /// time, so pool queue wait counts against it: a request whose budget
+  /// expired while queued is shed at pickup (status kTimeout) before any
+  /// routing work -- the property that keeps an overloaded queue draining
+  /// at near-zero cost per expired entry instead of collapsing.
+  double default_deadline_seconds = 0.0;
+  /// Router-wide admission budget: when more than this many submitted
+  /// requests are pending (queued or executing), further Submits are shed
+  /// immediately with ServeStatus::kShed (0 = unbounded). Per-dataset
+  /// limits are HostOptions::max_pending_requests.
+  size_t max_pending_requests = 0;
+  /// Injectable clock for per-request deadlines (monotonic seconds); tests
+  /// step it to cross stage boundaries deterministically. Default: steady
+  /// clock.
+  Deadline::ClockFn deadline_clock;
 };
 
 /// One routed response: the host's answer plus the routing decision.
@@ -85,6 +101,18 @@ struct RouterStats {
   uint64_t requests = 0;
   uint64_t routed = 0;
   uint64_t unrouted = 0;
+  /// Requests rejected at admission (router or per-dataset budget, or a
+  /// pool.submit fault) before any work: ServeStatus::kShed responses.
+  uint64_t shed = 0;
+  /// Requests whose deadline expired with nothing useful to serve
+  /// (ServeStatus::kTimeout responses).
+  uint64_t timeouts = 0;
+  /// Requests answered past their budget with a truncated/stale answer
+  /// (ServeStatus::kDegraded responses).
+  uint64_t degraded = 0;
+  /// Every submitted request resolves to exactly one status, so always:
+  /// requests == ok + shed + timeouts + degraded, with
+  /// ok = requests - shed - timeouts - degraded.
   /// Host-set rebuilds taken after registry version changes.
   uint64_t registry_syncs = 0;
   /// Cache entries purged for removed datasets (by fingerprint prefix).
@@ -109,11 +137,31 @@ class RoutingService {
   RoutingService(const RoutingService&) = delete;
   RoutingService& operator=(const RoutingService&) = delete;
 
-  /// Enqueues one request on the shared worker pool.
+  /// Enqueues one request on the shared worker pool under
+  /// RouterOptions::default_deadline_seconds. When the router-wide pending
+  /// budget (RouterOptions::max_pending_requests) is exhausted the request
+  /// is shed HERE -- the returned future is already resolved with
+  /// ServeStatus::kShed and no pool task is queued, so an overloaded
+  /// caller's Submit never blocks and never deepens the queue.
   std::future<RoutedResponse> Submit(std::string request);
 
-  /// Routes and answers inline on the caller's thread.
+  /// Same, with a per-request budget in seconds overriding the default
+  /// (0 = no deadline for this request).
+  std::future<RoutedResponse> Submit(std::string request,
+                                     double deadline_seconds);
+
+  /// Routes and answers inline on the caller's thread (admission is not
+  /// applied -- the caller runs the work itself; the default deadline is).
   RoutedResponse AnswerNow(const std::string& request);
+
+  /// Same, with a per-request budget in seconds (0 = none).
+  RoutedResponse AnswerNow(const std::string& request,
+                           double deadline_seconds);
+
+  /// Submitted-but-unresolved requests right now (queued + executing).
+  size_t PendingRequests() const {
+    return static_cast<size_t>(pending_requests_.load(std::memory_order_relaxed));
+  }
 
   /// Blocks until every submitted request has been answered.
   void Drain();
@@ -182,6 +230,9 @@ class RoutingService {
     /// Routed data-access queries answered with an apology (exported as the
     /// per-dataset error counter).
     std::atomic<uint64_t> unanswered_requests{0};
+    /// Requests currently inside this host (admission vs. the dataset's
+    /// HostOptions::max_pending_requests; 0 there = unbounded).
+    std::atomic<uint64_t> active_requests{0};
   };
   /// Immutable published host set for one registry version.
   struct HostSet {
@@ -225,8 +276,18 @@ class RoutingService {
   HostOptions OptionsFor(const DatasetEntry& entry) const;
 
   /// `queue_wait_seconds`: time the request sat in the pool queue before a
-  /// worker picked it up (0 for AnswerNow).
-  RoutedResponse Process(const std::string& request, double queue_wait_seconds);
+  /// worker picked it up (0 for AnswerNow). `deadline` may be nullptr (no
+  /// budget); a budget that expired while queued turns the request around
+  /// here -- kTimeout, no routing, no host work.
+  RoutedResponse Process(const std::string& request, double queue_wait_seconds,
+                         const Deadline* deadline);
+  /// Shared Submit body; `deadline_seconds` <= 0 disables the deadline.
+  std::future<RoutedResponse> SubmitWithDeadline(std::string request,
+                                                 double deadline_seconds);
+  /// Builds the admission-reject response (already-resolved kShed).
+  RoutedResponse ShedNow() const;
+  /// Tallies shed_/timeouts_/degraded_ from one finished response.
+  void RecordStatus(const RoutedResponse& out, const Deadline* deadline);
   RouteDecision RouteIn(const HostSet& hosts, const std::string& request) const;
 
   /// Collector body: copies router/cache/coalescer/per-host stats and every
@@ -258,6 +319,12 @@ class RoutingService {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> unrouted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> degraded_{0};
+  /// Queued-or-executing submitted requests (signed so a transient
+  /// overshoot in the shed path can never wrap).
+  std::atomic<int64_t> pending_requests_{0};
   mutable std::atomic<uint64_t> registry_syncs_{0};
   mutable std::atomic<uint64_t> purged_cache_entries_{0};
 
@@ -270,6 +337,8 @@ class RoutingService {
   obs::LatencyHistogram* snapshot_hist_;       ///< host-set acquisition
   obs::LatencyHistogram* queue_wait_hist_;     ///< pool queue wait (Submit)
   obs::LatencyHistogram* retire_drain_hist_;   ///< retired-slot drain+purge
+  obs::LatencyHistogram* deadline_overrun_hist_;  ///< budget overshoot of
+                                                  ///< timed-out/degraded requests
   obs::TraceLog sampled_traces_;
   obs::TraceLog slow_queries_;
   uint64_t collector_id_ = 0;

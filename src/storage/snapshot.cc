@@ -9,6 +9,7 @@
 #include "storage/index.h"
 #include "storage/shard.h"
 #include "util/atomic_file.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/mmap_file.h"
 #include "util/xxhash64.h"
@@ -191,6 +192,10 @@ Result<size_t> WriteSnapshot(const std::string& path, const Table& table,
 }
 
 Result<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  if (fault::Injected(fault::kSnapshotLoad)) {
+    return Status::IOError("fault injected: " + std::string(fault::kSnapshotLoad) +
+                           " ('" + path + "')");
+  }
   VQ_ASSIGN_OR_RETURN(MmapFile mapped, MmapFile::Open(path));
   if (mapped.size() < sizeof(SnapshotHeader)) {
     return Status::ParseError("snapshot '" + path + "' truncated (no header)");

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/fault.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define VQ_HAVE_FSYNC 1
 #include <fcntl.h>
@@ -53,6 +55,11 @@ Status SyncPath(const std::string& path, bool required) {
 }  // namespace
 
 Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  if (fault::Injected(fault::kAtomicWrite)) {
+    return Status::IOError("fault injected: " +
+                           std::string(fault::kAtomicWrite) + " ('" + path +
+                           "')");
+  }
   uint64_t stamp = g_temp_counter.fetch_add(1, std::memory_order_relaxed);
   std::string temp = path + ".tmp." + std::to_string(ProcessId()) + "." +
                      std::to_string(stamp);

@@ -1,0 +1,203 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace vq {
+namespace fault {
+namespace {
+
+// FNV-1a so each point gets its own deterministic Bernoulli stream
+// regardless of arming order.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  mutable std::mutex mutex;
+  uint64_t base_seed = 0x9E3779B97F4A7C15ULL;
+
+  struct PointState {
+    FaultAction action;
+    bool armed = false;
+    Rng rng{0};
+    FaultPointStats stats;
+  };
+  std::unordered_map<std::string, PointState> points;
+};
+
+FaultInjector::Impl& FaultInjector::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh,
+                                    std::memory_order_acq_rel)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *existing;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* instance = new FaultInjector();
+    if (const char* seed_env = std::getenv("VQ_FAULTS_SEED")) {
+      instance->Seed(std::strtoull(seed_env, nullptr, 10));
+    }
+    if (const char* spec = std::getenv("VQ_FAULTS")) {
+      Status status = instance->Configure(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "VQ_FAULTS ignored: %s\n",
+                     status.message().c_str());
+        instance->Reset();
+      }
+    }
+    return instance;
+  }();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultAction action) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  Impl::PointState& entry = state.points[point];
+  if (!entry.armed) {
+    entry.rng = Rng(state.base_seed ^ HashName(point));
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entry.armed = true;
+  entry.action = action;
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.points.find(point);
+  if (it == state.points.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_points_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  int armed = 0;
+  for (const auto& [name, entry] : state.points) {
+    if (entry.armed) ++armed;
+  }
+  state.points.clear();
+  armed_points_.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  Impl& state = impl();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.base_seed = seed;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string clause = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (clause.empty()) continue;
+
+    size_t colon = clause.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("fault clause needs 'point:key=value': " +
+                                     clause);
+    }
+    std::string point = clause.substr(0, colon);
+    FaultAction action;
+    size_t kpos = colon + 1;
+    while (kpos < clause.size()) {
+      size_t kend = clause.find(',', kpos);
+      if (kend == std::string::npos) kend = clause.size();
+      std::string pair = clause.substr(kpos, kend - kpos);
+      kpos = kend + 1;
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("fault action needs 'key=value': " +
+                                       pair);
+      }
+      std::string key = pair.substr(0, eq);
+      std::string value = pair.substr(eq + 1);
+      char* parse_end = nullptr;
+      double numeric = std::strtod(value.c_str(), &parse_end);
+      if (parse_end == value.c_str() || *parse_end != '\0') {
+        return Status::InvalidArgument("fault value not numeric: " + pair);
+      }
+      if (key == "fail") {
+        if (numeric < 0.0 || numeric > 1.0) {
+          return Status::InvalidArgument("fail probability outside [0,1]: " +
+                                         pair);
+        }
+        action.fail_probability = numeric;
+      } else if (key == "delay_ms") {
+        if (numeric < 0.0) {
+          return Status::InvalidArgument("negative delay: " + pair);
+        }
+        action.delay_seconds = numeric * 1e-3;
+      } else if (key == "max") {
+        action.max_failures = static_cast<uint64_t>(numeric);
+      } else {
+        return Status::InvalidArgument("unknown fault key: " + key);
+      }
+    }
+    Arm(point, action);
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::ShouldFail(const char* point) {
+  if (!AnyArmed()) return false;
+  Impl& state = impl();
+  double delay_seconds = 0.0;
+  bool fail = false;
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    auto it = state.points.find(point);
+    if (it == state.points.end() || !it->second.armed) return false;
+    Impl::PointState& entry = it->second;
+    entry.stats.hits++;
+    delay_seconds = entry.action.delay_seconds;
+    if (entry.action.fail_probability > 0.0 &&
+        (entry.action.max_failures == 0 ||
+         entry.stats.failures < entry.action.max_failures)) {
+      fail = entry.rng.NextBool(entry.action.fail_probability);
+      if (fail) entry.stats.failures++;
+    }
+  }
+  if (delay_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+  }
+  return fail;
+}
+
+FaultPointStats FaultInjector::PointStats(const std::string& point) const {
+  Impl* state = impl_.load(std::memory_order_acquire);
+  if (state == nullptr) return {};
+  std::lock_guard<std::mutex> lock(state->mutex);
+  auto it = state->points.find(point);
+  if (it == state->points.end()) return {};
+  return it->second.stats;
+}
+
+}  // namespace fault
+}  // namespace vq

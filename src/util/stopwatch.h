@@ -3,6 +3,8 @@
 #define VQ_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <functional>
+#include <utility>
 
 namespace vq {
 
@@ -26,26 +28,59 @@ class Stopwatch {
 };
 
 /// \brief Deadline helper for per-scenario timeouts (Section VIII-B uses a
-/// 48 h per-scenario timeout; benches here use seconds-scale budgets).
+/// 48 h per-scenario timeout; benches here use seconds-scale budgets) and for
+/// per-request serving budgets threaded through the router (overload control).
+///
+/// An optional injectable clock (monotonic seconds) lets tests step time
+/// deterministically; without one the steady clock is used.
 class Deadline {
  public:
+  using ClockFn = std::function<double()>;
+
   /// A non-positive budget means "no deadline".
   explicit Deadline(double budget_seconds)
-      : enabled_(budget_seconds > 0.0), budget_seconds_(budget_seconds) {}
+      : enabled_(budget_seconds > 0.0), budget_seconds_(budget_seconds) {
+    start_ = Now();
+  }
+
+  Deadline(double budget_seconds, ClockFn clock)
+      : enabled_(budget_seconds > 0.0),
+        budget_seconds_(budget_seconds),
+        clock_(std::move(clock)) {
+    start_ = Now();
+  }
 
   bool Expired() const {
-    return enabled_ && watch_.ElapsedSeconds() >= budget_seconds_;
+    return enabled_ && Now() - start_ >= budget_seconds_;
   }
 
   double RemainingSeconds() const {
     if (!enabled_) return 1e18;
-    return budget_seconds_ - watch_.ElapsedSeconds();
+    return budget_seconds_ - (Now() - start_);
   }
 
+  /// Seconds past the budget; 0 while still inside it (or with no deadline).
+  double OverrunSeconds() const {
+    if (!enabled_) return 0.0;
+    double over = (Now() - start_) - budget_seconds_;
+    return over > 0.0 ? over : 0.0;
+  }
+
+  bool enabled() const { return enabled_; }
+  double budget_seconds() const { return budget_seconds_; }
+
  private:
+  double Now() const {
+    if (clock_) return clock_();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
   bool enabled_;
   double budget_seconds_;
-  Stopwatch watch_;
+  ClockFn clock_;
+  double start_ = 0.0;
 };
 
 }  // namespace vq

@@ -66,6 +66,11 @@ size_t ThreadPool::PendingTasks() const {
   return in_flight_;
 }
 
+size_t ThreadPool::QueuedTasks() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return queue_.size() + hinted_total_;
+}
+
 size_t ThreadPool::CurrentWorkerIndex() const {
   return tl_worker_pool == this ? tl_worker_index : kNotAWorker;
 }

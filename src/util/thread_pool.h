@@ -79,6 +79,12 @@ class ThreadPool {
   /// the value may change before the caller uses it.
   size_t PendingTasks() const;
 
+  /// Tasks waiting in the shared or hinted queues (not yet picked up by a
+  /// worker). Snapshot only; PendingTasks() - QueuedTasks() approximates the
+  /// number of tasks currently executing. Exported as a gauge so shedding
+  /// decisions are observable.
+  size_t QueuedTasks() const;
+
   /// Sentinel for CurrentWorkerIndex() on a non-worker thread.
   static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
 

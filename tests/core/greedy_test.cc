@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "storage/datasets.h"
 #include "testing/random_instance.h"
 
@@ -96,6 +99,81 @@ TEST(GreedyTest, Counterspopulated) {
   EXPECT_GT(result.counters.join_rows, 0u);
   EXPECT_GT(result.counters.groups_joined, 0u);
   EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+namespace {
+
+/// Fake clock where one "second" elapses per read, so expiry is a pure
+/// function of how many deadline checks greedy performed -- deterministic
+/// for a fixed instance, independent of machine speed.
+Deadline::ClockFn TickClock(const std::shared_ptr<std::atomic<int>>& ticks) {
+  return [ticks] {
+    return static_cast<double>(ticks->fetch_add(1, std::memory_order_relaxed));
+  };
+}
+
+}  // namespace
+
+TEST(GreedyTest, ExpiredDeadlineReturnsEmptyTimedOut) {
+  RandomProblem problem = MakeRandomProblem(23);
+  auto ticks = std::make_shared<std::atomic<int>>(0);
+  // Budget 0.5 "seconds": the constructor reads t=0, the first pre-iteration
+  // check reads t=1 >= 0.5 -- expired before any fact was selected.
+  Deadline deadline(0.5, TickClock(ticks));
+  GreedyOptions options;
+  options.max_facts = 3;
+  options.deadline = &deadline;
+  SummaryResult result = GreedySummary(*problem.evaluator, options);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_TRUE(result.facts.empty());
+  EXPECT_DOUBLE_EQ(result.error, result.base_error) << "no facts, base error";
+}
+
+TEST(GreedyTest, MidRunExpiryCheckpointsAPrefixOfTheFullRun) {
+  RandomProblem problem = MakeRandomProblem(29, /*num_dims=*/4, /*max_card=*/4,
+                                            /*num_rows=*/200);
+  GreedyOptions options;
+  options.max_facts = 3;
+  SummaryResult full = GreedySummary(*problem.evaluator, options);
+  ASSERT_GE(full.facts.size(), 2u) << "need a multi-fact run to truncate";
+
+  // Instrumented full run: count how many clock reads an untruncated run
+  // performs, so the truncating budget below can land mid-run by
+  // construction rather than by timing luck.
+  auto counting = std::make_shared<std::atomic<int>>(0);
+  Deadline generous(1e9, TickClock(counting));
+  options.deadline = &generous;
+  SummaryResult instrumented = GreedySummary(*problem.evaluator, options);
+  EXPECT_FALSE(instrumented.timed_out);
+  ASSERT_EQ(instrumented.facts, full.facts);
+  int total_reads = counting->load();
+  ASSERT_GT(total_reads, 4) << "expected many deadline polls across the run";
+
+  // Now expire halfway through those reads: greedy is anytime, so whatever
+  // iterations completed must be exactly the first facts of the full run.
+  auto ticks = std::make_shared<std::atomic<int>>(0);
+  Deadline half(total_reads / 2.0, TickClock(ticks));
+  options.deadline = &half;
+  SummaryResult truncated = GreedySummary(*problem.evaluator, options);
+  EXPECT_TRUE(truncated.timed_out);
+  EXPECT_LE(truncated.facts.size(), full.facts.size());
+  for (size_t i = 0; i < truncated.facts.size(); ++i) {
+    EXPECT_EQ(truncated.facts[i], full.facts[i]) << "not a prefix at " << i;
+  }
+  EXPECT_LE(truncated.utility, full.utility + 1e-9);
+}
+
+TEST(GreedyTest, GenerousDeadlineChangesNothing) {
+  RandomProblem problem = MakeRandomProblem(31);
+  GreedyOptions options;
+  options.max_facts = 3;
+  SummaryResult plain = GreedySummary(*problem.evaluator, options);
+  Deadline generous(3600.0);
+  options.deadline = &generous;
+  SummaryResult bounded = GreedySummary(*problem.evaluator, options);
+  EXPECT_FALSE(bounded.timed_out);
+  EXPECT_EQ(bounded.facts, plain.facts);
+  EXPECT_DOUBLE_EQ(bounded.utility, plain.utility);
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace vq {
+namespace fault {
+namespace {
+
+/// Every case drives a fresh local injector (the production hook goes
+/// through Global(), covered by the serve chaos suite); tests that DO touch
+/// Global() reset it so no armed point leaks into other suites.
+TEST(FaultInjectorTest, DisarmedPointNeverFails) {
+  FaultInjector injector;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(kSnapshotLoad));
+  }
+  EXPECT_FALSE(injector.AnyArmed());
+  // Hits on disarmed points are not tracked (the fast path takes no lock).
+  EXPECT_EQ(injector.PointStats(kSnapshotLoad).failures, 0u);
+}
+
+TEST(FaultInjectorTest, CertainFailureFailsEveryHit) {
+  FaultInjector injector;
+  injector.Arm(kAtomicWrite, {.fail_probability = 1.0});
+  EXPECT_TRUE(injector.AnyArmed());
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_TRUE(injector.ShouldFail(kAtomicWrite));
+  }
+  FaultPointStats stats = injector.PointStats(kAtomicWrite);
+  EXPECT_EQ(stats.hits, 25u);
+  EXPECT_EQ(stats.failures, 25u);
+  // Other points stay healthy.
+  EXPECT_FALSE(injector.ShouldFail(kSnapshotLoad));
+}
+
+TEST(FaultInjectorTest, ProbabilityIsSeededAndReproducible) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector;
+    injector.Seed(seed);
+    injector.Arm(kSolveBatch, {.fail_probability = 0.5});
+    std::string outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes += injector.ShouldFail(kSolveBatch) ? '1' : '0';
+    }
+    return outcomes;
+  };
+  std::string a = run(42);
+  EXPECT_EQ(a, run(42)) << "same seed must replay the same fault sequence";
+  EXPECT_NE(a, run(43)) << "different seeds should diverge (64 Bernoulli rolls)";
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(FaultInjectorTest, MaxFailuresStopsFailing) {
+  FaultInjector injector;
+  injector.Arm(kPoolSubmit, {.fail_probability = 1.0, .max_failures = 3});
+  int failures = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.ShouldFail(kPoolSubmit)) ++failures;
+  }
+  EXPECT_EQ(failures, 3);
+  EXPECT_EQ(injector.PointStats(kPoolSubmit).hits, 10u);
+  EXPECT_EQ(injector.PointStats(kPoolSubmit).failures, 3u);
+}
+
+TEST(FaultInjectorTest, DelayAppliesWithoutFailing) {
+  FaultInjector injector;
+  injector.Arm(kSnapshotLoad, {.delay_seconds = 0.02});
+  Stopwatch watch;
+  EXPECT_FALSE(injector.ShouldFail(kSnapshotLoad));
+  EXPECT_GE(watch.ElapsedSeconds(), 0.015);
+  EXPECT_EQ(injector.PointStats(kSnapshotLoad).hits, 1u);
+  EXPECT_EQ(injector.PointStats(kSnapshotLoad).failures, 0u);
+}
+
+TEST(FaultInjectorTest, DisarmAndResetRestoreHealth) {
+  FaultInjector injector;
+  injector.Arm(kAtomicWrite, {.fail_probability = 1.0});
+  ASSERT_TRUE(injector.ShouldFail(kAtomicWrite));
+  injector.Disarm(kAtomicWrite);
+  EXPECT_FALSE(injector.AnyArmed());
+  EXPECT_FALSE(injector.ShouldFail(kAtomicWrite));
+
+  injector.Arm(kAtomicWrite, {.fail_probability = 1.0});
+  injector.Arm(kSolveBatch, {.fail_probability = 1.0});
+  injector.Reset();
+  EXPECT_FALSE(injector.AnyArmed());
+  EXPECT_FALSE(injector.ShouldFail(kAtomicWrite));
+  EXPECT_FALSE(injector.ShouldFail(kSolveBatch));
+  EXPECT_EQ(injector.PointStats(kAtomicWrite).hits, 0u) << "Reset zeroes counters";
+}
+
+TEST(FaultInjectorTest, ConfigureParsesTheSpecGrammar) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .Configure("snapshot.load:fail=1;"
+                             "solve.batch:fail=0.5,delay_ms=0,max=2")
+                  .ok());
+  EXPECT_TRUE(injector.AnyArmed());
+  EXPECT_TRUE(injector.ShouldFail(kSnapshotLoad));
+  int solve_failures = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (injector.ShouldFail(kSolveBatch)) ++solve_failures;
+  }
+  EXPECT_EQ(solve_failures, 2) << "max=2 caps the p=0.5 stream";
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsMalformedSpecs) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.Configure("no-colon-here").ok());
+  EXPECT_FALSE(injector.Configure("point:fail=notanumber").ok());
+  EXPECT_FALSE(injector.Configure("point:fail=2.0").ok()) << "P outside [0,1]";
+  EXPECT_FALSE(injector.Configure("point:bogus_key=1").ok());
+  EXPECT_FALSE(injector.AnyArmed()) << "a rejected spec must not half-arm";
+}
+
+TEST(FaultInjectorTest, GlobalInjectorDrivesTheInjectedHook) {
+  FaultInjector& global = FaultInjector::Global();
+  global.Reset();
+  EXPECT_FALSE(Injected(kSnapshotLoad));
+  global.Arm(kSnapshotLoad, {.fail_probability = 1.0});
+  EXPECT_TRUE(Injected(kSnapshotLoad));
+  global.Reset();
+  EXPECT_FALSE(Injected(kSnapshotLoad));
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace vq

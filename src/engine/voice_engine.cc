@@ -90,7 +90,7 @@ VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request,
 }
 
 VoiceQueryEngine::Response VoiceQueryEngine::Answer(const std::string& request) {
-  std::lock_guard<std::mutex> lock(*default_session_mutex_);
+  MutexLock lock(*default_session_mutex_);
   return Answer(request, &default_session_);
 }
 

@@ -5,8 +5,9 @@
 #define VQ_ENGINE_VOICE_ENGINE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/sync.h"
 
 #include "engine/preprocessor.h"
 #include "engine/speech_store.h"
@@ -120,11 +121,10 @@ class VoiceQueryEngine {
   SpeechStore store_;
   std::unique_ptr<QueryExtractor> extractor_;
   std::unique_ptr<RequestClassifier> classifier_;
-  Session default_session_;
   /// Guards default_session_ for the stateful Answer(request) overload.
-  /// Held by pointer so the engine stays movable.
-  std::unique_ptr<std::mutex> default_session_mutex_ =
-      std::make_unique<std::mutex>();
+  /// Held by pointer so the engine stays movable (vq::Mutex is not).
+  std::unique_ptr<Mutex> default_session_mutex_ = std::make_unique<Mutex>();
+  Session default_session_ GUARDED_BY(*default_session_mutex_);
 };
 
 }  // namespace vq

@@ -59,10 +59,12 @@ void Gauge::Set(double value) {
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
   std::memcpy(&bits, &value, sizeof(bits));
+  // relaxed: a standalone last-writer-wins cell; readers order nothing by it.
   bits_.store(bits, std::memory_order_relaxed);
 }
 
 double Gauge::Value() const {
+  // relaxed: see Set().
   uint64_t bits = bits_.load(std::memory_order_relaxed);
   double value;
   std::memcpy(&value, &bits, sizeof(value));
@@ -108,6 +110,7 @@ double HistogramSnapshot::Quantile(double q) const {
 // LatencyHistogram
 
 LatencyHistogram::LatencyHistogram() : shards_(new Shard[kShards]) {
+  // relaxed: zeroed before the histogram is visible to any other thread.
   for (size_t s = 0; s < kShards; ++s) {
     for (size_t b = 0; b < kNumBuckets; ++b) {
       shards_[s].buckets[b].store(0, std::memory_order_relaxed);
@@ -118,6 +121,7 @@ LatencyHistogram::LatencyHistogram() : shards_(new Shard[kShards]) {
 size_t LatencyHistogram::ShardIndex() {
   // A cheap stable per-thread lane: threads are assigned round-robin at
   // first use, so a fixed pool spreads evenly over the shards.
+  // relaxed: the lane counter only needs unique values, not ordering.
   static std::atomic<size_t> next_lane{0};
   thread_local size_t lane = next_lane.fetch_add(1, std::memory_order_relaxed);
   return lane & (kShards - 1);
@@ -156,6 +160,8 @@ double LatencyHistogram::BucketUpperBound(size_t bucket) {
 
 void LatencyHistogram::Record(double seconds) {
   if (!(seconds >= 0.0)) return;  // drops negatives and NaN
+  // relaxed: per-shard tallies; Snapshot() is a statistical view, not a
+  // linearizable one.
   Shard& shard = shards_[ShardIndex()];
   shard.buckets[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
@@ -173,6 +179,8 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
   snap.buckets.assign(kNumBuckets, 0);
   uint64_t sum_nanos = 0;
   uint64_t max_nanos = 0;
+  // relaxed: shards are summed one at a time; a concurrent Record may land
+  // between reads (statistical snapshot).
   for (size_t s = 0; s < kShards; ++s) {
     const Shard& shard = shards_[s];
     snap.count += shard.count.load(std::memory_order_relaxed);
@@ -217,21 +225,21 @@ std::string MetricsRegistry::WithLabel(std::string_view name, std::string_view k
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   auto& slot = counters_[name];
   if (!slot) slot.reset(new Counter());
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot.reset(new Gauge());
   return slot.get();
 }
 
 LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot.reset(new LatencyHistogram());
   return slot.get();
@@ -247,14 +255,14 @@ void MetricsRegistry::SetCounter(const std::string& name, uint64_t absolute) {
 
 uint64_t MetricsRegistry::RegisterCollector(
     std::function<void(MetricsRegistry&)> collector) {
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  MutexLock lock(collector_mutex_);
   uint64_t id = next_collector_id_++;
   collectors_[id] = std::move(collector);
   return id;
 }
 
 void MetricsRegistry::UnregisterCollector(uint64_t id) {
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  MutexLock lock(collector_mutex_);
   collectors_.erase(id);
 }
 
@@ -262,12 +270,12 @@ void MetricsRegistry::Collect() {
   // Held for the whole pass: UnregisterCollector() blocking on this mutex
   // is what lets an owner (e.g. a RoutingService) die safely -- once its
   // unregister returns, no render can still be calling into it.
-  std::lock_guard<std::mutex> lock(collector_mutex_);
+  MutexLock lock(collector_mutex_);
   for (auto& entry : collectors_) entry.second(*this);
 }
 
 HistogramSnapshot MetricsRegistry::SnapshotHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) return HistogramSnapshot{};
   return it->second->Snapshot();
@@ -276,7 +284,7 @@ HistogramSnapshot MetricsRegistry::SnapshotHistogram(const std::string& name) {
 std::string MetricsRegistry::RenderText() {
   Collect();
   std::string out;
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   std::string base, labels, last_family;
   for (const auto& entry : counters_) {
     SplitLabels(entry.first, &base, &labels);
@@ -335,7 +343,7 @@ Json MetricsRegistry::RenderJson() {
   Json counters = Json::Object();
   Json gauges = Json::Object();
   Json histograms = Json::Object();
-  std::lock_guard<std::mutex> lock(data_mutex_);
+  MutexLock lock(data_mutex_);
   for (const auto& entry : counters_) {
     counters.Set(entry.first, Json::Int(static_cast<int64_t>(entry.second->Value())));
   }

@@ -31,12 +31,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/json.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace obs {
@@ -48,6 +48,7 @@ namespace obs {
 /// incrementing -- the external atomic stays the single source of truth.
 class Counter {
  public:
+  // relaxed: independent monotonic counter; nothing else is ordered by it.
   void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   void Set(uint64_t absolute) { value_.store(absolute, std::memory_order_relaxed); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
@@ -195,15 +196,18 @@ class MetricsRegistry {
  private:
   /// data_mutex_ guards the name->instrument maps only; instruments
   /// themselves are internally thread-safe and pointer-stable.
-  mutable std::mutex data_mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex data_mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(data_mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(data_mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      GUARDED_BY(data_mutex_);
 
-  /// Separate from data_mutex_ so collectors may call Get*/Set* freely.
-  std::mutex collector_mutex_;
-  std::map<uint64_t, std::function<void(MetricsRegistry&)>> collectors_;
-  uint64_t next_collector_id_ = 1;
+  /// Separate from data_mutex_ -- and ACQUIRED_BEFORE it -- so collectors
+  /// running under it may call Get*/Set* (which take data_mutex_) freely.
+  Mutex collector_mutex_ ACQUIRED_BEFORE(data_mutex_);
+  std::map<uint64_t, std::function<void(MetricsRegistry&)>> collectors_
+      GUARDED_BY(collector_mutex_);
+  uint64_t next_collector_id_ GUARDED_BY(collector_mutex_) = 1;
 };
 
 }  // namespace obs

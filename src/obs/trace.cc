@@ -78,6 +78,8 @@ bool TraceSampler::Admit() {
   if (per_second_ == 0) return false;
   double now_seconds = clock_ ? clock_() : watch_.ElapsedSeconds();
   uint32_t now = static_cast<uint32_t>(now_seconds);
+  // relaxed: the packed epoch/count cell is self-contained; the CAS loop
+  // re-reads it on every failure.
   uint64_t state = state_.load(std::memory_order_relaxed);
   for (;;) {
     uint32_t epoch = static_cast<uint32_t>(state >> 32);
@@ -100,25 +102,26 @@ bool TraceSampler::Admit() {
 // TraceLog
 
 void TraceLog::Record(Json trace_json) {
+  // relaxed: monotonic counter; the deque itself is guarded by mutex_.
   total_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.push_back(std::move(trace_json));
   while (entries_.size() > capacity_) entries_.pop_front();
 }
 
 std::vector<Json> TraceLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return std::vector<Json>(entries_.begin(), entries_.end());
 }
 
 size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 Json TraceLog::ToJson() const {
   Json out = Json::Array();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const Json& entry : entries_) out.Append(entry);
   return out;
 }

@@ -19,12 +19,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/json.h"
 #include "util/stopwatch.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace obs {
@@ -124,14 +124,15 @@ class TraceLog {
   std::vector<Json> Entries() const;
   size_t size() const;
   /// Total traces ever recorded (including since-dropped ones).
+  // relaxed: monotonic counter.
   uint64_t total_recorded() const { return total_.load(std::memory_order_relaxed); }
   /// The whole log as a JSON array (newest last).
   Json ToJson() const;
 
  private:
   size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<Json> entries_;
+  mutable Mutex mutex_;
+  std::deque<Json> entries_ GUARDED_BY(mutex_);
   std::atomic<uint64_t> total_{0};
 };
 

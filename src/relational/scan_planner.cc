@@ -1,13 +1,13 @@
 #include "relational/scan_planner.h"
 
 #include <algorithm>
-#include <condition_variable>
-#include <mutex>
+#include <mutex>  // std::call_once for metric-instrument latches (not locking)
 #include <numeric>
 
 #include "obs/metrics.h"
 #include "storage/index.h"
 #include "util/stopwatch.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace vq {
@@ -313,9 +313,10 @@ void RunShardFanout(const TableIndex& index, ThreadPool* pool,
                     const std::function<void(size_t)>& run_shard) {
   size_t num_shards = index.num_shards();
   FanoutCounter()->Increment(num_shards);
-  std::mutex mutex;
-  std::condition_variable done;
-  size_t remaining = num_shards;
+  Mutex mutex;
+  CondVar done;
+  size_t remaining = num_shards;  // guarded by `mutex` (GUARDED_BY is
+                                  // member-only; locals are not annotatable)
   for (size_t s = 0; s < num_shards; ++s) {
     auto task = [&, s] {
       Stopwatch watch;
@@ -325,8 +326,8 @@ void RunShardFanout(const TableIndex& index, ThreadPool* pool,
       if (worker != ThreadPool::kNotAWorker) {
         index.set_shard_last_worker(s, static_cast<uint32_t>(worker));
       }
-      std::lock_guard<std::mutex> lock(mutex);
-      if (--remaining == 0) done.notify_one();
+      MutexLock lock(mutex);
+      if (--remaining == 0) done.NotifyOne();
     };
     uint32_t hint = index.shard_last_worker(s);
     if (hint == TableIndex::kNoWorker) {
@@ -335,8 +336,8 @@ void RunShardFanout(const TableIndex& index, ThreadPool* pool,
       pool->SubmitHinted(hint, std::move(task));
     }
   }
-  std::unique_lock<std::mutex> lock(mutex);
-  done.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(mutex);
+  while (remaining != 0) done.Wait(mutex);
 }
 
 /// Executes `plan` over every shard into partials: sequentially for

@@ -78,8 +78,9 @@ void ShardedSummaryCache::EraseEntry(Shard* shard,
                                      std::list<Entry>::iterator it) {
   shard->bytes -= it->bytes;
   if (it->account != nullptr) {
-    // Exact: every entry debits precisely the bytes it credited at insert,
-    // so the account can never underflow.
+    // relaxed: exact bookkeeping -- every entry debits precisely the bytes
+    // it credited at insert, so the account can never underflow; the tally
+    // needs no ordering with the shard contents (the shard lock has that).
     it->account->bytes.fetch_sub(it->bytes, std::memory_order_relaxed);
   }
   shard->index.erase(it->key);
@@ -89,7 +90,7 @@ void ShardedSummaryCache::EraseEntry(Shard* shard,
 ShardedSummaryCache::OwnerAccountPtr ShardedSummaryCache::AccountFor(
     const std::string& owner) {
   if (owner.empty()) return nullptr;
-  std::lock_guard<std::mutex> lock(owners_mutex_);
+  MutexLock lock(owners_mutex_);
   auto& slot = owners_[owner];
   if (slot == nullptr) slot = std::make_shared<OwnerAccount>();
   return slot;
@@ -97,11 +98,14 @@ ShardedSummaryCache::OwnerAccountPtr ShardedSummaryCache::AccountFor(
 
 void ShardedSummaryCache::AttachMetrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) return;
+  // relaxed: the histogram is fully built by the registry before it is
+  // returned; the pointer is the only state shared through this cell.
   lookup_hist_.store(metrics->GetHistogram("vq_cache_lookup_seconds"),
                      std::memory_order_relaxed);
 }
 
 ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
+  // relaxed: see AttachMetrics.
   obs::LatencyHistogram* hist = lookup_hist_.load(std::memory_order_relaxed);
   if (hist == nullptr) return GetImpl(key);  // untimed until metrics attach
   // 1-in-16 sampled timing: the lookup sits on the >100k-qps hit path, and
@@ -118,7 +122,7 @@ ServedAnswerPtr ShardedSummaryCache::Get(const std::string& key) {
 
 ServedAnswerPtr ShardedSummaryCache::GetImpl(const std::string& key) {
   Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -140,7 +144,7 @@ ServedAnswerPtr ShardedSummaryCache::GetStale(const std::string& key,
                                               bool* was_stale) {
   if (was_stale != nullptr) *was_stale = false;
   Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -164,7 +168,7 @@ bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
   OwnerAccountPtr account = AccountFor(owner);
   Shard& shard = *shards_[ShardIndex(key)];
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     // Admission control: refuse an entry that would claim more than its
     // configured share of the slice. Rejecting (rather than admitting and
     // letting the byte loop run) keeps one oversized rendered answer from
@@ -179,6 +183,7 @@ bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
       Entry& entry = *it->second;
       // Re-point the byte accounting (shard total and owner account) at the
       // new value; the previous incarnation may belong to another owner.
+      // relaxed: owner accounts are plain byte tallies (see EraseEntry).
       shard.bytes -= entry.bytes;
       shard.bytes += bytes;
       if (entry.account != nullptr) {
@@ -222,6 +227,8 @@ bool ShardedSummaryCache::Put(const std::string& key, ServedAnswerPtr answer,
   // shards (not per-shard slices, which degenerate once quota/num_shards
   // drops below one entry). Runs after this shard's lock is released and
   // takes one shard lock at a time, so no two shard locks are ever nested.
+  // relaxed: the quota probe tolerates a stale tally; EnforceOwnerQuota
+  // re-reads before every eviction.
   if (account != nullptr && owner_byte_quota > 0 &&
       account->bytes.load(std::memory_order_relaxed) > owner_byte_quota) {
     EnforceOwnerQuota(owner, account.get(), owner_byte_quota, key);
@@ -239,10 +246,12 @@ void ShardedSummaryCache::EnforceOwnerQuota(const std::string& owner,
   // only while still over quota). The just-inserted entry (protect_key) is
   // never evicted, so a quota below one entry keeps exactly the newest
   // answer rather than wedging or thrashing.
+  // relaxed: the tally is re-read on every iteration (still unordered -- it
+  // is a plain sum), so the walk stops as soon as the owner fits.
   for (auto& shard_ptr : shards_) {
     if (account->bytes.load(std::memory_order_relaxed) <= quota) return;
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     if (shard.lru.empty()) continue;
     auto entry = std::prev(shard.lru.end());
     for (;;) {
@@ -262,7 +271,7 @@ void ShardedSummaryCache::EnforceOwnerQuota(const std::string& owner,
 
 bool ShardedSummaryCache::Contains(const std::string& key) const {
   const Shard& shard = *shards_[ShardIndex(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return false;
   return it->second->expires_at <= 0.0 || Now() < it->second->expires_at;
@@ -271,7 +280,7 @@ bool ShardedSummaryCache::Contains(const std::string& key) const {
 size_t ShardedSummaryCache::PurgePrefix(const std::string& prefix) {
   size_t purged = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       auto next = std::next(it);
       if (it->key.starts_with(prefix)) {
@@ -287,7 +296,7 @@ size_t ShardedSummaryCache::PurgePrefix(const std::string& prefix) {
 size_t ShardedSummaryCache::CountPrefix(const std::string& prefix) const {
   size_t count = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (const Entry& entry : shard->lru) {
       if (entry.key.starts_with(prefix)) ++count;
     }
@@ -296,7 +305,8 @@ size_t ShardedSummaryCache::CountPrefix(const std::string& prefix) const {
 }
 
 size_t ShardedSummaryCache::OwnerBytes(const std::string& owner) const {
-  std::lock_guard<std::mutex> lock(owners_mutex_);
+  MutexLock lock(owners_mutex_);
+  // relaxed: plain byte tally (see EraseEntry).
   auto it = owners_.find(owner);
   return it != owners_.end() ? it->second->bytes.load(std::memory_order_relaxed)
                              : 0;
@@ -304,7 +314,8 @@ size_t ShardedSummaryCache::OwnerBytes(const std::string& owner) const {
 
 void ShardedSummaryCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
+    // relaxed: debiting the tallies back; the shard lock orders the clear.
     for (const Entry& entry : shard->lru) {
       if (entry.account != nullptr) {
         entry.account->bytes.fetch_sub(entry.bytes, std::memory_order_relaxed);
@@ -319,7 +330,7 @@ void ShardedSummaryCache::Clear() {
 size_t ShardedSummaryCache::TotalBytes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += shard->bytes;
   }
   return total;
@@ -328,7 +339,7 @@ size_t ShardedSummaryCache::TotalBytes() const {
 CacheStats ShardedSummaryCache::TotalStats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total.hits += shard->stats.hits;
     total.misses += shard->stats.misses;
     total.insertions += shard->stats.insertions;
@@ -346,7 +357,7 @@ std::vector<size_t> ShardedSummaryCache::ShardSizes() const {
   std::vector<size_t> sizes;
   sizes.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     sizes.push_back(shard->lru.size());
   }
   return sizes;

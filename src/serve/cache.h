@@ -14,7 +14,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -22,6 +21,7 @@
 
 #include "obs/metrics.h"
 #include "serve/answer.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace serve {
@@ -201,22 +201,26 @@ class ShardedSummaryCache {
     OwnerAccountPtr account;
   };
   struct Shard {
-    mutable std::mutex mutex;
+    mutable Mutex mutex;
     /// Front = most recently used. Stores the key alongside the value so
     /// eviction can erase the map entry.
-    std::list<Entry> lru;
-    std::unordered_map<std::string, decltype(lru)::iterator> index;
-    CacheStats stats;
+    std::list<Entry> lru GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mutex);
+    CacheStats stats GUARDED_BY(mutex);
+    // Budgets below are set once at construction, before the shard is
+    // visible to any other thread; no lock needed thereafter.
     size_t capacity = 0;
     size_t byte_budget = 0;     ///< 0 = unlimited
     size_t max_entry_bytes = 0; ///< admission ceiling; 0 = admit everything
-    size_t bytes = 0;           ///< sum of Entry::bytes
+    size_t bytes GUARDED_BY(mutex) = 0;  ///< sum of Entry::bytes
   };
 
   /// Unlinks one entry from the shard's list/map/byte accounting, debiting
   /// the owner's global account (counters are the caller's job: eviction vs
   /// expiration vs purge).
-  static void EraseEntry(Shard* shard, std::list<Entry>::iterator it);
+  static void EraseEntry(Shard* shard, std::list<Entry>::iterator it)
+      REQUIRES(shard->mutex);
 
   /// Find-or-create the global byte account for `owner` (nullptr if empty).
   OwnerAccountPtr AccountFor(const std::string& owner);
@@ -238,9 +242,11 @@ class ShardedSummaryCache {
 
   /// Owner tag -> global byte account. Accounts persist for the cache's
   /// lifetime (one per dataset fingerprint; churn adds a few dozen strings,
-  /// never hot-path work).
-  mutable std::mutex owners_mutex_;
-  std::unordered_map<std::string, OwnerAccountPtr> owners_;
+  /// never hot-path work). Never held together with a Shard::mutex:
+  /// AccountFor returns before Put takes its shard lock.
+  mutable Mutex owners_mutex_;
+  std::unordered_map<std::string, OwnerAccountPtr> owners_
+      GUARDED_BY(owners_mutex_);
 
   /// Set once by AttachMetrics (atomic: Get() may race with attachment).
   std::atomic<obs::LatencyHistogram*> lookup_hist_{nullptr};

@@ -7,7 +7,8 @@ namespace serve {
 
 InflightCoalescer::Ticket InflightCoalescer::Join(const std::string& key) {
   Ticket ticket;
-  std::lock_guard<std::mutex> lock(mutex_);
+  // relaxed: leaders_/coalesced_ are monotonic counters; mutex_ orders the map.
+  MutexLock lock(mutex_);
   auto it = inflight_.find(key);
   if (it != inflight_.end()) {
     ++it->second->followers;
@@ -28,7 +29,7 @@ InflightCoalescer::Ticket InflightCoalescer::Join(const std::string& key) {
 size_t InflightCoalescer::Fulfill(const std::string& key, ServedAnswerPtr answer) {
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = inflight_.find(key);
     if (it == inflight_.end()) return 0;  // Fulfill without Join: no-op
     entry = std::move(it->second);
@@ -40,7 +41,7 @@ size_t InflightCoalescer::Fulfill(const std::string& key, ServedAnswerPtr answer
 }
 
 size_t InflightCoalescer::InFlight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return inflight_.size();
 }
 
@@ -58,6 +59,7 @@ ServedAnswerPtr InflightCoalescer::WaitBounded(const Ticket& ticket,
       std::future_status::ready) {
     return ticket.result.get();
   }
+  // relaxed: monotonic counter.
   timed_out_waits_.fetch_add(1, std::memory_order_relaxed);
   return nullptr;
 }

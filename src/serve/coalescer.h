@@ -12,12 +12,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "serve/answer.h"
 #include "util/stopwatch.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace serve {
@@ -57,6 +57,7 @@ class InflightCoalescer {
   /// unboundedly on a slow leader.
   ServedAnswerPtr WaitBounded(const Ticket& ticket, const Deadline* deadline);
 
+  // relaxed: independent monotonic counters.
   /// Total elections (== distinct computations started).
   uint64_t leaders() const { return leaders_.load(std::memory_order_relaxed); }
   /// Total followers that piggybacked on a leader's computation.
@@ -73,8 +74,9 @@ class InflightCoalescer {
     size_t followers = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Entry>> inflight_
+      GUARDED_BY(mutex_);
   std::atomic<uint64_t> leaders_{0};
   std::atomic<uint64_t> coalesced_{0};
   std::atomic<uint64_t> timed_out_waits_{0};

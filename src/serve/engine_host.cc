@@ -27,6 +27,7 @@ ServedAnswerPtr AnswerFromStored(const StoredSpeech& stored, AnswerSource source
 }
 
 void BumpMax(std::atomic<uint64_t>* slot, uint64_t value) {
+  // relaxed: a monotonic high-water mark; racing updates converge to the max.
   uint64_t seen = slot->load(std::memory_order_relaxed);
   while (seen < value &&
          !slot->compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -96,6 +97,7 @@ EngineHost::EngineHost(std::string name, const VoiceQueryEngine* engine,
 ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace,
                                  const Deadline* deadline) {
   Stopwatch watch;
+  // relaxed: monotonic stats counter.
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ServeResponse response;
   size_t classify_span = trace ? trace->BeginSpan("classify") : 0;
@@ -117,6 +119,7 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace,
       break;
     case RequestType::kSupportedQuery:
     case RequestType::kUnsupportedQuery: {
+      // relaxed: monotonic stats counter.
       stats_.queries.fetch_add(1, std::memory_order_relaxed);
       size_t ground_span = trace ? trace->BeginSpan("ground") : 0;
       VoiceQuery query = engine_->GroundQuery(classified);
@@ -135,9 +138,11 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace,
       ServedAnswerPtr answer = cache_->Get(key);
       if (trace) trace->EndSpan(lookup_span);
       if (answer != nullptr) {
+        // relaxed: monotonic stats counter.
         stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
         response.cache_hit = true;
       } else {
+        // relaxed: monotonic stats counter.
         stats_.cache_misses.fetch_add(1, std::memory_order_relaxed);
         InflightCoalescer::Ticket ticket = coalescer_->Join(key);
         if (ticket.leader) {
@@ -174,6 +179,7 @@ ServeResponse EngineHost::Handle(const std::string& request, obs::Trace* trace,
           }
           coalescer_->Fulfill(key, answer);
         } else {
+          // relaxed: monotonic stats counter.
           stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
           response.coalesced = true;
           Stopwatch wait_watch;
@@ -222,6 +228,7 @@ ServeResponse EngineHost::HandleOverload(const std::string& request,
                                          ServeStatus fallback_status,
                                          obs::Trace* trace) {
   Stopwatch watch;
+  // relaxed: monotonic stats counter.
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
   ServeResponse response;
   size_t classify_span = trace ? trace->BeginSpan("classify") : 0;
@@ -241,6 +248,7 @@ ServeResponse EngineHost::HandleOverload(const std::string& request,
       break;
     case RequestType::kSupportedQuery:
     case RequestType::kUnsupportedQuery: {
+      // relaxed: monotonic stats counter.
       stats_.queries.fetch_add(1, std::memory_order_relaxed);
       VoiceQuery query = engine_->GroundQuery(classified);
       std::string key = CanonicalQueryKey(fingerprint_, query);
@@ -276,6 +284,7 @@ void EngineHost::ServeCachedOrApology(ServeResponse* response,
 }
 
 void EngineHost::RecordOutcome(const ServeResponse& response) {
+  // relaxed: monotonic outcome counters.
   if (response.status == ServeStatus::kDegraded) {
     stats_.degraded.fetch_add(1, std::memory_order_relaxed);
   } else if (response.status == ServeStatus::kTimeout) {
@@ -294,6 +303,7 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
 
   const StoredSpeech* exact = store.FindExact(query);
   if (exact != nullptr) {
+    // relaxed: monotonic stats counter.
     stats_.store_exact_hits.fetch_add(1, std::memory_order_relaxed);
     return AnswerFromStored(*exact, AnswerSource::kStoreExact,
                             watch.ElapsedSeconds());
@@ -315,6 +325,7 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
 
   const StoredSpeech* best = store.FindBest(query);
   if (best != nullptr) {
+    // relaxed: monotonic stats counter.
     stats_.store_fallback_hits.fetch_add(1, std::memory_order_relaxed);
     ServedAnswerPtr fallback = AnswerFromStored(
         *best, AnswerSource::kStoreFallback, watch.ElapsedSeconds());
@@ -326,6 +337,7 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
     return fallback;
   }
 
+  // relaxed: monotonic stats counter.
   stats_.unanswerable.fetch_add(1, std::memory_order_relaxed);
   auto answer = std::make_shared<ServedAnswer>();
   answer->text = VoiceQueryEngine::NoSummaryText();
@@ -337,7 +349,7 @@ ServedAnswerPtr EngineHost::ComputeAnswer(const VoiceQuery& query,
 
 std::shared_ptr<EngineHost::TargetBatchQueue> EngineHost::BatchQueueFor(
     int target_index) {
-  std::lock_guard<std::mutex> lock(batch_mutex_);
+  MutexLock lock(batch_mutex_);
   auto& slot = batch_queues_[target_index];
   if (slot == nullptr) slot = std::make_shared<TargetBatchQueue>();
   return slot;
@@ -370,10 +382,14 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
   // a running batch is simply abandoned -- the runner owns it via shared_ptr
   // and resolving its promise is harmless.
   std::shared_ptr<TargetBatchQueue> queue = BatchQueueFor(query.target_index);
-  std::unique_lock<std::mutex> lock(queue->mutex);
+  // Manual Lock/Unlock (not MutexLock): the runner path drops the lock
+  // around SolveBatch and reacquires it before notifying, which RAII cannot
+  // express (the ACQUIRE/RELEASE pairs below keep the analysis tracking it).
+  queue->mutex.Lock();
   queue->waiting.push_back(pending);
   for (;;) {
     if (future.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      queue->mutex.Unlock();
       return future.get();
     }
     if (deadline != nullptr && deadline->Expired()) {
@@ -383,69 +399,76 @@ ServedAnswerPtr EngineHost::SolveOnDemand(const VoiceQuery& query,
           break;
         }
       }
+      queue->mutex.Unlock();
       return nullptr;
     }
     if (queue->running) {
       if (deadline != nullptr && deadline->enabled()) {
         double remaining = deadline->RemainingSeconds();
         if (remaining < 0.0) remaining = 0.0;
-        queue->cv.wait_for(lock, std::chrono::duration<double>(remaining));
+        queue->cv.WaitFor(queue->mutex, remaining);
       } else {
-        queue->cv.wait(lock);
+        queue->cv.Wait(queue->mutex);
       }
       continue;
     }
     queue->running = true;
     std::vector<std::shared_ptr<PendingOnDemand>> batch;
     batch.swap(queue->waiting);
-    lock.unlock();
+    queue->mutex.Unlock();
     try {
       SolveBatch(std::move(batch), trace, deadline);
     } catch (...) {
       // SolveBatch fulfills its promises even on failure; whatever still
       // escaped must not leave `running` latched, or later misses would
       // wait forever for a runner that never comes.
-      lock.lock();
+      queue->mutex.Lock();
       queue->running = false;
-      queue->cv.notify_all();
+      queue->cv.NotifyAll();
+      queue->mutex.Unlock();
       throw;
     }
-    lock.lock();
+    queue->mutex.Lock();
     queue->running = false;
-    queue->cv.notify_all();
+    queue->cv.NotifyAll();
   }
 }
 
 EngineHost::SolveSlot::SolveSlot(EngineHost* host, const Deadline* deadline)
     : host_(host) {
-  std::unique_lock<std::mutex> lock(host_->gate_mutex_);
-  if (host_->options_.max_concurrent_solves > 0) {
-    auto has_slot = [this] {
-      return host_->gate_active_ < host_->options_.max_concurrent_solves;
-    };
+  size_t max_solves = host_->options_.max_concurrent_solves;
+  host_->gate_mutex_.Lock();
+  while (max_solves > 0 && host_->gate_active_ >= max_solves) {
     if (deadline != nullptr && deadline->enabled()) {
+      // The deadline may run on an injected test clock while the wait is
+      // real time, so a timed-out wait gives up after one final predicate
+      // check (exactly wait_for-with-predicate semantics) instead of
+      // consulting the deadline again.
       double remaining = deadline->RemainingSeconds();
       if (remaining < 0.0) remaining = 0.0;
-      if (!host_->gate_cv_.wait_for(
-              lock, std::chrono::duration<double>(remaining), has_slot)) {
-        return;  // budget gone before a slot freed; acquired_ stays false
+      if (!host_->gate_cv_.WaitFor(host_->gate_mutex_, remaining) &&
+          host_->gate_active_ >= max_solves) {
+        // Budget gone before a slot freed; acquired_ stays false.
+        host_->gate_mutex_.Unlock();
+        return;
       }
     } else {
-      host_->gate_cv_.wait(lock, has_slot);
+      host_->gate_cv_.Wait(host_->gate_mutex_);
     }
   }
   acquired_ = true;
   ++host_->gate_active_;
   BumpMax(&host_->stats_.max_active_solves, host_->gate_active_);
+  host_->gate_mutex_.Unlock();
 }
 
 EngineHost::SolveSlot::~SolveSlot() {
   if (!acquired_) return;
   {
-    std::lock_guard<std::mutex> lock(host_->gate_mutex_);
+    MutexLock lock(host_->gate_mutex_);
     --host_->gate_active_;
   }
-  host_->gate_cv_.notify_one();
+  host_->gate_cv_.NotifyOne();
 }
 
 void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
@@ -466,6 +489,7 @@ void EngineHost::SolveBatch(std::vector<std::shared_ptr<PendingOnDemand>> batch,
   }
   obs::ScopedSpan batch_span(trace, "solve_batch");
   const Table& table = engine_->table();
+  // relaxed: monotonic stats counter.
   stats_.on_demand_passes.fetch_add(1, std::memory_order_relaxed);
   BumpMax(&stats_.max_batch, batch.size());
 
@@ -554,18 +578,19 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
       RenderSpeech(engine_->table(), prepared.value().instance(),
                    prepared.value().catalog(), result, query.predicates);
   render_hist_->Record(render_watch.ElapsedSeconds());
+  // relaxed: monotonic stats counter.
   stats_.on_demand_summaries.fetch_add(1, std::memory_order_relaxed);
   {
     // Batches run concurrently on pool workers; counters are plain
     // non-atomic fields, so the merge must hold the host's perf mutex.
-    std::lock_guard<std::mutex> lock(perf_mutex_);
+    MutexLock lock(perf_mutex_);
     perf_ = perf_.Merged(result.counters);
   }
 
   // Truncated (anytime) summaries are never learned: a persisted speech must
   // be the full greedy result, not whatever one request's budget allowed.
   if (options_.record_learned && !result.timed_out) {
-    std::lock_guard<std::mutex> lock(learned_mutex_);
+    MutexLock lock(learned_mutex_);
     if (learned_keys_.insert(query.Key()).second) {
       learned_.push_back(StoredSpeech{query, speech});
     }
@@ -582,7 +607,7 @@ ServedAnswerPtr EngineHost::SolveOne(const VoiceQuery& query,
 }
 
 double EngineHost::GlobalAveragePrior(int target_index) {
-  std::lock_guard<std::mutex> lock(prior_mutex_);
+  MutexLock lock(prior_mutex_);
   auto it = global_priors_.find(target_index);
   if (it != global_priors_.end()) return it->second;
   double prior = GlobalAverage(engine_->table(), target_index);
@@ -591,12 +616,12 @@ double EngineHost::GlobalAveragePrior(int target_index) {
 }
 
 PerfCounters EngineHost::perf() const {
-  std::lock_guard<std::mutex> lock(perf_mutex_);
+  MutexLock lock(perf_mutex_);
   return perf_;
 }
 
 std::vector<StoredSpeech> EngineHost::TakeLearned() {
-  std::lock_guard<std::mutex> lock(learned_mutex_);
+  MutexLock lock(learned_mutex_);
   std::vector<StoredSpeech> out;
   out.swap(learned_);
   // Keys stay recorded: a speech handed to the registry for persistence
@@ -606,7 +631,7 @@ std::vector<StoredSpeech> EngineHost::TakeLearned() {
 }
 
 void EngineHost::RestoreLearned(std::vector<StoredSpeech> learned) {
-  std::lock_guard<std::mutex> lock(learned_mutex_);
+  MutexLock lock(learned_mutex_);
   for (auto& stored : learned) {
     // Keys are already in learned_keys_ (TakeLearned kept them), so a plain
     // re-append would duplicate entries a concurrent re-learn might have
@@ -623,12 +648,14 @@ void EngineHost::RestoreLearned(std::vector<StoredSpeech> learned) {
 }
 
 size_t EngineHost::pending_learned() const {
-  std::lock_guard<std::mutex> lock(learned_mutex_);
+  MutexLock lock(learned_mutex_);
   return learned_.size();
 }
 
 HostStats EngineHost::stats() const {
   HostStats out;
+  // relaxed: counters are read one by one -- a statistical snapshot, not a
+  // consistent cut.
   out.requests = stats_.requests.load(std::memory_order_relaxed);
   out.queries = stats_.queries.load(std::memory_order_relaxed);
   out.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);

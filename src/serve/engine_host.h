@@ -12,11 +12,9 @@
 #define VQ_SERVE_ENGINE_HOST_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +28,7 @@
 #include "serve/answer.h"
 #include "serve/cache.h"
 #include "serve/coalescer.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace serve {
@@ -263,10 +262,10 @@ class EngineHost {
   /// for ONE batch at a time, then hands runnership to a woken waiter, so no
   /// single request's latency grows with the length of a miss burst.
   struct TargetBatchQueue {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool running = false;
-    std::vector<std::shared_ptr<PendingOnDemand>> waiting;
+    Mutex mutex;
+    CondVar cv;
+    bool running GUARDED_BY(mutex) = false;
+    std::vector<std::shared_ptr<PendingOnDemand>> waiting GUARDED_BY(mutex);
   };
 
   /// Computes the answer for a grounded query (store lookup, then on-demand
@@ -354,22 +353,24 @@ class EngineHost {
   obs::LatencyHistogram* coalesced_wait_hist_;
   obs::TraceSampler trace_sampler_;
 
-  std::mutex batch_mutex_;  ///< guards batch_queues_
-  std::unordered_map<int, std::shared_ptr<TargetBatchQueue>> batch_queues_;
+  Mutex batch_mutex_;
+  std::unordered_map<int, std::shared_ptr<TargetBatchQueue>> batch_queues_
+      GUARDED_BY(batch_mutex_);
 
-  std::mutex gate_mutex_;  ///< guards gate_active_ (the solve thread share)
-  std::condition_variable gate_cv_;
-  size_t gate_active_ = 0;
+  /// The solve thread share (HostOptions::max_concurrent_solves).
+  Mutex gate_mutex_;
+  CondVar gate_cv_;
+  size_t gate_active_ GUARDED_BY(gate_mutex_) = 0;
 
-  std::mutex prior_mutex_;  ///< guards global_priors_
-  std::unordered_map<int, double> global_priors_;
+  Mutex prior_mutex_;
+  std::unordered_map<int, double> global_priors_ GUARDED_BY(prior_mutex_);
 
-  mutable std::mutex learned_mutex_;  ///< guards learned_ + learned_keys_
-  std::vector<StoredSpeech> learned_;
-  std::unordered_set<std::string> learned_keys_;
+  mutable Mutex learned_mutex_;
+  std::vector<StoredSpeech> learned_ GUARDED_BY(learned_mutex_);
+  std::unordered_set<std::string> learned_keys_ GUARDED_BY(learned_mutex_);
 
-  mutable std::mutex perf_mutex_;  ///< guards perf_ (see perf())
-  PerfCounters perf_;
+  mutable Mutex perf_mutex_;  ///< see perf()
+  PerfCounters perf_ GUARDED_BY(perf_mutex_);
 
   struct AtomicStats {
     std::atomic<uint64_t> requests{0};

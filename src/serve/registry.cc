@@ -119,7 +119,7 @@ Status DatasetRegistry::AddDataset(const std::string& name, Table table,
 }
 
 Status DatasetRegistry::PublishEntry(std::shared_ptr<DatasetEntry> entry) {
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(write_mutex_);
   RegistrySnapshotPtr current = snapshot();
   if (current->Find(entry->name) != nullptr) {
     return Status::AlreadyExists("dataset '" + entry->name +
@@ -212,7 +212,7 @@ Status DatasetRegistry::WriteSnapshot(const std::string& name,
 
 Status DatasetRegistry::RemoveDataset(const std::string& name) {
   Stopwatch watch;
-  std::lock_guard<std::mutex> lock(write_mutex_);
+  MutexLock lock(write_mutex_);
   RegistrySnapshotPtr current = snapshot();
   if (current->Find(name) == nullptr) {
     return Status::NotFound("dataset '" + name + "' unknown");
@@ -335,7 +335,7 @@ Status DatasetRegistry::SaveLearnedFor(
 
   // One read-merge-write at a time, or concurrent flushes would each merge
   // into the same stale disk state and the last rename would win.
-  std::lock_guard<std::mutex> lock(save_mutex_);
+  MutexLock lock(save_mutex_);
   // A RETIRED writer must not clobber a successor: when the name has been
   // re-registered (different generation) since `entry` was current, the
   // learned file belongs to the newer incarnation -- whose fingerprint the

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +34,7 @@
 #include "serve/engine_host.h"
 #include "storage/datasets.h"
 #include "util/snapshot_ptr.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace serve {
@@ -241,8 +241,8 @@ class DatasetRegistry {
   std::string LearnedPath(const std::string& name) const;
 
  private:
-  /// Swaps in `next` as the current snapshot (callers hold write_mutex_).
-  void Publish(std::shared_ptr<RegistrySnapshot> next);
+  /// Swaps in `next` as the current snapshot.
+  void Publish(std::shared_ptr<RegistrySnapshot> next) REQUIRES(write_mutex_);
   /// Shared add tail: takes write_mutex_, re-checks the name, stamps the
   /// generation and publishes. AlreadyExists if the name was registered
   /// concurrently since the caller's fast check.
@@ -256,18 +256,19 @@ class DatasetRegistry {
   obs::LatencyHistogram* add_hist_;     ///< vq_registry_add_seconds
   obs::LatencyHistogram* remove_hist_;  ///< vq_registry_remove_seconds
   /// Serializes mutations (snapshot build + publish + generation stamps).
-  std::mutex write_mutex_;
-  uint64_t next_generation_ = 1;  ///< guarded by write_mutex_
-  /// Sum of bytes_mapped over currently registered entries (guarded by
-  /// write_mutex_); mirrored to the vq_registry_snapshot_bytes_mapped gauge.
-  size_t snapshot_bytes_mapped_ = 0;
+  Mutex write_mutex_;
+  uint64_t next_generation_ GUARDED_BY(write_mutex_) = 1;
+  /// Sum of bytes_mapped over currently registered entries; mirrored to the
+  /// vq_registry_snapshot_bytes_mapped gauge.
+  size_t snapshot_bytes_mapped_ GUARDED_BY(write_mutex_) = 0;
   /// The published snapshot (util/snapshot_ptr.h explains why this is a
   /// mutex-guarded cell rather than std::atomic<shared_ptr>).
   SnapshotPtr<const RegistrySnapshot> snapshot_;
   /// Mirrors snapshot()->version for the wait-free probe (see version()).
   std::atomic<uint64_t> version_{0};
-  /// Serializes SaveLearned's read-merge-write on the learned files.
-  mutable std::mutex save_mutex_;
+  /// Serializes SaveLearned's read-merge-write on the learned files (the
+  /// files themselves are the guarded state; no fields hang off this lock).
+  mutable Mutex save_mutex_;
 };
 
 }  // namespace serve

@@ -46,7 +46,7 @@ RoutingService::~RoutingService() {
   // With the pool drained, every retired slot is sole-owned: run the final
   // sweep so pending learned speeches of removed datasets reach the
   // registry's persistence instead of dying with retired_.
-  std::lock_guard<std::mutex> lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   SweepRetired(/*drain_pinned=*/true);
 }
 
@@ -101,6 +101,8 @@ RoutingService::HostSetPtr RoutingService::RebuildHosts(
     (void)entry;
     retired_.push_back(std::move(slot));
   }
+  // relaxed: mirror of retired_.size() for the lock-free fast-path probe;
+  // sync_mutex_ (held here) orders the list itself.
   retired_count_.store(retired_.size(), std::memory_order_relaxed);
   return next;
 }
@@ -127,6 +129,7 @@ bool RoutingService::DrainAndPurge(const HostSlot& slot) const {
       }
     }
   }
+  // relaxed: monotonic counter.
   purged_cache_entries_.fetch_add(
       cache_.PurgePrefix(slot.host->fingerprint() + "|"),
       std::memory_order_relaxed);
@@ -155,22 +158,29 @@ void RoutingService::SweepRetired(bool drain_pinned) const {
     bool drained = DrainAndPurge(**it);
     it = (final_pass && drained) ? retired_.erase(it) : std::next(it);
   }
+  // relaxed: mirror of retired_.size() for the lock-free fast-path probe;
+  // sync_mutex_ (held here) orders the list itself.
   retired_count_.store(retired_.size(), std::memory_order_relaxed);
 }
 
 void RoutingService::ScheduleRetiredSweep() const {
+  // relaxed: a stale zero only defers the sweep to a later request; a stale
+  // nonzero schedules a no-op pass.
   if (retired_count_.load(std::memory_order_relaxed) == 0) return;
   // At most one queued release task at a time; a slot that is still pinned
   // when the task runs gets rescheduled by a later request.
+  // relaxed: the flag only rate-limits task submission; the pool queue
+  // orders the sweep work itself.
   if (sweep_scheduled_.exchange(true, std::memory_order_relaxed)) return;
   (void)pool_.SubmitTask([this] {
     {
-      std::lock_guard<std::mutex> lock(sync_mutex_);
+      MutexLock lock(sync_mutex_);
       // Final-only passes: pinned slots are skipped (their late writes are
       // fully caught by the eventual final pass, see SweepRetired), so a
       // rescheduled background sweep never re-scans the cache per straggler.
       SweepRetired(/*drain_pinned=*/false);
     }
+    // relaxed: rate limiting only (see above).
     sweep_scheduled_.store(false, std::memory_order_relaxed);
   });
 }
@@ -187,12 +197,13 @@ RoutingService::HostSetPtr RoutingService::CurrentHosts() const {
     return current;
   }
   {
-    std::lock_guard<std::mutex> lock(sync_mutex_);
+    MutexLock lock(sync_mutex_);
     current = hosts_.load();
     RegistrySnapshotPtr snapshot = registry_->snapshot();
     if (current->registry_version != snapshot->version) {
       current = RebuildHosts(snapshot, current);
       hosts_.store(current);
+      // relaxed: monotonic counter.
       registry_syncs_.fetch_add(1, std::memory_order_relaxed);
     }
   }
@@ -210,11 +221,12 @@ void RoutingService::SyncRegistry() {
   // slot twice per call.) The sweep runs even on an unchanged version: a
   // quiescent router can still owe retired slots their final drain+purge,
   // e.g. after the in-flight requests of a removed dataset finished.
-  std::lock_guard<std::mutex> lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   HostSetPtr current = hosts_.load();
   RegistrySnapshotPtr snapshot = registry_->snapshot();
   if (current->registry_version != snapshot->version) {
     hosts_.store(RebuildHosts(snapshot, current));
+    // relaxed: monotonic counter.
     registry_syncs_.fetch_add(1, std::memory_order_relaxed);
   }
   SweepRetired(/*drain_pinned=*/true);
@@ -247,6 +259,8 @@ std::future<RoutedResponse> RoutingService::SubmitWithDeadline(
   // of accepting work it will only time out on minutes later. The shed
   // response still counts as a request so the status ledger reconciles
   // (requests == ok + shed + timeouts + degraded).
+  // relaxed: admission needs only an approximate pending count (fetch_add
+  // keeps it exact over time); no other memory publishes through it.
   int64_t pending = pending_requests_.fetch_add(1, std::memory_order_relaxed) + 1;
   bool reject =
       (options_.max_pending_requests > 0 &&
@@ -276,6 +290,7 @@ std::future<RoutedResponse> RoutingService::SubmitWithDeadline(
                            queued = Stopwatch(), deadline] {
     struct PendingGuard {
       std::atomic<int64_t>* counter;
+      // relaxed: see the fetch_add at admission.
       ~PendingGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
     } guard{&pending_requests_};
     return Process(request, queued.ElapsedSeconds(), deadline.get());
@@ -325,6 +340,7 @@ RoutingService::RouteDecision RoutingService::Route(
 
 void RoutingService::RecordStatus(const RoutedResponse& out,
                                   const Deadline* deadline) {
+  // relaxed: monotonic outcome counters.
   switch (out.response.status) {
     case ServeStatus::kShed:
       shed_.fetch_add(1, std::memory_order_relaxed);
@@ -349,6 +365,7 @@ RoutedResponse RoutingService::Process(const std::string& request,
                                        const Deadline* deadline) {
   Stopwatch watch;
   if (queue_wait_seconds > 0.0) queue_wait_hist_->Record(queue_wait_seconds);
+  // relaxed: monotonic counter.
   requests_.fetch_add(1, std::memory_order_relaxed);
   // Stage 0, queue expiry: a request whose budget died waiting for a worker
   // is turned around before routing, grounding or any host work. This keeps
@@ -377,6 +394,7 @@ RoutedResponse RoutingService::Process(const std::string& request,
   double routed_at = watch.ElapsedSeconds();
   route_hist_->Record(routed_at - snapshot_seconds);
   if (decision.host_index >= 0) {
+    // relaxed: monotonic counters (router-wide and per-slot).
     routed_.fetch_add(1, std::memory_order_relaxed);
     HostSlot& slot = *hosts->slots[static_cast<size_t>(decision.host_index)];
     slot.routed_requests.fetch_add(1, std::memory_order_relaxed);
@@ -407,6 +425,8 @@ RoutedResponse RoutingService::Process(const std::string& request,
     // on the right dataset's cheap path (a stale cache serve beats an
     // apology, and misrouting under load would be a correctness bug the
     // chaos test hunts for).
+    // relaxed: the per-dataset admission counter is approximate by design (a
+    // racing burst may briefly overshoot); nothing else rides on it.
     struct ActiveGuard {
       std::atomic<uint64_t>* counter;
       ~ActiveGuard() { counter->fetch_sub(1, std::memory_order_relaxed); }
@@ -433,6 +453,7 @@ RoutedResponse RoutingService::Process(const std::string& request,
     if ((out.response.type == RequestType::kSupportedQuery ||
          out.response.type == RequestType::kUnsupportedQuery) &&
         !out.response.answered) {
+      // relaxed: monotonic counter.
       slot.unanswered_requests.fetch_add(1, std::memory_order_relaxed);
     }
     double total_seconds = watch.ElapsedSeconds();
@@ -461,6 +482,7 @@ RoutedResponse RoutingService::Process(const std::string& request,
   // classified (keyword rules need no vocabulary) so the caller gets the
   // canned responses instead of a crash or a silent drop; query-shaped text
   // that grounds nowhere falls out as not-understood/unanswerable.
+  // relaxed: monotonic counter.
   unrouted_.fetch_add(1, std::memory_order_relaxed);
   Stopwatch unrouted_watch;
   if (!hosts->slots.empty()) {
@@ -492,7 +514,7 @@ RoutedResponse RoutingService::Process(const std::string& request,
 Status RoutingService::FlushLearned() {
   // One flush at a time: concurrent read-merge-write cycles on the learned
   // files would lose whichever batch reads the stale disk state.
-  std::lock_guard<std::mutex> lock(flush_mutex_);
+  MutexLock lock(flush_mutex_);
   HostSetPtr hosts = CurrentHosts();
   Status first_error;
   for (const auto& slot : hosts->slots) {
@@ -523,6 +545,8 @@ size_t RoutingService::num_hosts() const { return CurrentHosts()->slots.size(); 
 
 RouterStats RoutingService::stats() const {
   RouterStats out;
+  // relaxed: counters are read one by one -- a statistical snapshot, not a
+  // consistent cut.
   out.requests = requests_.load(std::memory_order_relaxed);
   out.routed = routed_.load(std::memory_order_relaxed);
   out.unrouted = unrouted_.load(std::memory_order_relaxed);
@@ -545,6 +569,7 @@ void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
   // Runs under the registry's collector mutex on RenderText()/RenderJson().
   // Everything read here is internally thread-safe (atomics, locked stats),
   // so a render concurrent with serving sees a coherent-enough snapshot.
+  // relaxed: every load below is an independent statistical read.
   into.SetCounter("vq_router_requests_total",
                   requests_.load(std::memory_order_relaxed));
   into.SetCounter("vq_router_routed_total",
@@ -611,6 +636,7 @@ void RoutingService::ExportMetrics(obs::MetricsRegistry& into) const {
   HostSetPtr hosts = CurrentHosts();
   into.SetGauge("vq_router_hosts", static_cast<double>(hosts->slots.size()));
   for (const auto& slot : hosts->slots) {
+    // relaxed: independent per-slot counters (statistical snapshot).
     const std::string& dataset = slot->host->name();
     auto labeled = [&dataset](const char* name) {
       return obs::MetricsRegistry::WithLabel(name, "dataset", dataset);

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "serve/engine_host.h"
 #include "serve/registry.h"
 #include "util/snapshot_ptr.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace vq {
@@ -160,6 +160,7 @@ class RoutingService {
 
   /// Submitted-but-unresolved requests right now (queued + executing).
   size_t PendingRequests() const {
+    // relaxed: snapshot value; staleness is inherent to the probe.
     return static_cast<size_t>(pending_requests_.load(std::memory_order_relaxed));
   }
 
@@ -248,9 +249,10 @@ class RoutingService {
   /// whose entries survive, and moves dropped slots onto the retired list
   /// (first learned drain + cache purge happen in the sweep).
   HostSetPtr RebuildHosts(const RegistrySnapshotPtr& snapshot,
-                          const HostSetPtr& previous) const;
-  /// Drains learned speeches and purges cache keys of retired slots
-  /// (callers hold sync_mutex_). A request that was already past routing
+                          const HostSetPtr& previous) const
+      REQUIRES(sync_mutex_);
+  /// Drains learned speeches and purges cache keys of retired slots. A
+  /// request that was already past routing
   /// when its dataset was removed can insert cache entries or record
   /// learned speeches AFTER the retirement pass that follows the removal;
   /// sweeping on every sync catches those, and a slot whose last outside
@@ -259,7 +261,7 @@ class RoutingService {
   /// With `drain_pinned` false (the request fast path), slots still
   /// referenced by in-flight requests are skipped entirely instead of
   /// re-drained, keeping the per-request cost at one use_count read.
-  void SweepRetired(bool drain_pinned) const;
+  void SweepRetired(bool drain_pinned) const REQUIRES(sync_mutex_);
   /// One retired slot's drain (learned speeches -> registry persistence,
   /// when enabled) plus cache purge by fingerprint prefix. Returns false
   /// when a learned batch could not be persisted (it was restored onto the
@@ -305,17 +307,20 @@ class RoutingService {
   /// mutex-guarded cell rather than std::atomic<shared_ptr>).
   mutable SnapshotPtr<const HostSet> hosts_;
   /// Serializes host-set rebuilds (acquiring hosts_ never waits on one).
-  mutable std::mutex sync_mutex_;
+  /// Lock order: sync_mutex_ before any host/registry/cache mutex (see
+  /// util/sync.h).
+  mutable Mutex sync_mutex_;
   /// Slots of removed datasets still possibly referenced by in-flight
-  /// requests; guarded by sync_mutex_, emptied by the retirement sweeps.
-  mutable std::vector<std::shared_ptr<HostSlot>> retired_;
+  /// requests; emptied by the retirement sweeps.
+  mutable std::vector<std::shared_ptr<HostSlot>> retired_
+      GUARDED_BY(sync_mutex_);
   /// Mirrors retired_.size() so the request fast path can skip the
   /// try-lock entirely while nothing is retired (the common case).
   mutable std::atomic<size_t> retired_count_{0};
   /// True while a release task is queued/running (at most one at a time).
   mutable std::atomic<bool> sweep_scheduled_{false};
   /// Serializes FlushLearned: the registry's file merge is read-modify-write.
-  std::mutex flush_mutex_;
+  Mutex flush_mutex_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> routed_{0};
   std::atomic<uint64_t> unrouted_{0};

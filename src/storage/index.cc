@@ -65,6 +65,7 @@ TableIndex TableIndex::Build(const Table& table) {
   index.last_worker_ =
       std::make_unique<std::atomic<uint32_t>[]>(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
+    // relaxed: affinity hints; a stale value only costs locality.
     index.last_worker_[s].store(kNoWorker, std::memory_order_relaxed);
   }
 
@@ -99,6 +100,7 @@ TableIndex TableIndex::FromParts(size_t num_rows, size_t num_targets,
   }
   index.last_worker_ = std::make_unique<std::atomic<uint32_t>[]>(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
+    // relaxed: affinity hints; a stale value only costs locality.
     index.last_worker_[s].store(kNoWorker, std::memory_order_relaxed);
   }
   return index;

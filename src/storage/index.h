@@ -137,6 +137,8 @@ class TableIndex {
   /// to be rescanned by the worker whose cache (and NUMA node, when pinning
   /// is active) already holds its lists. Relaxed atomics: a stale or torn
   /// hint only costs locality, never correctness.
+  // relaxed: a cache-affinity hint; staleness costs locality, never
+  // correctness.
   uint32_t shard_last_worker(size_t s) const {
     return last_worker_[s].load(std::memory_order_relaxed);
   }

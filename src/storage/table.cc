@@ -80,7 +80,7 @@ const TableIndex& Table::index() const {
   IndexCell& cell = *index_cell_;
   const TableIndex* built = cell.ptr.load(std::memory_order_acquire);
   if (built != nullptr) return *built;
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   if (cell.index == nullptr) {
     cell.index = std::make_unique<const TableIndex>(TableIndex::Build(*this));
     cell.ptr.store(cell.index.get(), std::memory_order_release);
@@ -91,7 +91,7 @@ const TableIndex& Table::index() const {
 void Table::AdoptIndex(std::unique_ptr<const TableIndex> index) {
   if (index_cell_ == nullptr) index_cell_ = std::make_unique<IndexCell>();
   IndexCell& cell = *index_cell_;
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.index = std::move(index);
   cell.ptr.store(cell.index.get(), std::memory_order_release);
 }
@@ -102,8 +102,9 @@ void Table::InvalidateIndex() {
   // Appends are not allowed concurrently with reads (the builder itself
   // would race on the columns), so an unbuilt index needs no locking here --
   // this keeps the per-AppendRow cost at one relaxed load during bulk loads.
+  // relaxed: the pointer is re-read under the cell mutex before any use.
   if (cell.ptr.load(std::memory_order_relaxed) == nullptr) return;
-  std::lock_guard<std::mutex> lock(cell.mutex);
+  MutexLock lock(cell.mutex);
   cell.ptr.store(nullptr, std::memory_order_release);
   cell.index.reset();
 }

@@ -7,7 +7,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +16,7 @@
 #include "storage/index.h"
 #include "util/csv.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace vq {
 
@@ -169,8 +169,8 @@ class Table {
   /// Heap-boxed lazy-index state so Table itself stays movable (mutex
   /// members are not). `ptr` is the double-checked fast path; `index` owns.
   struct IndexCell {
-    std::mutex mutex;
-    std::unique_ptr<const TableIndex> index;     // guarded by mutex
+    Mutex mutex;
+    std::unique_ptr<const TableIndex> index GUARDED_BY(mutex);
     std::atomic<const TableIndex*> ptr{nullptr}; // published after build
   };
 

@@ -60,6 +60,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents) {
                            std::string(fault::kAtomicWrite) + " ('" + path +
                            "')");
   }
+  // relaxed: only uniqueness of the stamp matters.
   uint64_t stamp = g_temp_counter.fetch_add(1, std::memory_order_relaxed);
   std::string temp = path + ".tmp." + std::to_string(ProcessId()) + "." +
                      std::to_string(stamp);

@@ -3,11 +3,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "util/rng.h"
+#include "util/sync.h"
 
 namespace vq {
 namespace fault {
@@ -27,8 +27,8 @@ uint64_t HashName(const std::string& name) {
 }  // namespace
 
 struct FaultInjector::Impl {
-  mutable std::mutex mutex;
-  uint64_t base_seed = 0x9E3779B97F4A7C15ULL;
+  mutable Mutex mutex;
+  uint64_t base_seed GUARDED_BY(mutex) = 0x9E3779B97F4A7C15ULL;
 
   struct PointState {
     FaultAction action;
@@ -36,8 +36,10 @@ struct FaultInjector::Impl {
     Rng rng{0};
     FaultPointStats stats;
   };
-  std::unordered_map<std::string, PointState> points;
+  std::unordered_map<std::string, PointState> points GUARDED_BY(mutex);
 };
+
+FaultInjector::~FaultInjector() { delete impl_.load(std::memory_order_acquire); }
 
 FaultInjector::Impl& FaultInjector::impl() {
   Impl* existing = impl_.load(std::memory_order_acquire);
@@ -72,10 +74,11 @@ FaultInjector& FaultInjector::Global() {
 
 void FaultInjector::Arm(const std::string& point, FaultAction action) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   Impl::PointState& entry = state.points[point];
   if (!entry.armed) {
     entry.rng = Rng(state.base_seed ^ HashName(point));
+    // relaxed: fast-path arming hint; the point state itself is under the mutex.
     armed_points_.fetch_add(1, std::memory_order_relaxed);
   }
   entry.armed = true;
@@ -84,27 +87,29 @@ void FaultInjector::Arm(const std::string& point, FaultAction action) {
 
 void FaultInjector::Disarm(const std::string& point) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   auto it = state.points.find(point);
   if (it == state.points.end() || !it->second.armed) return;
   it->second.armed = false;
+  // relaxed: hint update (see Arm).
   armed_points_.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   int armed = 0;
   for (const auto& [name, entry] : state.points) {
     if (entry.armed) ++armed;
   }
   state.points.clear();
+  // relaxed: hint update (see Arm).
   armed_points_.fetch_sub(armed, std::memory_order_relaxed);
 }
 
 void FaultInjector::Seed(uint64_t seed) {
   Impl& state = impl();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(state.mutex);
   state.base_seed = seed;
 }
 
@@ -171,7 +176,7 @@ bool FaultInjector::ShouldFail(const char* point) {
   double delay_seconds = 0.0;
   bool fail = false;
   {
-    std::lock_guard<std::mutex> lock(state.mutex);
+    MutexLock lock(state.mutex);
     auto it = state.points.find(point);
     if (it == state.points.end() || !it->second.armed) return false;
     Impl::PointState& entry = it->second;
@@ -193,7 +198,7 @@ bool FaultInjector::ShouldFail(const char* point) {
 FaultPointStats FaultInjector::PointStats(const std::string& point) const {
   Impl* state = impl_.load(std::memory_order_acquire);
   if (state == nullptr) return {};
-  std::lock_guard<std::mutex> lock(state->mutex);
+  MutexLock lock(state->mutex);
   auto it = state->points.find(point);
   if (it == state->points.end()) return {};
   return it->second.stats;

@@ -57,6 +57,10 @@ class FaultInjector {
   static FaultInjector& Global();
 
   FaultInjector() = default;
+  /// Frees the lazily created state. Destroying an injector while another
+  /// thread still calls into it is a caller bug (the Global() instance is
+  /// deliberately never destroyed, so production code never races this).
+  ~FaultInjector();
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -85,6 +89,8 @@ class FaultInjector {
   FaultPointStats PointStats(const std::string& point) const;
 
   bool AnyArmed() const {
+    // relaxed: a fast-path probe; arming happens-before the traffic that
+    // tests it, and a stale read only delays the first injection.
     return armed_points_.load(std::memory_order_relaxed) > 0;
   }
 

@@ -12,6 +12,7 @@ void ScanStats::RecordInto(std::atomic<double>* ewma,
   // Lock-free EWMA: CAS loop over the (0.0 == unset) running value. A lost
   // race re-blends from the winner's value -- every observation still lands
   // with weight ~kAlpha, which is all a smoothing heuristic needs.
+  // relaxed: a smoothing heuristic (see above); the sample count is a tally.
   double current = ewma->load(std::memory_order_relaxed);
   double next;
   do {
@@ -30,6 +31,7 @@ void ScanStats::RecordScan(size_t table_rows, double seconds) {
 }
 
 double ScanStats::CostFactor(double fallback) const {
+  // relaxed: heuristic reads; any recent-enough EWMA value is fine.
   double postings = ewma_postings_seconds_per_row_.load(std::memory_order_relaxed);
   double scan = ewma_scan_seconds_per_row_.load(std::memory_order_relaxed);
   if (postings <= 0.0 || scan <= 0.0) return fallback;  // a path is unsampled
@@ -37,6 +39,7 @@ double ScanStats::CostFactor(double fallback) const {
 }
 
 bool ScanStats::TakeProbe() {
+  // relaxed: round-robin probe counter; only the modulus matters.
   uint64_t decision = decisions_.fetch_add(1, std::memory_order_relaxed);
   if (decision % kProbePeriod != kProbePeriod - 1) return false;
   probes_.fetch_add(1, std::memory_order_relaxed);
@@ -44,22 +47,27 @@ bool ScanStats::TakeProbe() {
 }
 
 uint64_t ScanStats::postings_samples() const {
+  // relaxed: statistical read.
   return postings_samples_.load(std::memory_order_relaxed);
 }
 
 uint64_t ScanStats::scan_samples() const {
+  // relaxed: statistical read.
   return scan_samples_.load(std::memory_order_relaxed);
 }
 
 uint64_t ScanStats::probes() const {
+  // relaxed: statistical read.
   return probes_.load(std::memory_order_relaxed);
 }
 
 double ScanStats::postings_ns_per_row() const {
+  // relaxed: statistical read.
   return ewma_postings_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
 }
 
 double ScanStats::scan_ns_per_row() const {
+  // relaxed: statistical read.
   return ewma_scan_seconds_per_row_.load(std::memory_order_relaxed) * 1e9;
 }
 

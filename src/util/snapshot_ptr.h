@@ -16,8 +16,9 @@
 #define VQ_UTIL_SNAPSHOT_PTR_H_
 
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace vq {
 
@@ -33,7 +34,7 @@ class SnapshotPtr {
   /// Acquires the current snapshot; the caller's shared_ptr pins it for as
   /// long as it is held, whatever later store()s publish.
   std::shared_ptr<T> load() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return value_;
   }
 
@@ -42,14 +43,14 @@ class SnapshotPtr {
   void store(std::shared_ptr<T> value) {
     std::shared_ptr<T> displaced;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       displaced = std::exchange(value_, std::move(value));
     }
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::shared_ptr<T> value_;
+  mutable Mutex mutex_;
+  std::shared_ptr<T> value_ GUARDED_BY(mutex_);
 };
 
 }  // namespace vq

@@ -32,25 +32,25 @@ ThreadPool::ThreadPool(size_t num_threads, const ThreadPoolOptions& options) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::SubmitHinted(size_t hint, std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     hinted_[hint % hinted_.size()].push_back(std::move(task));
     ++hinted_total_;
     ++in_flight_;
@@ -58,16 +58,16 @@ void ThreadPool::SubmitHinted(size_t hint, std::function<void()> task) {
   // One wake suffices even if it lands on the "wrong" worker: any woken
   // worker that finds its own queues empty steals hinted work (PopTask), so
   // the task cannot strand while a worker sleeps.
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 size_t ThreadPool::PendingTasks() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return in_flight_;
 }
 
 size_t ThreadPool::QueuedTasks() const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size() + hinted_total_;
 }
 
@@ -76,8 +76,8 @@ size_t ThreadPool::CurrentWorkerIndex() const {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 bool ThreadPool::PopTask(size_t index, std::function<void()>* task) {
@@ -117,10 +117,10 @@ void ThreadPool::WorkerLoop(size_t index) {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] {
-        return shutting_down_ || !queue_.empty() || hinted_total_ > 0;
-      });
+      MutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty() && hinted_total_ == 0) {
+        work_available_.Wait(mutex_);
+      }
       if (!PopTask(index, &task)) {
         if (shutting_down_) return;
         continue;
@@ -128,9 +128,9 @@ void ThreadPool::WorkerLoop(size_t index) {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

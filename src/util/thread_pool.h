@@ -5,18 +5,18 @@
 #define VQ_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace vq {
 
@@ -98,19 +98,18 @@ class ThreadPool {
   /// Pops the next task for worker `index` under mutex_: own hinted queue
   /// first, then the shared queue, then steal the oldest hinted task of
   /// another worker. Returns false when nothing is queued.
-  bool PopTask(size_t index, std::function<void()>* task);
+  bool PopTask(size_t index, std::function<void()>* task) REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  /// Per-worker hinted tasks (guarded by mutex_ like queue_). hinted_total_
-  /// keeps the wait predicate O(1).
-  std::vector<std::deque<std::function<void()>>> hinted_;
-  size_t hinted_total_ = 0;
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+  mutable Mutex mutex_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  /// Per-worker hinted tasks. hinted_total_ keeps the wait predicate O(1).
+  std::vector<std::deque<std::function<void()>>> hinted_ GUARDED_BY(mutex_);
+  size_t hinted_total_ GUARDED_BY(mutex_) = 0;
+  CondVar work_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `body(i)` for i in [0, count) across the pool, blocking until done.

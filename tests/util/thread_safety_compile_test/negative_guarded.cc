@@ -1,0 +1,23 @@
+// Reads a GUARDED_BY field without holding its mutex: Clang with
+// -Werror=thread-safety must REJECT this translation unit ("reading
+// variable 'value_' requires holding mutex 'mutex_'"); GCC must build it,
+// since the annotations compile away there.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  int UnlockedRead() const { return value_; }  // BAD: mutex_ not held.
+
+ private:
+  mutable vq::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  return counter.UnlockedRead();
+}

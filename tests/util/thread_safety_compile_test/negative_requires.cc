@@ -1,0 +1,29 @@
+// Calls a REQUIRES(mutex_) helper without the lock held: Clang with
+// -Werror=thread-safety must REJECT this translation unit ("calling
+// function 'IncrementLocked' requires holding mutex 'mutex_'"); GCC must
+// build it, since the annotations compile away there.
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { IncrementLocked(); }  // BAD: mutex_ not held.
+  int value() const { return value_unguarded_; }
+
+ private:
+  void IncrementLocked() REQUIRES(mutex_) { ++value_unguarded_; }
+
+  vq::Mutex mutex_;
+  // Deliberately unguarded so the ONLY diagnostic is the REQUIRES call
+  // site, keeping this probe independent of negative_guarded.cc.
+  int value_unguarded_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.value();
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Repo synchronization lint (wired into the check_static CMake target).
+
+Two rules, both cheap textual checks that keep the thread-safety story
+honest between full static-analysis runs:
+
+1. util/sync.h is the ONLY file under src/ that may name the raw standard
+   locking primitives (std::mutex, std::lock_guard, std::unique_lock,
+   std::scoped_lock, std::shared_mutex, std::condition_variable[_any]).
+   Everything else must use vq::Mutex / vq::MutexLock / vq::CondVar so the
+   Clang thread-safety annotations see every lock in the tree. Including
+   <mutex> for non-locking utilities (std::call_once, std::once_flag) is
+   fine; naming the lock types is not.
+
+2. Every `memory_order_relaxed` use must carry a rationale: a `// relaxed:`
+   comment on the same line, on one of the two lines above, or earlier in
+   the same blank-line-delimited block (one rationale covers a dense run of
+   counter reads). Relaxed ordering is correct only under an argument
+   (monotonic counter, single-writer publish, value checked again under a
+   lock, ...) and that argument belongs next to the code, where the next
+   editor will see it.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+BANNED_TOKENS = [
+    "std::mutex",
+    "std::timed_mutex",
+    "std::recursive_mutex",
+    "std::shared_mutex",
+    "std::shared_timed_mutex",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::scoped_lock",
+    "std::shared_lock",
+    "std::condition_variable",
+]
+BANNED_RE = re.compile("|".join(re.escape(t) for t in BANNED_TOKENS))
+RELAXED_RE = re.compile(r"memory_order_relaxed")
+RATIONALE_RE = re.compile(r"//\s*relaxed:")
+
+# The one file allowed to wrap the std primitives.
+SYNC_ALLOWLIST = {"util/sync.h"}
+
+
+def strip_comments(line: str, in_block: bool) -> tuple[str, bool]:
+    """Removes // and /* */ comment text from one line (no string literals
+    with comment markers exist in this tree; keep it simple)."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block = False
+            continue
+        if line.startswith("//", i):
+            break
+        if line.startswith("/*", i):
+            in_block = True
+            i += 2
+            continue
+        out.append(line[i])
+        i += 1
+    return "".join(out), in_block
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+    problems = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_block = False
+    block_covered = False  # a '// relaxed:' earlier in this paragraph
+    for lineno, raw in enumerate(lines, start=1):
+        if not raw.strip():
+            block_covered = False  # rationale coverage ends at a blank line
+        elif RATIONALE_RE.search(raw):
+            block_covered = True
+        code, in_block = strip_comments(raw, in_block)
+        if rel not in SYNC_ALLOWLIST:
+            match = BANNED_RE.search(code)
+            if match:
+                problems.append(
+                    f"{rel}:{lineno}: naked {match.group(0)} -- use the "
+                    "annotated wrappers in util/sync.h"
+                )
+        if RELAXED_RE.search(code) and not block_covered:
+            window = lines[max(0, lineno - 3) : lineno]
+            if not any(RATIONALE_RE.search(w) for w in window):
+                problems.append(
+                    f"{rel}:{lineno}: memory_order_relaxed without a "
+                    "'// relaxed:' rationale (same line, two lines above, "
+                    "or earlier in this paragraph)"
+                )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=pathlib.Path(__file__).resolve().parent.parent / "src",
+        type=pathlib.Path,
+        help="source tree to lint (default: <repo>/src)",
+    )
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    problems = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in {".h", ".cc", ".cpp"}:
+            continue
+        rel = path.relative_to(root).as_posix()
+        problems.extend(lint_file(path, rel))
+
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_sync_lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_sync_lint: clean ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
